@@ -1,0 +1,628 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   section (Figures 5-10), the §4.4 aggregate improvements, the §4.1-4.3
+   analytic schedule gaps, two ablations, and Bechamel micro-benchmarks of
+   the compiler's hot paths.
+
+   Usage:
+     bench/main.exe                 all figures + summary + analytic
+     bench/main.exe fig5 ... fig10  individual figures
+     bench/main.exe summary | analytic | ablation-net | ablation-map
+     bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe everything      all of the above *)
+
+module Table = Tiles_util.Table
+module Netmodel = Tiles_mpisim.Netmodel
+module E = Tiles_apps.Experiment
+module Plan = Tiles_core.Plan
+module Schedule = Tiles_core.Schedule
+module Tiling = Tiles_core.Tiling
+module Executor = Tiles_runtime.Executor
+module Sim = Tiles_mpisim.Sim
+
+let net = Netmodel.fast_ethernet_cluster
+
+let pf fmt = Printf.printf fmt
+
+let sor_spaces = [ (100, 100); (100, 200); (200, 200); (100, 400) ]
+let jacobi_spaces = [ (50, 100); (100, 100); (50, 200); (100, 200) ]
+let adi_spaces = [ (100, 128); (100, 256); (200, 256); (100, 512) ]
+let sor_factors = [ 2; 4; 6; 10; 16; 25 ]
+let jacobi_factors = [ 2; 3; 5; 10; 25 ]
+let adi_factors = [ 4; 10; 25; 50 ]
+
+let fmt_speedup r = Printf.sprintf "%.2f" r.E.speedup
+
+(* ---------------- maximum-speedup figures (5 / 7 / 9) ---------------- *)
+
+let max_speedup_figure ~title ~specs =
+  pf "\n=== %s ===\n" title;
+  let variants =
+    match specs with
+    | [] -> []
+    | (_, s) :: _ -> List.map fst s.E.variants
+  in
+  let t = Table.create ~header:(("iteration space" :: variants) @ [ "procs"; "best nr gain" ]) in
+  List.iter
+    (fun (label, spec) ->
+      let runs = E.sweep spec ~net in
+      let best = E.best_by_variant runs in
+      let cells =
+        List.map
+          (fun v ->
+            match List.assoc_opt v best with
+            | Some r -> fmt_speedup r
+            | None -> "-")
+          variants
+      in
+      let gain =
+        match List.assoc_opt "rect" best with
+        | Some rect ->
+          let best_nr =
+            List.fold_left
+              (fun acc (v, r) ->
+                if v = "rect" then acc
+                else match acc with
+                  | Some b when b.E.speedup >= r.E.speedup -> acc
+                  | _ -> Some r)
+              None best
+          in
+          (match best_nr with
+          | Some nr ->
+            Printf.sprintf "%+.1f%%"
+              (100. *. (nr.E.speedup -. rect.E.speedup) /. rect.E.speedup)
+          | None -> "-")
+        | None -> "-"
+      in
+      Table.add_row t ((label :: cells) @ [ string_of_int spec.E.procs; gain ]))
+    specs;
+  Table.print t
+
+let fig5 () =
+  let specs =
+    List.map
+      (fun (m, n) ->
+        (Printf.sprintf "M=%d N=%d" m n,
+         E.sor ~factors:sor_factors ~m_steps:m ~size:n ()))
+      sor_spaces
+  in
+  max_speedup_figure
+    ~title:"Figure 5 — SOR: maximum speedups per iteration space (16 nodes)"
+    ~specs
+
+let fig7 () =
+  let specs =
+    List.map
+      (fun (t, s) ->
+        (Printf.sprintf "T=%d I=J=%d" t s,
+         E.jacobi ~factors:jacobi_factors ~t_steps:t ~size:s ()))
+      jacobi_spaces
+  in
+  max_speedup_figure
+    ~title:"Figure 7 — Jacobi: maximum speedups per iteration space (16 nodes)"
+    ~specs
+
+let fig9 () =
+  let specs =
+    List.map
+      (fun (t, n) ->
+        (Printf.sprintf "T=%d N=%d" t n,
+         E.adi ~factors:adi_factors ~t_steps:t ~size:n ()))
+      adi_spaces
+  in
+  max_speedup_figure
+    ~title:
+      "Figure 9 — ADI: maximum speedups per iteration space (rect vs nr1/nr2/nr3)"
+    ~specs
+
+(* ---------------- tile-size sweep figures (6 / 8 / 10) ---------------- *)
+
+let sweep_figure ~title ~spec ~factor_label =
+  pf "\n=== %s ===\n" title;
+  let runs = E.sweep spec ~net in
+  let variants = List.map fst spec.E.variants in
+  let t =
+    Table.create
+      ~header:
+        ((factor_label :: "tile size" :: variants)
+        @ [ "steps r/nr"; "nr gain" ])
+  in
+  List.iter
+    (fun f ->
+      let at v =
+        List.find_opt (fun r -> r.E.factor = f && r.E.variant = v) runs
+      in
+      let cells =
+        List.map (fun v -> match at v with Some r -> fmt_speedup r | None -> "-")
+          variants
+      in
+      let tile =
+        match List.find_opt (fun r -> r.E.factor = f) runs with
+        | Some r -> string_of_int r.E.tile_size
+        | None -> "-"
+      in
+      let steps =
+        match (at "rect", at (List.nth variants (List.length variants - 1))) with
+        | Some a, Some b -> Printf.sprintf "%d/%d" a.E.steps b.E.steps
+        | _ -> "-"
+      in
+      let gain =
+        match at "rect" with
+        | Some rect ->
+          let best =
+            List.fold_left
+              (fun acc r ->
+                if r.E.factor = f && r.E.variant <> "rect" then
+                  match acc with
+                  | Some b when b.E.speedup >= r.E.speedup -> acc
+                  | _ -> Some r
+                else acc)
+              None runs
+          in
+          (match best with
+          | Some b ->
+            Printf.sprintf "%+.1f%%"
+              (100. *. (b.E.speedup -. rect.E.speedup) /. rect.E.speedup)
+          | None -> "-")
+        | None -> "-"
+      in
+      Table.add_row t ((string_of_int f :: tile :: cells) @ [ steps; gain ]))
+    spec.E.factors;
+  Table.print t
+
+let fig6 () =
+  sweep_figure
+    ~title:"Figure 6 — SOR: speedups for various tile sizes (M=100, N=200)"
+    ~spec:(E.sor ~factors:[ 2; 3; 4; 6; 8; 10; 16; 25 ] ~m_steps:100 ~size:200 ())
+    ~factor_label:"z"
+
+let fig8 () =
+  sweep_figure
+    ~title:"Figure 8 — Jacobi: speedups for various tile sizes (T=50, I=J=100)"
+    ~spec:(E.jacobi ~factors:[ 1; 2; 3; 5; 8; 10; 15; 25 ] ~t_steps:50 ~size:100 ())
+    ~factor_label:"x"
+
+let fig10 () =
+  sweep_figure
+    ~title:"Figure 10 — ADI: speedups for various tile sizes (T=100, N=256)"
+    ~spec:(E.adi ~factors:[ 2; 4; 6; 10; 16; 25; 50 ] ~t_steps:100 ~size:256 ())
+    ~factor_label:"x"
+
+(* ---------------- §4.4 aggregate ---------------- *)
+
+let summary () =
+  pf "\n=== Summary (§4.4) — average non-rectangular speedup improvement ===\n";
+  pf "(\"over sweep\" averages the gain at every tile size; \"at best tile\"\n";
+  pf " compares the per-variant maxima, which is closer to how the paper's\n";
+  pf " figure-level numbers read. The gain grows with tile size, so the\n";
+  pf " absolute percentage is sensitive to the — unpublished — factor sets.)\n";
+  let t =
+    Table.create
+      ~header:
+        [ "algorithm"; "avg over sweep"; "at best tile"; "paper reports"; "spaces" ]
+  in
+  let avg name paper specs =
+    let runs_per_spec = List.map (fun spec -> E.sweep spec ~net) specs in
+    let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+    let sweep_mean = mean (List.map E.improvement_pct runs_per_spec) in
+    let best_gain runs =
+      let best = E.best_by_variant runs in
+      match List.assoc_opt "rect" best with
+      | None -> 0.
+      | Some rect ->
+        let nr =
+          List.fold_left
+            (fun acc (v, r) ->
+              if v = "rect" then acc else Float.max acc r.E.speedup)
+            0. best
+        in
+        100. *. (nr -. rect.E.speedup) /. rect.E.speedup
+    in
+    let best_mean = mean (List.map best_gain runs_per_spec) in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%+.1f%%" sweep_mean;
+        Printf.sprintf "%+.1f%%" best_mean;
+        paper;
+        string_of_int (List.length specs);
+      ]
+  in
+  avg "SOR" "+17.3%"
+    (List.map (fun (m, n) -> E.sor ~factors:sor_factors ~m_steps:m ~size:n ()) sor_spaces);
+  avg "Jacobi" "+9.1%"
+    (List.map (fun (t, s) -> E.jacobi ~factors:jacobi_factors ~t_steps:t ~size:s ()) jacobi_spaces);
+  avg "ADI" "+10.1%"
+    (List.map (fun (t, n) -> E.adi ~factors:adi_factors ~t_steps:t ~size:n ()) adi_spaces);
+  Table.print t
+
+(* ---------------- §4.1-4.3 analytic schedule gaps ---------------- *)
+
+let analytic () =
+  pf "\n=== Analytic check — linear-schedule step of j_max (Π·⌊H·j_max⌋) ===\n";
+  pf "paper: t_r − t_nr = M/z (SOR), (T+I)/2x (Jacobi), N/y + N/z (ADI nr3)\n";
+  let t =
+    Table.create
+      ~header:[ "algorithm"; "config"; "t_r"; "t_nr"; "measured gap"; "predicted" ]
+  in
+  (* SOR, M=100 N=200, x=50 y=34 (the fig6 grid), sweep z *)
+  let p = Tiles_apps.Sor.make ~m_steps:100 ~size:200 in
+  let nest = Tiles_apps.Sor.nest p in
+  List.iter
+    (fun z ->
+      let tr =
+        Schedule.last_point_step
+          (Plan.make ~m:2 nest (Tiles_apps.Sor.rect ~x:50 ~y:34 ~z))
+      in
+      let tnr =
+        Schedule.last_point_step
+          (Plan.make ~m:2 nest (Tiles_apps.Sor.nonrect ~x:50 ~y:34 ~z))
+      in
+      Table.add_row t
+        [
+          "SOR"; Printf.sprintf "z=%d" z; string_of_int tr; string_of_int tnr;
+          string_of_int (tr - tnr);
+          Printf.sprintf "M/z = %d" (100 / z);
+        ])
+    [ 4; 10; 25 ];
+  let p = Tiles_apps.Jacobi.make ~t_steps:50 ~size:100 in
+  let nest = Tiles_apps.Jacobi.nest p in
+  List.iter
+    (fun x ->
+      let tr =
+        Schedule.last_point_step
+          (Plan.make ~m:0 nest (Tiles_apps.Jacobi.rect ~x ~y:38 ~z:38))
+      in
+      let tnr =
+        Schedule.last_point_step
+          (Plan.make ~m:0 nest (Tiles_apps.Jacobi.nonrect ~x ~y:38 ~z:38))
+      in
+      Table.add_row t
+        [
+          "Jacobi"; Printf.sprintf "x=%d" x; string_of_int tr; string_of_int tnr;
+          string_of_int (tr - tnr);
+          Printf.sprintf "(T+I)/2x = %d" ((50 + 100) / (2 * x));
+        ])
+    [ 2; 5; 10 ];
+  let p = Tiles_apps.Adi.make ~t_steps:100 ~size:256 in
+  let nest = Tiles_apps.Adi.nest p in
+  List.iter
+    (fun x ->
+      let tr =
+        Schedule.last_point_step
+          (Plan.make ~m:0 nest (Tiles_apps.Adi.rect ~x ~y:64 ~z:64))
+      in
+      let tnr =
+        Schedule.last_point_step
+          (Plan.make ~m:0 nest (Tiles_apps.Adi.nr3 ~x ~y:64 ~z:64))
+      in
+      Table.add_row t
+        [
+          "ADI/nr3"; Printf.sprintf "x=%d" x; string_of_int tr; string_of_int tnr;
+          string_of_int (tr - tnr);
+          (* the paper writes N/y + N/z assuming x = y = z; with our grid
+             the two subtracted row-0 entries each contribute N/x *)
+          Printf.sprintf "2N/x = %d" (2 * 256 / x);
+        ])
+    [ 4; 10; 25 ];
+  Table.print t
+
+(* ---------------- ablations ---------------- *)
+
+let ablation_net () =
+  pf "\n=== Ablation — computation/communication ratio vs non-rect gain ===\n";
+  pf "(SOR M=100 N=200, z=6; ratio scales per-point compute cost)\n";
+  let spec = E.sor ~factors:[ 6 ] ~m_steps:100 ~size:200 () in
+  let t =
+    Table.create ~header:[ "comp/comm ratio"; "rect"; "nonrect"; "nr gain" ]
+  in
+  List.iter
+    (fun ratio ->
+      let net = Netmodel.with_ratio net ratio in
+      let rect = E.run_one spec ~net ~variant:"rect" ~factor:6 in
+      let nr = E.run_one spec ~net ~variant:"nonrect" ~factor:6 in
+      Table.add_row t
+        [
+          Printf.sprintf "%.2fx" ratio;
+          fmt_speedup rect;
+          fmt_speedup nr;
+          Printf.sprintf "%+.1f%%"
+            (100. *. (nr.E.speedup -. rect.E.speedup) /. rect.E.speedup);
+        ])
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  Table.print t
+
+let ablation_map () =
+  pf "\n=== Ablation — mapping-dimension choice (ADI T=100 N=256, nr3, x=10) ===\n";
+  pf "(§3.1: map along the dimension with the maximum trip count)\n";
+  let p = Tiles_apps.Adi.make ~t_steps:100 ~size:256 in
+  let nest = Tiles_apps.Adi.nest p in
+  let kernel = Tiles_apps.Adi.kernel p in
+  let t = Table.create ~header:[ "mapping dim"; "procs"; "speedup"; "messages" ] in
+  List.iter
+    (fun m ->
+      match
+        let tiling = Tiles_apps.Adi.nr3 ~x:10 ~y:64 ~z:64 in
+        let plan = Plan.make ~m nest tiling in
+        (plan, Executor.run ~mode:Executor.Timing ~plan ~kernel ~net ())
+      with
+      | plan, r ->
+        Table.add_row t
+          [
+            string_of_int m;
+            string_of_int (Plan.nprocs plan);
+            Printf.sprintf "%.2f" r.Executor.speedup;
+            string_of_int r.Executor.stats.Sim.messages;
+          ]
+      | exception e ->
+        Table.add_row t [ string_of_int m; "-"; Printexc.to_string e ])
+    [ 0; 1; 2 ];
+  Table.print t
+
+let ablation_overlap () =
+  pf "\n=== Ablation — §5 future work: computation/communication overlap ===\n";
+  pf "(non-blocking sends; SOR M=100 N=200 and ADI T=100 N=256)\n";
+  let t =
+    Table.create
+      ~header:
+        [ "experiment"; "variant"; "blocking"; "overlapped"; "overlap gain";
+          "busy% blk"; "busy% ovl" ]
+  in
+  let row label spec variant factor =
+    let mk overlap =
+      let tiling = (List.assoc variant spec.E.variants) factor in
+      let plan = Plan.make ~m:spec.E.m spec.E.nest tiling in
+      Executor.run ~mode:Executor.Timing ~overlap ~trace:true ~plan
+        ~kernel:spec.E.kernel ~net ()
+    in
+    let b = mk false and o = mk true in
+    let eff r = Tiles_mpisim.Trace.efficiency r.Executor.stats in
+    Table.add_row t
+      [
+        label; variant;
+        Printf.sprintf "%.2f" b.Executor.speedup;
+        Printf.sprintf "%.2f" o.Executor.speedup;
+        Printf.sprintf "%+.1f%%"
+          (100. *. (o.Executor.speedup -. b.Executor.speedup)
+           /. b.Executor.speedup);
+        Printf.sprintf "%.0f%%" (100. *. eff b);
+        Printf.sprintf "%.0f%%" (100. *. eff o);
+      ]
+  in
+  let sor = E.sor ~factors:[ 6 ] ~m_steps:100 ~size:200 () in
+  row "SOR z=6" sor "rect" 6;
+  row "SOR z=6" sor "nonrect" 6;
+  let adi = E.adi ~factors:[ 10 ] ~t_steps:100 ~size:256 () in
+  row "ADI x=10" adi "rect" 10;
+  row "ADI x=10" adi "nr3" 10;
+  Table.print t
+
+let model () =
+  pf "\n=== Model — Hodzic–Shang analytic completion time vs simulation ===\n";
+  pf "(SOR M=100 N=200, rect tiling; the model ranks tile sizes and finds\n";
+  pf " the speedup peak without running anything)\n";
+  let module Model = Tiles_runtime.Model in
+  let spec = E.sor ~factors:[ 2; 3; 4; 6; 8; 10; 16; 25 ] ~m_steps:100 ~size:200 () in
+  let t =
+    Table.create
+      ~header:[ "z"; "predicted time"; "simulated time"; "predicted speedup"; "measured speedup" ]
+  in
+  let mk f = Plan.make ~m:spec.E.m spec.E.nest ((List.assoc "rect" spec.E.variants) f) in
+  List.iter
+    (fun f ->
+      let est = Model.predict (mk f) ~net in
+      let r = E.run_one spec ~net ~variant:"rect" ~factor:f in
+      Table.add_row t
+        [
+          string_of_int f;
+          Printf.sprintf "%.4f s" est.Model.total;
+          Printf.sprintf "%.4f s" r.E.completion;
+          Printf.sprintf "%.2f" est.Model.predicted_speedup;
+          Printf.sprintf "%.2f" r.E.speedup;
+        ])
+    spec.E.factors;
+  Table.print t;
+  let best_f, _ = Model.best_factor mk ~factors:spec.E.factors ~net in
+  let measured_best =
+    List.fold_left
+      (fun acc f ->
+        let r = E.run_one spec ~net ~variant:"rect" ~factor:f in
+        match acc with
+        | Some (_, s) when s >= r.E.speedup -> acc
+        | _ -> Some (f, r.E.speedup))
+      None spec.E.factors
+  in
+  (match measured_best with
+  | Some (f, _) ->
+    pf "model-optimal z = %d; simulation-optimal z = %d\n" best_f f
+  | None -> ())
+
+let memory () =
+  pf "\n=== Memory — LDS compression vs enclosing-rectangle allocation (§3.1) ===\n";
+  pf "(the paper: allocating each processor's non-rectangular DS share as its\n";
+  pf " minimum enclosing rectangle wastes memory; the condensed LDS does not)\n";
+  let t =
+    Table.create
+      ~header:
+        [ "experiment"; "variant"; "|J^n| cells"; "sum LDS cells";
+          "sum enclosing rect"; "replicated DS"; "LDS overhead"; "rect overhead" ]
+  in
+  let module Mapping = Tiles_core.Mapping in
+  let module Tile_space = Tiles_core.Tile_space in
+  let module Polyhedron = Tiles_poly.Polyhedron in
+  let row label spec variant factor =
+    let tiling = (List.assoc variant spec.E.variants) factor in
+    let plan = Plan.make ~m:spec.E.m spec.E.nest tiling in
+    let mapping = plan.Plan.mapping in
+    let total_points =
+      Polyhedron.count_points spec.E.nest.Tiles_loop.Nest.space
+    in
+    let lds_cells = ref 0 and rect_cells = ref 0 in
+    for rank = 0 to Mapping.nprocs mapping - 1 do
+      let shape = Plan.lds_shape plan ~rank in
+      lds_cells := !lds_cells + shape.Tiles_core.Lds.total;
+      (* minimum enclosing rectangle of this rank's share of DS: bounding
+         box over its tiles' global points (via tile hull corners) *)
+      let n = Tiles_core.Tiling.dim tiling in
+      let lo = Array.make n max_int and hi = Array.make n min_int in
+      List.iter
+        (fun tile ->
+          Tile_space.iter_tile_points plan.Plan.tspace ~tile
+            (fun ~local:_ ~global:j ->
+              for k = 0 to n - 1 do
+                if j.(k) < lo.(k) then lo.(k) <- j.(k);
+                if j.(k) > hi.(k) then hi.(k) <- j.(k)
+              done))
+        (Mapping.tiles_of_rank mapping rank);
+      if lo.(0) <> max_int then begin
+        let cells = ref 1 in
+        for k = 0 to n - 1 do
+          cells := !cells * (hi.(k) - lo.(k) + 1)
+        done;
+        rect_cells := !rect_cells + !cells
+      end
+    done;
+    let pct x =
+      Printf.sprintf "%+.0f%%"
+        (100. *. (float_of_int x -. float_of_int total_points)
+         /. float_of_int total_points)
+    in
+    Table.add_row t
+      [
+        label; variant;
+        string_of_int total_points;
+        string_of_int !lds_cells;
+        string_of_int !rect_cells;
+        string_of_int (total_points * Mapping.nprocs mapping);
+        pct !lds_cells;
+        pct !rect_cells;
+      ]
+  in
+  let sor = E.sor ~factors:[ 6 ] ~m_steps:60 ~size:120 () in
+  row "SOR M=60 N=120 z=6" sor "rect" 6;
+  row "SOR M=60 N=120 z=6" sor "nonrect" 6;
+  let adi = E.adi ~factors:[ 10 ] ~t_steps:60 ~size:96 () in
+  row "ADI T=60 N=96 x=10" adi "rect" 10;
+  row "ADI T=60 N=96 x=10" adi "nr3" 10;
+  Table.print t
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  pf "\n=== Micro-benchmarks (Bechamel, monotonic clock) ===\n";
+  let mat =
+    Tiles_linalg.Intmat.of_rows [ [ 2; -1; 0 ]; [ 0; 1; 0 ]; [ -1; 0; 3 ] ]
+  in
+  let tiling =
+    Tiling.of_rows
+      Tiles_rat.Rat.
+        [
+          [ make 1 6; make (-1) 12; of_int 0 ];
+          [ of_int 0; make 1 8; of_int 0 ];
+          [ of_int 0; of_int 0; make 1 10 ];
+        ]
+  in
+  let space = Tiles_poly.Polyhedron.box [ (0, 19); (0, 19); (0, 19) ] in
+  let cs = Tiles_poly.Polyhedron.constraints space in
+  let deps =
+    Tiles_loop.Dependence.of_vectors [ [| 1; 0; 0 |]; [| 1; 1; 0 |]; [| 1; 0; 1 |] ]
+  in
+  let pascal =
+    Tiles_runtime.Kernel.make ~name:"pascal" ~dim:2
+      ~reads:[ [| 1; 0 |]; [| 0; 1 |] ]
+      ~boundary:(fun _ _ -> 1.)
+      ~compute:(fun ~read ~j:_ ~out -> out.(0) <- read 0 0 +. read 1 0)
+      ()
+  in
+  let pascal_plan =
+    Plan.make
+      (Tiles_loop.Nest.make ~name:"pascal"
+         ~space:(Tiles_poly.Polyhedron.box [ (0, 29); (0, 29) ])
+         ~deps:(Tiles_runtime.Kernel.deps pascal))
+      (Tiling.rectangular [ 5; 5 ])
+  in
+  let tests =
+    [
+      Test.make ~name:"hnf-3x3" (Staged.stage (fun () ->
+           ignore (Tiles_linalg.Hnf.compute mat)));
+      Test.make ~name:"snf-3x3" (Staged.stage (fun () ->
+           ignore (Tiles_linalg.Snf.compute mat)));
+      Test.make ~name:"fm-eliminate" (Staged.stage (fun () ->
+           ignore (Tiles_poly.Fourier_motzkin.eliminate cs ~var:2)));
+      Test.make ~name:"ttis-enumerate-480pt" (Staged.stage (fun () ->
+           ignore (Tiles_core.Ttis.count tiling)));
+      Test.make ~name:"tile-deps" (Staged.stage (fun () ->
+           ignore (Tiles_core.Comm.make tiling deps ~m:0)));
+      Test.make ~name:"cone-extreme-rays" (Staged.stage (fun () ->
+           ignore
+             (Tiles_poly.Cone.extreme_rays
+                (Tiles_poly.Cone.tiling_cone
+                   (Tiles_loop.Dependence.to_matrix deps)))));
+      Test.make ~name:"executor-pascal-900pt" (Staged.stage (fun () ->
+           ignore
+             (Executor.run ~mode:Executor.Timing ~plan:pascal_plan
+                ~kernel:pascal ~net ())));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"tiles" ~fmt:"%s/%s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let t = Table.create ~header:[ "benchmark"; "time/run" ] in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let time =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%.0f ns" est
+        | _ -> "?"
+      in
+      Table.add_row t [ name; time ])
+    (List.sort compare rows);
+  Table.print t
+
+(* ---------------- driver ---------------- *)
+
+let figures =
+  [
+    ("fig5", fig5); ("fig6", fig6); ("fig7", fig7); ("fig8", fig8);
+    ("fig9", fig9); ("fig10", fig10); ("summary", summary);
+    ("analytic", analytic); ("ablation-net", ablation_net);
+    ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
+    ("memory", memory); ("model", model); ("micro", micro);
+  ]
+
+let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "analytic" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let targets =
+    match args with
+    | [] -> default
+    | [ "everything" ] -> List.map fst figures
+    | args -> args
+  in
+  pf "Reproduction harness — \"Compiling Tiled Iteration Spaces for Clusters\"\n";
+  pf "simulated cluster: 16 nodes, %.0f Mbit/s, %.0f us latency, %.0f ns/point\n"
+    (net.Netmodel.bandwidth *. 8. /. 1e6)
+    (net.Netmodel.latency *. 1e6)
+    (net.Netmodel.flop_time *. 1e9);
+  List.iter
+    (fun name ->
+      match List.assoc_opt name figures with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        pf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t0)
+      | None ->
+        pf "unknown target %s (available: %s)\n" name
+          (String.concat ", " (List.map fst figures));
+        exit 1)
+    targets

@@ -1,0 +1,276 @@
+(* tilec — the command-line face of the tiling compiler.
+
+   Subcommands:
+     plan       derive and print the parallelisation plan for an algorithm
+     cone       print the algorithm's tiling cone (extreme rays)
+     emit-mpi   generate the data-parallel MPI C program
+     emit-seq   generate the sequential tiled C program
+     emit-pseq  generate the parametric sequential program (sizes at runtime)
+     simulate   run the plan on the simulated cluster and report speedup
+                (--full verifies, --overlap uses non-blocking sends,
+                 --utilisation prints the traced busy/wait breakdown) *)
+
+open Cmdliner
+
+module Plan = Tiles_core.Plan
+module Tiling = Tiles_core.Tiling
+module Schedule = Tiles_core.Schedule
+module Executor = Tiles_runtime.Executor
+module Seq_exec = Tiles_runtime.Seq_exec
+module Grid = Tiles_runtime.Grid
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+module Nest = Tiles_loop.Nest
+
+type app_instance = {
+  app_name : string;
+  nest : Nest.t;
+  kernel : Tiles_runtime.Kernel.t;
+  ckernel : Tiles_codegen.Ckernel.t;
+  creads : Tiles_util.Vec.t list;
+  skew : Tiles_linalg.Intmat.t option;
+  m : int;
+  tiling_of : string -> x:int -> y:int -> z:int -> Tiles_core.Tiling.t;
+  pspace : unit -> Tiles_poly.Pspace.t;
+}
+
+let instance app ~size1 ~size2 =
+  match app with
+  | "sor" ->
+    let p = Tiles_apps.Sor.make ~m_steps:size1 ~size:size2 in
+    {
+      app_name = "sor";
+      nest = Tiles_apps.Sor.nest p;
+      kernel = Tiles_apps.Sor.kernel p;
+      ckernel = Tiles_apps.Sor.ckernel;
+      creads = Tiles_apps.Sor.skewed_reads;
+      skew = Some Tiles_apps.Sor.skew_matrix;
+      m = Tiles_apps.Sor.mapping_dim;
+      tiling_of =
+        (fun v ~x ~y ~z ->
+          match List.assoc_opt v Tiles_apps.Sor.variants with
+          | Some mk -> mk ~x ~y ~z
+          | None -> failwith ("unknown SOR variant " ^ v));
+      pspace = Tiles_apps.Sor.pspace;
+    }
+  | "jacobi" ->
+    let p = Tiles_apps.Jacobi.make ~t_steps:size1 ~size:size2 in
+    {
+      app_name = "jacobi";
+      nest = Tiles_apps.Jacobi.nest p;
+      kernel = Tiles_apps.Jacobi.kernel p;
+      ckernel = Tiles_apps.Jacobi.ckernel;
+      creads = Tiles_apps.Jacobi.skewed_reads;
+      skew = Some Tiles_apps.Jacobi.skew_matrix;
+      m = Tiles_apps.Jacobi.mapping_dim;
+      tiling_of =
+        (fun v ~x ~y ~z ->
+          match List.assoc_opt v Tiles_apps.Jacobi.variants with
+          | Some mk -> mk ~x ~y ~z
+          | None -> failwith ("unknown Jacobi variant " ^ v));
+      pspace = Tiles_apps.Jacobi.pspace;
+    }
+  | "adi" ->
+    let p = Tiles_apps.Adi.make ~t_steps:size1 ~size:size2 in
+    {
+      app_name = "adi";
+      nest = Tiles_apps.Adi.nest p;
+      kernel = Tiles_apps.Adi.kernel p;
+      ckernel = Tiles_apps.Adi.ckernel;
+      creads = Tiles_apps.Adi.creads;
+      skew = None;
+      m = Tiles_apps.Adi.mapping_dim;
+      tiling_of =
+        (fun v ~x ~y ~z ->
+          match List.assoc_opt v Tiles_apps.Adi.variants with
+          | Some mk -> mk ~x ~y ~z
+          | None -> failwith ("unknown ADI variant " ^ v));
+      pspace = Tiles_apps.Adi.pspace;
+    }
+  | other -> failwith ("unknown app " ^ other ^ " (sor | jacobi | adi)")
+
+(* ---------------- common options ---------------- *)
+
+let app_arg =
+  Arg.(required & opt (some string) None & info [ "app" ] ~docv:"NAME"
+         ~doc:"Algorithm: sor, jacobi or adi.")
+
+let size1_arg =
+  Arg.(value & opt int 24 & info [ "t"; "M" ] ~docv:"N"
+         ~doc:"Time-like extent (M for SOR, T for Jacobi/ADI).")
+
+let size2_arg =
+  Arg.(value & opt int 32 & info [ "n"; "N" ] ~docv:"N"
+         ~doc:"Spatial extent (N, or I=J).")
+
+let variant_arg =
+  Arg.(value & opt string "nonrect" & info [ "variant" ] ~docv:"V"
+         ~doc:"Tiling variant (rect, nonrect; for ADI: rect, nr1, nr2, nr3).")
+
+let xyz_args =
+  let x = Arg.(value & opt int 6 & info [ "x" ] ~doc:"Tile factor x.") in
+  let y = Arg.(value & opt int 8 & info [ "y" ] ~doc:"Tile factor y.") in
+  let z = Arg.(value & opt int 8 & info [ "z" ] ~doc:"Tile factor z.") in
+  Term.(const (fun x y z -> (x, y, z)) $ x $ y $ z)
+
+let build_plan app size1 size2 variant (x, y, z) =
+  let inst = instance app ~size1 ~size2 in
+  let tiling = inst.tiling_of variant ~x ~y ~z in
+  (inst, Plan.make ~m:inst.m inst.nest tiling)
+
+(* ---------------- subcommands ---------------- *)
+
+let plan_cmd =
+  let run app size1 size2 variant xyz =
+    let _, plan = build_plan app size1 size2 variant xyz in
+    print_string (Plan.summary plan);
+    Printf.printf "  wavefront steps   : %d\n" (Schedule.steps plan);
+    Printf.printf "  t(j_max)          : %d\n" (Schedule.last_point_step plan)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Derive and print the parallelisation plan.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args)
+
+let cone_cmd =
+  let run app size1 size2 =
+    let inst = instance app ~size1 ~size2 in
+    let cone = Nest.tiling_cone inst.nest in
+    Printf.printf "dependence columns: %s\n"
+      (Format.asprintf "%a" Tiles_loop.Dependence.pp inst.nest.Nest.deps);
+    Printf.printf "tiling cone extreme rays:\n";
+    List.iter
+      (fun r -> Printf.printf "  %s\n" (Tiles_util.Vec.to_string r))
+      (Tiles_poly.Cone.extreme_rays cone)
+  in
+  Cmd.v (Cmd.info "cone" ~doc:"Print the algorithm's tiling cone.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg)
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output file (stdout if absent).")
+
+let emit gen =
+  fun app size1 size2 variant xyz output ->
+    let inst, plan = build_plan app size1 size2 variant xyz in
+    let src = gen inst plan in
+    match output with
+    | None -> print_string src
+    | Some path ->
+      let oc = open_out path in
+      output_string oc src;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+
+let emit_mpi_cmd =
+  let run =
+    emit (fun inst plan ->
+        Tiles_codegen.Mpigen.generate ~plan ~kernel:inst.ckernel
+          ~reads:inst.creads ?skew:inst.skew ())
+  in
+  Cmd.v
+    (Cmd.info "emit-mpi" ~doc:"Generate the data-parallel MPI C program.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
+          $ output_arg)
+
+let emit_pseq_cmd =
+  let run app variant xyz output =
+    (* sizes are irrelevant for the parametric generator; use small
+       placeholders for the app instance *)
+    let inst = instance app ~size1:8 ~size2:8 in
+    let (x, y, z) = xyz in
+    let tiling = inst.tiling_of variant ~x ~y ~z in
+    let src =
+      Tiles_codegen.Pseqgen.generate ~pspace:(inst.pspace ()) ~tiling
+        ~kernel:inst.ckernel ~reads:inst.creads ?skew:inst.skew ()
+    in
+    match output with
+    | None -> print_string src
+    | Some path ->
+      let oc = open_out path in
+      output_string oc src;
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "emit-pseq"
+       ~doc:"Generate the parametric sequential tiled C program (problem \
+             sizes become command-line arguments of the emitted binary).")
+    Term.(const run $ app_arg $ variant_arg $ xyz_args $ output_arg)
+
+let emit_seq_cmd =
+  let run =
+    emit (fun inst plan ->
+        Tiles_codegen.Seqgen.generate ~plan ~kernel:inst.ckernel
+          ~reads:inst.creads ?skew:inst.skew ())
+  in
+  Cmd.v
+    (Cmd.info "emit-seq" ~doc:"Generate the sequential tiled C program.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
+          $ output_arg)
+
+let simulate_cmd =
+  let full_arg =
+    Arg.(value & flag & info [ "full" ]
+           ~doc:"Run the real arithmetic and verify against sequential \
+                 execution (slower).")
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "utilisation" ]
+           ~doc:"Trace the run and print the per-rank busy/wait breakdown.")
+  in
+  let overlap_arg =
+    Arg.(value & flag & info [ "overlap" ]
+           ~doc:"Use non-blocking (overlapped) sends (the paper's future-work \
+                 schedule).")
+  in
+  let run app size1 size2 variant xyz full trace overlap =
+    let inst, plan = build_plan app size1 size2 variant xyz in
+    let net = Netmodel.fast_ethernet_cluster in
+    let mode = if full then Executor.Full else Executor.Timing in
+    let r = Executor.run ~mode ~overlap ~trace ~plan ~kernel:inst.kernel ~net () in
+    Printf.printf "app %s (%s), %d processes, %d tiles, %d points\n"
+      inst.app_name variant (Plan.nprocs plan) r.Executor.tiles_executed
+      r.Executor.points_computed;
+    Printf.printf "simulated time %.6f s, modelled sequential %.6f s, \
+                   speedup %.2f\n"
+      r.Executor.stats.Sim.completion r.Executor.seq_modelled
+      r.Executor.speedup;
+    Printf.printf "%d messages, %d bytes\n" r.Executor.stats.Sim.messages
+      r.Executor.stats.Sim.bytes;
+    if full then begin
+      let seq = Seq_exec.run ~space:inst.nest.Nest.space ~kernel:inst.kernel in
+      let err =
+        match r.Executor.grid with
+        | Some g -> Grid.max_abs_diff g seq inst.nest.Nest.space
+        | None -> infinity
+      in
+      Printf.printf "max |parallel - sequential| = %g\n" err
+    end;
+    if trace then begin
+      let u = Tiles_mpisim.Trace.utilisation r.Executor.stats in
+      Printf.printf "machine efficiency %.0f%%\n"
+        (100. *. Tiles_mpisim.Trace.efficiency r.Executor.stats);
+      Array.iteri
+        (fun rank x ->
+          Printf.printf
+            "  rank %-3d compute %6.2fms  send %6.2fms  wait %6.2fms  idle \
+             %6.2fms\n"
+            rank
+            (1e3 *. x.Tiles_mpisim.Trace.compute)
+            (1e3 *. x.Tiles_mpisim.Trace.send)
+            (1e3 *. x.Tiles_mpisim.Trace.wait)
+            (1e3 *. x.Tiles_mpisim.Trace.idle))
+        u
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute the plan on the simulated cluster.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
+          $ full_arg $ trace_arg $ overlap_arg)
+
+let () =
+  let doc = "compiler for tiled iteration spaces on clusters" in
+  let info = Cmd.info "tilec" ~version:"1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd; simulate_cmd ]))

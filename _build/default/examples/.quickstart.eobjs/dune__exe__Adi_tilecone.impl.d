@@ -1,0 +1,1 @@
+examples/adi_tilecone.ml: Array Format List Printf String Tiles_apps Tiles_core Tiles_linalg Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime Tiles_util

@@ -1,0 +1,1 @@
+examples/codegen_demo.ml: Array Filename List Printf String Sys Tiles_apps Tiles_codegen Tiles_core

@@ -1,0 +1,1 @@
+examples/figures.ml: Array Filename List Printf Sys Tiles_core Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime Tiles_viz

@@ -1,0 +1,1 @@
+examples/jacobi_lattice.ml: Array Printf Tiles_apps Tiles_core Tiles_linalg Tiles_loop Tiles_mpisim Tiles_runtime Tiles_util

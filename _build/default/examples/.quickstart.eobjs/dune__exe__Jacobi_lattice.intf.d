@@ -1,0 +1,1 @@
+examples/jacobi_lattice.mli:

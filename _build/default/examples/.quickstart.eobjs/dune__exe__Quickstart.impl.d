@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Tiles_core Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime Tiles_util

@@ -1,0 +1,1 @@
+examples/sor_pipeline.ml: Format List Printf Tiles_apps Tiles_core Tiles_loop Tiles_mpisim Tiles_runtime Tiles_util

@@ -1,0 +1,71 @@
+(* The paper's §4.1 experiment at laptop scale, with the full arithmetic:
+   skew SOR, tile it rectangularly and non-rectangularly with identical
+   factors, run both plans on the simulated cluster (Full mode: real
+   floating-point stencil computation flowing through real messages),
+   verify both against sequential execution, and compare the schedules.
+
+   Run with:  dune exec examples/sor_pipeline.exe *)
+
+module Sor = Tiles_apps.Sor
+module Nest = Tiles_loop.Nest
+module Plan = Tiles_core.Plan
+module Schedule = Tiles_core.Schedule
+module Executor = Tiles_runtime.Executor
+module Seq_exec = Tiles_runtime.Seq_exec
+module Grid = Tiles_runtime.Grid
+module Sim = Tiles_mpisim.Sim
+module Table = Tiles_util.Table
+
+let () =
+  let m_steps = 24 and size = 48 in
+  let p = Sor.make ~m_steps ~size in
+  let nest = Sor.nest p in
+  let kernel = Sor.kernel p in
+  Printf.printf "SOR, M=%d N=%d; skewed with T = [[1,0,0],[1,1,0],[2,0,1]]\n"
+    m_steps size;
+  Printf.printf "skewed dependence columns: %s\n\n"
+    (Format.asprintf "%a" Tiles_loop.Dependence.pp nest.Nest.deps);
+  let net = Tiles_mpisim.Netmodel.fast_ethernet_cluster in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let x = 12 and y = 18 and z = 8 in
+  let t = Table.create
+      ~header:[ "tiling"; "procs"; "steps"; "t(jmax)"; "messages"; "sim time";
+                "speedup"; "max err vs seq" ]
+  in
+  List.iter
+    (fun (name, mk) ->
+      let tiling = mk ~x ~y ~z in
+      let plan = Plan.make ~m:Sor.mapping_dim nest tiling in
+      let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
+      let err =
+        match r.Executor.grid with
+        | Some g -> Grid.max_abs_diff g seq nest.Nest.space
+        | None -> infinity
+      in
+      Table.add_row t
+        [
+          name;
+          string_of_int (Plan.nprocs plan);
+          string_of_int (Schedule.steps plan);
+          string_of_int (Schedule.last_point_step plan);
+          string_of_int r.Executor.stats.Sim.messages;
+          Printf.sprintf "%.4f s" r.Executor.stats.Sim.completion;
+          Printf.sprintf "%.2f" r.Executor.speedup;
+          Printf.sprintf "%g" err;
+        ])
+    Sor.variants;
+  Table.print t;
+  Printf.printf
+    "\nBoth tilings have tile size x*y*z = %d and identical processor grids;\n\
+     the non-rectangular one finishes earlier purely through its schedule\n\
+     (t_r - t_nr = M/z = %d wavefront steps), confirming §4.1.\n"
+    (x * y * z) (m_steps / z);
+  (* the same plan also runs for real on OCaml domains (one per processor)
+     with blocking mailboxes instead of the simulator *)
+  let plan = Plan.make ~m:Sor.mapping_dim nest (Sor.nonrect ~x ~y ~z) in
+  let shm = Tiles_runtime.Shm_executor.run ~plan ~kernel () in
+  Printf.printf
+    "\nreal shared-memory run: %d domains, %d messages, max err %g\n"
+    shm.Tiles_runtime.Shm_executor.nprocs
+    shm.Tiles_runtime.Shm_executor.messages
+    shm.Tiles_runtime.Shm_executor.max_abs_err

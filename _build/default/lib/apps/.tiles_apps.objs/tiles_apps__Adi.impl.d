@@ -1,0 +1,1 @@
+lib/apps/adi.ml: Array Tiles_codegen Tiles_core Tiles_loop Tiles_poly Tiles_rat Tiles_runtime

@@ -1,0 +1,1 @@
+lib/apps/adi.mli: Tiles_codegen Tiles_core Tiles_loop Tiles_poly Tiles_runtime Tiles_util

@@ -1,0 +1,1 @@
+lib/apps/experiment.ml: Adi Array Float Hashtbl Jacobi List Printf Sor Tiles_core Tiles_loop Tiles_mpisim Tiles_poly Tiles_runtime Tiles_util

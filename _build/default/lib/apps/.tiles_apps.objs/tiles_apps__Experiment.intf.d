@@ -1,0 +1,1 @@
+lib/apps/experiment.mli: Tiles_core Tiles_loop Tiles_mpisim Tiles_runtime

@@ -1,0 +1,1 @@
+lib/apps/jacobi.mli: Tiles_codegen Tiles_core Tiles_linalg Tiles_loop Tiles_poly Tiles_runtime Tiles_util

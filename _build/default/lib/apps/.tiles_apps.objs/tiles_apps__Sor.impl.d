@@ -1,0 +1,1 @@
+lib/apps/sor.ml: Array List Tiles_codegen Tiles_core Tiles_linalg Tiles_loop Tiles_poly Tiles_rat Tiles_runtime

@@ -1,0 +1,1 @@
+lib/apps/triband.mli: Tiles_codegen Tiles_core Tiles_loop Tiles_runtime Tiles_util

@@ -1,0 +1,54 @@
+(** Experiment configurations reproducing §4.
+
+    For each algorithm the paper fixes the tiling factors of the processor
+    dimensions so that exactly 16 MPI processes are needed, then sweeps
+    the factor of the mapped dimension to vary tile size. The exact
+    iteration-space lists behind three of the four points per figure are
+    only available as bitmaps, so the specs here take the space as a
+    parameter (defaults in the bench bracket the one size each caption
+    states); the processor-grid factor is found by searching for the value
+    that yields the requested process count. *)
+
+type spec = {
+  name : string;
+  space_label : string;
+  nest : Tiles_loop.Nest.t;
+  kernel : Tiles_runtime.Kernel.t;
+  m : int;  (** mapping dimension *)
+  variants : (string * (int -> Tiles_core.Tiling.t)) list;
+      (** variant name, and the tiling as a function of the swept factor *)
+  factors : int list;  (** the tile-size sweep of the mapped dimension *)
+  procs : int;  (** process count actually achieved by the grid search *)
+}
+
+type run = {
+  variant : string;
+  factor : int;
+  nprocs : int;
+  tile_size : int;
+  steps : int;  (** wavefront steps of the tile space *)
+  completion : float;  (** simulated parallel time, seconds *)
+  speedup : float;
+  messages : int;
+  bytes : int;
+}
+
+val sor : ?procs:int -> ?factors:int list -> m_steps:int -> size:int -> unit -> spec
+val jacobi : ?procs:int -> ?factors:int list -> t_steps:int -> size:int -> unit -> spec
+val adi : ?procs:int -> ?factors:int list -> t_steps:int -> size:int -> unit -> spec
+
+val sweep : spec -> net:Tiles_mpisim.Netmodel.t -> run list
+(** Run every (factor, variant) combination on the simulated cluster in
+    timing mode. *)
+
+val run_one :
+  spec -> net:Tiles_mpisim.Netmodel.t -> variant:string -> factor:int -> run
+
+val best_by_variant : run list -> (string * run) list
+(** Per variant, the run with the highest speedup (the paper's
+    "maximum speedups" figures 5/7/9). *)
+
+val improvement_pct : run list -> float
+(** Average percentage speedup improvement of the best non-rectangular
+    variant over the rectangular one across the swept factors (the §4.4
+    aggregate). *)

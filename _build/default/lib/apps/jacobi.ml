@@ -1,0 +1,78 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Skew = Tiles_loop.Skew
+module Dependence = Tiles_loop.Dependence
+module Kernel = Tiles_runtime.Kernel
+module Tiling = Tiles_core.Tiling
+module Rat = Tiles_rat.Rat
+
+type t = { t_steps : int; size : int }
+
+let make ~t_steps ~size =
+  if t_steps < 1 || size < 1 then invalid_arg "Jacobi.make";
+  { t_steps; size }
+
+let reads =
+  [
+    [| 1; 0; 0 |]; [| 1; 1; 0 |]; [| 1; -1; 0 |]; [| 1; 0; 1 |]; [| 1; 0; -1 |];
+  ]
+
+let boundary j _field =
+  let i = float_of_int j.(1) and jj = float_of_int j.(2) in
+  2.0 +. (0.5 *. cos ((0.4 *. i) -. (0.9 *. jj)))
+
+let compute ~read ~j:_ ~out =
+  out.(0) <- (read 0 0 +. read 1 0 +. read 2 0 +. read 3 0 +. read 4 0) /. 5.
+
+let original_kernel =
+  Kernel.make ~name:"jacobi" ~dim:3 ~reads ~boundary ~compute ()
+
+(* 0-based iteration space; see the note in sor.ml *)
+let original_nest p =
+  Nest.make ~name:"jacobi"
+    ~space:
+      (Polyhedron.box [ (0, p.t_steps - 1); (0, p.size - 1); (0, p.size - 1) ])
+    ~deps:(Dependence.of_vectors reads)
+
+let skew_matrix = Skew.of_factors 3 [ (1, 0, 1); (2, 0, 1) ]
+let nest p = Skew.apply (original_nest p) skew_matrix
+let kernel _p = Kernel.skewed original_kernel skew_matrix
+let mapping_dim = 0
+
+let r = Rat.make
+let i0 = Rat.zero
+
+let rect ~x ~y ~z = Tiling.rectangular [ x; y; z ]
+
+let nonrect ~x ~y ~z =
+  Tiling.of_rows
+    [
+      [ r 1 x; r (-1) (2 * x); i0 ];
+      [ i0; r 1 y; i0 ];
+      [ i0; i0; r 1 z ];
+    ]
+
+let variants = [ ("rect", rect); ("nonrect", nonrect) ]
+
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"jacobi" ~nreads:5
+    ~body:
+      [ "WR(0) = (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0) + RD(4,0)) / 5.0;" ]
+    ~boundary:
+      [
+        "{ double i = (double)j[1], jj = (double)j[2];";
+        "  return 2.0 + 0.5 * cos(0.4 * i - 0.9 * jj); }";
+      ]
+    ()
+
+let skewed_reads = List.map (Tiles_linalg.Intmat.apply skew_matrix) reads
+
+let pspace () =
+  let b = ([], 0) in
+  Tiles_poly.Pspace.transform_unimodular skew_matrix
+    (Tiles_poly.Pspace.box ~params:[ "T"; "N" ]
+       [
+         (b, ([ ("T", 1) ], -1));
+         (b, ([ ("N", 1) ], -1));
+         (b, ([ ("N", 1) ], -1));
+       ])

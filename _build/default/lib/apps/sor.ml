@@ -1,0 +1,90 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Skew = Tiles_loop.Skew
+module Dependence = Tiles_loop.Dependence
+module Kernel = Tiles_runtime.Kernel
+module Tiling = Tiles_core.Tiling
+module Rat = Tiles_rat.Rat
+
+type t = { m_steps : int; size : int }
+
+let make ~m_steps ~size =
+  if m_steps < 1 || size < 1 then invalid_arg "Sor.make";
+  { m_steps; size }
+
+(* read offsets in the order the body uses them:
+   A[t,i-1,j], A[t,i,j-1], A[t-1,i+1,j], A[t-1,i,j+1], A[t-1,i,j] *)
+let reads =
+  [ [| 0; 1; 0 |]; [| 0; 0; 1 |]; [| 1; -1; 0 |]; [| 1; 0; -1 |]; [| 1; 0; 0 |] ]
+
+let omega = 1.2
+
+let boundary j _field =
+  (* smooth deterministic boundary/initial data (pure function of the
+     original coordinates) *)
+  let i = float_of_int j.(1) and jj = float_of_int j.(2) in
+  1.0 +. (0.25 *. sin ((0.7 *. i) +. (1.3 *. jj)))
+
+let compute ~read ~j:_ ~out =
+  out.(0) <-
+    (omega /. 4.
+     *. (read 0 0 +. read 1 0 +. read 2 0 +. read 3 0))
+    +. ((1. -. omega) *. read 4 0)
+
+let original_kernel =
+  Kernel.make ~name:"sor" ~dim:3 ~reads ~boundary ~compute ()
+
+(* 0-based iteration space (the paper writes 1..M; a constant shift of the
+   space is immaterial and makes tile blocks align with the origin, so a
+   factor equal to the extent gives exactly one tile along that axis) *)
+let original_nest p =
+  Nest.make ~name:"sor"
+    ~space:
+      (Polyhedron.box [ (0, p.m_steps - 1); (0, p.size - 1); (0, p.size - 1) ])
+    ~deps:(Dependence.of_vectors reads)
+
+let skew_matrix = Skew.of_factors 3 [ (1, 0, 1); (2, 0, 2) ]
+let nest p = Skew.apply (original_nest p) skew_matrix
+let kernel _p = Kernel.skewed original_kernel skew_matrix
+let mapping_dim = 2
+
+let r = Rat.make
+let i0 = Rat.zero
+
+let rect ~x ~y ~z = Tiling.rectangular [ x; y; z ]
+
+let nonrect ~x ~y ~z =
+  Tiling.of_rows
+    [ [ r 1 x; i0; i0 ]; [ i0; r 1 y; i0 ]; [ r (-1) z; i0; r 1 z ] ]
+
+let variants = [ ("rect", rect); ("nonrect", nonrect) ]
+
+(* the same loop body and boundary data as C source, for the code
+   generators; numeric constants match the OCaml kernel exactly *)
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"sor" ~nreads:5
+    ~body:
+      [
+        "WR(0) = 1.2 / 4.0 * (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0))";
+        "      + (1.0 - 1.2) * RD(4,0);";
+      ]
+    ~boundary:
+      [
+        "{ double i = (double)j[1], jj = (double)j[2];";
+        "  return 1.0 + 0.25 * sin(0.7 * i + 1.3 * jj); }";
+      ]
+    ()
+
+let skewed_reads = List.map (Tiles_linalg.Intmat.apply skew_matrix) reads
+
+(* the same iteration space with symbolic extents M and N, skewed like
+   [nest]; one generated binary then serves every problem size *)
+let pspace () =
+  let b = ([], 0) in
+  Tiles_poly.Pspace.transform_unimodular skew_matrix
+    (Tiles_poly.Pspace.box ~params:[ "M"; "N" ]
+       [
+         (b, ([ ("M", 1) ], -1));
+         (b, ([ ("N", 1) ], -1));
+         (b, ([ ("N", 1) ], -1));
+       ])

@@ -1,0 +1,63 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Constr = Tiles_poly.Constr
+module Nest = Tiles_loop.Nest
+module Dependence = Tiles_loop.Dependence
+module Kernel = Tiles_runtime.Kernel
+module Tiling = Tiles_core.Tiling
+module Rat = Tiles_rat.Rat
+
+type t = { size : int }
+
+let make ~size =
+  if size < 2 then invalid_arg "Triband.make";
+  { size }
+
+let reads = [ [| 1; 0 |]; [| 1; 1 |]; [| 0; 1 |] ]
+
+let source i j =
+  0.01 *. float_of_int (((i * 13) + (j * 7)) mod 17)
+
+let boundary j _ =
+  0.1 +. (0.05 *. float_of_int ((j.(0) - j.(1)) mod 5))
+
+let compute ~read ~j ~out =
+  out.(0) <-
+    (0.45 *. read 0 0) +. (0.25 *. read 1 0) +. (0.30 *. read 2 0)
+    +. source j.(0) j.(1)
+
+let kernel _p = Kernel.make ~name:"triband" ~dim:2 ~reads ~boundary ~compute ()
+
+let nest p =
+  let n = p.size in
+  let space =
+    Polyhedron.make ~dim:2
+      [
+        Constr.lower_bound_var 2 0 0;
+        Constr.upper_bound_var 2 0 (n - 1);
+        Constr.lower_bound_var 2 1 0;
+        (* j <= i *)
+        Constr.ge [| 1; -1 |] 0;
+      ]
+  in
+  Nest.make ~name:"triband" ~space ~deps:(Dependence.of_vectors reads)
+
+let rect ~x ~y = Tiling.rectangular [ x; y ]
+
+let oblique ~x ~y =
+  Tiling.of_rows
+    [ [ Rat.make 1 x; Rat.zero ]; [ Rat.make 1 y; Rat.make 1 y ] ]
+
+let variants = [ ("rect", rect); ("oblique", oblique) ]
+
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"triband" ~nreads:3
+    ~body:
+      [
+        "{ double src = 0.01 * (double)(((J(0) * 13) + (J(1) * 7)) % 17);";
+        "  WR(0) = 0.45 * RD(0,0) + 0.25 * RD(1,0) + 0.30 * RD(2,0) + src; }";
+      ]
+    ~boundary:
+      [ "return 0.1 + 0.05 * (double)((j[0] - j[1]) % 5);" ]
+    ()
+
+let creads = reads

@@ -1,0 +1,1 @@
+lib/codegen/bounds.ml: C_ast List Tiles_poly

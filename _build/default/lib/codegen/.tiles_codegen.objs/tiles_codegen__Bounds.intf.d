@@ -1,0 +1,1 @@
+lib/codegen/bounds.mli: C_ast Tiles_poly

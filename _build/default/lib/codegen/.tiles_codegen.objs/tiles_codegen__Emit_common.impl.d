@@ -1,0 +1,1 @@
+lib/codegen/emit_common.ml: Array Ckernel List Printf String Tiles_core Tiles_linalg Tiles_loop Tiles_poly Tiles_rat Tiles_util

@@ -1,0 +1,1 @@
+lib/codegen/emit_common.mli: Ckernel Tiles_core Tiles_linalg Tiles_poly Tiles_util

@@ -1,0 +1,1 @@
+lib/codegen/mpigen.ml: Array Buffer C_ast Ckernel Emit_common List Printf String Tiles_core Tiles_linalg Tiles_poly Tiles_util

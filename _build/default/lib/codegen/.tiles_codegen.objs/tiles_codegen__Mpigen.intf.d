@@ -1,0 +1,1 @@
+lib/codegen/mpigen.mli: Ckernel Tiles_core Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/codegen/pseqgen.mli: Ckernel Tiles_core Tiles_linalg Tiles_poly Tiles_util

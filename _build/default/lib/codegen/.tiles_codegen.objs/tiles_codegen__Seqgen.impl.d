@@ -1,0 +1,1 @@
+lib/codegen/seqgen.ml: Array Bounds C_ast Ckernel Emit_common List Printf Tiles_core Tiles_linalg Tiles_loop Tiles_poly

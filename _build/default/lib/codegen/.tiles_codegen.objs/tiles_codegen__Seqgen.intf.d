@@ -1,0 +1,1 @@
+lib/codegen/seqgen.mli: Ckernel Tiles_core Tiles_linalg Tiles_util

@@ -1,0 +1,13 @@
+(** Affine loop bounds as C expressions, read off a Fourier–Motzkin
+    projection chain: loop variable [k]'s bounds mention only the outer
+    variables [0 .. k-1]. *)
+
+val lower : Tiles_poly.Constr.t list -> var:int -> name:(int -> string) -> C_ast.expr
+(** [max] of the ceil-divided lower bounds. Raises [Failure] if the
+    variable is unbounded below in the system. *)
+
+val upper : Tiles_poly.Constr.t list -> var:int -> name:(int -> string) -> C_ast.expr
+(** [min] of the floor-divided upper bounds. *)
+
+val member_cond : Tiles_poly.Constr.t list -> name:(int -> string) -> C_ast.expr
+(** Conjunction [∀c, c(x) >= 0] as a C condition. *)

@@ -1,0 +1,295 @@
+type expr =
+  | Int of int
+  | Flt of float
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | FloorDiv of expr * expr
+  | CeilDiv of expr * expr
+  | Mod of expr * expr
+  | Neg of expr
+  | Max of expr * expr
+  | Min of expr * expr
+  | Call of string * expr list
+  | Idx of string * expr list
+  | Cmp of string * expr * expr
+  | And of expr list
+  | Or of expr list
+  | Not of expr
+  | Raw of string
+
+type stmt =
+  | Expr of expr
+  | Assign of expr * expr
+  | Decl of string * string * expr option
+  | DeclArr of string * string * expr
+  | For of { var : string; lo : expr; hi : expr; step : expr; body : stmt list }
+  | If of expr * stmt list * stmt list
+  | Block of stmt list
+  | Return of expr option
+  | Comment of string
+  | RawStmt of string
+
+type func = {
+  ret : string;
+  name : string;
+  params : (string * string) list;
+  body : stmt list;
+}
+
+let rec simplify e =
+  match e with
+  | Add (a, b) -> (
+    match (simplify a, simplify b) with
+    | Int 0, x | x, Int 0 -> x
+    | Int x, Int y -> Int (x + y)
+    | a, b -> Add (a, b))
+  | Sub (a, b) -> (
+    match (simplify a, simplify b) with
+    | x, Int 0 -> x
+    | Int x, Int y -> Int (x - y)
+    | a, b -> Sub (a, b))
+  | Mul (a, b) -> (
+    match (simplify a, simplify b) with
+    | Int 0, _ | _, Int 0 -> Int 0
+    | Int 1, x | x, Int 1 -> x
+    | Int x, Int y -> Int (x * y)
+    | Int (-1), x | x, Int (-1) -> Neg x
+    | a, b -> Mul (a, b))
+  | FloorDiv (a, b) -> (
+    match (simplify a, simplify b) with
+    | x, Int 1 -> x
+    | Int x, Int y when y <> 0 -> Int (Tiles_util.Ints.fdiv x y)
+    | a, b -> FloorDiv (a, b))
+  | CeilDiv (a, b) -> (
+    match (simplify a, simplify b) with
+    | x, Int 1 -> x
+    | Int x, Int y when y <> 0 -> Int (Tiles_util.Ints.cdiv x y)
+    | a, b -> CeilDiv (a, b))
+  | Mod (a, b) -> (
+    match (simplify a, simplify b) with
+    | _, Int 1 -> Int 0
+    | Int x, Int y when y <> 0 -> Int (Tiles_util.Ints.fmod x y)
+    | a, b -> Mod (a, b))
+  | Div (a, b) -> (
+    match (simplify a, simplify b) with
+    | x, Int 1 -> x
+    | a, b -> Div (a, b))
+  | Neg e -> (
+    match simplify e with Int x -> Int (-x) | Neg x -> x | e -> Neg e)
+  | Max (a, b) -> (
+    match (simplify a, simplify b) with
+    | Int x, Int y -> Int (max x y)
+    | a, b when a = b -> a
+    | a, b -> Max (a, b))
+  | Min (a, b) -> (
+    match (simplify a, simplify b) with
+    | Int x, Int y -> Int (min x y)
+    | a, b when a = b -> a
+    | a, b -> Min (a, b))
+  | Not a -> Not (simplify a)
+  | And es -> And (List.map simplify es)
+  | Or es -> Or (List.map simplify es)
+  | Cmp (op, a, b) -> Cmp (op, simplify a, simplify b)
+  | Call (f, args) -> Call (f, List.map simplify args)
+  | Idx (a, idxs) -> Idx (a, List.map simplify idxs)
+  | Int _ | Flt _ | Var _ | Raw _ -> e
+
+let rec pp_expr buf e =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let bin op a b =
+    p "(";
+    pp_expr buf a;
+    p " %s " op;
+    pp_expr buf b;
+    p ")"
+  in
+  match e with
+  | Int n -> if n < 0 then p "(%d)" n else p "%d" n
+  | Flt f -> p "%.17g" f
+  | Var v -> p "%s" v
+  | Add (a, b) -> bin "+" a b
+  | Sub (a, b) -> bin "-" a b
+  | Mul (a, b) -> bin "*" a b
+  | Div (a, b) -> bin "/" a b
+  | FloorDiv (a, b) ->
+    p "floord(";
+    pp_expr buf a;
+    p ", ";
+    pp_expr buf b;
+    p ")"
+  | CeilDiv (a, b) ->
+    p "ceild(";
+    pp_expr buf a;
+    p ", ";
+    pp_expr buf b;
+    p ")"
+  | Mod (a, b) ->
+    p "imod(";
+    pp_expr buf a;
+    p ", ";
+    pp_expr buf b;
+    p ")"
+  | Neg a ->
+    p "(-";
+    pp_expr buf a;
+    p ")"
+  | Max (a, b) ->
+    p "imax(";
+    pp_expr buf a;
+    p ", ";
+    pp_expr buf b;
+    p ")"
+  | Min (a, b) ->
+    p "imin(";
+    pp_expr buf a;
+    p ", ";
+    pp_expr buf b;
+    p ")"
+  | Call (f, args) ->
+    p "%s(" f;
+    List.iteri
+      (fun i a ->
+        if i > 0 then p ", ";
+        pp_expr buf a)
+      args;
+    p ")"
+  | Idx (a, idxs) ->
+    p "%s" a;
+    List.iter
+      (fun i ->
+        p "[";
+        pp_expr buf i;
+        p "]")
+      idxs
+  | Cmp (op, a, b) -> bin op a b
+  | And [] -> p "1"
+  | And es ->
+    p "(";
+    List.iteri
+      (fun i a ->
+        if i > 0 then p " && ";
+        pp_expr buf a)
+      es;
+    p ")"
+  | Or [] -> p "0"
+  | Or es ->
+    p "(";
+    List.iteri
+      (fun i a ->
+        if i > 0 then p " || ";
+        pp_expr buf a)
+      es;
+    p ")"
+  | Not a ->
+    p "(!";
+    pp_expr buf a;
+    p ")"
+  | Raw s -> p "%s" s
+
+let rec pp_stmt buf ~indent s =
+  let pad () = Buffer.add_string buf (String.make (2 * indent) ' ') in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match s with
+  | Expr e ->
+    pad ();
+    pp_expr buf e;
+    p ";\n"
+  | Assign (lhs, rhs) ->
+    pad ();
+    pp_expr buf lhs;
+    p " = ";
+    pp_expr buf rhs;
+    p ";\n"
+  | Decl (ty, name, init) -> (
+    pad ();
+    p "%s %s" ty name;
+    match init with
+    | None -> p ";\n"
+    | Some e ->
+      p " = ";
+      pp_expr buf e;
+      p ";\n")
+  | DeclArr (ty, name, size) ->
+    pad ();
+    p "%s *%s = (%s *)calloc(" ty name ty;
+    pp_expr buf size;
+    p ", sizeof(%s));\n" ty
+  | For { var; lo; hi; step; body } ->
+    pad ();
+    p "for (%s = " var;
+    pp_expr buf lo;
+    p "; %s <= " var;
+    pp_expr buf hi;
+    p "; %s += " var;
+    pp_expr buf step;
+    p ") {\n";
+    List.iter (pp_stmt buf ~indent:(indent + 1)) body;
+    pad ();
+    p "}\n"
+  | If (cond, then_, else_) ->
+    pad ();
+    p "if (";
+    pp_expr buf cond;
+    p ") {\n";
+    List.iter (pp_stmt buf ~indent:(indent + 1)) then_;
+    pad ();
+    if else_ = [] then p "}\n"
+    else begin
+      p "} else {\n";
+      List.iter (pp_stmt buf ~indent:(indent + 1)) else_;
+      pad ();
+      p "}\n"
+    end
+  | Block body ->
+    pad ();
+    p "{\n";
+    List.iter (pp_stmt buf ~indent:(indent + 1)) body;
+    pad ();
+    p "}\n"
+  | Return None ->
+    pad ();
+    p "return;\n"
+  | Return (Some e) ->
+    pad ();
+    p "return ";
+    pp_expr buf e;
+    p ";\n"
+  | Comment c ->
+    pad ();
+    p "/* %s */\n" c
+  | RawStmt s ->
+    pad ();
+    p "%s\n" s
+
+let pp_func buf f =
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "%s %s(%s)\n{\n" f.ret f.name
+    (if f.params = [] then "void"
+     else String.concat ", " (List.map (fun (ty, nm) -> ty ^ " " ^ nm) f.params));
+  List.iter (pp_stmt buf ~indent:1) f.body;
+  p "}\n\n"
+
+let helpers =
+  {|static inline int floord(int a, int b) { int q = a / b, r = a % b; return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q; }
+static inline int ceild(int a, int b) { return -floord(-a, b); }
+static inline int imod(int a, int b) { return a - b * floord(a, b); }
+static inline int imax(int a, int b) { return a > b ? a : b; }
+static inline int imin(int a, int b) { return a < b ? a : b; }|}
+
+let program ?(includes = [ "stdio.h"; "stdlib.h" ]) ?(prelude = []) funcs =
+  let buf = Buffer.create 4096 in
+  List.iter (fun i -> Buffer.add_string buf (Printf.sprintf "#include <%s>\n" i)) includes;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf helpers;
+  Buffer.add_string buf "\n\n";
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    prelude;
+  if prelude <> [] then Buffer.add_char buf '\n';
+  List.iter (pp_func buf) funcs;
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Shared pieces of the sequential and MPI code generators: the static
+    tables (tiling matrices, dependence offsets, space constraints) and
+    the runtime helper functions (lattice start offsets, space membership,
+    global-coordinate reconstruction) that both emitted programs need. *)
+
+val int_table1 : string -> int array -> string
+val int_table2 : string -> int array array -> string
+
+val constraint_tables : string -> Tiles_poly.Constr.t list -> int -> string list
+(** [[prefix]NC] count define plus [[prefix]A]/[[prefix]B] coefficient and
+    constant tables for a constraint system over [n] variables. *)
+
+val core_tables :
+  tiling:Tiles_core.Tiling.t ->
+  kernel:Ckernel.t ->
+  skew:Tiles_linalg.Intmat.t ->
+  reads:Tiles_util.Vec.t list ->
+  string list
+(** Space-independent prelude: NDIM/W/NRD defines, V/C/HNF/Q/QDEN/D/DP/
+    TINV tables, [ttis_start], [global_of], [orig] and [boundary] (from
+    the kernel's C body). [boundary] calls [in_space]-independent code;
+    the space-membership test itself comes from {!space_tables} or a
+    parametric equivalent. *)
+
+val space_tables : Tiles_poly.Polyhedron.t -> string list
+(** Concrete-space constraint tables plus the [in_space] helper. *)
+
+val tables :
+  plan:Tiles_core.Plan.t ->
+  kernel:Ckernel.t ->
+  skew:Tiles_linalg.Intmat.t ->
+  reads:Tiles_util.Vec.t list ->
+  string list
+(** [space_tables] + [core_tables] for a concrete plan. *)
+
+val bbox_tables : Tiles_poly.Polyhedron.t -> string list
+(** GLO/GDIMS/GTOT tables and [gidx] for a dense bounding-box data array
+    (sequential generator / verification path). *)

@@ -1,0 +1,24 @@
+(** Data-parallel MPI code generation (§3).
+
+    Emits a complete SPMD C program implementing the paper's per-tile
+    protocol: for every tile of the rank's chain, RECEIVE from
+    predecessor tiles (minimum-successor pairing rule), sweep the TTIS
+    computing the kernel into the rank's LDS, then SEND one aggregated
+    message per processor direction. All compile-time artifacts — the
+    processor table, chain bounds, tile-space constraints for [valid()],
+    the communication vector and halo offsets, [D^S]/[D^m] and the slab
+    bounds — are baked in as static tables, exactly what the paper's tool
+    precomputed.
+
+    The program runs under any MPI with [NP] ranks (the vendored
+    fork-based [mpistub] works for single-machine testing) and prints
+    [points] and [checksum] from rank 0 via [MPI_Reduce], so its output
+    is directly comparable with the OCaml executors. *)
+
+val generate :
+  plan:Tiles_core.Plan.t ->
+  kernel:Ckernel.t ->
+  reads:Tiles_util.Vec.t list ->
+  ?skew:Tiles_linalg.Intmat.t ->
+  unit ->
+  string

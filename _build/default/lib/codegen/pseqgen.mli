@@ -1,0 +1,25 @@
+(** Parametric sequential tiled code generation.
+
+    Like {!Seqgen}, but the iteration space carries symbolic size
+    parameters (§2.1's parameterized bounds): the emitted program takes
+    the parameter values on its command line, computes the data-space
+    extents and all tile-loop bounds at runtime from Fourier–Motzkin
+    systems in which the parameters are ordinary leading variables, and
+    runs the same tiled sweep. One compiled binary therefore serves every
+    problem size — the behaviour an actual compiler's output must have.
+
+    Prints [points]/[checksum] like {!Seqgen} for oracle comparison. *)
+
+val generate :
+  pspace:Tiles_poly.Pspace.t ->
+  tiling:Tiles_core.Tiling.t ->
+  kernel:Ckernel.t ->
+  reads:Tiles_util.Vec.t list ->
+  ?skew:Tiles_linalg.Intmat.t ->
+  unit ->
+  string
+(** [pspace] is the (already skewed, if applicable) parametric iteration
+    space; [reads] are in its coordinates; [skew] only affects how the
+    kernel body's original-coordinate macros are computed. Raises
+    [Invalid_argument] on dimension mismatches and [Failure] if a bound
+    is unbounded. *)

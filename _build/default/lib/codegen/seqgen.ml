@@ -1,0 +1,142 @@
+module Plan = Tiles_core.Plan
+module Tiling = Tiles_core.Tiling
+module Tile_space = Tiles_core.Tile_space
+module Polyhedron = Tiles_poly.Polyhedron
+module FM = Tiles_poly.Fourier_motzkin
+module Intmat = Tiles_linalg.Intmat
+open C_ast
+
+let generate ~plan ~kernel ~reads ?skew () =
+  let tiling = plan.Plan.tiling in
+  let n = Tiling.dim tiling in
+  let skew = match skew with Some s -> s | None -> Intmat.identity n in
+  let space = plan.Plan.nest.Tiles_loop.Nest.space in
+  let tpoly = plan.Plan.tspace.Tile_space.poly in
+  let proj = Polyhedron.projection tpoly in
+  let sname k = Printf.sprintf "s[%d]" k in
+  if List.length reads <> kernel.Ckernel.nreads then
+    invalid_arg "Seqgen.generate: reads count differs from kernel.nreads";
+  let prelude =
+    Emit_common.tables ~plan ~kernel ~skew ~reads
+    @ Emit_common.bbox_tables space
+    @ [
+        "static double *DATA;";
+        {|static double rd_seq(const int *j, int r, int f) {
+  int src[NDIM], k;
+  for (k = 0; k < NDIM; k++) src[k] = j[k] - D[r][k];
+  return in_space(src) ? DATA[gidx(src) * W + f] : boundary(src, f);
+}|};
+        "#define RD(i, f) rd_seq(j, (i), (f))";
+        "#define WR(f) out[(f)]";
+        "#define J(k) jo[(k)]";
+      ]
+  in
+  (* innermost body: reconstruct j, guard, run the kernel, store *)
+  let body_store =
+    List.init kernel.Ckernel.width (fun f ->
+        Assign
+          (Idx ("DATA", [ Add (Mul (Call ("gidx", [ Var "j" ]), Int kernel.Ckernel.width), Int f) ]),
+           Idx ("out", [ Int f ])))
+  in
+  let kernel_body = List.map (fun l -> RawStmt l) kernel.Ckernel.body in
+  let innermost =
+    [
+      Expr (Call ("global_of", [ Var "s"; Var "jp"; Var "j" ]));
+      If
+        ( Call ("in_space", [ Var "j" ]),
+          [ Expr (Call ("orig", [ Var "j"; Var "jo" ])); Comment "loop body" ]
+          @ kernel_body @ body_store
+          @ [ RawStmt "npoints++;" ],
+          [] );
+    ]
+  in
+  (* n inner TTIS loops: stride c_k, start offset from the HNF lattice *)
+  let rec inner k body =
+    if k < 0 then body
+    else
+      inner (k - 1)
+        [
+          For
+            {
+              var = Printf.sprintf "jp[%d]" k;
+              lo = Call ("ttis_start", [ Int k; Var "jp" ]);
+              hi = Int (tiling.Tiling.v.(k) - 1);
+              step = Int tiling.Tiling.c.(k);
+              body;
+            };
+        ]
+  in
+  (* n outer tile loops with Fourier–Motzkin bounds *)
+  let rec outer k body =
+    if k < 0 then body
+    else
+      let cs = FM.system proj ~var:k in
+      outer (k - 1)
+        [
+          For
+            {
+              var = sname k;
+              lo = Bounds.lower cs ~var:k ~name:sname;
+              hi = Bounds.upper cs ~var:k ~name:sname;
+              step = Int 1;
+              body;
+            };
+        ]
+  in
+  let checksum_loops =
+    let rec go k body =
+      if k < 0 then body
+      else
+        go (k - 1)
+          [
+            For
+              {
+                var = Printf.sprintf "jj[%d]" k;
+                lo = Raw (Printf.sprintf "GLO[%d]" k);
+                hi = Raw (Printf.sprintf "GLO[%d] + GDIMS[%d] - 1" k k);
+                step = Int 1;
+                body;
+              };
+          ]
+    in
+    go (n - 1)
+      [
+        If
+          ( Call ("in_space", [ Var "jj" ]),
+            [
+              RawStmt
+                "{ int f; for (f = 0; f < W; f++) sum += DATA[gidx(jj) * W + f]; }";
+            ],
+            [] );
+      ]
+  in
+  let main =
+    {
+      ret = "int";
+      name = "main";
+      params = [];
+      body =
+        [
+          Decl ("int", "s[NDIM]", None);
+          Decl ("int", "jp[NDIM]", None);
+          Decl ("int", "j[NDIM]", None);
+          Decl ("int", "jo[NDIM]", None);
+          Decl ("int", "jj[NDIM]", None);
+          Decl ("double", "out[W]", None);
+          Decl ("long", "npoints", Some (Int 0));
+          Decl ("double", "sum", Some (Flt 0.));
+          RawStmt "DATA = (double *)malloc((size_t)GTOT * W * sizeof(double));";
+          Comment "tile loops (Fourier-Motzkin bounds), then TTIS loops";
+        ]
+        @ outer (n - 1) (inner (n - 1) innermost)
+        @ [ Comment "verification output" ]
+        @ checksum_loops
+        @ [
+            RawStmt "printf(\"points %ld\\n\", npoints);";
+            RawStmt "printf(\"checksum %.10e\\n\", sum);";
+            RawStmt "free(DATA);";
+            Return (Some (Int 0));
+          ];
+    }
+  in
+  program ~includes:[ "stdio.h"; "stdlib.h"; "math.h" ] ~prelude [ main ]

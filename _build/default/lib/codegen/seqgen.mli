@@ -1,0 +1,22 @@
+(** Sequential tiled code generation (§2.3, after ref [7]).
+
+    Emits a standalone C program that executes the kernel over the tiled
+    iteration space as a [2n]-deep loop nest: [n] outer loops over tile
+    coordinates with Fourier–Motzkin bounds, and [n] inner loops over the
+    TTIS with strides [c_k] and lattice start offsets. Boundary tiles are
+    handled by an [in_space] guard (the paper's "corrected bounds").
+
+    The program prints [points <count>] and [checksum <sum>] so its
+    output can be validated against the OCaml reference executor. *)
+
+val generate :
+  plan:Tiles_core.Plan.t ->
+  kernel:Ckernel.t ->
+  reads:Tiles_util.Vec.t list ->
+  ?skew:Tiles_linalg.Intmat.t ->
+  unit ->
+  string
+(** [reads] are the kernel's read offsets in {e nest (skewed) coordinates}
+    and in the order the C body's [RD(i, _)] macros index them. [skew] is
+    the skewing matrix that was applied to the nest (identity when
+    absent); the kernel's C body addresses original coordinates. *)

@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Format Hashtbl List Printf Set String Tiles_util Tiling Ttis

@@ -1,0 +1,1 @@
+lib/core/comm.mli: Format Tiles_loop Tiles_util Tiling

@@ -1,0 +1,1 @@
+lib/core/lds.ml: Array Comm Printf Tiles_linalg Tiles_util Tiling

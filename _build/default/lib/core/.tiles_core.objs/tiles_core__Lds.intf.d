@@ -1,0 +1,1 @@
+lib/core/lds.mli: Comm Tiles_util Tiling

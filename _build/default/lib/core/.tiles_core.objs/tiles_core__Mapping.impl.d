@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Array List Tile_space Tiles_poly Tiles_util

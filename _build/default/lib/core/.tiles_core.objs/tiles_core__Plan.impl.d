@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Buffer Comm Lds List Mapping Printf String Tile_space Tiles_loop Tiles_poly Tiles_util Tiling

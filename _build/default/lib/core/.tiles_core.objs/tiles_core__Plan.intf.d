@@ -1,0 +1,1 @@
+lib/core/plan.mli: Comm Lds Mapping Tile_space Tiles_loop Tiles_util Tiling

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array List Plan Tile_space Tiles_loop Tiles_poly Tiles_util Tiling

@@ -1,0 +1,1 @@
+lib/core/shape.ml: Array List Tiles_linalg Tiles_loop Tiles_poly Tiles_rat Tiles_util Tiling

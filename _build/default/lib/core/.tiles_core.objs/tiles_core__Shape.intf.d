@@ -1,0 +1,1 @@
+lib/core/shape.mli: Tiles_loop Tiles_util Tiling

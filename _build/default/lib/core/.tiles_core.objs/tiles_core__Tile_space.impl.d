@@ -1,0 +1,1 @@
+lib/core/tile_space.ml: Array List Tiles_linalg Tiles_poly Tiles_rat Tiles_util Tiling Ttis

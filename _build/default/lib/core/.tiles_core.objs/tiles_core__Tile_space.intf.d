@@ -1,0 +1,1 @@
+lib/core/tile_space.mli: Tiles_poly Tiles_util Tiling

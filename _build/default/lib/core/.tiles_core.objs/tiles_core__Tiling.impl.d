@@ -1,0 +1,1 @@
+lib/core/tiling.ml: Array Format List Printf Tiles_linalg Tiles_loop Tiles_rat Tiles_util

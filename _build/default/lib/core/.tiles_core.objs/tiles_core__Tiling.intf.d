@@ -1,0 +1,1 @@
+lib/core/tiling.mli: Format Tiles_linalg Tiles_loop Tiles_rat Tiles_util

@@ -1,0 +1,1 @@
+lib/core/ttis.ml: Array List Tiles_linalg Tiles_util Tiling

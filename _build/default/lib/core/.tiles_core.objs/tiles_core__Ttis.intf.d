@@ -1,0 +1,1 @@
+lib/core/ttis.mli: Tiles_util Tiling

@@ -1,0 +1,114 @@
+module Vec = Tiles_util.Vec
+module Ints = Tiles_util.Ints
+
+type t = {
+  m : int;
+  d' : Vec.t list;
+  max_d' : int array;
+  cc : int array;
+  off : int array;
+  ds : Vec.t list;
+  dm : (Vec.t * Vec.t list) list;
+}
+
+(* D^S by exact TTIS sweep: for j in the origin tile at local coordinates
+   j', iteration j + d lives in tile ⌊(j' + d')/V⌋ componentwise. *)
+let tile_deps (tiling : Tiling.t) d's =
+  let module S = Set.Make (struct
+    type t = int array
+
+    let compare = Vec.compare_lex
+  end) in
+  let acc = ref S.empty in
+  Ttis.iter tiling (fun j' ->
+      List.iter
+        (fun d' ->
+          let ds =
+            Array.init tiling.n (fun k ->
+                Ints.fdiv (j'.(k) + d'.(k)) tiling.v.(k))
+          in
+          if not (Vec.is_zero ds) then acc := S.add ds !acc)
+        d's);
+  S.elements !acc
+
+let make tiling deps ~m =
+  let n = Tiling.dim tiling in
+  if m < 0 || m >= n then invalid_arg "Comm.make: bad mapping dimension";
+  if not (Tiling.legal_for tiling deps) then
+    invalid_arg "Comm.make: tiling is illegal for these dependencies (H·d < 0)";
+  let d' = Tiling.transformed_deps tiling deps in
+  let max_d' =
+    Array.init n (fun k -> List.fold_left (fun acc v -> max acc v.(k)) 0 d')
+  in
+  Array.iteri
+    (fun k md ->
+      if md > tiling.v.(k) then
+        invalid_arg
+          (Printf.sprintf
+             "Comm.make: dependence reach %d exceeds tile extent v_%d = %d \
+              (tile too small: D^S components would exceed 1)"
+             md k tiling.v.(k)))
+    max_d';
+  let cc = Array.init n (fun k -> tiling.v.(k) - max_d'.(k)) in
+  let off =
+    Array.init n (fun k ->
+        if k = m then tiling.v.(k) / tiling.c.(k)
+        else Ints.cdiv max_d'.(k) tiling.c.(k))
+  in
+  let ds = tile_deps tiling d' in
+  List.iter
+    (fun d ->
+      if Array.exists (fun x -> x < 0 || x > 1) d then
+        failwith
+          (Printf.sprintf "Comm.make: tile dependence %s outside {0,1}^n"
+             (Vec.to_string d)))
+    ds;
+  let dm =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun dS ->
+        let dm = Vec.remove dS m in
+        if not (Vec.is_zero dm) then
+          Hashtbl.replace tbl dm
+            (dS :: (try Hashtbl.find tbl dm with Not_found -> [])))
+      ds;
+    Hashtbl.fold (fun k v acc -> (k, List.sort Vec.compare_lex v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Vec.compare_lex a b)
+  in
+  { m; d'; max_d'; cc; off; ds; dm }
+
+let dm_of_ds t ds = Vec.remove ds t.m
+
+let slab_lo t ~dm =
+  let n = Array.length t.cc in
+  Array.init n (fun k ->
+      if k = t.m then 0
+      else
+        let kk = if k < t.m then k else k - 1 in
+        dm.(kk) * t.cc.(k))
+
+let is_comm_point t j' =
+  let crossing = ref false in
+  Array.iteri (fun k x -> if x >= t.cc.(k) then crossing := true) j';
+  !crossing
+
+let minsucc_ds t dm =
+  match List.assoc_opt dm t.dm with
+  | None -> invalid_arg "Comm.minsucc_ds: unknown processor direction"
+  | Some [] -> assert false
+  | Some (first :: rest) ->
+    (* the successor tiles s + d^S share every coordinate except m, so the
+       lexicographically smallest successor comes from the smallest
+       m-component *)
+    List.fold_left
+      (fun best d -> if d.(t.m) < best.(t.m) then d else best)
+      first rest
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>comm (m=%d)@ D' = {%s}@ CC = %a@ off = %a@ D^S = {%s}@ D^m = {%s}@]"
+    t.m
+    (String.concat "; " (List.map Vec.to_string t.d'))
+    Vec.pp t.cc Vec.pp t.off
+    (String.concat "; " (List.map Vec.to_string t.ds))
+    (String.concat "; " (List.map (fun (d, _) -> Vec.to_string d) t.dm))

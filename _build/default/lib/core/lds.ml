@@ -1,0 +1,64 @@
+module Vec = Tiles_util.Vec
+module Ints = Tiles_util.Ints
+module Lattice = Tiles_linalg.Lattice
+
+type shape = {
+  n : int;
+  m : int;
+  ntiles : int;
+  dims : int array;
+  strides : int array;
+  total : int;
+}
+
+let shape (tiling : Tiling.t) (comm : Comm.t) ~ntiles =
+  if ntiles <= 0 then invalid_arg "Lds.shape: ntiles";
+  let n = tiling.n and m = comm.Comm.m in
+  let dims =
+    Array.init n (fun k ->
+        let per_tile = tiling.v.(k) / tiling.c.(k) in
+        if k = m then comm.Comm.off.(k) + (ntiles * per_tile)
+        else comm.Comm.off.(k) + per_tile)
+  in
+  let strides = Array.make n 1 in
+  for k = n - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * dims.(k + 1)
+  done;
+  { n; m; ntiles; dims; strides; total = strides.(0) * dims.(0) }
+
+let map (tiling : Tiling.t) (comm : Comm.t) ~t j' =
+  let n = tiling.n and m = comm.Comm.m in
+  Array.init n (fun k ->
+      if k = m then
+        Ints.fdiv ((t * tiling.v.(k)) + j'.(k)) tiling.c.(k) + comm.Comm.off.(k)
+      else Ints.fdiv j'.(k) tiling.c.(k) + comm.Comm.off.(k))
+
+let map_index shape j'' =
+  let idx = ref 0 in
+  for k = 0 to shape.n - 1 do
+    if j''.(k) < 0 || j''.(k) >= shape.dims.(k) then
+      invalid_arg
+        (Printf.sprintf "Lds.map_index: coordinate %d = %d out of [0, %d)" k
+           j''.(k) shape.dims.(k));
+    idx := !idx + (shape.strides.(k) * j''.(k))
+  done;
+  !idx
+
+let map_inv (tiling : Tiling.t) (comm : Comm.t) j'' =
+  let n = tiling.n and m = comm.Comm.m in
+  let off = comm.Comm.off in
+  Array.iteri
+    (fun k x ->
+      if x < off.(k) then
+        invalid_arg "Lds.map_inv: halo cell, not a computation cell")
+    j'';
+  let t = Ints.fdiv ((j''.(m) - off.(m)) * tiling.c.(m)) tiling.v.(m) in
+  let j' = Array.make n 0 in
+  for k = 0 to n - 1 do
+    (* residue of coordinate k on the TTIS lattice, given outer coords *)
+    let rho = Lattice.first_in_residue tiling.lattice k j' in
+    if k = m then
+      j'.(k) <- (tiling.c.(k) * (j''.(k) - off.(k))) - (t * tiling.v.(k)) + rho
+    else j'.(k) <- (tiling.c.(k) * (j''.(k) - off.(k))) + rho
+  done;
+  (t, j')

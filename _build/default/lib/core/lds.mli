@@ -1,0 +1,37 @@
+(** The Local Data Space (§3.1, Fig. 3).
+
+    Each processor stores the data of its whole tile chain in one dense
+    rectangular array: dimension [k ≠ m] has [off_k + v_kk/c_k] cells
+    (halo + one tile's condensed points), dimension [m] has
+    [off_m + |t|·v_mm/c_m] cells (halo + all [|t|] tiles of the chain).
+    Condensing divides TTIS coordinates by the strides [c_k], so every
+    cell of the computation region holds exactly one lattice point and no
+    space is wasted on the lattice holes of the TTIS.
+
+    [map]/[map_inv] are the functions of Tables 1–2. The floor divisions
+    are genuine floor (not truncation): reads of halo data evaluate
+    [map(j' − d', t)] where [j'_k − d'_k] may be negative. *)
+
+type shape = private {
+  n : int;
+  m : int;
+  ntiles : int;
+  dims : int array;     (** cells per dimension *)
+  strides : int array;  (** row-major linear strides *)
+  total : int;          (** total cells *)
+}
+
+val shape : Tiling.t -> Comm.t -> ntiles:int -> shape
+
+val map : Tiling.t -> Comm.t -> t:int -> Tiles_util.Vec.t -> Tiles_util.Vec.t
+(** [map tiling comm ~t j'] is [j'' ∈ LDS]; [t] is the chain-relative tile
+    index ([j^S_m − l^S_m] of the processor's chain). Accepts halo
+    coordinates (lattice points shifted by [−d']), which land at
+    [j''_k < off_k]. *)
+
+val map_index : shape -> Tiles_util.Vec.t -> int
+(** Row-major linearisation; bounds-checked. *)
+
+val map_inv : Tiling.t -> Comm.t -> Tiles_util.Vec.t -> int * Tiles_util.Vec.t
+(** [map_inv tiling comm j''] recovers [(t, j')] for a computation cell
+    (Table 2). Requires [j''_k >= off_k] for all [k]. *)

@@ -1,0 +1,104 @@
+module Vec = Tiles_util.Vec
+module Nest = Tiles_loop.Nest
+module Polyhedron = Tiles_poly.Polyhedron
+
+type t = {
+  nest : Nest.t;
+  tiling : Tiling.t;
+  tspace : Tile_space.t;
+  mapping : Mapping.t;
+  comm : Comm.t;
+}
+
+let make ?m nest tiling =
+  if Nest.dim nest <> Tiling.dim tiling then
+    invalid_arg "Plan.make: dimension mismatch";
+  if not (Tiling.legal_for tiling nest.Nest.deps) then
+    invalid_arg "Plan.make: tiling violates dependencies (H·d < 0)";
+  let tspace = Tile_space.make nest.Nest.space tiling in
+  let mapping = Mapping.make ?m tspace in
+  let comm = Comm.make tiling nest.Nest.deps ~m:mapping.Mapping.m in
+  { nest; tiling; tspace; mapping; comm }
+
+let dim t = Tiling.dim t.tiling
+let nprocs t = Mapping.nprocs t.mapping
+let mapping_dim t = t.mapping.Mapping.m
+
+let lds_shape t ~rank =
+  let lo, hi = Mapping.chain t.mapping rank in
+  Lds.shape t.tiling t.comm ~ntiles:(hi - lo + 1)
+
+let loc t j =
+  let tile = Tiling.tile_of t.tiling j in
+  let j' = Tiling.local_of t.tiling ~tile j in
+  let pid, ts = Mapping.split t.mapping tile in
+  match Mapping.rank_of_pid t.mapping pid with
+  | None -> invalid_arg "Plan.loc: iteration outside any processor's tiles"
+  | Some rank ->
+    let lo, _ = Mapping.chain t.mapping rank in
+    (pid, Lds.map t.tiling t.comm ~t:(ts - lo) j')
+
+let loc_inv t ~pid j'' =
+  match Mapping.rank_of_pid t.mapping pid with
+  | None -> invalid_arg "Plan.loc_inv: unknown pid"
+  | Some rank ->
+    let lo, _ = Mapping.chain t.mapping rank in
+    let trel, j' = Lds.map_inv t.tiling t.comm j'' in
+    let tile = Mapping.join t.mapping ~pid ~ts:(trel + lo) in
+    Tiling.global_of t.tiling ~tile j'
+
+let total_iterations t = Polyhedron.count_points t.nest.Nest.space
+
+let comm_stats t =
+  let messages = ref 0 and cells = ref 0 in
+  for rank = 0 to Mapping.nprocs t.mapping - 1 do
+    let pid = Mapping.pid_of_rank t.mapping rank in
+    List.iter
+      (fun tile ->
+        let _, ts = Mapping.split t.mapping tile in
+        List.iter
+          (fun (dm, dss) ->
+            let succ_pid = Tiles_util.Vec.add pid dm in
+            let succ_exists =
+              List.exists
+                (fun dS ->
+                  Mapping.valid t.mapping ~pid:succ_pid
+                    ~ts:(ts + dS.(t.comm.Comm.m)))
+                dss
+            in
+            if succ_exists then begin
+              incr messages;
+              cells :=
+                !cells
+                + Tile_space.slab_points t.tspace ~tile
+                    ~lo:(Comm.slab_lo t.comm ~dm)
+            end)
+          t.comm.Comm.dm)
+      (Mapping.tiles_of_rank t.mapping rank)
+  done;
+  (!messages, !cells)
+
+let summary t =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "plan for %s\n" t.nest.Nest.name;
+  pf "  dimensions        : %d\n" (dim t);
+  pf "  tile size         : %d points\n" (Tiling.tile_size t.tiling);
+  pf "  v (TTIS extents)  : %s\n" (Vec.to_string t.tiling.Tiling.v);
+  pf "  c (strides)       : %s\n" (Vec.to_string t.tiling.Tiling.c);
+  pf "  mapping dimension : %d\n" (mapping_dim t);
+  pf "  processors        : %d\n" (nprocs t);
+  pf "  CC vector         : %s\n" (Vec.to_string t.comm.Comm.cc);
+  pf "  LDS halo offsets  : %s\n" (Vec.to_string t.comm.Comm.off);
+  pf "  D^S               : %s\n"
+    (String.concat "; " (List.map Vec.to_string t.comm.Comm.ds));
+  pf "  D^m               : %s\n"
+    (String.concat "; "
+       (List.map (fun (d, _) -> Vec.to_string d) t.comm.Comm.dm));
+  let lens =
+    Array.to_list (Array.map (fun (lo, hi) -> hi - lo + 1) t.mapping.Mapping.chains)
+  in
+  pf "  chain lengths     : min %d, max %d\n"
+    (List.fold_left min max_int lens)
+    (List.fold_left max 0 lens);
+  Buffer.contents b

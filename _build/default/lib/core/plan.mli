@@ -1,0 +1,46 @@
+(** An end-to-end parallelisation plan: everything §3 derives at compile
+    time, bundled. This is the object the code generator prints and the
+    runtime executes. *)
+
+type t = private {
+  nest : Tiles_loop.Nest.t;
+  tiling : Tiling.t;
+  tspace : Tile_space.t;
+  mapping : Mapping.t;
+  comm : Comm.t;
+}
+
+val make : ?m:int -> Tiles_loop.Nest.t -> Tiling.t -> t
+(** Raises [Invalid_argument] if the tiling is illegal for the nest's
+    dependencies, or dimensions mismatch. [?m] overrides the mapping
+    dimension. *)
+
+val dim : t -> int
+val nprocs : t -> int
+val mapping_dim : t -> int
+
+val lds_shape : t -> rank:int -> Lds.shape
+(** Shape of the rank's local array (chain length dependent). *)
+
+val loc : t -> Tiles_util.Vec.t -> Tiles_util.Vec.t * Tiles_util.Vec.t
+(** Table 1: [loc j = (pid, j'')] — which processor owns iteration [j]
+    and where in its LDS the result lives. Chain-relative tile index uses
+    the processor's own chain start. *)
+
+val loc_inv : t -> pid:Tiles_util.Vec.t -> Tiles_util.Vec.t -> Tiles_util.Vec.t
+(** Table 2: [loc_inv ~pid j'' = j ∈ J^n]. *)
+
+val total_iterations : t -> int
+(** Iterations of [J^n] (exact). *)
+
+val comm_stats : t -> int * int
+(** [(messages, cells)] the §3.2 protocol will exchange: one message per
+    (tile, processor-direction) pair with a valid successor, each
+    carrying its boundary-clipped slab. Computed analytically; the tests
+    check it equals what the executor actually sends, and it realises the
+    paper's claim that variants with identical non-mapping tiling rows
+    move identical data volumes. *)
+
+val summary : t -> string
+(** Human-readable multi-line description (tile size, strides, CC, D^S,
+    processor count, chain lengths…). *)

@@ -1,0 +1,41 @@
+module Vec = Tiles_util.Vec
+module Polyhedron = Tiles_poly.Polyhedron
+
+let step_range (plan : Plan.t) =
+  (* min / max of Π·j^S over candidate tiles: a 1-variable FM projection of
+     the tile polyhedron along the diagonal would do, but the candidate
+     sets are small; fold over them. *)
+  let tiles = Tile_space.candidates plan.Plan.tspace in
+  match tiles with
+  | [] -> invalid_arg "Schedule.step_range: empty tile space"
+  | first :: rest ->
+    List.fold_left
+      (fun (lo, hi) s ->
+        let v = Vec.sum s in
+        (min lo v, max hi v))
+      (Vec.sum first, Vec.sum first)
+      rest
+
+let first_step p = fst (step_range p)
+let last_step p = snd (step_range p)
+let steps p =
+  let lo, hi = step_range p in
+  hi - lo + 1
+
+let last_point_step (plan : Plan.t) =
+  (* lexicographically last point of J^n via the projection chain *)
+  let space = plan.Plan.nest.Tiles_loop.Nest.space in
+  let n = Polyhedron.dim space in
+  let proj = Polyhedron.projection space in
+  let jmax = Array.make n 0 in
+  for k = 0 to n - 1 do
+    match Tiles_poly.Fourier_motzkin.bounds proj ~var:k ~prefix:jmax with
+    | Some (_, hi) -> jmax.(k) <- hi
+    | None -> invalid_arg "Schedule.last_point_step: empty space"
+  done;
+  Vec.sum (Tiling.tile_of plan.Plan.tiling jmax)
+
+let predicted_time plan ~compute_per_point ~comm_per_step =
+  let tile_points = float_of_int (Tiling.tile_size plan.Plan.tiling) in
+  float_of_int (steps plan)
+  *. ((tile_points *. compute_per_point) +. comm_per_step)

@@ -1,0 +1,31 @@
+(** The linear time schedule [Π = (1, 1, …, 1)] over the tile space and
+    the paper's analytic completion-time argument (§4.1).
+
+    A tile [j^S] executes at step [Π·j^S]; the makespan in steps is
+    [max Π·j^S − min Π·j^S + 1] over candidate tiles. The paper's
+    rectangular-vs-non-rectangular analysis compares
+    [t = Π·⌊H·j_max⌋]-style expressions; we compute the exact step count
+    from the candidate tile set, which subsumes that argument without
+    needing [j_max] in closed form. *)
+
+val steps : Plan.t -> int
+(** Exact number of wavefront steps of the plan's tile space. *)
+
+val first_step : Plan.t -> int
+val last_step : Plan.t -> int
+
+val last_point_step : Plan.t -> int
+(** The paper's §4 analytic quantity: [Π·⌊H·j_max⌋], the linear-schedule
+    step of the lexicographically last iteration. The rectangular vs
+    non-rectangular comparisons of §4.1–4.3 are differences of this value
+    ([t_r − t_nr = M/z] for SOR, [(T+I)/2x] for Jacobi, [N/y + N/z] for
+    ADI's nr3). Unlike {!steps} it is not inflated by nearly-empty corner
+    tiles of oblique tilings. *)
+
+val predicted_time :
+  Plan.t -> compute_per_point:float -> comm_per_step:float -> float
+(** Hodzic–Shang-style estimate: [steps × (tile_size · compute_per_point
+    + comm_per_step)] — each wavefront step computes one (full) tile and
+    pays one send/receive round. A coarse model: it ignores partial
+    boundary tiles, but predicts the rectangular/non-rectangular ordering
+    and is cross-checked against the simulator in the benches. *)

@@ -1,0 +1,74 @@
+module Cone = Tiles_poly.Cone
+module Dependence = Tiles_loop.Dependence
+module Vec = Tiles_util.Vec
+module Rat = Tiles_rat.Rat
+module Intmat = Tiles_linalg.Intmat
+
+(* greedy selection of n linearly independent rays *)
+let independent_subset n rays =
+  let rec go chosen = function
+    | [] -> List.rev chosen
+    | r :: rest ->
+      if List.length chosen = n then List.rev chosen
+      else
+        let candidate = Array.of_list (List.map Array.copy (r :: chosen)) in
+        (* rank via fraction-free determinant of a maximal square minor is
+           overkill; use rational row reduction through Cone's public
+           interface indirectly: build a matrix and test rank by checking
+           whether adding r keeps the rows of a square completion
+           independent. Simplest exact check: Gram-style via Intmat.det on
+           the square matrix once we have n rows, and incremental check by
+           solving. We keep it simple: accept r if the (k+1)-row matrix has
+           a non-zero (k+1)x(k+1) minor. *)
+        let k = Array.length candidate in
+        let dims = Array.length r in
+        let has_nonzero_minor =
+          (* enumerate column subsets of size k *)
+          let rec cols start picked =
+            if List.length picked = k then
+              let m =
+                Array.init k (fun i ->
+                    Array.of_list
+                      (List.map (fun c -> candidate.(i).(c)) (List.rev picked)))
+              in
+              Intmat.det m <> 0
+            else if start >= dims then false
+            else cols (start + 1) (start :: picked) || cols (start + 1) picked
+          in
+          cols 0 []
+        in
+        if has_nonzero_minor then go (r :: chosen) rest else go chosen rest
+  in
+  go [] rays
+
+let cone_rows deps =
+  let n = Dependence.dim deps in
+  let cone = Cone.tiling_cone (Dependence.to_matrix deps) in
+  let rays = Cone.extreme_rays cone in
+  (* time-like first (largest first component), ties broken by descending
+     lexicographic order so the selection tracks the axes: for ADI this
+     yields (1,-1,-1), (0,1,0), (0,0,1) — the paper's H_nr3 row order *)
+  let ordered =
+    List.sort
+      (fun a b ->
+        let c = compare b.(0) a.(0) in
+        if c <> 0 then c else Vec.compare_lex b a)
+      rays
+  in
+  let chosen = independent_subset n ordered in
+  if List.length chosen <> n then
+    failwith "Shape.cone_rows: fewer than n independent extreme rays";
+  chosen
+
+let from_cone deps ~factors =
+  let n = Dependence.dim deps in
+  if List.length factors <> n then invalid_arg "Shape.from_cone: factors";
+  let rows = cone_rows deps in
+  let h =
+    List.map2
+      (fun ray f ->
+        if f <= 0 then invalid_arg "Shape.from_cone: factor <= 0";
+        List.init n (fun k -> Rat.make ray.(k) f))
+      rows factors
+  in
+  Tiling.of_rows h

@@ -1,0 +1,19 @@
+(** Automatic tile-shape selection from the tiling cone — the direction
+    the paper's conclusions point to (and refs [4, 10, 12, 15] prove
+    optimal): take the tile-forming hyperplanes from the {e surface} of
+    the tiling cone rather than the axes.
+
+    [from_cone deps ~factors] picks [n] linearly independent extreme rays
+    of the cone [{h | h·D >= 0}] (time-like ray first, then
+    lexicographically), scales ray [i] by [1/factors_i] and builds the
+    tiling. For ADI this reconstructs the paper's hand-written [H_nr3]
+    exactly (see [examples/adi_tilecone.ml] and the tests). *)
+
+val cone_rows : Tiles_loop.Dependence.t -> Tiles_util.Vec.t list
+(** [n] linearly independent extreme rays, selection order as above.
+    Raises [Failure] if the cone is not pointed or fewer than [n]
+    independent rays exist. *)
+
+val from_cone : Tiles_loop.Dependence.t -> factors:int list -> Tiling.t
+(** Raises like {!Tiling.make} (e.g. stride divisibility) plus the
+    {!cone_rows} failures. *)

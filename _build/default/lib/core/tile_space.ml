@@ -1,0 +1,218 @@
+module Poly = Tiles_poly
+module Polyhedron = Tiles_poly.Polyhedron
+module Constr = Tiles_poly.Constr
+module Vec = Tiles_util.Vec
+module Rat = Tiles_rat.Rat
+
+type t = {
+  tiling : Tiling.t;
+  space : Polyhedron.t;
+  poly : Polyhedron.t;
+  bbox : (int * int) array;
+}
+
+(* Constraints over (j^S, j) ∈ Z^{2n}:  tile-membership band
+   0 <= h'_k·j − v_k·j^S_k <= v_k − 1  plus J^n lifted onto the j part. *)
+let combined_system space (tiling : Tiling.t) =
+  let n = tiling.n in
+  let lift c =
+    let coeffs = Array.make (2 * n) 0 in
+    for i = 0 to n - 1 do
+      coeffs.(n + i) <- Constr.coeff c i
+    done;
+    Constr.make ~coeffs ~const:(Constr.const c)
+  in
+  let band k =
+    let lo = Array.make (2 * n) 0 and hi = Array.make (2 * n) 0 in
+    for i = 0 to n - 1 do
+      lo.(n + i) <- tiling.h'.(k).(i);
+      hi.(n + i) <- -tiling.h'.(k).(i)
+    done;
+    lo.(k) <- -tiling.v.(k);
+    hi.(k) <- tiling.v.(k);
+    [ Constr.make ~coeffs:lo ~const:0;
+      Constr.make ~coeffs:hi ~const:(tiling.v.(k) - 1) ]
+  in
+  List.map lift (Polyhedron.constraints space)
+  @ List.concat (List.init n band)
+
+let make space tiling =
+  let n = Tiling.dim tiling in
+  if Polyhedron.dim space <> n then invalid_arg "Tile_space.make: dimension";
+  let sys = combined_system space tiling in
+  let projected =
+    Poly.Fourier_motzkin.eliminate_all_but sys ~dim:(2 * n)
+      ~keep:(List.init n (fun i -> i))
+  in
+  (* restrict constraints to the first n coordinates *)
+  let cs =
+    List.map
+      (fun c ->
+        let coeffs = Array.init n (Constr.coeff c) in
+        Constr.make ~coeffs ~const:(Constr.const c))
+      projected
+  in
+  let poly = Polyhedron.make ~dim:n cs in
+  let bbox = Polyhedron.bounding_box poly in
+  { tiling; space; poly; bbox }
+
+let candidates t = Polyhedron.points t.poly
+let contains t s = Polyhedron.member t.poly s
+let trip_count t k =
+  let lo, hi = t.bbox.(k) in
+  hi - lo + 1
+
+(* Fast exact P'-application: P' = Q / den with integer Q. *)
+let global_applier (tiling : Tiling.t) =
+  let n = tiling.n in
+  let den =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc x -> Tiles_util.Ints.lcm acc (Rat.den x))
+          acc row)
+      1 tiling.p'
+  in
+  let q =
+    Array.map (Array.map (fun x -> Rat.num x * (den / Rat.den x))) tiling.p'
+  in
+  fun (scaled : int array) (dst : int array) ->
+    for i = 0 to n - 1 do
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        acc := !acc + (q.(i).(j) * scaled.(j))
+      done;
+      assert (!acc mod den = 0);
+      dst.(i) <- !acc / den
+    done
+
+let iter_slab_points t ~tile ~lo f =
+  let tiling = t.tiling in
+  let n = tiling.n in
+  let apply = global_applier tiling in
+  let scaled = Array.make n 0 in
+  let j = Array.make n 0 in
+  let base = Array.init n (fun k -> tiling.v.(k) * tile.(k)) in
+  Ttis.iter_from tiling ~lo (fun j' ->
+      for k = 0 to n - 1 do
+        scaled.(k) <- base.(k) + j'.(k)
+      done;
+      apply scaled j;
+      if Polyhedron.member t.space j then f ~local:j' ~global:j)
+
+let iter_tile_points t ~tile f =
+  iter_slab_points t ~tile ~lo:(Array.make t.tiling.Tiling.n 0) f
+
+let is_interior t tile =
+  let module Constr = Tiles_poly.Constr in
+  let tiling = t.tiling in
+  let n = tiling.Tiling.n in
+  let vertex eps =
+    (* P·(j^S + ε) with exact rationals *)
+    let s = Array.init n (fun k -> Rat.of_int (tile.(k) + eps.(k))) in
+    Tiles_linalg.Ratmat.apply tiling.Tiling.p s
+  in
+  let holds_at x c =
+    let acc = ref (Rat.of_int (Constr.const c)) in
+    for i = 0 to n - 1 do
+      acc := Rat.add !acc (Rat.mul (Rat.of_int (Constr.coeff c i)) x.(i))
+    done;
+    Rat.sign !acc >= 0
+  in
+  let cs = Polyhedron.constraints t.space in
+  let eps = Array.make n 0 in
+  let rec all_vertices k =
+    if k = n then
+      let x = vertex eps in
+      List.for_all (holds_at x) cs
+    else begin
+      eps.(k) <- 0;
+      let a = all_vertices (k + 1) in
+      eps.(k) <- 1;
+      let b = a && all_vertices (k + 1) in
+      eps.(k) <- 0;
+      b
+    end
+  in
+  all_vertices 0
+
+let tile_iterations t tile =
+  let n = ref 0 in
+  iter_tile_points t ~tile (fun ~local:_ ~global:_ -> incr n);
+  !n
+
+(* Exact clipped-slab point counting without enumerating points.
+
+   The space constraints pull back to affine constraints over j': for a
+   space constraint a·j + b >= 0 and j = P'(V·s + j') = Q(V·s + j')/den,
+   the constraint becomes (a·Q)·j' + [(a·Q)·(V·s) + b·den] >= 0 — only the
+   constant depends on the tile. We join these with the box/slab bounds,
+   project with Fourier–Motzkin, and enumerate only the outer n-1
+   dimensions (stride-aligned); the innermost dimension contributes an
+   arithmetic range count. Exact because the innermost level uses the
+   original (unprojected) constraints. *)
+let count_clipped t ~tile ~lo =
+  let module FM = Tiles_poly.Fourier_motzkin in
+  let module Lattice = Tiles_linalg.Lattice in
+  let module Ints = Tiles_util.Ints in
+  let tiling = t.tiling in
+  let n = tiling.Tiling.n in
+  let den =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc x -> Ints.lcm acc (Rat.den x)) acc row)
+      1 tiling.Tiling.p'
+  in
+  let q =
+    Array.map (Array.map (fun x -> Rat.num x * (den / Rat.den x))) tiling.Tiling.p'
+  in
+  let vs = Array.init n (fun k -> tiling.Tiling.v.(k) * tile.(k)) in
+  let pullback c =
+    let a = Array.init n (Constr.coeff c) in
+    let w =
+      Array.init n (fun k ->
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + (a.(i) * q.(i).(k))
+          done;
+          !acc)
+    in
+    let const = Tiles_util.Vec.dot w vs + (Constr.const c * den) in
+    Constr.make ~coeffs:w ~const
+  in
+  let box =
+    List.concat
+      (List.init n (fun k ->
+           [
+             Constr.lower_bound_var n k (max 0 lo.(k));
+             Constr.upper_bound_var n k (tiling.Tiling.v.(k) - 1);
+           ]))
+  in
+  let sys = List.map pullback (Polyhedron.constraints t.space) @ box in
+  let proj = FM.project sys ~dim:n in
+  let j' = Array.make n 0 in
+  let rec go k acc =
+    match FM.bounds proj ~var:k ~prefix:j' with
+    | None -> acc
+    | Some (blo, bhi) ->
+      let residue = Lattice.first_in_residue tiling.Tiling.lattice k j' in
+      let c = tiling.Tiling.c.(k) in
+      let start = residue + (c * Ints.cdiv (blo - residue) c) in
+      if start > bhi then acc
+      else if k = n - 1 then acc + (((bhi - start) / c) + 1)
+      else begin
+        let acc = ref acc in
+        let x = ref start in
+        while !x <= bhi do
+          j'.(k) <- !x;
+          acc := go (k + 1) !acc;
+          x := !x + c
+        done;
+        !acc
+      end
+  in
+  go 0 0
+
+let slab_points t ~tile ~lo =
+  if is_interior t tile then Ttis.count_from t.tiling ~lo
+  else count_clipped t ~tile ~lo

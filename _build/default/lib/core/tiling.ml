@@ -1,0 +1,110 @@
+module Rat = Tiles_rat.Rat
+module Ratmat = Tiles_linalg.Ratmat
+module Intmat = Tiles_linalg.Intmat
+module Hnf = Tiles_linalg.Hnf
+module Lattice = Tiles_linalg.Lattice
+module Vec = Tiles_util.Vec
+module Ints = Tiles_util.Ints
+
+type t = {
+  n : int;
+  h : Ratmat.t;
+  p : Ratmat.t;
+  v : int array;
+  h' : Intmat.t;
+  p' : Ratmat.t;
+  hnf : Intmat.t;
+  hnf_u : Intmat.t;
+  c : int array;
+  lattice : Lattice.t;
+  tile_points : int;
+}
+
+let make h =
+  let n = Ratmat.rows h in
+  if Ratmat.cols h <> n then invalid_arg "Tiling.make: not square";
+  if Rat.sign (Ratmat.det h) = 0 then invalid_arg "Tiling.make: singular H";
+  let p = Ratmat.inverse h in
+  (* Each tile's local lattice is L(H') − V·s; for the paper's uniform
+     per-tile machinery (one TTIS, one LDS layout, Tables 1–2) these
+     cosets must all coincide with L(H'), i.e. V·s ∈ L(H') for every
+     integer s — equivalently P·s ∈ Z^n, i.e. P integral. All the paper's
+     example tilings satisfy this (Jacobi's even-y requirement is exactly
+     it); we make the assumption explicit. *)
+  if not (Ratmat.is_integral p) then
+    invalid_arg
+      "Tiling.make: P = H^-1 is not an integer matrix, so tile origins do \
+       not fall on iteration points and the uniform TTIS/LDS machinery \
+       does not apply; rescale the tiling factors";
+  let v = Array.init n (Ratmat.row_denominator_lcm h) in
+  let h' =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let x = Rat.mul (Rat.of_int v.(i)) h.(i).(j) in
+            Rat.to_int_exn x))
+  in
+  let p' = Ratmat.inverse (Ratmat.of_intmat h') in
+  let { Hnf.h = hnf; u = hnf_u } = Hnf.compute h' in
+  let c = Array.init n (fun k -> hnf.(k).(k)) in
+  Array.iteri
+    (fun k ck ->
+      if v.(k) mod ck <> 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Tiling.make: stride c_%d = %d does not divide v_%d = %d \
+              (dense LDS addressing undefined; pick different factors)"
+             k ck k v.(k)))
+    c;
+  let lattice = Lattice.of_basis h' in
+  let tile_points =
+    Array.to_list (Array.mapi (fun k vk -> vk / c.(k)) v)
+    |> List.fold_left Ints.mul_exn 1
+  in
+  { n; h; p; v; h'; p'; hnf; hnf_u; c; lattice; tile_points }
+
+let rectangular sizes =
+  let n = List.length sizes in
+  if n = 0 then invalid_arg "Tiling.rectangular: empty";
+  let rows =
+    List.mapi
+      (fun i x ->
+        if x <= 0 then invalid_arg "Tiling.rectangular: size <= 0";
+        List.init n (fun j -> if i = j then Rat.make 1 x else Rat.zero))
+      sizes
+  in
+  make (Ratmat.of_rows rows)
+
+let of_rows rows = make (Ratmat.of_rows rows)
+let dim t = t.n
+let tile_size t = t.tile_points
+
+let legal_for t deps =
+  List.for_all
+    (fun d ->
+      Array.for_all (fun x -> Rat.sign x >= 0) (Ratmat.apply_int t.h d))
+    (Tiles_loop.Dependence.vectors deps)
+
+let tile_of t j =
+  (* ⌊H·j⌋ computed integrally: ⌊h_k·j⌋ = fdiv (h'_k·j) v_k *)
+  Array.init t.n (fun k -> Ints.fdiv (Vec.dot t.h'.(k) j) t.v.(k))
+
+let local_of t ~tile j =
+  let j' = Array.init t.n (fun k -> Vec.dot t.h'.(k) j - (t.v.(k) * tile.(k))) in
+  assert (Array.for_all2 (fun x vk -> x >= 0 && x < vk) j' t.v);
+  j'
+
+let global_of t ~tile j' =
+  let scaled = Array.init t.n (fun k -> (t.v.(k) * tile.(k)) + j'.(k)) in
+  let jr = Ratmat.apply_int t.p' scaled in
+  if not (Array.for_all Rat.is_integer jr) then
+    invalid_arg "Tiling.global_of: j' is not on the TTIS lattice";
+  Array.map Rat.to_int_exn jr
+
+let transformed_deps t deps =
+  List.map (Intmat.apply t.h') (Tiles_loop.Dependence.vectors deps)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>tiling (n=%d, tile size %d)@ H =@ %a@ H' =@ %a@ HNF(H') =@ %a@ \
+     strides c = %a@]"
+    t.n t.tile_points Ratmat.pp t.h Intmat.pp t.h' Intmat.pp t.hnf Vec.pp t.c

@@ -1,0 +1,67 @@
+(** A general parallelepiped tiling transformation (§2.2–2.3).
+
+    Defined by the non-singular rational matrix [H] whose rows are
+    perpendicular to the tile-forming hyperplane families; [P = H⁻¹] holds
+    the tile side vectors as columns. From [H] we derive, exactly as in the
+    paper (and its SAC'02 predecessor, ref [7]):
+
+    - [V]: diagonal, [v_kk] = lcm of the denominators of row [k] of [H],
+      so that [H' = V·H] is integral (non-unimodular in general);
+    - the column Hermite Normal Form [H'~] of [H'] with strides
+      [c_k = h'~_kk] and incremental offsets [a_kl = h'~_kl];
+    - the TTIS lattice [L(H')].
+
+    Construction enforces [c_k | v_kk] for every [k]: this divisibility is
+    what makes the dense LDS addressing of §3.1 well defined (each LDS cell
+    along dimension [k] holds exactly one lattice point, and tile-relative
+    shifts commute with the floor divisions in [map]). All the paper's
+    example tilings satisfy it. *)
+
+type t = private {
+  n : int;
+  h : Tiles_linalg.Ratmat.t;
+  p : Tiles_linalg.Ratmat.t;
+  v : int array;
+  h' : Tiles_linalg.Intmat.t;
+  p' : Tiles_linalg.Ratmat.t;
+  hnf : Tiles_linalg.Intmat.t;    (** [H'~] *)
+  hnf_u : Tiles_linalg.Intmat.t;  (** unimodular witness, [H'·U = H'~] *)
+  c : int array;                   (** strides, the diagonal of [H'~] *)
+  lattice : Tiles_linalg.Lattice.t;
+  tile_points : int;               (** lattice points per full tile, [Π v_k / Π c_k = |det P|] *)
+}
+
+val make : Tiles_linalg.Ratmat.t -> t
+(** Raises [Invalid_argument] if [h] is not square, is singular, or
+    violates the [c_k | v_kk] divisibility requirement. *)
+
+val rectangular : int list -> t
+(** [rectangular [x; y; …]] is [H = diag(1/x, 1/y, …)]. *)
+
+val of_rows : Tiles_rat.Rat.t list list -> t
+
+val dim : t -> int
+val tile_size : t -> int
+(** Same as [tile_points]. *)
+
+val legal_for : t -> Tiles_loop.Dependence.t -> bool
+(** [H·d >= 0] componentwise for every dependence — the classic tiling
+    legality condition (atomic tiles). *)
+
+val tile_of : t -> Tiles_util.Vec.t -> Tiles_util.Vec.t
+(** [tile_of t j] is [⌊H·j⌋ ∈ J^S]. *)
+
+val local_of : t -> tile:Tiles_util.Vec.t -> Tiles_util.Vec.t -> Tiles_util.Vec.t
+(** [local_of t ~tile j] is the TTIS point [j' = H'·j − V·tile]; the
+    caller promises [tile = tile_of t j] (checked by assertion), so
+    [0 <= j'_k < v_kk]. *)
+
+val global_of : t -> tile:Tiles_util.Vec.t -> Tiles_util.Vec.t -> Tiles_util.Vec.t
+(** [global_of t ~tile j'] is [j = P·j^S + P'·j' ∈ J^n]. Raises
+    [Invalid_argument] if [(tile, j')] does not correspond to an integer
+    point (i.e. [j'] is not on the TTIS lattice). *)
+
+val transformed_deps : t -> Tiles_loop.Dependence.t -> Tiles_util.Vec.t list
+(** [D' = H'·D]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/linalg/hnf.mli: Intmat

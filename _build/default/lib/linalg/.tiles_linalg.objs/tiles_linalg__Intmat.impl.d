@@ -1,0 +1,1 @@
+lib/linalg/intmat.ml: Array Format List String Tiles_util

@@ -1,0 +1,1 @@
+lib/linalg/lattice.ml: Array Hnf Intmat Tiles_util

@@ -1,0 +1,1 @@
+lib/linalg/lattice.mli: Intmat Tiles_util

@@ -1,0 +1,1 @@
+lib/linalg/ratmat.ml: Array Format List String Tiles_rat Tiles_util

@@ -1,0 +1,1 @@
+lib/linalg/snf.ml: Array Intmat List Tiles_util

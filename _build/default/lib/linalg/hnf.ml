@@ -1,0 +1,71 @@
+type t = { h : Intmat.t; u : Intmat.t }
+
+(* Reduce row [i] of [a] to HNF shape using column operations mirrored on
+   [u]. Classic gcd-style elimination: repeatedly pick the column (among
+   i..n-1) whose row-i entry has the least non-zero magnitude, move it to
+   position i, and reduce the others modulo it. *)
+let eliminate_row a u n i =
+  let find_min_col () =
+    let best = ref (-1) in
+    for j = i to n - 1 do
+      if a.(i).(j) <> 0
+         && (!best = -1 || abs a.(i).(j) < abs a.(i).(!best))
+      then best := j
+    done;
+    !best
+  in
+  let rec loop () =
+    let piv = find_min_col () in
+    if piv = -1 then invalid_arg "Hnf.compute: singular matrix";
+    if piv <> i then begin
+      Intmat.swap_cols a i piv;
+      Intmat.swap_cols u i piv
+    end;
+    let remaining = ref false in
+    for j = i + 1 to n - 1 do
+      if a.(i).(j) <> 0 then begin
+        let q = Tiles_util.Ints.fdiv a.(i).(j) a.(i).(i) in
+        Intmat.add_col a ~src:i ~dst:j ~factor:(-q);
+        Intmat.add_col u ~src:i ~dst:j ~factor:(-q);
+        if a.(i).(j) <> 0 then remaining := true
+      end
+    done;
+    if !remaining then loop ()
+  in
+  loop ();
+  if a.(i).(i) < 0 then begin
+    Intmat.neg_col a i;
+    Intmat.neg_col u i
+  end;
+  (* normalise the entries left of the diagonal into [0, a.(i).(i)) *)
+  for l = 0 to i - 1 do
+    let q = Tiles_util.Ints.fdiv a.(i).(l) a.(i).(i) in
+    if q <> 0 then begin
+      Intmat.add_col a ~src:i ~dst:l ~factor:(-q);
+      Intmat.add_col u ~src:i ~dst:l ~factor:(-q)
+    end
+  done
+
+let compute a0 =
+  if not (Intmat.is_square a0) then invalid_arg "Hnf.compute: not square";
+  let n = Intmat.rows a0 in
+  let a = Intmat.copy a0 in
+  let u = Intmat.identity n in
+  for i = 0 to n - 1 do
+    eliminate_row a u n i
+  done;
+  { h = a; u }
+
+let is_hnf h =
+  Intmat.is_square h
+  && Intmat.is_lower_triangular h
+  &&
+  let n = Intmat.rows h in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if h.(i).(i) <= 0 then ok := false;
+    for l = 0 to i - 1 do
+      if h.(i).(l) < 0 || h.(i).(l) >= h.(i).(i) then ok := false
+    done
+  done;
+  !ok

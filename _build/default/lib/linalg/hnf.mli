@@ -1,0 +1,23 @@
+(** Column-style Hermite Normal Form.
+
+    For a non-singular square integer matrix [a], [compute a] returns the
+    unique matrix [h] and a unimodular witness [u] such that:
+    - [a · u = h],
+    - [h] is lower triangular with positive diagonal,
+    - every off-diagonal entry satisfies [0 <= h.(i).(l) < h.(i).(i)] for
+      [l < i].
+
+    This is the form the paper calls [H'~]: its diagonal gives the loop
+    strides [c_k = h'~_kk] and its sub-diagonal entries the incremental
+    offsets [a_kl = h'~_kl] used to enumerate the TTIS lattice (Fig. 2). *)
+
+type t = {
+  h : Intmat.t;  (** the Hermite normal form *)
+  u : Intmat.t;  (** unimodular column-operation witness, [a · u = h] *)
+}
+
+val compute : Intmat.t -> t
+(** Raises [Invalid_argument] if the matrix is not square or is singular. *)
+
+val is_hnf : Intmat.t -> bool
+(** Check the three defining properties above. *)

@@ -1,0 +1,60 @@
+module Ints = Tiles_util.Ints
+
+type t = { basis : Intmat.t; index : int }
+
+let of_basis g =
+  if not (Intmat.is_square g) then invalid_arg "Lattice.of_basis: not square";
+  let { Hnf.h; _ } = Hnf.compute g in
+  let index = Intmat.det h in
+  assert (index > 0);
+  { basis = h; index }
+
+let dim l = Intmat.rows l.basis
+let hnf_basis l = Intmat.copy l.basis
+let index l = l.index
+
+(* Forward triangular solve of G·t = v over the integers. *)
+let coords l v =
+  let n = dim l in
+  if Array.length v <> n then invalid_arg "Lattice.coords: dimension";
+  let g = l.basis in
+  let t = Array.make n 0 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if !ok then begin
+      let acc = ref v.(i) in
+      for j = 0 to i - 1 do
+        acc := !acc - (g.(i).(j) * t.(j))
+      done;
+      if !acc mod g.(i).(i) <> 0 then ok := false
+      else t.(i) <- !acc / g.(i).(i)
+    end
+  done;
+  if !ok then Some t else None
+
+let member l v = coords l v <> None
+let point_of_coords l t = Intmat.apply l.basis t
+
+let first_in_residue l k prefix =
+  let n = dim l in
+  if k < 0 || k >= n || Array.length prefix < k then
+    invalid_arg "Lattice.first_in_residue";
+  let g = l.basis in
+  (* recover t_0..t_{k-1} from the prefix, then the k-th coordinate of any
+     lattice point extending the prefix is congruent to
+     sum_{j<k} g_kj t_j  (mod g_kk). *)
+  let t = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let acc = ref prefix.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc - (g.(i).(j) * t.(j))
+    done;
+    if !acc mod g.(i).(i) <> 0 then
+      invalid_arg "Lattice.first_in_residue: prefix not on lattice";
+    t.(i) <- !acc / g.(i).(i)
+  done;
+  let base = ref 0 in
+  for j = 0 to k - 1 do
+    base := !base + (g.(k).(j) * t.(j))
+  done;
+  Ints.fmod !base g.(k).(k)

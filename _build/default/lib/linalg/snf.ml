@@ -1,0 +1,96 @@
+type t = { u : Intmat.t; v : Intmat.t; s : Intmat.t; diag : int list }
+
+let swap_rows m i1 i2 =
+  let t = m.(i1) in
+  m.(i1) <- m.(i2);
+  m.(i2) <- t
+
+let add_row m ~src ~dst ~factor =
+  for j = 0 to Intmat.cols m - 1 do
+    m.(dst).(j) <- m.(dst).(j) + (factor * m.(src).(j))
+  done
+
+let neg_row m i =
+  for j = 0 to Intmat.cols m - 1 do
+    m.(i).(j) <- -m.(i).(j)
+  done
+
+(* Find the position (i, j) with i, j >= k of the entry of least non-zero
+   magnitude, or None if the trailing block is all zero. *)
+let find_pivot a n k =
+  let best = ref None in
+  for i = k to n - 1 do
+    for j = k to n - 1 do
+      if a.(i).(j) <> 0 then
+        match !best with
+        | Some (_, _, m) when abs a.(i).(j) >= m -> ()
+        | _ -> best := Some (i, j, abs a.(i).(j))
+    done
+  done;
+  !best
+
+let compute a0 =
+  if not (Intmat.is_square a0) then invalid_arg "Snf.compute: not square";
+  let n = Intmat.rows a0 in
+  let a = Intmat.copy a0 in
+  let u = Intmat.identity n in
+  let v = Intmat.identity n in
+  let rec reduce k =
+    if k >= n then ()
+    else
+      match find_pivot a n k with
+      | None -> ()
+      | Some (pi, pj, _) ->
+        if pi <> k then begin
+          swap_rows a pi k;
+          swap_rows u pi k
+        end;
+        if pj <> k then begin
+          Intmat.swap_cols a k pj;
+          Intmat.swap_cols v k pj
+        end;
+        (* clear row k and column k *)
+        let dirty = ref false in
+        for i = k + 1 to n - 1 do
+          if a.(i).(k) <> 0 then begin
+            let q = Tiles_util.Ints.fdiv a.(i).(k) a.(k).(k) in
+            add_row a ~src:k ~dst:i ~factor:(-q);
+            add_row u ~src:k ~dst:i ~factor:(-q);
+            if a.(i).(k) <> 0 then dirty := true
+          end
+        done;
+        for j = k + 1 to n - 1 do
+          if a.(k).(j) <> 0 then begin
+            let q = Tiles_util.Ints.fdiv a.(k).(j) a.(k).(k) in
+            Intmat.add_col a ~src:k ~dst:j ~factor:(-q);
+            Intmat.add_col v ~src:k ~dst:j ~factor:(-q);
+            if a.(k).(j) <> 0 then dirty := true
+          end
+        done;
+        if !dirty then reduce k
+        else begin
+          (* enforce divisibility of the trailing block by a.(k).(k) *)
+          let bad = ref None in
+          for i = k + 1 to n - 1 do
+            for j = k + 1 to n - 1 do
+              if !bad = None && a.(i).(j) mod a.(k).(k) <> 0 then
+                bad := Some i
+            done
+          done;
+          match !bad with
+          | Some i ->
+            (* fold the offending row into row k and restart this step *)
+            add_row a ~src:i ~dst:k ~factor:1;
+            add_row u ~src:i ~dst:k ~factor:1;
+            reduce k
+          | None ->
+            if a.(k).(k) < 0 then begin
+              neg_row a k;
+              neg_row u k
+            end;
+            reduce (k + 1)
+        end
+  in
+  reduce 0;
+  let diag = List.init n (fun i -> a.(i).(i)) in
+  { u; v; s = a; diag }

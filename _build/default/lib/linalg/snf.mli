@@ -1,0 +1,17 @@
+(** Smith Normal Form of an integer square matrix.
+
+    [compute a] returns unimodular [u], [v] and diagonal [s] with
+    [u · a · v = s] and each diagonal entry dividing the next. Used for
+    lattice index computations (the number of TTIS lattice points in the
+    [v_11 × … × v_nn] box equals the tile size [|det P|]) and as an
+    independent cross-check of the HNF code in tests. *)
+
+type t = {
+  u : Intmat.t;
+  v : Intmat.t;
+  s : Intmat.t;
+  diag : int list;  (** non-negative elementary divisors, in order *)
+}
+
+val compute : Intmat.t -> t
+(** Works for any square integer matrix, including singular ones. *)

@@ -1,0 +1,1 @@
+lib/loop/access.ml: Array Dependence List Nest Tiles_linalg Tiles_rat Tiles_util

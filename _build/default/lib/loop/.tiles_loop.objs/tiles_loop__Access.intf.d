@@ -1,0 +1,1 @@
+lib/loop/access.mli: Dependence Nest Tiles_linalg Tiles_poly Tiles_util

@@ -1,0 +1,1 @@
+lib/loop/dependence.ml: Array Format List String Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/loop/dependence.mli: Format Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/loop/nest.ml: Dependence Format Tiles_poly

@@ -1,0 +1,1 @@
+lib/loop/nest.mli: Dependence Format Tiles_linalg Tiles_poly

@@ -1,0 +1,1 @@
+lib/loop/skew.ml: Array Dependence List Nest Tiles_linalg Tiles_util

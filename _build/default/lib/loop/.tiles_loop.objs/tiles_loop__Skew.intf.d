@@ -1,0 +1,1 @@
+lib/loop/skew.mli: Dependence Nest Tiles_linalg

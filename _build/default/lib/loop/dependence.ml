@@ -1,0 +1,36 @@
+module Vec = Tiles_util.Vec
+module Intmat = Tiles_linalg.Intmat
+
+type t = { dim : int; vecs : Vec.t list }
+
+let of_vectors vecs =
+  match vecs with
+  | [] -> invalid_arg "Dependence.of_vectors: empty"
+  | first :: _ ->
+    let dim = Vec.dim first in
+    if List.exists (fun v -> Vec.dim v <> dim) vecs then
+      invalid_arg "Dependence.of_vectors: mixed dimensions";
+    if List.exists Vec.is_zero vecs then
+      invalid_arg "Dependence.of_vectors: zero dependence";
+    { dim; vecs = List.sort_uniq Vec.compare_lex vecs }
+
+let of_matrix m =
+  of_vectors (List.init (Intmat.cols m) (fun j -> Intmat.col m j))
+
+let to_matrix d = Intmat.of_cols (List.map Vec.to_list d.vecs)
+let vectors d = d.vecs
+let dim d = d.dim
+let count d = List.length d.vecs
+let all_lex_positive d = List.for_all Vec.is_lex_positive d.vecs
+
+let all_nonnegative d =
+  List.for_all (fun v -> Array.for_all (fun x -> x >= 0) v) d.vecs
+
+let transform t d = of_vectors (List.map (Intmat.apply t) d.vecs)
+
+let max_component d k =
+  List.fold_left (fun acc v -> max acc v.(k)) min_int d.vecs
+
+let pp ppf d =
+  Format.fprintf ppf "{%s}"
+    (String.concat "; " (List.map Vec.to_string d.vecs))

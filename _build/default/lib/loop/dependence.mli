@@ -1,0 +1,35 @@
+(** Uniform, constant dependence sets (the matrix [D] of the paper; each
+    column one dependence vector). *)
+
+type t
+(** Invariant: no duplicate columns; dimension fixed. *)
+
+val of_vectors : Tiles_util.Vec.t list -> t
+(** Raises [Invalid_argument] on an empty list, mismatched dimensions, or a
+    zero vector (a self-dependence is meaningless). *)
+
+val of_matrix : Tiles_linalg.Intmat.t -> t
+(** Columns are the dependence vectors. *)
+
+val to_matrix : t -> Tiles_linalg.Intmat.t
+val vectors : t -> Tiles_util.Vec.t list
+val dim : t -> int
+val count : t -> int
+
+val all_lex_positive : t -> bool
+(** Every dependence lexicographically positive — the legality condition
+    for sequential execution order and for the loop permutations of
+    §3.1. *)
+
+val all_nonnegative : t -> bool
+(** Every component of every dependence non-negative — the precondition for
+    rectangular tiling. *)
+
+val transform : Tiles_linalg.Intmat.t -> t -> t
+(** [transform t d] maps every dependence through [t] (used by skewing). *)
+
+val max_component : t -> int -> int
+(** [max_component d k] is the largest [k]-th component over all
+    dependence vectors. *)
+
+val pp : Format.formatter -> t -> unit

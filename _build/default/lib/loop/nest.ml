@@ -1,0 +1,27 @@
+module Polyhedron = Tiles_poly.Polyhedron
+
+type t = {
+  name : string;
+  space : Polyhedron.t;
+  deps : Dependence.t;
+}
+
+let make ~name ~space ~deps =
+  if Polyhedron.dim space <> Dependence.dim deps then
+    invalid_arg "Nest.make: dimension mismatch";
+  if not (Dependence.all_lex_positive deps) then
+    invalid_arg "Nest.make: dependence not lexicographically positive";
+  { name; space; deps }
+
+let dim t = Polyhedron.dim t.space
+let tiling_cone t = Tiles_poly.Cone.tiling_cone (Dependence.to_matrix t.deps)
+let needs_skewing t = not (Dependence.all_nonnegative t.deps)
+
+let skew t m =
+  make ~name:(t.name ^ "-skewed")
+    ~space:(Polyhedron.transform_unimodular m t.space)
+    ~deps:(Dependence.transform m t.deps)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>nest %s (dim %d)@ deps %a@]" t.name (dim t)
+    Dependence.pp t.deps

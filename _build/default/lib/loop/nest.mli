@@ -1,0 +1,31 @@
+(** A perfectly nested loop with uniform constant dependencies — the input
+    class of the paper (§2.1). The loop body semantics live with the
+    application (see [Tiles_apps]); here we keep what the compiler needs:
+    the iteration space [J^n] and the dependence matrix [D]. *)
+
+type t = private {
+  name : string;
+  space : Tiles_poly.Polyhedron.t;  (** the iteration space [J^n] *)
+  deps : Dependence.t;
+}
+
+val make : name:string -> space:Tiles_poly.Polyhedron.t -> deps:Dependence.t -> t
+(** Raises [Invalid_argument] on dimension mismatch or if some dependence
+    is not lexicographically positive (illegal sequential program). *)
+
+val dim : t -> int
+
+val tiling_cone : t -> Tiles_poly.Cone.t
+(** The cone [{h | h·d >= 0 ∀ d ∈ D}] from which tiling rows are drawn. *)
+
+val needs_skewing : t -> bool
+(** True iff some dependence has a negative component, so rectangular
+    tiling is illegal without a preliminary skew. *)
+
+val skew : t -> Tiles_linalg.Intmat.t -> t
+(** Apply a unimodular skewing transformation [T]: space becomes [T·J^n],
+    dependencies become [T·D]. Raises if the result has a dependence with
+    a negative component that was meant to be fixed — callers check
+    [needs_skewing] on the result. *)
+
+val pp : Format.formatter -> t -> unit

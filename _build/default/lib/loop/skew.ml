@@ -1,0 +1,56 @@
+module Intmat = Tiles_linalg.Intmat
+module Ints = Tiles_util.Ints
+
+let is_valid_skew m =
+  Intmat.is_square m
+  && Intmat.is_lower_triangular m
+  &&
+  let n = Intmat.rows m in
+  let unit_diag = ref true in
+  for i = 0 to n - 1 do
+    if m.(i).(i) <> 1 then unit_diag := false
+  done;
+  !unit_diag
+
+let of_factors n factors =
+  let m = Intmat.identity n in
+  List.iter
+    (fun (i, j, f) ->
+      if i <= j || i >= n || j < 0 then invalid_arg "Skew.of_factors";
+      m.(i).(j) <- f)
+    factors;
+  m
+
+let suggest deps =
+  let n = Dependence.dim deps in
+  let vecs = Dependence.vectors deps in
+  let factor k =
+    (* smallest c >= 0 with d_k + c*d_0 >= 0 for all deps *)
+    List.fold_left
+      (fun acc d ->
+        match acc with
+        | None -> None
+        | Some c ->
+          if d.(k) >= 0 then Some c
+          else if d.(0) <= 0 then None
+          else Some (max c (Ints.cdiv (-d.(k)) d.(0))))
+      (Some 0) vecs
+  in
+  let rec build k acc =
+    if k = n then Some (of_factors n acc)
+    else
+      match factor k with
+      | None -> None
+      | Some 0 -> build (k + 1) acc
+      | Some c -> build (k + 1) ((k, 0, c) :: acc)
+  in
+  (* dependencies with negative first component can never be fixed by this
+     scheme *)
+  if List.exists (fun d -> d.(0) < 0) vecs then None else build 1 []
+
+let apply nest m =
+  if not (is_valid_skew m) then invalid_arg "Skew.apply: not a valid skew";
+  let skewed = Nest.skew nest m in
+  if Nest.needs_skewing skewed then
+    failwith "Skew.apply: skewed nest still has negative dependence components";
+  skewed

@@ -1,0 +1,25 @@
+(** Skewing transformations.
+
+    SOR and Jacobi have dependencies with negative components, so they must
+    be skewed before any rectangular tiling is legal (§4.1–4.2). A skew is
+    a unimodular lower-triangular matrix with unit diagonal that adds outer
+    loop indices to inner ones. *)
+
+val is_valid_skew : Tiles_linalg.Intmat.t -> bool
+(** Lower triangular, unit diagonal (hence unimodular). *)
+
+val of_factors : int -> (int * int * int) list -> Tiles_linalg.Intmat.t
+(** [of_factors n [(i, j, f); …]] is the identity with entry [f] added at
+    row [i], column [j] ([i > j]); e.g. the paper's SOR skew is
+    [of_factors 3 [(1, 0, 1); (2, 0, 2)]]. *)
+
+val suggest : Dependence.t -> Tiles_linalg.Intmat.t option
+(** A minimal single-column skew [T = I + Σ_k c_k·E_(k,0)] making every
+    dependence component non-negative, if one exists: requires every
+    dependence with a negative component to have a positive first
+    component. Returns [None] otherwise. *)
+
+val apply : Nest.t -> Tiles_linalg.Intmat.t -> Nest.t
+(** [Nest.skew] with validity checking: raises [Invalid_argument] if the
+    matrix is not a valid skew, [Failure] if the skewed dependencies still
+    have negative components. *)

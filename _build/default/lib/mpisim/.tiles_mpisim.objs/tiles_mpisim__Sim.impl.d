@@ -1,0 +1,1 @@
+lib/mpisim/sim.ml: Array Effect Float Hashtbl List Netmodel Printf Queue String

@@ -1,0 +1,1 @@
+lib/mpisim/sim.mli: Netmodel

@@ -1,0 +1,1 @@
+lib/mpisim/trace.ml: Array Float List Sim

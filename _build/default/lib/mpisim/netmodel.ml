@@ -1,0 +1,31 @@
+type t = {
+  latency : float;
+  bandwidth : float;
+  send_overhead : float;
+  recv_overhead : float;
+  flop_time : float;
+  pack_time : float;
+}
+
+let fast_ethernet_cluster =
+  {
+    latency = 70e-6;
+    bandwidth = 12.5e6;
+    send_overhead = 30e-6;
+    recv_overhead = 30e-6;
+    flop_time = 100e-9;
+    pack_time = 20e-9;
+  }
+
+let ideal =
+  {
+    latency = 0.;
+    bandwidth = infinity;
+    send_overhead = 0.;
+    recv_overhead = 0.;
+    flop_time = 100e-9;
+    pack_time = 0.;
+  }
+
+let transfer_time t ~bytes = float_of_int bytes /. t.bandwidth
+let with_ratio t f = { t with flop_time = t.flop_time *. f }

@@ -1,0 +1,33 @@
+(** Cost model of the simulated cluster.
+
+    The paper's testbed was 16 Pentium III 500 MHz nodes on switched
+    FastEthernet under MPICH; we model it with the usual
+    latency/bandwidth/overhead (α-β) point-to-point model plus a per-point
+    computation cost and a per-element packing cost. The absolute numbers
+    only set the computation-to-communication ratio; the experiments'
+    qualitative shape (which tiling wins, where speedup peaks) is what the
+    reproduction checks. *)
+
+type t = {
+  latency : float;  (** one-way message latency, seconds *)
+  bandwidth : float;  (** bytes per second on the wire *)
+  send_overhead : float;  (** CPU time consumed by the sender per message *)
+  recv_overhead : float;  (** CPU time consumed by the receiver per message *)
+  flop_time : float;  (** seconds of CPU per iteration point *)
+  pack_time : float;  (** seconds of CPU per packed/unpacked element *)
+}
+
+val fast_ethernet_cluster : t
+(** Defaults calibrated to the paper's testbed class: 100 Mbit/s wire,
+    ~70 µs latency, ~100 ns per stencil point on a 500 MHz PIII. *)
+
+val ideal : t
+(** Zero-cost network, for ablations (pure scheduling effect). *)
+
+val transfer_time : t -> bytes:int -> float
+(** Wire time of one message: [bytes / bandwidth]. *)
+
+val with_ratio : t -> float -> t
+(** Scale [flop_time] so the computation-to-communication ratio changes by
+    the given factor (> 1 = more compute-bound); used by the ablation
+    bench. *)

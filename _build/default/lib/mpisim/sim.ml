@@ -1,0 +1,241 @@
+open Effect
+open Effect.Deep
+
+type span = {
+  rank : int;
+  t0 : float;
+  t1 : float;
+  kind : [ `Compute | `Send | `Wait ];
+}
+
+type stats = {
+  completion : float;
+  rank_clocks : float array;
+  messages : int;
+  bytes : int;
+  max_inflight_bytes : int;
+  trace : span list;
+}
+
+exception Deadlock of string
+
+type _ Effect.t +=
+  | E_rank : int Effect.t
+  | E_nprocs : int Effect.t
+  | E_compute : float -> unit Effect.t
+  | E_now : float Effect.t
+  | E_send : (int * int * float array) -> unit Effect.t
+  | E_isend : (int * int * float array) -> unit Effect.t
+  | E_recv : (int * int) -> float array Effect.t
+  | E_barrier : unit Effect.t
+
+module Api = struct
+  let rank () = perform E_rank
+  let nprocs () = perform E_nprocs
+  let compute dt = perform (E_compute dt)
+  let now () = perform E_now
+  let send ~dst ~tag data = perform (E_send (dst, tag, data))
+  let isend ~dst ~tag data = perform (E_isend (dst, tag, data))
+  let recv ~src ~tag = perform (E_recv (src, tag))
+  let barrier () = perform E_barrier
+end
+
+type channel_key = int * int * int (* src, dst, tag *)
+
+type state = {
+  nprocs : int;
+  net : Netmodel.t;
+  clocks : float array;
+  channels : (channel_key, (float * float array) Queue.t) Hashtbl.t;
+  (* a parked receiver: wake it with the (arrival, payload) pair *)
+  parked : (channel_key, (float * float array) -> unit) Hashtbl.t;
+  runq : (unit -> unit) Queue.t;
+  mutable finished : int;
+  mutable at_barrier : (int * (unit -> unit)) list;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable inflight : int;
+  mutable max_inflight : int;
+  tracing : bool;
+  mutable spans : span list;
+}
+
+let queue_of st key =
+  match Hashtbl.find_opt st.channels key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add st.channels key q;
+    q
+
+let pop_message st key =
+  match Hashtbl.find_opt st.channels key with
+  | None -> None
+  | Some q ->
+    if Queue.is_empty q then None
+    else begin
+      let ((_, data) as msg) = Queue.pop q in
+      st.inflight <- st.inflight - (8 * Array.length data);
+      Some msg
+    end
+
+let deposit st key arrival data =
+  let nbytes = 8 * Array.length data in
+  st.messages <- st.messages + 1;
+  st.bytes <- st.bytes + nbytes;
+  st.inflight <- st.inflight + nbytes;
+  if st.inflight > st.max_inflight then st.max_inflight <- st.inflight;
+  Queue.push (arrival, data) (queue_of st key);
+  (* wake a receiver parked on this channel *)
+  match Hashtbl.find_opt st.parked key with
+  | None -> ()
+  | Some wake ->
+    Hashtbl.remove st.parked key;
+    Queue.push
+      (fun () ->
+        match pop_message st key with
+        | Some msg -> wake msg
+        | None -> assert false)
+      st.runq
+
+let record st rank t0 t1 kind =
+  if st.tracing && t1 > t0 then st.spans <- { rank; t0; t1; kind } :: st.spans
+
+let receive_clock st r (arrival, data) =
+  let t0 = st.clocks.(r) in
+  st.clocks.(r) <- Float.max st.clocks.(r) arrival +. st.net.Netmodel.recv_overhead;
+  record st r t0 st.clocks.(r) `Wait;
+  data
+
+let release_barrier st =
+  let t =
+    List.fold_left (fun acc (r, _) -> Float.max acc st.clocks.(r)) 0. st.at_barrier
+    +. st.net.Netmodel.latency
+  in
+  let waiting = st.at_barrier in
+  st.at_barrier <- [];
+  List.iter
+    (fun (r, resume) ->
+      st.clocks.(r) <- t;
+      Queue.push resume st.runq)
+    waiting
+
+let handler st (r : int) =
+  {
+    retc = (fun () -> st.finished <- st.finished + 1);
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | E_rank -> Some (fun (k : (a, unit) continuation) -> continue k r)
+        | E_nprocs -> Some (fun k -> continue k st.nprocs)
+        | E_now -> Some (fun k -> continue k st.clocks.(r))
+        | E_compute dt ->
+          Some
+            (fun k ->
+              let t0 = st.clocks.(r) in
+              st.clocks.(r) <- st.clocks.(r) +. dt;
+              record st r t0 st.clocks.(r) `Compute;
+              continue k ())
+        | E_send (dst, tag, data) ->
+          Some
+            (fun k ->
+              if dst < 0 || dst >= st.nprocs then
+                invalid_arg "Sim.send: bad destination rank";
+              let nbytes = 8 * Array.length data in
+              let t0 = st.clocks.(r) in
+              st.clocks.(r) <-
+                st.clocks.(r)
+                +. st.net.Netmodel.send_overhead
+                +. Netmodel.transfer_time st.net ~bytes:nbytes;
+              record st r t0 st.clocks.(r) `Send;
+              let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
+              deposit st (r, dst, tag) arrival (Array.copy data);
+              continue k ())
+        | E_isend (dst, tag, data) ->
+          Some
+            (fun k ->
+              if dst < 0 || dst >= st.nprocs then
+                invalid_arg "Sim.isend: bad destination rank";
+              let nbytes = 8 * Array.length data in
+              (* sender only pays the CPU overhead; the wire runs in
+                 parallel with subsequent computation *)
+              let t0 = st.clocks.(r) in
+              st.clocks.(r) <- st.clocks.(r) +. st.net.Netmodel.send_overhead;
+              record st r t0 st.clocks.(r) `Send;
+              let arrival =
+                st.clocks.(r)
+                +. Netmodel.transfer_time st.net ~bytes:nbytes
+                +. st.net.Netmodel.latency
+              in
+              deposit st (r, dst, tag) arrival (Array.copy data);
+              continue k ())
+        | E_recv (src, tag) ->
+          Some
+            (fun k ->
+              let key = (src, r, tag) in
+              match pop_message st key with
+              | Some msg -> continue k (receive_clock st r msg)
+              | None ->
+                if Hashtbl.mem st.parked key then
+                  failwith
+                    "Sim.recv: two simultaneous receives on one channel";
+                Hashtbl.replace st.parked key (fun msg ->
+                    continue k (receive_clock st r msg)))
+        | E_barrier ->
+          Some
+            (fun k ->
+              st.at_barrier <- (r, fun () -> continue k ()) :: st.at_barrier;
+              if List.length st.at_barrier = st.nprocs then release_barrier st)
+        | _ -> None);
+  }
+
+let run ?(trace = false) ~nprocs ~net program =
+  if nprocs <= 0 then invalid_arg "Sim.run: nprocs";
+  let st =
+    {
+      nprocs;
+      net;
+      clocks = Array.make nprocs 0.;
+      channels = Hashtbl.create 64;
+      parked = Hashtbl.create 16;
+      runq = Queue.create ();
+      finished = 0;
+      at_barrier = [];
+      messages = 0;
+      bytes = 0;
+      inflight = 0;
+      max_inflight = 0;
+      tracing = trace;
+      spans = [];
+    }
+  in
+  for r = 0 to nprocs - 1 do
+    Queue.push (fun () -> match_with (fun () -> program r) () (handler st r)) st.runq
+  done;
+  while not (Queue.is_empty st.runq) do
+    let thunk = Queue.pop st.runq in
+    thunk ()
+  done;
+  if st.finished < nprocs then begin
+    let blocked_recv =
+      Hashtbl.fold
+        (fun (src, dst, tag) _ acc ->
+          Printf.sprintf "rank %d waiting on (src=%d, tag=%d)" dst src tag :: acc)
+        st.parked []
+    in
+    let blocked_barrier =
+      List.map (fun (r, _) -> Printf.sprintf "rank %d at barrier" r) st.at_barrier
+    in
+    raise
+      (Deadlock
+         (String.concat "; " (List.sort compare (blocked_recv @ blocked_barrier))))
+  end;
+  {
+    completion = Array.fold_left Float.max 0. st.clocks;
+    rank_clocks = Array.copy st.clocks;
+    messages = st.messages;
+    bytes = st.bytes;
+    max_inflight_bytes = st.max_inflight;
+    trace = List.rev st.spans;
+  }

@@ -1,0 +1,74 @@
+(** Discrete-event simulated message-passing cluster.
+
+    Each rank runs as an effect-handler fiber with its own virtual clock.
+    Ranks interact only through messages, so the simulation needs no
+    preemption: a fiber runs until it blocks on a receive whose message has
+    not been produced yet, sends wake blocked receivers, and the virtual
+    completion time is the maximum clock at exit. Matching is FIFO per
+    (source, destination, tag) channel — the semantics of a blocking
+    MPI_Recv with an eager, buffered MPI_Send, which is how the paper's
+    generated code communicates.
+
+    The simulation is deterministic: rank programs are pure functions of
+    their inputs and message contents, and queue order is fixed. *)
+
+(** One traced activity interval on a rank's timeline. *)
+type span = {
+  rank : int;
+  t0 : float;
+  t1 : float;
+  kind : [ `Compute | `Send | `Wait ];
+}
+
+type stats = {
+  completion : float;  (** virtual time at which the last rank finished *)
+  rank_clocks : float array;
+  messages : int;
+  bytes : int;
+  max_inflight_bytes : int;  (** peak total bytes buffered in channels *)
+  trace : span list;  (** chronological per-event spans; empty unless
+                          [run] was called with [~trace:true] *)
+}
+
+exception Deadlock of string
+(** Raised when every unfinished rank is blocked on a receive that can
+    never be satisfied. The message lists the blocked ranks. *)
+
+(** Operations available inside a rank program. *)
+module Api : sig
+  val rank : unit -> int
+  val nprocs : unit -> int
+
+  val compute : float -> unit
+  (** Advance this rank's clock by [dt] seconds of local work. *)
+
+  val now : unit -> float
+  (** Current virtual time on this rank. *)
+
+  val send : dst:int -> tag:int -> float array -> unit
+  (** Eager buffered send: charges the sender overhead + wire time, then
+      returns; the message becomes available to [dst] one latency later.
+      The array is copied, so the sender may reuse its buffer. *)
+
+  val isend : dst:int -> tag:int -> float array -> unit
+  (** Overlapped (non-blocking) send: the sender pays only the CPU
+      overhead; wire time runs concurrently with whatever the sender does
+      next, so the message arrives at [now + overhead + wire + latency].
+      Models the communication/computation-overlap schedule of the
+      paper's future-work reference [8] (DMA/NIC-driven transfers). *)
+
+  val recv : src:int -> tag:int -> float array
+  (** Block until the matching message arrives; the clock advances to
+      [max own-clock (arrival + recv_overhead)]. *)
+
+  val barrier : unit -> unit
+  (** All ranks synchronise; everyone leaves at the common maximum clock
+      plus one latency. *)
+end
+
+val run : ?trace:bool -> nprocs:int -> net:Netmodel.t -> (int -> unit) -> stats
+(** [run ~nprocs ~net program] executes [program rank] on every rank and
+    returns the virtual-time statistics. Raises [Deadlock] on a stuck
+    communication pattern, and re-raises any exception escaping a rank
+    program. With [~trace:true], every compute / send / receive-wait
+    interval is recorded in [stats.trace] (for Gantt rendering). *)

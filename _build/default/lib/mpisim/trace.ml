@@ -1,0 +1,43 @@
+type utilisation = {
+  compute : float;
+  send : float;
+  wait : float;
+  idle : float;
+}
+
+let utilisation (stats : Sim.stats) =
+  if stats.Sim.trace = [] then invalid_arg "Trace.utilisation: no trace";
+  let nprocs = Array.length stats.Sim.rank_clocks in
+  let compute = Array.make nprocs 0. in
+  let send = Array.make nprocs 0. in
+  let wait = Array.make nprocs 0. in
+  List.iter
+    (fun { Sim.rank; t0; t1; kind } ->
+      let d = t1 -. t0 in
+      match kind with
+      | `Compute -> compute.(rank) <- compute.(rank) +. d
+      | `Send -> send.(rank) <- send.(rank) +. d
+      | `Wait -> wait.(rank) <- wait.(rank) +. d)
+    stats.Sim.trace;
+  Array.init nprocs (fun r ->
+      {
+        compute = compute.(r);
+        send = send.(r);
+        wait = wait.(r);
+        idle =
+          Float.max 0.
+            (stats.Sim.completion -. compute.(r) -. send.(r) -. wait.(r));
+      })
+
+let efficiency stats =
+  let u = utilisation stats in
+  let total = Array.fold_left (fun acc x -> acc +. x.compute) 0. u in
+  total
+  /. (float_of_int (Array.length u) *. stats.Sim.completion)
+
+let critical_rank (stats : Sim.stats) =
+  let best = ref 0 in
+  Array.iteri
+    (fun r t -> if t > stats.Sim.rank_clocks.(!best) then best := r)
+    stats.Sim.rank_clocks;
+  !best

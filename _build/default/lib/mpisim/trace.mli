@@ -1,0 +1,21 @@
+(** Post-mortem analysis of traced simulations. *)
+
+type utilisation = {
+  compute : float;  (** seconds spent computing *)
+  send : float;     (** seconds in send overhead / wire occupancy *)
+  wait : float;     (** seconds blocked in receives *)
+  idle : float;     (** completion − (compute + send + wait) for this rank *)
+}
+
+val utilisation : Sim.stats -> utilisation array
+(** Per-rank breakdown over the whole run (requires a trace; raises
+    [Invalid_argument] otherwise). The idle component is the time between
+    a rank's own finish and the global completion, plus any unaccounted
+    gaps. *)
+
+val efficiency : Sim.stats -> float
+(** Mean compute fraction across ranks: [Σ compute / (nprocs ·
+    completion)] — 1.0 means a perfectly busy machine. *)
+
+val critical_rank : Sim.stats -> int
+(** The rank that finished last. *)

@@ -1,0 +1,1 @@
+lib/poly/cone.ml: Array List Tiles_linalg Tiles_rat Tiles_util

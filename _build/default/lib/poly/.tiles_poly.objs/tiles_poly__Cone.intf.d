@@ -1,0 +1,1 @@
+lib/poly/cone.mli: Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/poly/constr.ml: Array Format Stdlib Tiles_util

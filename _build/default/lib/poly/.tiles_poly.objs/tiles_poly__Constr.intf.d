@@ -1,0 +1,1 @@
+lib/poly/constr.mli: Format Tiles_util

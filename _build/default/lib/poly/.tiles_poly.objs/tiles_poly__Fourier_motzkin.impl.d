@@ -1,0 +1,1 @@
+lib/poly/fourier_motzkin.ml: Array Constr List Tiles_util

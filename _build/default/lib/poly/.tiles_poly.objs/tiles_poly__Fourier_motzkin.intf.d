@@ -1,0 +1,1 @@
+lib/poly/fourier_motzkin.mli: Constr Tiles_util

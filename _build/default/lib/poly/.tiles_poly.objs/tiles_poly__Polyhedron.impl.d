@@ -1,0 +1,1 @@
+lib/poly/polyhedron.ml: Array Constr Format Fourier_motzkin List Tiles_linalg Tiles_util

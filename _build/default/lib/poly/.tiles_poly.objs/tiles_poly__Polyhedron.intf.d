@@ -1,0 +1,1 @@
+lib/poly/polyhedron.mli: Constr Format Fourier_motzkin Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/poly/pspace.ml: Array Constr Fourier_motzkin Hashtbl List Polyhedron Tiles_linalg Tiles_util

@@ -1,0 +1,1 @@
+lib/poly/pspace.mli: Constr Fourier_motzkin Polyhedron Tiles_linalg

@@ -1,0 +1,111 @@
+module Vec = Tiles_util.Vec
+module Intmat = Tiles_linalg.Intmat
+module Rat = Tiles_rat.Rat
+
+type t = { a : Intmat.t }
+
+let of_constraints a = { a }
+let tiling_cone d = { a = Intmat.transpose d }
+let dim c = Intmat.cols c.a
+let contains c x = Array.for_all (fun row -> Vec.dot row x >= 0) c.a
+
+let contains_in_interior c x =
+  Array.for_all (fun row -> Vec.dot row x > 0) c.a
+
+(* Rational row echelon; returns (rank, rref matrix). *)
+let rref rows ncols =
+  let m = Array.map (fun r -> Array.map Rat.of_int r) rows in
+  let nrows = Array.length m in
+  let pivot_row = ref 0 in
+  let pivots = ref [] in
+  for col = 0 to ncols - 1 do
+    if !pivot_row < nrows then begin
+      let piv = ref (-1) in
+      for i = !pivot_row to nrows - 1 do
+        if !piv = -1 && Rat.sign m.(i).(col) <> 0 then piv := i
+      done;
+      if !piv >= 0 then begin
+        let tmp = m.(!pivot_row) in
+        m.(!pivot_row) <- m.(!piv);
+        m.(!piv) <- tmp;
+        let p = m.(!pivot_row).(col) in
+        for j = 0 to ncols - 1 do
+          m.(!pivot_row).(j) <- Rat.div m.(!pivot_row).(j) p
+        done;
+        for i = 0 to nrows - 1 do
+          if i <> !pivot_row && Rat.sign m.(i).(col) <> 0 then begin
+            let f = m.(i).(col) in
+            for j = 0 to ncols - 1 do
+              m.(i).(j) <- Rat.sub m.(i).(j) (Rat.mul f m.(!pivot_row).(j))
+            done
+          end
+        done;
+        pivots := (!pivot_row, col) :: !pivots;
+        incr pivot_row
+      end
+    end
+  done;
+  (!pivot_row, m, List.rev !pivots)
+
+let rank rows ncols =
+  let r, _, _ = rref rows ncols in
+  r
+
+(* One-dimensional kernel of the system given by [rows]; None unless the
+   rank is exactly ncols - 1. Result is a primitive integer vector. *)
+let kernel_vector rows ncols =
+  let r, m, pivots = rref rows ncols in
+  if r <> ncols - 1 then None
+  else begin
+    let is_pivot_col = Array.make ncols false in
+    List.iter (fun (_, c) -> is_pivot_col.(c) <- true) pivots;
+    let free = ref (-1) in
+    for j = 0 to ncols - 1 do
+      if (not is_pivot_col.(j)) && !free = -1 then free := j
+    done;
+    let x = Array.make ncols Rat.zero in
+    x.(!free) <- Rat.one;
+    List.iter (fun (row, col) -> x.(col) <- Rat.neg m.(row).(!free)) pivots;
+    (* clear denominators, make primitive *)
+    let l =
+      Array.fold_left (fun acc v -> Tiles_util.Ints.lcm acc (Rat.den v)) 1 x
+    in
+    let xi =
+      Array.map (fun v -> Rat.num v * (l / Rat.den v)) x
+    in
+    let g = Array.fold_left (fun acc v -> Tiles_util.Ints.gcd acc v) 0 xi in
+    Some (Array.map (fun v -> v / g) xi)
+  end
+
+let is_pointed c = rank c.a (dim c) = dim c
+
+(* all subsets of size k of [0 .. m-1] *)
+let rec subsets k lo m =
+  if k = 0 then [ [] ]
+  else if lo >= m then []
+  else
+    List.map (fun s -> lo :: s) (subsets (k - 1) (lo + 1) m)
+    @ subsets k (lo + 1) m
+
+let extreme_rays c =
+  let n = dim c in
+  if not (is_pointed c) then failwith "Cone.extreme_rays: cone is not pointed";
+  let m = Intmat.rows c.a in
+  let candidates =
+    if n = 1 then [ [| 1 |]; [| -1 |] ]
+    else
+      List.filter_map
+        (fun idxs ->
+          let rows = Array.of_list (List.map (fun i -> c.a.(i)) idxs) in
+          kernel_vector rows n)
+        (subsets (n - 1) 0 m)
+  in
+  let oriented =
+    List.concat_map
+      (fun r ->
+        let keep_pos = contains c r and keep_neg = contains c (Vec.neg r) in
+        (if keep_pos then [ r ] else [])
+        @ if keep_neg then [ Vec.neg r ] else [])
+      candidates
+  in
+  List.sort_uniq Vec.compare_lex oriented

@@ -1,0 +1,1 @@
+lib/rat/rat.ml: Format Stdlib Tiles_util

@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Array Grid Protocol Seq_exec Tiles_core Tiles_loop Tiles_mpisim

@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Grid Kernel Tiles_core Tiles_mpisim

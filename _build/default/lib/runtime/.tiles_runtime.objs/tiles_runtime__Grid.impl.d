@@ -1,0 +1,1 @@
+lib/runtime/grid.ml: Array Float Tiles_poly

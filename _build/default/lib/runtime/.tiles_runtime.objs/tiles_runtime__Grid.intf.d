@@ -1,0 +1,1 @@
+lib/runtime/grid.mli: Tiles_poly Tiles_util

@@ -1,0 +1,1 @@
+lib/runtime/kernel.ml: List Tiles_linalg Tiles_loop Tiles_util

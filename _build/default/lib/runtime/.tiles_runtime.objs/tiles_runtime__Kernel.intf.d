@@ -1,0 +1,1 @@
+lib/runtime/kernel.mli: Tiles_linalg Tiles_loop Tiles_util

@@ -1,0 +1,1 @@
+lib/runtime/model.ml: Array List Tiles_core Tiles_loop Tiles_mpisim Tiles_poly

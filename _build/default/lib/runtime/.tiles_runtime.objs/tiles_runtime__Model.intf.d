@@ -1,0 +1,1 @@
+lib/runtime/model.mli: Tiles_core Tiles_mpisim

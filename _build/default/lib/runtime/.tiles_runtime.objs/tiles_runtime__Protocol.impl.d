@@ -1,0 +1,1 @@
+lib/runtime/protocol.ml: Array Float Grid Kernel List Printf Tiles_core Tiles_linalg Tiles_loop Tiles_poly Tiles_util

@@ -1,0 +1,1 @@
+lib/runtime/protocol.mli: Grid Kernel Tiles_core

@@ -1,0 +1,1 @@
+lib/runtime/seq_exec.ml: Array Grid Kernel Tiles_mpisim Tiles_poly Tiles_util

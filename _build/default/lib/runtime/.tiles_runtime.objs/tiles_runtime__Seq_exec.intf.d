@@ -1,0 +1,1 @@
+lib/runtime/seq_exec.mli: Grid Kernel Tiles_mpisim Tiles_poly

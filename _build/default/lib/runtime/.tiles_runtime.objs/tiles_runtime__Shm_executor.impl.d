@@ -1,0 +1,1 @@
+lib/runtime/shm_executor.ml: Array Atomic Condition Domain Grid Hashtbl List Mutex Protocol Queue Seq_exec Tiles_core Tiles_loop Tiles_poly Unix

@@ -1,0 +1,1 @@
+lib/runtime/shm_executor.mli: Grid Kernel Tiles_core

@@ -1,0 +1,49 @@
+module Mapping = Tiles_core.Mapping
+module Plan = Tiles_core.Plan
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+
+type mode = Full | Timing
+
+type result = {
+  stats : Sim.stats;
+  seq_modelled : float;
+  speedup : float;
+  grid : Grid.t option;
+  points_computed : int;
+  tiles_executed : int;
+}
+
+let run ?(mode = Full) ?(overlap = false) ?(trace = false) ~plan ~kernel ~net () =
+  let pmode = match mode with Full -> Protocol.Full | Timing -> Protocol.Timing in
+  let shared =
+    Protocol.prepare ~mode:pmode ~plan ~kernel
+      ~flop_time:net.Netmodel.flop_time ~pack_time:net.Netmodel.pack_time ()
+  in
+  let comms =
+    {
+      Protocol.send =
+        (fun ~dst ~tag data ->
+          if overlap then Sim.Api.isend ~dst ~tag data
+          else Sim.Api.send ~dst ~tag data);
+      recv = (fun ~src ~tag -> Sim.Api.recv ~src ~tag);
+      compute = Sim.Api.compute;
+    }
+  in
+  let stats =
+    Sim.run ~trace
+      ~nprocs:(Mapping.nprocs plan.Plan.mapping)
+      ~net
+      (Protocol.rank_program shared comms)
+  in
+  let seq_modelled =
+    Seq_exec.modelled_time ~space:plan.Plan.nest.Tiles_loop.Nest.space ~net
+  in
+  {
+    stats;
+    seq_modelled;
+    speedup = seq_modelled /. stats.Sim.completion;
+    grid = shared.Protocol.grid;
+    points_computed = Array.fold_left ( + ) 0 shared.Protocol.points_per_rank;
+    tiles_executed = Array.fold_left ( + ) 0 shared.Protocol.tiles_per_rank;
+  }

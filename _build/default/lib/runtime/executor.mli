@@ -1,0 +1,55 @@
+(** Distributed execution of a {!Plan} on the simulated cluster.
+
+    Each MPI rank owns one processor id and executes its tile chain with
+    the per-tile protocol of §3.2:
+
+    {v RECEIVE (halo unpack)  →  compute TTIS points  →  SEND (pack) v}
+
+    Receives pair with sends through the paper's rules: a tile receives
+    from a predecessor tile iff it is that predecessor's lexicographically
+    minimum valid successor in the processor direction; a tile sends one
+    aggregated message per processor direction iff some valid successor
+    exists. Message tags carry the sender's tile index, making the
+    matching explicit.
+
+    Two modes:
+    - [Full]: allocates the LDS, runs the real stencil arithmetic, and
+      writes results back to the global grid through the LDS→DS
+      transition, so the output can be compared bit-for-bit against
+      {!Seq_exec}. Never-written LDS cells are NaN and reads assert
+      non-NaN, so protocol bugs surface immediately.
+    - [Timing]: skips data movement and arithmetic but charges the exact
+      same virtual-time costs (interior tiles short-circuit to the full
+      tile point count). Used by the benchmark harness; a test checks the
+      two modes report identical virtual completion times. *)
+
+type mode = Full | Timing
+
+type result = {
+  stats : Tiles_mpisim.Sim.stats;
+  seq_modelled : float;  (** modelled sequential time of the original loop *)
+  speedup : float;       (** [seq_modelled / stats.completion] *)
+  grid : Grid.t option;  (** populated in [Full] mode *)
+  points_computed : int; (** total iterations executed across ranks *)
+  tiles_executed : int;
+}
+
+val run :
+  ?mode:mode ->
+  ?overlap:bool ->
+  ?trace:bool ->
+  plan:Tiles_core.Plan.t ->
+  kernel:Kernel.t ->
+  net:Tiles_mpisim.Netmodel.t ->
+  unit ->
+  result
+(** Raises [Invalid_argument] if the kernel's dependencies don't match the
+    plan's nest.
+
+    [overlap] (default false) switches sends to the non-blocking,
+    NIC-driven model of {!Tiles_mpisim.Sim.Api.isend}: the paper's §5
+    future-work scheme (ref [8]) where a tile's outgoing communication
+    overlaps the next tile's computation.
+
+    [trace] (default false) records per-rank activity spans in
+    [result.stats.trace] for Gantt rendering. *)

@@ -1,0 +1,67 @@
+module Polyhedron = Tiles_poly.Polyhedron
+
+type t = {
+  width : int;
+  lo : int array;
+  dims : int array;
+  strides : int array;
+  data : float array;
+}
+
+let create space ~width =
+  if width <= 0 then invalid_arg "Grid.create: width";
+  let bbox = Polyhedron.bounding_box space in
+  let n = Array.length bbox in
+  let lo = Array.map fst bbox in
+  let dims = Array.map (fun (l, h) -> h - l + 1) bbox in
+  let strides = Array.make n width in
+  for k = n - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * dims.(k + 1)
+  done;
+  let total = strides.(0) * dims.(0) in
+  { width; lo; dims; strides; data = Array.make total Float.nan }
+
+let width t = t.width
+
+let index t j field =
+  let idx = ref field in
+  for k = 0 to Array.length t.lo - 1 do
+    let x = j.(k) - t.lo.(k) in
+    if x < 0 || x >= t.dims.(k) then invalid_arg "Grid: out of bounding box";
+    idx := !idx + (t.strides.(k) * x)
+  done;
+  !idx
+
+let get t j field = t.data.(index t j field)
+let set t j field v = t.data.(index t j field) <- v
+
+let mem t j =
+  let ok = ref true in
+  Array.iteri
+    (fun k x ->
+      let rel = x - t.lo.(k) in
+      if rel < 0 || rel >= t.dims.(k) then ok := false)
+    j;
+  !ok
+
+let max_abs_diff a b space =
+  if a.width <> b.width then invalid_arg "Grid.max_abs_diff: widths differ";
+  let worst = ref 0. in
+  Polyhedron.iter_points space (fun j ->
+      for f = 0 to a.width - 1 do
+        let x = get a j f and y = get b j f in
+        let d =
+          if Float.is_nan x || Float.is_nan y then infinity
+          else Float.abs (x -. y)
+        in
+        if d > !worst then worst := d
+      done);
+  !worst
+
+let checksum t space =
+  let acc = ref 0. in
+  Polyhedron.iter_points space (fun j ->
+      for f = 0 to t.width - 1 do
+        acc := !acc +. get t j f
+      done);
+  !acc

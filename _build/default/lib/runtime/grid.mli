@@ -1,0 +1,21 @@
+(** A dense global value store over the bounding box of an iteration
+    space — the Data Space [DS] stand-in ([f_w] is the identity in all the
+    paper's benchmarks). Cells start as NaN so that any protocol bug that
+    reads a never-written cell poisons the results visibly. *)
+
+type t
+
+val create : Tiles_poly.Polyhedron.t -> width:int -> t
+val width : t -> int
+val get : t -> Tiles_util.Vec.t -> int -> float
+val set : t -> Tiles_util.Vec.t -> int -> float -> unit
+val mem : t -> Tiles_util.Vec.t -> bool
+(** Is the point inside the backing bounding box? *)
+
+val max_abs_diff : t -> t -> Tiles_poly.Polyhedron.t -> float
+(** Maximum absolute difference over the points of the given space (all
+    fields). NaN in either operand at a space point yields [infinity]. *)
+
+val checksum : t -> Tiles_poly.Polyhedron.t -> float
+(** Sum of all field values over the space (order-independent up to float
+    association; used for smoke checks). *)

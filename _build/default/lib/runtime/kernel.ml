@@ -1,0 +1,37 @@
+module Vec = Tiles_util.Vec
+module Intmat = Tiles_linalg.Intmat
+module Ratmat = Tiles_linalg.Ratmat
+
+type t = {
+  name : string;
+  dim : int;
+  width : int;
+  reads : Vec.t list;
+  boundary : Vec.t -> int -> float;
+  compute : read:(int -> int -> float) -> j:Vec.t -> out:float array -> unit;
+}
+
+let deps t = Tiles_loop.Dependence.of_vectors t.reads
+
+let make ~name ~dim ?(width = 1) ~reads ~boundary ~compute () =
+  if width <= 0 then invalid_arg "Kernel.make: width";
+  if reads = [] then invalid_arg "Kernel.make: no reads";
+  if List.exists (fun r -> Vec.dim r <> dim) reads then
+    invalid_arg "Kernel.make: read offset dimension mismatch";
+  { name; dim; width; reads; boundary; compute }
+
+let skewed k t =
+  if not (Intmat.is_unimodular t) then invalid_arg "Kernel.skewed: not unimodular";
+  let tinv = Ratmat.to_intmat_exn (Ratmat.inverse (Ratmat.of_intmat t)) in
+  {
+    k with
+    name = k.name ^ "-skewed";
+    reads = List.map (Intmat.apply t) k.reads;
+    boundary = (fun j field -> k.boundary (Intmat.apply tinv j) field);
+    (* compute receives the skewed j; kernels that need original
+       coordinates (e.g. ADI's coefficient array A[i,j]) must be built via
+       [skewed] from a kernel that uses original coordinates — so unskew
+       here too. *)
+    compute =
+      (fun ~read ~j ~out -> k.compute ~read ~j:(Intmat.apply tinv j) ~out);
+  }

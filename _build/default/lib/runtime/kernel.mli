@@ -1,0 +1,39 @@
+(** The semantics of one loop body: what the compiler's input program
+    actually computes. [reads] lists the uniform dependence offsets in the
+    order the [compute] function indexes them (unlike
+    [Tiles_loop.Dependence], which canonicalises order). A kernel may
+    carry several scalar fields per iteration point ([width] — ADI updates
+    both [X] and [B]). *)
+
+type t = {
+  name : string;
+  dim : int;
+  width : int;
+  reads : Tiles_util.Vec.t list;
+      (** read offsets: read [i] sees the value at [j − reads.(i)] *)
+  boundary : Tiles_util.Vec.t -> int -> float;
+      (** [boundary j field] — value of points outside the iteration space
+          (initial data and spatial boundary conditions) *)
+  compute : read:(int -> int -> float) -> j:Tiles_util.Vec.t -> out:float array -> unit;
+      (** [compute ~read ~j ~out] evaluates the body at iteration [j];
+          [read i f] is field [f] at [j − reads.(i)]; results go into
+          [out.(0 .. width-1)]. *)
+}
+
+val deps : t -> Tiles_loop.Dependence.t
+(** The canonical dependence set of the kernel. *)
+
+val make :
+  name:string ->
+  dim:int ->
+  ?width:int ->
+  reads:Tiles_util.Vec.t list ->
+  boundary:(Tiles_util.Vec.t -> int -> float) ->
+  compute:(read:(int -> int -> float) -> j:Tiles_util.Vec.t -> out:float array -> unit) ->
+  unit ->
+  t
+
+val skewed : t -> Tiles_linalg.Intmat.t -> t
+(** [skewed k t] — the same computation over the skewed space [T·J^n]:
+    read offsets become [T·d], and boundary lookups un-skew their argument
+    before consulting the original boundary function. *)

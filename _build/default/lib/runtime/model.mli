@@ -1,0 +1,29 @@
+(** Analytic completion-time model in the style of Hodzic–Shang (the
+    paper's refs [9, 10]): under the linear schedule [Π = (1,…,1)] the
+    program finishes after
+
+      [steps(H) × (tile compute + per-step communication)]
+
+    where the step count comes from the schedule and the per-step
+    communication charges pack + send + wire + latency + unpack for the
+    aggregated slab messages of one tile. The model ignores boundary-tile
+    shrinkage and self-timed slack, so it over-estimates absolute times
+    for oblique tilings; its value is ranking tilings and predicting
+    where the speedup peaks — the benches compare it against the
+    simulator. *)
+
+type estimate = {
+  steps : int;             (** wavefront steps, from {!Schedule.steps} *)
+  tile_compute : float;    (** seconds per full tile *)
+  comm_per_step : float;   (** seconds of communication per step *)
+  total : float;           (** predicted completion, seconds *)
+  predicted_speedup : float;
+}
+
+val predict : Tiles_core.Plan.t -> net:Tiles_mpisim.Netmodel.t -> estimate
+
+val best_factor :
+  (int -> Tiles_core.Plan.t) -> factors:int list -> net:Tiles_mpisim.Netmodel.t -> int * estimate
+(** Scan a factor sweep and return the predicted-optimal factor (plans
+    that fail to construct are skipped; raises [Failure] if none
+    succeeds). *)

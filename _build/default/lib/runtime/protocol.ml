@@ -1,0 +1,270 @@
+module Vec = Tiles_util.Vec
+module Intmat = Tiles_linalg.Intmat
+module Polyhedron = Tiles_poly.Polyhedron
+module Constr = Tiles_poly.Constr
+module Tiling = Tiles_core.Tiling
+module Tile_space = Tiles_core.Tile_space
+module Mapping = Tiles_core.Mapping
+module Comm = Tiles_core.Comm
+module Lds = Tiles_core.Lds
+module Plan = Tiles_core.Plan
+
+type comms = {
+  send : dst:int -> tag:int -> float array -> unit;
+  recv : src:int -> tag:int -> float array;
+  compute : float -> unit;
+}
+
+type mode = Full | Timing
+
+type shared = {
+  plan : Plan.t;
+  kernel : Kernel.t;
+  mode : mode;
+  flop_time : float;
+  pack_time : float;
+  grid : Grid.t option;
+  points_per_rank : int array;
+  tiles_per_rank : int array;
+}
+
+(* Closure-free membership test compiled from the space's constraints. *)
+let fast_member space =
+  let cs =
+    Array.of_list
+      (List.map
+         (fun c -> (Array.init (Constr.dim c) (Constr.coeff c), Constr.const c))
+         (Polyhedron.constraints space))
+  in
+  fun (j : int array) ->
+    let ok = ref true in
+    Array.iter
+      (fun (coeffs, const) ->
+        if !ok then begin
+          let acc = ref const in
+          for k = 0 to Array.length coeffs - 1 do
+            acc := !acc + (coeffs.(k) * j.(k))
+          done;
+          if !acc < 0 then ok := false
+        end)
+      cs;
+    !ok
+
+type direction = {
+  dm : Vec.t;
+  dss : Vec.t list;  (* descending d^S_m, so receives match channel order *)
+  slab_lo : int array;
+}
+
+let build_directions (plan : Plan.t) =
+  let comm = plan.Plan.comm in
+  let m = comm.Comm.m in
+  List.map
+    (fun (dm, dss) ->
+      {
+        dm;
+        dss = List.sort (fun a b -> compare b.(m) a.(m)) dss;
+        slab_lo = Comm.slab_lo comm ~dm;
+      })
+    (comm.Comm.dm : (Vec.t * Vec.t list) list)
+
+(* minsucc: successors of a predecessor tile in one processor direction
+   share its pid, so the lexicographically minimum valid successor has
+   the smallest valid ts. *)
+let minsucc_ts mapping ~pid ~pred_ts dss =
+  let m = mapping.Mapping.m in
+  let cands =
+    List.filter_map
+      (fun dS ->
+        let ts = pred_ts + dS.(m) in
+        if Mapping.valid mapping ~pid ~ts then Some ts else None)
+      dss
+  in
+  match cands with
+  | [] -> None
+  | first :: rest -> Some (List.fold_left min first rest)
+
+let prepare ~mode ~plan ~kernel ~flop_time ~pack_time () =
+  let n = Tiling.dim plan.Plan.tiling in
+  if kernel.Kernel.dim <> n then invalid_arg "Protocol.prepare: kernel dimension";
+  if
+    not
+      (Tiles_loop.Dependence.to_matrix (Kernel.deps kernel)
+      = Tiles_loop.Dependence.to_matrix plan.Plan.nest.Tiles_loop.Nest.deps)
+  then invalid_arg "Protocol.prepare: kernel dependencies differ from the plan's";
+  let nprocs = Mapping.nprocs plan.Plan.mapping in
+  let grid =
+    if mode = Full then
+      Some
+        (Grid.create plan.Plan.nest.Tiles_loop.Nest.space
+           ~width:kernel.Kernel.width)
+    else None
+  in
+  {
+    plan;
+    kernel;
+    mode;
+    flop_time;
+    pack_time;
+    grid;
+    points_per_rank = Array.make nprocs 0;
+    tiles_per_rank = Array.make nprocs 0;
+  }
+
+let rank_program shared comms rank =
+  let plan = shared.plan and kernel = shared.kernel in
+  let tiling = plan.Plan.tiling in
+  let comm = plan.Plan.comm in
+  let mapping = plan.Plan.mapping in
+  let tspace = plan.Plan.tspace in
+  let space = plan.Plan.nest.Tiles_loop.Nest.space in
+  let n = tiling.Tiling.n in
+  let m = comm.Comm.m in
+  let width = kernel.Kernel.width in
+  let directions = build_directions plan in
+  let reads = Array.of_list kernel.Kernel.reads in
+  let reads' = Array.map (Intmat.apply tiling.Tiling.h') reads in
+  let member = fast_member space in
+  let vpt k = tiling.Tiling.v.(k) / tiling.Tiling.c.(k) in
+  let pid = Mapping.pid_of_rank mapping rank in
+  let tlo, thi = Mapping.chain mapping rank in
+  let ntiles = thi - tlo + 1 in
+  let shape = Lds.shape tiling comm ~ntiles in
+  let la =
+    match shared.mode with
+    | Full -> Array.make (shape.Lds.total * width) Float.nan
+    | Timing -> [||]
+  in
+  let zero_lo = Array.make n 0 in
+  let scratch_src = Array.make n 0 in
+  let scratch_j' = Array.make n 0 in
+  let out = Array.make width 0. in
+  let tile_buf = Array.make n 0 in
+  let cell_of_map j'' = Lds.map_index shape j'' in
+  let rank_of pid =
+    match Mapping.rank_of_pid mapping pid with
+    | Some r -> r
+    | None -> failwith "Protocol: neighbour pid has no rank"
+  in
+  for ts = tlo to thi do
+    let trel = ts - tlo in
+    let tile = Mapping.join mapping ~pid ~ts in
+    Array.blit tile 0 tile_buf 0 n;
+    (* ---------------- RECEIVE ---------------- *)
+    List.iter
+      (fun dir ->
+        let pred_pid = Vec.sub pid dir.dm in
+        List.iter
+          (fun dS ->
+            let pred_ts = ts - dS.(m) in
+            if
+              Mapping.valid mapping ~pid:pred_pid ~ts:pred_ts
+              && minsucc_ts mapping ~pid ~pred_ts dir.dss = Some ts
+            then begin
+              let buf = comms.recv ~src:(rank_of pred_pid) ~tag:pred_ts in
+              let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
+              comms.compute
+                (float_of_int (Array.length buf) *. shared.pack_time);
+              if shared.mode = Full then begin
+                let count = ref 0 in
+                Tile_space.iter_slab_points tspace ~tile:pred_tile
+                  ~lo:dir.slab_lo (fun ~local:jp' ~global:_ ->
+                    let j'' = Lds.map tiling comm ~t:trel jp' in
+                    for k = 0 to n - 1 do
+                      j''.(k) <- j''.(k) - (dS.(k) * vpt k)
+                    done;
+                    let cell = cell_of_map j'' in
+                    for f = 0 to width - 1 do
+                      la.((cell * width) + f) <- buf.((!count * width) + f)
+                    done;
+                    incr count);
+                if !count * width <> Array.length buf then
+                  failwith "Protocol: pack/unpack cell count mismatch"
+              end
+            end)
+          dir.dss)
+      directions;
+    (* ---------------- COMPUTE ---------------- *)
+    let points = ref 0 in
+    (match shared.mode with
+    | Timing ->
+      points := Tile_space.slab_points tspace ~tile:tile_buf ~lo:zero_lo
+    | Full ->
+      Tile_space.iter_tile_points tspace ~tile:tile_buf
+        (fun ~local:j' ~global:j ->
+          incr points;
+          let read i field =
+            let d = reads.(i) in
+            for k = 0 to n - 1 do
+              scratch_src.(k) <- j.(k) - d.(k)
+            done;
+            if member scratch_src then begin
+              let d' = reads'.(i) in
+              for k = 0 to n - 1 do
+                scratch_j'.(k) <- j'.(k) - d'.(k)
+              done;
+              let j'' = Lds.map tiling comm ~t:trel scratch_j' in
+              let v = la.((cell_of_map j'' * width) + field) in
+              if Float.is_nan v then
+                failwith
+                  (Printf.sprintf
+                     "Protocol: rank %d read uninitialised LDS cell for \
+                      iteration %s read %d"
+                     rank (Vec.to_string j) i);
+              v
+            end
+            else kernel.Kernel.boundary scratch_src field
+          in
+          kernel.Kernel.compute ~read ~j ~out;
+          let j'' = Lds.map tiling comm ~t:trel j' in
+          let cell = cell_of_map j'' in
+          for f = 0 to width - 1 do
+            la.((cell * width) + f) <- out.(f)
+          done));
+    comms.compute (float_of_int !points *. shared.flop_time);
+    shared.points_per_rank.(rank) <- shared.points_per_rank.(rank) + !points;
+    shared.tiles_per_rank.(rank) <- shared.tiles_per_rank.(rank) + 1;
+    (* ---------------- SEND ---------------- *)
+    List.iter
+      (fun dir ->
+        let succ_exists =
+          List.exists
+            (fun dS ->
+              Mapping.valid mapping ~pid:(Vec.add pid dir.dm) ~ts:(ts + dS.(m)))
+            dir.dss
+        in
+        if succ_exists then begin
+          let cells =
+            Tile_space.slab_points tspace ~tile:tile_buf ~lo:dir.slab_lo
+          in
+          let buf = Array.make (cells * width) 0. in
+          if shared.mode = Full then begin
+            let count = ref 0 in
+            Tile_space.iter_slab_points tspace ~tile:tile_buf ~lo:dir.slab_lo
+              (fun ~local:j' ~global:_ ->
+                let j'' = Lds.map tiling comm ~t:trel j' in
+                let cell = cell_of_map j'' in
+                for f = 0 to width - 1 do
+                  buf.((!count * width) + f) <- la.((cell * width) + f)
+                done;
+                incr count)
+          end;
+          comms.compute (float_of_int (cells * width) *. shared.pack_time);
+          comms.send ~dst:(rank_of (Vec.add pid dir.dm)) ~tag:ts buf
+        end)
+      directions
+  done;
+  (* ---------------- write-back (LDS -> DS) ---------------- *)
+  match shared.grid with
+  | None -> ()
+  | Some grid ->
+    for ts = tlo to thi do
+      let trel = ts - tlo in
+      let tile = Mapping.join mapping ~pid ~ts in
+      Tile_space.iter_tile_points tspace ~tile (fun ~local:j' ~global:j ->
+          let j'' = Lds.map tiling comm ~t:trel j' in
+          let cell = cell_of_map j'' in
+          for f = 0 to width - 1 do
+            Grid.set grid j f la.((cell * width) + f)
+          done)
+    done

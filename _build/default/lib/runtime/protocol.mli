@@ -1,0 +1,44 @@
+(** The per-rank §3.2 execution protocol, factored out of any particular
+    transport: RECEIVE (minsucc pairing, halo unpack) → compute the tile's
+    clipped TTIS → SEND (aggregated clipped slabs). Both the
+    discrete-event simulator backend ({!Executor}) and the real
+    shared-memory backend ({!Shm_executor}) drive this same code, so the
+    protocol logic is verified once and executed everywhere. *)
+
+(** Transport + cost hooks supplied by a backend. *)
+type comms = {
+  send : dst:int -> tag:int -> float array -> unit;
+  recv : src:int -> tag:int -> float array;
+  compute : float -> unit;
+      (** virtual-cost hook: the simulator charges time; real backends
+          ignore it *)
+}
+
+type mode = Full | Timing
+
+type shared = {
+  plan : Tiles_core.Plan.t;
+  kernel : Kernel.t;
+  mode : mode;
+  flop_time : float;
+  pack_time : float;
+  grid : Grid.t option;  (** shared result mirror (disjoint writes) *)
+  points_per_rank : int array;
+  tiles_per_rank : int array;
+}
+
+val prepare :
+  mode:mode ->
+  plan:Tiles_core.Plan.t ->
+  kernel:Kernel.t ->
+  flop_time:float ->
+  pack_time:float ->
+  unit ->
+  shared
+(** Validates the kernel against the plan and allocates the shared
+    state. Raises [Invalid_argument] on mismatch. *)
+
+val rank_program : shared -> comms -> int -> unit
+(** Execute one rank's whole tile chain (including the untimed LDS→DS
+    write-back in [Full] mode). Thread-safe across ranks: all shared
+    writes are rank-disjoint. *)

@@ -1,0 +1,28 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Vec = Tiles_util.Vec
+
+let run ~space ~kernel =
+  let n = Polyhedron.dim space in
+  if n <> kernel.Kernel.dim then invalid_arg "Seq_exec.run: dimension";
+  let grid = Grid.create space ~width:kernel.Kernel.width in
+  let reads = Array.of_list kernel.Kernel.reads in
+  let src = Array.make n 0 in
+  let out = Array.make kernel.Kernel.width 0. in
+  Polyhedron.iter_points space (fun j ->
+      let read i field =
+        let d = reads.(i) in
+        for k = 0 to n - 1 do
+          src.(k) <- j.(k) - d.(k)
+        done;
+        if Polyhedron.member space src then Grid.get grid src field
+        else kernel.Kernel.boundary src field
+      in
+      kernel.Kernel.compute ~read ~j ~out;
+      for f = 0 to kernel.Kernel.width - 1 do
+        Grid.set grid j f out.(f)
+      done);
+  grid
+
+let modelled_time ~space ~net =
+  float_of_int (Polyhedron.count_points space)
+  *. net.Tiles_mpisim.Netmodel.flop_time

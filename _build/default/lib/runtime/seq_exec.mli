@@ -1,0 +1,11 @@
+(** Reference sequential execution of a kernel over its iteration space in
+    lexicographic order — the paper's "original program", both the
+    correctness oracle for the distributed executor and the baseline of
+    the speedup measurements. *)
+
+val run : space:Tiles_poly.Polyhedron.t -> kernel:Kernel.t -> Grid.t
+
+val modelled_time :
+  space:Tiles_poly.Polyhedron.t -> net:Tiles_mpisim.Netmodel.t -> float
+(** Virtual sequential execution time under the cluster's cost model:
+    [|J^n| · flop_time]. *)

@@ -1,0 +1,103 @@
+module Mapping = Tiles_core.Mapping
+module Plan = Tiles_core.Plan
+module Polyhedron = Tiles_poly.Polyhedron
+
+type result = {
+  wall_seconds : float;
+  seq_wall_seconds : float;
+  wall_speedup : float;
+  grid : Grid.t;
+  max_abs_err : float;
+  nprocs : int;
+  messages : int;
+}
+
+(* A blocking mailbox per (src, dst) channel, tag-matched. *)
+module Mailbox = struct
+  type t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    messages : (int, float array Queue.t) Hashtbl.t;
+  }
+
+  let create () =
+    { mutex = Mutex.create (); cond = Condition.create ();
+      messages = Hashtbl.create 8 }
+
+  let send t ~tag data =
+    Mutex.lock t.mutex;
+    let q =
+      match Hashtbl.find_opt t.messages tag with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.messages tag q;
+        q
+    in
+    Queue.push data q;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+
+  let recv t ~tag =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match Hashtbl.find_opt t.messages tag with
+      | Some q when not (Queue.is_empty q) -> Queue.pop q
+      | _ ->
+        Condition.wait t.cond t.mutex;
+        wait ()
+    in
+    let data = wait () in
+    Mutex.unlock t.mutex;
+    data
+end
+
+let run ~plan ~kernel () =
+  let nprocs = Mapping.nprocs plan.Plan.mapping in
+  let shared =
+    Protocol.prepare ~mode:Protocol.Full ~plan ~kernel ~flop_time:0.
+      ~pack_time:0. ()
+  in
+  let boxes =
+    Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Mailbox.create ()))
+  in
+  let messages = Atomic.make 0 in
+  let comms_for rank =
+    {
+      Protocol.send =
+        (fun ~dst ~tag data ->
+          Atomic.incr messages;
+          Mailbox.send boxes.(rank).(dst) ~tag data);
+      recv = (fun ~src ~tag -> Mailbox.recv boxes.(src).(rank) ~tag);
+      compute = (fun _ -> ());
+    }
+  in
+  let failure = Atomic.make None in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init nprocs (fun rank ->
+        Domain.spawn (fun () ->
+            try Protocol.rank_program shared (comms_for rank) rank
+            with e -> Atomic.set failure (Some e)))
+  in
+  List.iter Domain.join domains;
+  let wall = Unix.gettimeofday () -. t0 in
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  let space = plan.Plan.nest.Tiles_loop.Nest.space in
+  let t1 = Unix.gettimeofday () in
+  let oracle = Seq_exec.run ~space ~kernel in
+  let seq_wall = Unix.gettimeofday () -. t1 in
+  let grid =
+    match shared.Protocol.grid with
+    | Some g -> g
+    | None -> assert false
+  in
+  {
+    wall_seconds = wall;
+    seq_wall_seconds = seq_wall;
+    wall_speedup = seq_wall /. wall;
+    grid;
+    max_abs_err = Grid.max_abs_diff grid oracle space;
+    nprocs;
+    messages = Atomic.get messages;
+  }

@@ -1,0 +1,26 @@
+(** Real shared-memory execution of a plan on OCaml 5 domains.
+
+    The paper's abstract machine is message passing over NUMA; this
+    backend instantiates the {e same} per-tile protocol ({!Protocol}) with
+    one domain per processor and blocking in-memory mailboxes instead of
+    the simulator — so the compiled schedule actually runs in parallel on
+    the host's cores and its output is compared against the sequential
+    oracle like everything else. Wall-clock speedup is measured but
+    depends on the host; correctness is the point.
+
+    Use modest process counts (≲ number of cores); each rank is a real
+    domain. *)
+
+type result = {
+  wall_seconds : float;       (** parallel wall-clock time *)
+  seq_wall_seconds : float;   (** sequential oracle wall-clock time *)
+  wall_speedup : float;
+  grid : Grid.t;              (** the parallel result *)
+  max_abs_err : float;        (** vs the sequential oracle *)
+  nprocs : int;
+  messages : int;
+}
+
+val run : plan:Tiles_core.Plan.t -> kernel:Kernel.t -> unit -> result
+(** Always Full mode (the whole point is the real data flow). Raises like
+    {!Protocol.prepare}. *)

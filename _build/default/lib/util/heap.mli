@@ -1,0 +1,15 @@
+(** Imperative binary min-heap keyed by a float priority, used as the event
+    queue of the discrete-event simulator. Ties are broken by insertion
+    order (FIFO), which makes simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> priority:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,50 @@
+exception Overflow
+
+let fdiv a b =
+  if b = 0 then invalid_arg "Ints.fdiv: division by zero";
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b = a - (b * fdiv a b)
+
+let cdiv a b = -fdiv (-a) b
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let add_exn a b =
+  let s = a + b in
+  (* overflow iff operands share a sign that the sum does not *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul_exn (a / gcd a b) b)
+
+let pow b e =
+  if e < 0 then invalid_arg "Ints.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul_exn acc b) (mul_exn b b) (e asr 1)
+    else go acc (mul_exn b b) (e asr 1)
+  in
+  (* avoid squaring b one extra time past the last needed step *)
+  if e = 0 then 1 else go 1 b e
+
+let divisors n =
+  if n <= 0 then invalid_arg "Ints.divisors: need n > 0";
+  let rec go d small large =
+    if d * d > n then List.rev_append small large
+    else if n mod d = 0 then
+      let large = if d * d = n then large else (n / d) :: large in
+      go (d + 1) (d :: small) large
+    else go (d + 1) small large
+  in
+  go 1 [] []
+
+let sign n = compare n 0

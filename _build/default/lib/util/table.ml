@@ -1,0 +1,36 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let n = List.length t.header in
+  let len = List.length row in
+  if len > n then invalid_arg "Table.add_row: row longer than header";
+  let row = if len < n then row @ List.init (n - len) (fun _ -> "") else row in
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let drop_trailing_spaces s =
+    let len = ref (String.length s) in
+    while !len > 0 && s.[!len - 1] = ' ' do
+      decr len
+    done;
+    String.sub s 0 !len
+  in
+  let line row =
+    drop_trailing_spaces (String.concat "  " (List.map2 pad row widths))
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line t.header :: rule :: List.map line rows)
+
+let print t = print_endline (render t)

@@ -1,0 +1,14 @@
+(** Plain-text aligned tables for benchmark / experiment output. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render : t -> string
+(** Render with a header rule, columns left-aligned and padded. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

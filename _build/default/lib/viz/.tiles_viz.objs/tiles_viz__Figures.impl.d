@@ -1,0 +1,1 @@
+lib/viz/figures.ml: Array Float List Printf Svg Tiles_core Tiles_mpisim Tiles_poly Tiles_rat Tiles_util

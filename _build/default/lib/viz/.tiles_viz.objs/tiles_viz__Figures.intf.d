@@ -1,0 +1,1 @@
+lib/viz/figures.mli: Svg Tiles_core Tiles_mpisim Tiles_poly

@@ -1,0 +1,28 @@
+(** Reproductions of the paper's conceptual diagrams as SVG.
+
+    - {!tiled_space}: a 2-D iteration space partitioned by a tiling —
+      iteration points coloured by owning tile, the two hyperplane
+      families drawn through it (the geometry behind Fig. 1's left side).
+    - {!ttis}: the Transformed Tile Iteration Space — the [v_11 × v_22]
+      box with lattice points (dots) and holes, strides annotated
+      (Fig. 1 right / Fig. 2).
+    - {!lds}: one processor's Local Data Space — computation cells vs
+      communication (halo) storage (Fig. 3).
+    - {!gantt}: per-rank activity timeline (compute / send / receive-wait)
+      from a traced simulation — not in the paper, but the picture its
+      schedule analysis is about. *)
+
+val tiled_space : Tiles_poly.Polyhedron.t -> Tiles_core.Tiling.t -> Svg.t
+(** 2-D spaces only; raises [Invalid_argument] otherwise. *)
+
+val ttis : Tiles_core.Tiling.t -> Svg.t
+(** 2-D tilings only. *)
+
+val lds :
+  Tiles_core.Tiling.t -> Tiles_core.Comm.t -> ntiles:int -> Svg.t
+(** 2-D tilings only: halo cells shaded, computation cells white, one
+    column group per chain tile. *)
+
+val gantt : Tiles_mpisim.Sim.stats -> Svg.t
+(** Requires a trace ([Sim.run ~trace:true]); raises [Invalid_argument]
+    on an empty trace. Compute spans green, sends orange, waits grey. *)

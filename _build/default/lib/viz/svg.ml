@@ -1,0 +1,73 @@
+type t = {
+  width : float;
+  height : float;
+  mutable elems : string list;
+  mutable count : int;
+}
+
+let create ~width ~height = { width; height; elems = []; count = 0 }
+
+let add t s =
+  t.elems <- s :: t.elems;
+  t.count <- t.count + 1
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let f = Printf.sprintf "%.2f"
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(stroke = "#444") ?(stroke_width = 1.0) ?dash () =
+  let dash_attr =
+    match dash with
+    | None -> ""
+    | Some d -> Printf.sprintf " stroke-dasharray=\"%s\"" d
+  in
+  add t
+    (Printf.sprintf
+       "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+        stroke-width=\"%s\"%s/>"
+       (f x1) (f y1) (f x2) (f y2) stroke (f stroke_width) dash_attr)
+
+let rect t ~x ~y ~w ~h ?(fill = "none") ?(stroke = "none") ?(opacity = 1.0) () =
+  add t
+    (Printf.sprintf
+       "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"%s\" \
+        stroke=\"%s\" opacity=\"%s\"/>"
+       (f x) (f y) (f w) (f h) fill stroke (f opacity))
+
+let circle t ~cx ~cy ~r ?(fill = "#000") ?(stroke = "none") () =
+  add t
+    (Printf.sprintf
+       "<circle cx=\"%s\" cy=\"%s\" r=\"%s\" fill=\"%s\" stroke=\"%s\"/>"
+       (f cx) (f cy) (f r) fill stroke)
+
+let text t ~x ~y ?(size = 12.0) ?(fill = "#222") ?(anchor = "start") s =
+  add t
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" font-size=\"%s\" fill=\"%s\" \
+        text-anchor=\"%s\" font-family=\"sans-serif\">%s</text>"
+       (f x) (f y) (f size) fill anchor (escape s))
+
+let render t =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %s %s\" \
+     width=\"%s\" height=\"%s\">\n%s\n</svg>\n"
+    (f t.width) (f t.height) (f t.width) (f t.height)
+    (String.concat "\n" (List.rev t.elems))
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc
+
+let element_count t = t.count

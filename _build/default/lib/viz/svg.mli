@@ -1,0 +1,33 @@
+(** A minimal SVG document builder — just enough to draw the framework's
+    diagrams (iteration spaces, TTIS lattices, LDS layouts, execution
+    Gantt charts) without external dependencies. Coordinates are in user
+    units; the document gets an explicit [viewBox]. *)
+
+type t
+
+val create : width:float -> height:float -> t
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float ->
+  ?stroke:string -> ?stroke_width:float -> ?dash:string -> unit -> unit
+
+val rect :
+  t -> x:float -> y:float -> w:float -> h:float ->
+  ?fill:string -> ?stroke:string -> ?opacity:float -> unit -> unit
+
+val circle :
+  t -> cx:float -> cy:float -> r:float ->
+  ?fill:string -> ?stroke:string -> unit -> unit
+
+val text :
+  t -> x:float -> y:float -> ?size:float -> ?fill:string -> ?anchor:string ->
+  string -> unit
+
+val render : t -> string
+(** The complete [<svg>…</svg>] document. *)
+
+val save : t -> string -> unit
+(** Write [render] to a file. *)
+
+val element_count : t -> int
+(** Number of shapes added so far (used by tests). *)

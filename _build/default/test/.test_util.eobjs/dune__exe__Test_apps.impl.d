@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Float List Printf Tiles_apps Tiles_core Tiles_loop Tiles_mpisim Tiles_poly Tiles_runtime Tiles_util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring Buffer Filename Float Lazy List Printf Scanf String Sys Tiles_apps Tiles_codegen Tiles_core Tiles_loop Tiles_poly Tiles_runtime Unix

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fmt Hashtbl List Printf Tiles_core Tiles_linalg Tiles_loop Tiles_poly Tiles_rat Tiles_util

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Fmt List Printf QCheck QCheck_alcotest Tiles_linalg Tiles_rat Tiles_util

@@ -1,0 +1,1 @@
+test/test_loop.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Tiles_linalg Tiles_loop Tiles_poly Tiles_util

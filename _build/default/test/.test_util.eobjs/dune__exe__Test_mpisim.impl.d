@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Array Float List Tiles_mpisim

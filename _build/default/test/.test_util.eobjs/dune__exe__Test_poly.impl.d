@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Fmt Gen List Printf QCheck QCheck_alcotest Tiles_linalg Tiles_poly Tiles_util

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array List Printf QCheck QCheck_alcotest Tiles_core Tiles_linalg Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime Tiles_util

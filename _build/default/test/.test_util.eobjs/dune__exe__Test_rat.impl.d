@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Fmt QCheck QCheck_alcotest Tiles_rat

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Float List Tiles_apps Tiles_core Tiles_linalg Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime

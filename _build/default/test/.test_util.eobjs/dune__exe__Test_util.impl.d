@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fmt Gen Heap Ints List QCheck QCheck_alcotest String Table Tiles_util Vec

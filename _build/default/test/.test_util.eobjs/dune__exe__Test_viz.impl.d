@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Array Filename Hashtbl List String Sys Tiles_core Tiles_loop Tiles_mpisim Tiles_poly Tiles_rat Tiles_runtime Tiles_viz

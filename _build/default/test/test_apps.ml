@@ -1,0 +1,298 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Dependence = Tiles_loop.Dependence
+module Tiling = Tiles_core.Tiling
+module Plan = Tiles_core.Plan
+module Schedule = Tiles_core.Schedule
+module Kernel = Tiles_runtime.Kernel
+module Grid = Tiles_runtime.Grid
+module Seq_exec = Tiles_runtime.Seq_exec
+module Executor = Tiles_runtime.Executor
+module Netmodel = Tiles_mpisim.Netmodel
+module Sim = Tiles_mpisim.Sim
+module Sor = Tiles_apps.Sor
+module Jacobi = Tiles_apps.Jacobi
+module Adi = Tiles_apps.Adi
+module Experiment = Tiles_apps.Experiment
+module Vec = Tiles_util.Vec
+
+let net = Netmodel.fast_ethernet_cluster
+
+let check_equiv ~name ~nest ~kernel ~tiling ~m =
+  let plan = Plan.make ~m nest tiling in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
+  match r.Executor.grid with
+  | None -> Alcotest.fail "no grid"
+  | Some g ->
+    Alcotest.(check (float 1e-6))
+      (name ^ ": parallel = sequential")
+      0.
+      (Grid.max_abs_diff g seq nest.Nest.space);
+    r
+
+(* ---------- dependence / skew structure ---------- *)
+
+let test_sor_skewed_deps () =
+  let p = Sor.make ~m_steps:4 ~size:5 in
+  let nest = Sor.nest p in
+  Alcotest.(check bool) "nonneg" true
+    (Dependence.all_nonnegative nest.Nest.deps);
+  (* the paper's skewed SOR dependence columns *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dep %s" (Vec.to_string d))
+        true
+        (List.exists (Vec.equal d) (Dependence.vectors nest.Nest.deps)))
+    [ [| 1; 1; 2 |]; [| 0; 1; 0 |]; [| 1; 0; 2 |]; [| 1; 1; 1 |]; [| 0; 0; 1 |] ]
+
+let test_jacobi_skewed_deps () =
+  let p = Jacobi.make ~t_steps:3 ~size:4 in
+  let nest = Jacobi.nest p in
+  Alcotest.(check bool) "nonneg" true (Dependence.all_nonnegative nest.Nest.deps);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dep %s" (Vec.to_string d))
+        true
+        (List.exists (Vec.equal d) (Dependence.vectors nest.Nest.deps)))
+    [ [| 1; 1; 1 |]; [| 1; 2; 1 |]; [| 1; 0; 1 |]; [| 1; 1; 2 |]; [| 1; 1; 0 |] ]
+
+let test_tilings_match_tiling_cone () =
+  (* the non-rectangular rows the paper picks lie on the tiling cone of
+     each algorithm (not in its interior) *)
+  let check name nest rows =
+    let cone = Nest.tiling_cone nest in
+    List.iter
+      (fun row ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s row %s in cone" name (Vec.to_string row))
+          true
+          (Tiles_poly.Cone.contains cone row))
+      rows
+  in
+  check "sor" (Sor.nest (Sor.make ~m_steps:4 ~size:5))
+    [ [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| -1; 0; 1 |] ];
+  check "adi" (Adi.nest (Adi.make ~t_steps:4 ~size:5))
+    [ [| 1; -1; -1 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] ]
+
+(* ---------- end-to-end correctness, all apps, all variants ---------- *)
+
+let test_sor_equivalence () =
+  let p = Sor.make ~m_steps:6 ~size:8 in
+  let nest = Sor.nest p and kernel = Sor.kernel p in
+  ignore
+    (check_equiv ~name:"sor-rect" ~nest ~kernel ~m:Sor.mapping_dim
+       ~tiling:(Sor.rect ~x:3 ~y:4 ~z:4));
+  ignore
+    (check_equiv ~name:"sor-nonrect" ~nest ~kernel ~m:Sor.mapping_dim
+       ~tiling:(Sor.nonrect ~x:3 ~y:4 ~z:4))
+
+let test_jacobi_equivalence () =
+  let p = Jacobi.make ~t_steps:4 ~size:7 in
+  let nest = Jacobi.nest p and kernel = Jacobi.kernel p in
+  ignore
+    (check_equiv ~name:"jacobi-rect" ~nest ~kernel ~m:Jacobi.mapping_dim
+       ~tiling:(Jacobi.rect ~x:2 ~y:4 ~z:4));
+  (* the non-rectangular Jacobi tiling exercises strides (1,2,1) *)
+  ignore
+    (check_equiv ~name:"jacobi-nonrect" ~nest ~kernel ~m:Jacobi.mapping_dim
+       ~tiling:(Jacobi.nonrect ~x:2 ~y:4 ~z:4))
+
+let test_adi_equivalence () =
+  let p = Adi.make ~t_steps:5 ~size:8 in
+  let nest = Adi.nest p and kernel = Adi.kernel p in
+  List.iter
+    (fun (name, mk) ->
+      ignore
+        (check_equiv ~name:("adi-" ^ name) ~nest ~kernel ~m:Adi.mapping_dim
+           ~tiling:(mk ~x:3 ~y:4 ~z:4)))
+    Adi.variants
+
+let test_adi_values_finite () =
+  (* B must stay away from zero for the kernel to be well-conditioned *)
+  let p = Adi.make ~t_steps:8 ~size:8 in
+  let nest = Adi.nest p in
+  let g = Seq_exec.run ~space:nest.Nest.space ~kernel:(Adi.kernel p) in
+  Polyhedron.iter_points nest.Nest.space (fun j ->
+      let b = Grid.get g j 1 in
+      Alcotest.(check bool) "B bounded" true (Float.is_finite b && b > 1.0))
+
+(* ---------- triband: non-box (triangular) iteration space ---------- *)
+
+let test_triband_space_shape () =
+  let p = Tiles_apps.Triband.make ~size:10 in
+  let nest = Tiles_apps.Triband.nest p in
+  (* triangular number of points *)
+  Alcotest.(check int) "points" (10 * 11 / 2)
+    (Polyhedron.count_points nest.Nest.space)
+
+let test_triband_equivalence () =
+  let module Triband = Tiles_apps.Triband in
+  let p = Triband.make ~size:20 in
+  let nest = Triband.nest p and kernel = Triband.kernel p in
+  List.iter
+    (fun (name, mk) ->
+      ignore
+        (check_equiv ~name:("triband-" ^ name) ~nest ~kernel ~m:0
+           ~tiling:(mk ~x:4 ~y:5)))
+    Triband.variants
+
+let test_triband_boundary_tiles_partial () =
+  (* tiles crossing the diagonal must report fewer points than the tile
+     size, and the fast counter must agree with enumeration *)
+  let module Triband = Tiles_apps.Triband in
+  let module Tile_space = Tiles_core.Tile_space in
+  let p = Triband.make ~size:17 in
+  let nest = Triband.nest p in
+  let tiling = Triband.oblique ~x:4 ~y:5 in
+  let ts = Tile_space.make nest.Nest.space tiling in
+  let clipped = ref 0 in
+  List.iter
+    (fun s ->
+      let pts = Tile_space.tile_iterations ts s in
+      if pts < Tiles_core.Tiling.tile_size tiling then incr clipped;
+      Alcotest.(check bool) "nonneg" true (pts >= 0))
+    (Tile_space.candidates ts);
+  Alcotest.(check bool) "some tiles clipped by the diagonal" true (!clipped > 0)
+
+(* ---------- experiment specs ---------- *)
+
+let test_sor_spec_grid () =
+  (* skewed i' spans [0, 46]; y = 6 gives exactly 8 tile columns *)
+  let spec = Experiment.sor ~procs:8 ~factors:[ 4; 8 ] ~m_steps:20 ~size:28 () in
+  Alcotest.(check int) "8 procs" 8 spec.Experiment.procs;
+  Alcotest.(check int) "m" 2 spec.Experiment.m
+
+let test_jacobi_spec_grid () =
+  let spec =
+    Experiment.jacobi ~procs:16 ~factors:[ 4 ] ~t_steps:12 ~size:24 ()
+  in
+  Alcotest.(check int) "16 procs" 16 spec.Experiment.procs
+
+let test_adi_spec_grid () =
+  let spec = Experiment.adi ~procs:16 ~factors:[ 4 ] ~t_steps:12 ~size:24 () in
+  Alcotest.(check int) "16 procs" 16 spec.Experiment.procs
+
+let test_sweep_nonrect_wins () =
+  (* the paper's headline: at equal tile size / comm volume / procs, the
+     non-rectangular tiling is at least as fast at every factor, and
+     strictly faster somewhere *)
+  let spec = Experiment.sor ~procs:8 ~factors:[ 3; 5; 8 ] ~m_steps:24 ~size:24 () in
+  let runs = Experiment.sweep spec ~net in
+  let by_factor f v =
+    List.find_opt (fun r -> r.Experiment.factor = f && r.Experiment.variant = v) runs
+  in
+  let strictly = ref false in
+  List.iter
+    (fun f ->
+      match (by_factor f "rect", by_factor f "nonrect") with
+      | Some r, Some nr ->
+        Alcotest.(check bool)
+          (Printf.sprintf "nonrect >= rect at z=%d" f)
+          true
+          (nr.Experiment.speedup >= r.Experiment.speedup -. 1e-9);
+        if nr.Experiment.speedup > r.Experiment.speedup +. 1e-9 then
+          strictly := true
+      | _ -> ())
+    [ 3; 5; 8 ];
+  Alcotest.(check bool) "strictly better somewhere" true !strictly
+
+let test_comm_stats_match_executor () =
+  (* the analytic §3.2 communication statistics must equal what the
+     simulated execution actually sends *)
+  let p = Sor.make ~m_steps:12 ~size:16 in
+  let nest = Sor.nest p and kernel = Sor.kernel p in
+  List.iter
+    (fun (_, mk) ->
+      let plan = Plan.make ~m:Sor.mapping_dim nest (mk ~x:6 ~y:7 ~z:4) in
+      let msgs, cells = Plan.comm_stats plan in
+      let r = Executor.run ~mode:Executor.Timing ~plan ~kernel ~net () in
+      Alcotest.(check int) "messages" msgs r.Executor.stats.Sim.messages;
+      Alcotest.(check int) "bytes" (cells * 8) r.Executor.stats.Sim.bytes)
+    Sor.variants
+
+let test_sweep_same_comm_volume () =
+  (* rect and nonrect exchange the same bytes (§4.1's controlled design) *)
+  let spec = Experiment.sor ~procs:8 ~factors:[ 4 ] ~m_steps:24 ~size:24 () in
+  let runs = Experiment.sweep spec ~net in
+  match runs with
+  | [ a; b ] ->
+    Alcotest.(check int) "same bytes" a.Experiment.bytes b.Experiment.bytes;
+    Alcotest.(check int) "same tile size" a.Experiment.tile_size b.Experiment.tile_size;
+    Alcotest.(check int) "same procs" a.Experiment.nprocs b.Experiment.nprocs
+  | _ -> Alcotest.fail "expected two runs"
+
+let test_best_by_variant () =
+  let spec = Experiment.adi ~procs:4 ~factors:[ 3; 6 ] ~t_steps:12 ~size:12 () in
+  let runs = Experiment.sweep spec ~net in
+  let best = Experiment.best_by_variant runs in
+  Alcotest.(check int) "four variants" 4 (List.length best);
+  List.iter
+    (fun (v, b) ->
+      List.iter
+        (fun r ->
+          if r.Experiment.variant = v then
+            Alcotest.(check bool) "is max" true
+              (b.Experiment.speedup >= r.Experiment.speedup))
+        runs)
+    best
+
+let test_improvement_pct_positive () =
+  let spec = Experiment.sor ~procs:8 ~factors:[ 3; 5; 8 ] ~m_steps:24 ~size:24 () in
+  let runs = Experiment.sweep spec ~net in
+  Alcotest.(check bool) "positive" true (Experiment.improvement_pct runs > 0.)
+
+(* the §4.1 closed-form schedule-length argument, checked exactly *)
+let test_schedule_gap_formula () =
+  (* t_r − t_nr = (steps difference) should be close to M/z tiles for SOR *)
+  let m_steps = 24 and size = 24 in
+  let p = Sor.make ~m_steps ~size in
+  let nest = Sor.nest p in
+  let x = m_steps and y = 8 and z = 6 in
+  let s_r =
+    Schedule.steps (Plan.make ~m:2 nest (Sor.rect ~x ~y ~z))
+  in
+  let s_nr =
+    Schedule.steps (Plan.make ~m:2 nest (Sor.nonrect ~x ~y ~z))
+  in
+  let gap = s_r - s_nr in
+  let predicted = m_steps / z in
+  Alcotest.(check bool)
+    (Printf.sprintf "gap %d within 1 of predicted %d" gap predicted)
+    true
+    (abs (gap - predicted) <= 1)
+
+let () =
+  Alcotest.run "tiles_apps"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "sor skewed deps" `Quick test_sor_skewed_deps;
+          Alcotest.test_case "jacobi skewed deps" `Quick test_jacobi_skewed_deps;
+          Alcotest.test_case "rows on tiling cone" `Quick test_tilings_match_tiling_cone;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "sor" `Quick test_sor_equivalence;
+          Alcotest.test_case "jacobi" `Quick test_jacobi_equivalence;
+          Alcotest.test_case "adi" `Quick test_adi_equivalence;
+          Alcotest.test_case "adi well-conditioned" `Quick test_adi_values_finite;
+          Alcotest.test_case "triband space" `Quick test_triband_space_shape;
+          Alcotest.test_case "triband (triangular space)" `Quick test_triband_equivalence;
+          Alcotest.test_case "triband clipped tiles" `Quick test_triband_boundary_tiles_partial;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "sor grid" `Quick test_sor_spec_grid;
+          Alcotest.test_case "jacobi grid" `Quick test_jacobi_spec_grid;
+          Alcotest.test_case "adi grid" `Quick test_adi_spec_grid;
+          Alcotest.test_case "nonrect wins" `Quick test_sweep_nonrect_wins;
+          Alcotest.test_case "controlled comm volume" `Quick test_sweep_same_comm_volume;
+          Alcotest.test_case "analytic comm stats" `Quick test_comm_stats_match_executor;
+          Alcotest.test_case "best by variant" `Quick test_best_by_variant;
+          Alcotest.test_case "improvement pct" `Quick test_improvement_pct_positive;
+          Alcotest.test_case "schedule gap formula" `Quick test_schedule_gap_formula;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(* Integration tests of the tilec command-line tool: drive the built
+   binary end-to-end and check its output. *)
+
+let tilec =
+  lazy
+    (let candidates =
+       [ "../bin/tilec.exe"; "_build/default/bin/tilec.exe"; "bin/tilec.exe" ]
+     in
+     match List.find_opt Sys.file_exists candidates with
+     | Some p -> p
+     | None -> Alcotest.fail "tilec.exe not found (build it first)")
+
+let run args =
+  let cmd = Printf.sprintf "%s %s 2>&1" (Lazy.force tilec) args in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let contains s needle = Astring.String.is_infix ~affix:needle s
+
+let check_ok args needles =
+  let status, out = run args in
+  if status <> Unix.WEXITED 0 then
+    Alcotest.failf "tilec %s failed:\n%s" args out;
+  List.iter
+    (fun n ->
+      if not (contains out n) then
+        Alcotest.failf "tilec %s: %S not in output:\n%s" args n out)
+    needles
+
+let test_plan () =
+  check_ok "plan --app sor -M 12 -N 16 --variant nonrect -x 6 -y 7 -z 4"
+    [ "plan for sor"; "tile size"; "CC vector"; "D^S"; "processors" ]
+
+let test_cone () =
+  check_ok "cone --app adi" [ "tiling cone extreme rays"; "(1, -1, -1)" ]
+
+let test_simulate () =
+  check_ok "simulate --app adi -t 12 -n 16 --variant nr3 -x 3 -y 4 -z 4 --full"
+    [ "speedup"; "max |parallel - sequential| = 0" ]
+
+let test_emit () =
+  let tmp = Filename.temp_file "tilec" ".c" in
+  check_ok
+    (Printf.sprintf
+       "emit-mpi --app jacobi -t 8 -n 10 --variant nonrect -x 2 -y 4 -z 4 -o %s"
+       (Filename.quote tmp))
+    [];
+  let ic = open_in tmp in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  Sys.remove tmp;
+  List.iter
+    (fun n ->
+      if not (contains src n) then Alcotest.failf "emitted C lacks %S" n)
+    [ "MPI_Init"; "MPI_Send"; "ttis_start"; "static const int HNF" ]
+
+let test_bad_app () =
+  let status, _ = run "plan --app nope" in
+  Alcotest.(check bool) "non-zero exit" true (status <> Unix.WEXITED 0)
+
+let () =
+  Alcotest.run "tilec_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "cone" `Quick test_cone;
+          Alcotest.test_case "simulate --full" `Quick test_simulate;
+          Alcotest.test_case "emit-mpi" `Quick test_emit;
+          Alcotest.test_case "bad app" `Quick test_bad_app;
+        ] );
+    ]

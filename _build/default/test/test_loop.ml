@@ -1,0 +1,214 @@
+module Dependence = Tiles_loop.Dependence
+module Nest = Tiles_loop.Nest
+module Skew = Tiles_loop.Skew
+module Polyhedron = Tiles_poly.Polyhedron
+module Cone = Tiles_poly.Cone
+module Intmat = Tiles_linalg.Intmat
+module Vec = Tiles_util.Vec
+
+(* the original (unskewed) SOR dependencies *)
+let sor_deps =
+  Dependence.of_vectors
+    [ [| 0; 1; 0 |]; [| 0; 0; 1 |]; [| 1; -1; 0 |]; [| 1; 0; -1 |]; [| 1; 0; 0 |] ]
+
+let jacobi_deps =
+  Dependence.of_vectors
+    [ [| 1; 0; 0 |]; [| 1; 1; 0 |]; [| 1; -1; 0 |]; [| 1; 0; 1 |]; [| 1; 0; -1 |] ]
+
+let adi_deps =
+  Dependence.of_vectors [ [| 1; 0; 0 |]; [| 1; 1; 0 |]; [| 1; 0; 1 |] ]
+
+let test_dependence_basics () =
+  Alcotest.(check int) "sor count" 5 (Dependence.count sor_deps);
+  Alcotest.(check int) "dim" 3 (Dependence.dim sor_deps);
+  Alcotest.(check bool) "lex positive" true (Dependence.all_lex_positive sor_deps);
+  Alcotest.(check bool) "sor not nonneg" false (Dependence.all_nonnegative sor_deps);
+  Alcotest.(check bool) "adi nonneg" true (Dependence.all_nonnegative adi_deps);
+  Alcotest.(check int) "max comp 0" 1 (Dependence.max_component sor_deps 0)
+
+let test_dependence_invalid () =
+  Alcotest.check_raises "zero dep"
+    (Invalid_argument "Dependence.of_vectors: zero dependence") (fun () ->
+      ignore (Dependence.of_vectors [ [| 0; 0 |] ]));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Dependence.of_vectors: empty") (fun () ->
+      ignore (Dependence.of_vectors []))
+
+let test_dependence_matrix_roundtrip () =
+  let m = Dependence.to_matrix adi_deps in
+  Alcotest.(check int) "cols" 3 (Intmat.cols m);
+  let d2 = Dependence.of_matrix m in
+  Alcotest.(check int) "same count" (Dependence.count adi_deps)
+    (Dependence.count d2)
+
+let test_nest_legality () =
+  let space = Polyhedron.box [ (1, 4); (1, 4); (1, 4) ] in
+  let nest = Nest.make ~name:"adi" ~space ~deps:adi_deps in
+  Alcotest.(check bool) "no skew needed" false (Nest.needs_skewing nest);
+  let nest_sor = Nest.make ~name:"sor" ~space ~deps:sor_deps in
+  Alcotest.(check bool) "sor needs skew" true (Nest.needs_skewing nest_sor)
+
+let test_nest_rejects_illegal () =
+  let space = Polyhedron.box [ (1, 4); (1, 4) ] in
+  let deps = Dependence.of_vectors [ [| 1; 0 |]; [| -1; 1 |] ] in
+  Alcotest.check_raises "lex negative"
+    (Invalid_argument "Nest.make: dependence not lexicographically positive")
+    (fun () -> ignore (Nest.make ~name:"bad" ~space ~deps))
+
+let test_paper_sor_skew () =
+  (* the paper's T = [[1,0,0];[1,1,0];[2,0,1]] makes skewed SOR deps the
+     columns {(1,1,2),(0,1,0),(1,0,2),(1,1,1),(0,0,1)} *)
+  let t = Skew.of_factors 3 [ (1, 0, 1); (2, 0, 2) ] in
+  Alcotest.(check bool) "valid skew" true (Skew.is_valid_skew t);
+  let skewed = Dependence.transform t sor_deps in
+  Alcotest.(check bool) "nonneg after skew" true
+    (Dependence.all_nonnegative skewed);
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dep %s" (Vec.to_string expected))
+        true
+        (List.exists (Vec.equal expected) (Dependence.vectors skewed)))
+    [ [| 1; 1; 2 |]; [| 0; 1; 0 |]; [| 1; 0; 2 |]; [| 1; 1; 1 |]; [| 0; 0; 1 |] ]
+
+let test_paper_jacobi_skew () =
+  let t = Skew.of_factors 3 [ (1, 0, 1); (2, 0, 1) ] in
+  let skewed = Dependence.transform t jacobi_deps in
+  Alcotest.(check bool) "nonneg after skew" true
+    (Dependence.all_nonnegative skewed)
+
+let test_suggest_skew () =
+  match Skew.suggest sor_deps with
+  | None -> Alcotest.fail "suggest failed for SOR"
+  | Some t ->
+    Alcotest.(check bool) "valid" true (Skew.is_valid_skew t);
+    let skewed = Dependence.transform t sor_deps in
+    Alcotest.(check bool) "nonneg" true (Dependence.all_nonnegative skewed)
+
+let test_suggest_skew_impossible () =
+  (* dependence with zero first component and a negative entry cannot be
+     fixed by a first-column skew *)
+  let deps = Dependence.of_vectors [ [| 0; 1; -1 |]; [| 1; 0; 0 |] ] in
+  Alcotest.(check bool) "no skew" true (Skew.suggest deps = None)
+
+let test_skew_apply_preserves_points () =
+  let space = Polyhedron.box [ (1, 3); (1, 5); (1, 4) ] in
+  let nest = Nest.make ~name:"sor" ~space ~deps:sor_deps in
+  let t = Skew.of_factors 3 [ (1, 0, 1); (2, 0, 2) ] in
+  let skewed = Skew.apply nest t in
+  Alcotest.(check int) "same cardinality"
+    (Polyhedron.count_points space)
+    (Polyhedron.count_points skewed.Nest.space)
+
+let test_tiling_cone_of_nest () =
+  let space = Polyhedron.box [ (1, 4); (1, 4); (1, 4) ] in
+  let nest = Nest.make ~name:"adi" ~space ~deps:adi_deps in
+  let cone = Nest.tiling_cone nest in
+  Alcotest.(check bool) "rect row 1 inside" true (Cone.contains cone [| 1; 0; 0 |]);
+  Alcotest.(check bool) "cone ray inside" true
+    (Cone.contains cone [| 1; -1; -1 |])
+
+let prop_suggested_skew_works =
+  (* random lexicographically-positive deps with positive first component:
+     suggest must always succeed and fix them *)
+  QCheck.Test.make ~name:"suggested skew fixes deps" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 5)
+        (triple (int_range 1 3) (int_range (-3) 3) (int_range (-3) 3)))
+    (fun rows ->
+      let deps =
+        Dependence.of_vectors (List.map (fun (a, b, c) -> [| a; b; c |]) rows)
+      in
+      match Skew.suggest deps with
+      | None -> false
+      | Some t ->
+        Skew.is_valid_skew t
+        && Dependence.all_nonnegative (Dependence.transform t deps))
+
+(* ---------- Access: dependence extraction from subscripts ---------- *)
+
+let test_access_sor_extraction () =
+  (* SOR reads written as subscript shifts of the identity write *)
+  let module Access = Tiles_loop.Access in
+  let w = Access.identity 3 in
+  let reads =
+    List.map (Access.shifted 3)
+      [ [| 0; 1; 0 |]; [| 0; 0; 1 |]; [| 1; -1; 0 |]; [| 1; 0; -1 |]; [| 1; 0; 0 |] ]
+  in
+  let deps = Access.dependencies ~write:w ~reads in
+  Alcotest.(check int) "count" 5 (Dependence.count deps);
+  Alcotest.(check bool) "matches sor" true
+    (Dependence.to_matrix deps = Dependence.to_matrix sor_deps)
+
+let test_access_skewed_write () =
+  (* a skewed write reference A[t+i, i]: reads with the same linear part
+     and shifted offsets still yield uniform dependencies in iteration
+     space *)
+  let module Access = Tiles_loop.Access in
+  let m = Intmat.of_rows [ [ 1; 1 ]; [ 0; 1 ] ] in
+  let w = Access.make ~m ~offset:[| 0; 0 |] in
+  let r = Access.make ~m ~offset:[| -1; -1 |] in
+  let d = Access.dependence_of_read ~write:w ~read:r in
+  (* f_w(j - d) = f_r(j): m·d = (1,1) → d = (0,1) *)
+  Alcotest.(check bool) "dep" true (Vec.equal [| 0; 1 |] d)
+
+let test_access_rejects_nonuniform () =
+  let module Access = Tiles_loop.Access in
+  let w = Access.identity 2 in
+  (* transposed read A[j,i]: not uniform *)
+  let r = Access.make ~m:(Intmat.of_rows [ [ 0; 1 ]; [ 1; 0 ] ]) ~offset:[| 0; 0 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Access.dependence_of_read ~write:w ~read:r);
+       false
+     with Failure _ -> true);
+  (* aliasing read (d = 0) *)
+  Alcotest.(check bool) "alias raises" true
+    (try
+       ignore (Access.dependence_of_read ~write:w ~read:w);
+       false
+     with Failure _ -> true)
+
+let test_access_statement_nest () =
+  let module Access = Tiles_loop.Access in
+  let space = Polyhedron.box [ (0, 5); (0, 5) ] in
+  let nest =
+    Access.statement_nest ~name:"pascal" ~space ~write:(Access.identity 2)
+      ~reads:[ Access.shifted 2 [| 1; 0 |]; Access.shifted 2 [| 0; 1 |] ]
+  in
+  Alcotest.(check int) "deps" 2 (Dependence.count nest.Tiles_loop.Nest.deps)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tiles_loop"
+    [
+      ( "dependence",
+        [
+          Alcotest.test_case "basics" `Quick test_dependence_basics;
+          Alcotest.test_case "invalid" `Quick test_dependence_invalid;
+          Alcotest.test_case "matrix roundtrip" `Quick test_dependence_matrix_roundtrip;
+        ] );
+      ( "nest",
+        [
+          Alcotest.test_case "legality" `Quick test_nest_legality;
+          Alcotest.test_case "rejects illegal" `Quick test_nest_rejects_illegal;
+          Alcotest.test_case "tiling cone" `Quick test_tiling_cone_of_nest;
+        ] );
+      ( "skew",
+        [
+          Alcotest.test_case "paper SOR skew" `Quick test_paper_sor_skew;
+          Alcotest.test_case "paper Jacobi skew" `Quick test_paper_jacobi_skew;
+          Alcotest.test_case "suggest" `Quick test_suggest_skew;
+          Alcotest.test_case "suggest impossible" `Quick test_suggest_skew_impossible;
+          Alcotest.test_case "apply preserves cardinality" `Quick
+            test_skew_apply_preserves_points;
+          q prop_suggested_skew_works;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "sor extraction" `Quick test_access_sor_extraction;
+          Alcotest.test_case "skewed write" `Quick test_access_skewed_write;
+          Alcotest.test_case "rejects non-uniform" `Quick test_access_rejects_nonuniform;
+          Alcotest.test_case "statement nest" `Quick test_access_statement_nest;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+
+let net = Netmodel.fast_ethernet_cluster
+
+let eps = 1e-12
+let close a b = Float.abs (a -. b) < eps
+
+let test_single_rank_compute () =
+  let stats = Sim.run ~nprocs:1 ~net (fun _ -> Sim.Api.compute 1.5) in
+  Alcotest.(check bool) "completion" true (close stats.Sim.completion 1.5);
+  Alcotest.(check int) "no messages" 0 stats.Sim.messages
+
+let test_ping () =
+  (* rank 0 sends 100 floats to rank 1 *)
+  let payload_bytes = 8 * 100 in
+  let stats =
+    Sim.run ~nprocs:2 ~net (fun r ->
+        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 (Array.make 100 3.14)
+        else begin
+          let buf = Sim.Api.recv ~src:0 ~tag:0 in
+          Alcotest.(check int) "length" 100 (Array.length buf);
+          Alcotest.(check (float 0.)) "value" 3.14 buf.(0)
+        end)
+  in
+  let send_done =
+    net.Netmodel.send_overhead +. Netmodel.transfer_time net ~bytes:payload_bytes
+  in
+  let expect = send_done +. net.Netmodel.latency +. net.Netmodel.recv_overhead in
+  Alcotest.(check bool) "timing" true (close stats.Sim.completion expect);
+  Alcotest.(check int) "one message" 1 stats.Sim.messages;
+  Alcotest.(check int) "bytes" payload_bytes stats.Sim.bytes
+
+let test_recv_before_send () =
+  (* receiver arrives first and must park *)
+  let stats =
+    Sim.run ~nprocs:2 ~net (fun r ->
+        if r = 1 then ignore (Sim.Api.recv ~src:0 ~tag:7)
+        else begin
+          Sim.Api.compute 1.0;
+          Sim.Api.send ~dst:1 ~tag:7 [| 42. |]
+        end)
+  in
+  Alcotest.(check bool) "receiver waited" true (stats.Sim.completion > 1.0)
+
+let test_fifo_per_channel () =
+  let got = ref [] in
+  ignore
+    (Sim.run ~nprocs:2 ~net (fun r ->
+         if r = 0 then
+           for i = 1 to 5 do
+             Sim.Api.send ~dst:1 ~tag:0 [| float_of_int i |]
+           done
+         else
+           for _ = 1 to 5 do
+             let b = Sim.Api.recv ~src:0 ~tag:0 in
+             got := b.(0) :: !got
+           done));
+  Alcotest.(check (list (float 0.))) "fifo order" [ 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !got)
+
+let test_tag_matching () =
+  (* out-of-order tags are matched by tag, not arrival order *)
+  let got = ref [] in
+  ignore
+    (Sim.run ~nprocs:2 ~net (fun r ->
+         if r = 0 then begin
+           Sim.Api.send ~dst:1 ~tag:2 [| 2. |];
+           Sim.Api.send ~dst:1 ~tag:1 [| 1. |]
+         end
+         else begin
+           got := (Sim.Api.recv ~src:0 ~tag:1).(0) :: !got;
+           got := (Sim.Api.recv ~src:0 ~tag:2).(0) :: !got
+         end));
+  Alcotest.(check (list (float 0.))) "by tag" [ 1.; 2. ] (List.rev !got)
+
+let test_isend_overlap () =
+  (* the sender pays only the overhead; a following compute overlaps the
+     wire time, so sender finishes earlier than with a blocking send *)
+  let payload = Array.make 10000 1.0 in
+  let run send =
+    Sim.run ~nprocs:2 ~net (fun r ->
+        if r = 0 then begin
+          send ~dst:1 ~tag:0 payload;
+          Sim.Api.compute 0.001
+        end
+        else ignore (Sim.Api.recv ~src:0 ~tag:0))
+  in
+  let blocking = run Sim.Api.send in
+  let overlapped = run Sim.Api.isend in
+  Alcotest.(check bool) "sender rank finishes earlier" true
+    (overlapped.Sim.rank_clocks.(0) < blocking.Sim.rank_clocks.(0));
+  (* receiver still gets the data after the wire time *)
+  Alcotest.(check bool) "receiver waits for the wire" true
+    (overlapped.Sim.rank_clocks.(1)
+    >= Netmodel.transfer_time net ~bytes:80000)
+
+let test_deadlock () =
+  Alcotest.(check bool) "deadlock raised" true
+    (try
+       ignore
+         (Sim.run ~nprocs:2 ~net (fun r ->
+              ignore (Sim.Api.recv ~src:(1 - r) ~tag:0)));
+       false
+     with Sim.Deadlock _ -> true)
+
+let test_barrier () =
+  let stats =
+    Sim.run ~nprocs:4 ~net (fun r ->
+        Sim.Api.compute (float_of_int r);
+        Sim.Api.barrier ();
+        let t = Sim.Api.now () in
+        (* everyone leaves at max clock + latency *)
+        Alcotest.(check bool) "left together" true
+          (close t (3.0 +. net.Netmodel.latency)))
+  in
+  Alcotest.(check bool) "completion" true
+    (close stats.Sim.completion (3.0 +. net.Netmodel.latency))
+
+let test_pipeline_timing () =
+  (* 1 -> 2 -> 3: completion accumulates compute along the chain *)
+  let stats =
+    Sim.run ~nprocs:3 ~net (fun r ->
+        if r > 0 then ignore (Sim.Api.recv ~src:(r - 1) ~tag:0);
+        Sim.Api.compute 1.0;
+        if r < 2 then Sim.Api.send ~dst:(r + 1) ~tag:0 [| 1. |])
+  in
+  Alcotest.(check bool) "at least 3s" true (stats.Sim.completion >= 3.0);
+  Alcotest.(check bool) "plus comm" true (stats.Sim.completion < 3.01)
+
+let test_determinism () =
+  let run () =
+    Sim.run ~nprocs:4 ~net (fun r ->
+        (* a little all-to-neighbour exchange *)
+        let next = (r + 1) mod 4 and prev = (r + 3) mod 4 in
+        Sim.Api.compute (0.1 *. float_of_int (r + 1));
+        Sim.Api.send ~dst:next ~tag:0 [| float_of_int r |];
+        let b = Sim.Api.recv ~src:prev ~tag:0 in
+        Sim.Api.compute (0.01 *. b.(0)))
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 0.)) "same completion" a.Sim.completion b.Sim.completion;
+  Alcotest.(check int) "same messages" a.Sim.messages b.Sim.messages
+
+let test_rank_api () =
+  ignore
+    (Sim.run ~nprocs:3 ~net (fun r ->
+         Alcotest.(check int) "rank" r (Sim.Api.rank ());
+         Alcotest.(check int) "nprocs" 3 (Sim.Api.nprocs ())))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "escapes" (Failure "boom") (fun () ->
+      ignore (Sim.run ~nprocs:2 ~net (fun r -> if r = 1 then failwith "boom")))
+
+let test_send_copies () =
+  (* mutating the buffer after send must not affect the message *)
+  ignore
+    (Sim.run ~nprocs:2 ~net (fun r ->
+         if r = 0 then begin
+           let buf = [| 1.0 |] in
+           Sim.Api.send ~dst:1 ~tag:0 buf;
+           buf.(0) <- 99.
+         end
+         else
+           Alcotest.(check (float 0.)) "copied" 1.0
+             (Sim.Api.recv ~src:0 ~tag:0).(0)))
+
+let test_zero_nprocs () =
+  Alcotest.check_raises "invalid" (Invalid_argument "Sim.run: nprocs")
+    (fun () -> ignore (Sim.run ~nprocs:0 ~net (fun _ -> ())))
+
+let test_trace_and_utilisation () =
+  let module Trace = Tiles_mpisim.Trace in
+  let stats =
+    Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
+        if r = 0 then begin
+          Sim.Api.compute 1.0;
+          Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+        end
+        else begin
+          ignore (Sim.Api.recv ~src:0 ~tag:0);
+          Sim.Api.compute 0.5
+        end)
+  in
+  Alcotest.(check bool) "trace recorded" true (stats.Sim.trace <> []);
+  let u = Trace.utilisation stats in
+  Alcotest.(check (float 1e-9)) "rank0 compute" 1.0 u.(0).Trace.compute;
+  Alcotest.(check (float 1e-9)) "rank1 compute" 0.5 u.(1).Trace.compute;
+  Alcotest.(check bool) "rank1 waited" true (u.(1).Trace.wait > 0.9);
+  Alcotest.(check bool) "efficiency in (0,1]" true
+    (let e = Trace.efficiency stats in
+     e > 0. && e <= 1.);
+  Alcotest.(check int) "critical rank" 1 (Trace.critical_rank stats)
+
+let test_trace_off_by_default () =
+  let stats = Sim.run ~nprocs:1 ~net (fun _ -> Sim.Api.compute 1.0) in
+  Alcotest.(check bool) "no trace" true (stats.Sim.trace = [])
+
+let test_netmodel () =
+  Alcotest.(check (float 1e-9)) "transfer" 8e-5
+    (Netmodel.transfer_time { net with Netmodel.bandwidth = 1e6 } ~bytes:80);
+  let scaled = Netmodel.with_ratio net 2.0 in
+  Alcotest.(check (float 1e-12)) "ratio"
+    (2.0 *. net.Netmodel.flop_time)
+    scaled.Netmodel.flop_time
+
+let () =
+  Alcotest.run "tiles_mpisim"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "single rank" `Quick test_single_rank_compute;
+          Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "recv before send" `Quick test_recv_before_send;
+          Alcotest.test_case "fifo" `Quick test_fifo_per_channel;
+          Alcotest.test_case "tag matching" `Quick test_tag_matching;
+          Alcotest.test_case "isend overlap" `Quick test_isend_overlap;
+          Alcotest.test_case "deadlock" `Quick test_deadlock;
+          Alcotest.test_case "barrier" `Quick test_barrier;
+          Alcotest.test_case "pipeline timing" `Quick test_pipeline_timing;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "rank api" `Quick test_rank_api;
+          Alcotest.test_case "exception" `Quick test_exception_propagates;
+          Alcotest.test_case "send copies" `Quick test_send_copies;
+          Alcotest.test_case "zero nprocs" `Quick test_zero_nprocs;
+          Alcotest.test_case "trace + utilisation" `Quick test_trace_and_utilisation;
+          Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "netmodel" `Quick test_netmodel;
+        ] );
+    ]

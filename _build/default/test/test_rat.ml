@@ -1,0 +1,97 @@
+module Rat = Tiles_rat.Rat
+
+let rat = Alcotest.testable (Fmt.of_to_string Rat.to_string) Rat.equal
+let check = Alcotest.check rat
+
+let test_normalisation () =
+  check "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check "-6/4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.(check int) "den positive" 2 (Rat.den (Rat.make 1 (-2)));
+  Alcotest.(check int) "num sign" (-1) (Rat.num (Rat.make 1 (-2)))
+
+let test_arith () =
+  check "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check "(1/2) / (1/4)" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check "inv -2/3" (Rat.make (-3) 2) (Rat.inv (Rat.make (-2) 3))
+
+let test_div_zero () =
+  Alcotest.check_raises "1/0" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+      ignore (Rat.inv Rat.zero))
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "floor 3" 3 (Rat.floor (Rat.of_int 3));
+  Alcotest.(check int) "ceil 3" 3 (Rat.ceil (Rat.of_int 3))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rat.(make 1 3 < make 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rat.(make (-1) 2 < make 1 3);
+  Alcotest.(check int) "sign" (-1) (Rat.sign (Rat.make (-1) 5));
+  check "min" (Rat.make 1 3) (Rat.min (Rat.make 1 3) (Rat.make 1 2));
+  check "max" (Rat.make 1 2) (Rat.max (Rat.make 1 3) (Rat.make 1 2))
+
+let test_to_int () =
+  Alcotest.(check int) "to_int 4/2" 2 (Rat.to_int_exn (Rat.make 4 2));
+  Alcotest.check_raises "to_int 1/2"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Rat.to_int_exn (Rat.make 1 2)))
+
+let small_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n d)
+    QCheck.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let prop_field_assoc =
+  QCheck.Test.make ~name:"(a+b)+c = a+(b+c)" ~count:500
+    (QCheck.triple small_rat small_rat small_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)))
+
+let prop_mul_distrib =
+  QCheck.Test.make ~name:"a*(b+c) = a*b + a*c" ~count:500
+    (QCheck.triple small_rat small_rat small_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"a * inv a = 1" ~count:500 small_rat (fun a ->
+      QCheck.assume (Rat.sign a <> 0);
+      Rat.equal (Rat.mul a (Rat.inv a)) Rat.one)
+
+let prop_floor_le =
+  QCheck.Test.make ~name:"floor a <= a <= ceil a" ~count:500 small_rat
+    (fun a ->
+      Rat.compare (Rat.of_int (Rat.floor a)) a <= 0
+      && Rat.compare a (Rat.of_int (Rat.ceil a)) <= 0
+      && Rat.ceil a - Rat.floor a <= 1)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+    (QCheck.pair small_rat small_rat) (fun (a, b) ->
+      Rat.compare a b = -Rat.compare b a)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tiles_rat"
+    [
+      ( "rat",
+        [
+          Alcotest.test_case "normalisation" `Quick test_normalisation;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "div zero" `Quick test_div_zero;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_int" `Quick test_to_int;
+          q prop_field_assoc;
+          q prop_mul_distrib;
+          q prop_inverse;
+          q prop_floor_le;
+          q prop_compare_total;
+        ] );
+    ]

@@ -1,0 +1,278 @@
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Dependence = Tiles_loop.Dependence
+module Tiling = Tiles_core.Tiling
+module Plan = Tiles_core.Plan
+module Kernel = Tiles_runtime.Kernel
+module Grid = Tiles_runtime.Grid
+module Seq_exec = Tiles_runtime.Seq_exec
+module Executor = Tiles_runtime.Executor
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+module Rat = Tiles_rat.Rat
+
+let net = Netmodel.fast_ethernet_cluster
+
+(* a simple 2-point recurrence in 2D: u[i,j] = u[i-1,j] + u[i,j-1] *)
+let pascal_kernel =
+  Kernel.make ~name:"pascal" ~dim:2
+    ~reads:[ [| 1; 0 |]; [| 0; 1 |] ]
+    ~boundary:(fun j _ -> if j.(0) = -1 && j.(1) = -1 then 0. else 1.)
+    ~compute:(fun ~read ~j:_ ~out -> out.(0) <- read 0 0 +. read 1 0)
+    ()
+
+let pascal_nest w h =
+  Nest.make ~name:"pascal"
+    ~space:(Polyhedron.box [ (0, w - 1); (0, h - 1) ])
+    ~deps:(Kernel.deps pascal_kernel)
+
+(* ---------- Grid ---------- *)
+
+let test_grid_basic () =
+  let space = Polyhedron.box [ (0, 3); (0, 3) ] in
+  let g = Grid.create space ~width:2 in
+  Grid.set g [| 1; 2 |] 0 5.;
+  Grid.set g [| 1; 2 |] 1 7.;
+  Alcotest.(check (float 0.)) "get 0" 5. (Grid.get g [| 1; 2 |] 0);
+  Alcotest.(check (float 0.)) "get 1" 7. (Grid.get g [| 1; 2 |] 1);
+  Alcotest.(check bool) "unset is nan" true (Float.is_nan (Grid.get g [| 0; 0 |] 0));
+  Alcotest.(check bool) "mem" true (Grid.mem g [| 3; 3 |]);
+  Alcotest.(check bool) "not mem" false (Grid.mem g [| 4; 0 |])
+
+let test_grid_diff () =
+  let space = Polyhedron.box [ (0, 1); (0, 1) ] in
+  let a = Grid.create space ~width:1 and b = Grid.create space ~width:1 in
+  Polyhedron.iter_points space (fun j ->
+      Grid.set a j 0 1.;
+      Grid.set b j 0 1.);
+  Alcotest.(check (float 0.)) "equal" 0. (Grid.max_abs_diff a b space);
+  Grid.set b [| 1; 1 |] 0 1.5;
+  Alcotest.(check (float 1e-12)) "diff" 0.5 (Grid.max_abs_diff a b space)
+
+(* ---------- Seq_exec ---------- *)
+
+let test_seq_pascal () =
+  (* with boundary ≡ 1, u[i,j] on the diagonal grows like binomials *)
+  let space = Polyhedron.box [ (0, 3); (0, 3) ] in
+  let g = Seq_exec.run ~space ~kernel:pascal_kernel in
+  Alcotest.(check (float 0.)) "corner" 2. (Grid.get g [| 0; 0 |] 0);
+  (* u[1,0] = u[0,0] + boundary = 2 + 1 = 3 *)
+  Alcotest.(check (float 0.)) "u10" 3. (Grid.get g [| 1; 0 |] 0);
+  Alcotest.(check (float 0.)) "u11" 6. (Grid.get g [| 1; 1 |] 0)
+
+(* ---------- Kernel.skewed ---------- *)
+
+let test_kernel_skewed_equivalence () =
+  (* running the skewed kernel over the skewed space gives the same values
+     at corresponding points *)
+  let w, h = (5, 6) in
+  let nest = pascal_nest w h in
+  let t = Tiles_loop.Skew.of_factors 2 [ (1, 0, 1) ] in
+  let skewed_nest = Tiles_loop.Skew.apply nest t in
+  let sk = Kernel.skewed pascal_kernel t in
+  let g0 = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel in
+  let g1 = Seq_exec.run ~space:skewed_nest.Nest.space ~kernel:sk in
+  Polyhedron.iter_points nest.Nest.space (fun j ->
+      let js = Tiles_linalg.Intmat.apply t j in
+      Alcotest.(check (float 0.)) "same value" (Grid.get g0 j 0) (Grid.get g1 js 0))
+
+(* ---------- Executor: parallel ≡ sequential ---------- *)
+
+let check_equiv ?m name nest kernel tiling =
+  let plan = Plan.make ?m nest tiling in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
+  (match r.Executor.grid with
+  | None -> Alcotest.fail "no grid"
+  | Some g ->
+    Alcotest.(check (float 1e-9))
+      (name ^ " parallel = sequential")
+      0.
+      (Grid.max_abs_diff g seq nest.Nest.space));
+  Alcotest.(check int)
+    (name ^ " all points computed")
+    (Polyhedron.count_points nest.Nest.space)
+    r.Executor.points_computed;
+  r
+
+let test_pascal_rect () =
+  let nest = pascal_nest 12 9 in
+  ignore (check_equiv "pascal-rect" nest pascal_kernel (Tiling.rectangular [ 3; 4 ]))
+
+let test_pascal_oblique () =
+  (* non-trivial strides in 2D: H = [[1/2,1/4],[0,1/4]] gives H' = [[2,1],[0,1]]
+     with TTIS strides (1,2); legal for the (1,0),(0,1) dependencies *)
+  let nest = pascal_nest 12 12 in
+  let tiling =
+    Tiling.of_rows
+      [ [ Rat.make 1 2; Rat.make 1 4 ]; [ Rat.zero; Rat.make 1 4 ] ]
+  in
+  ignore (check_equiv "pascal-oblique" nest pascal_kernel tiling)
+
+let test_pascal_speedup_sane () =
+  let nest = pascal_nest 40 40 in
+  let r = check_equiv "pascal-speedup" nest pascal_kernel (Tiling.rectangular [ 5; 5 ]) in
+  Alcotest.(check bool) "speedup positive" true (r.Executor.speedup > 0.);
+  Alcotest.(check bool) "speedup below procs" true
+    (r.Executor.speedup <= 8.01)
+
+let test_timing_full_agree () =
+  (* the two executor modes must report identical virtual times *)
+  let nest = pascal_nest 20 17 in
+  let plan = Plan.make nest (Tiling.rectangular [ 4; 3 ]) in
+  let a = Executor.run ~mode:Executor.Full ~plan ~kernel:pascal_kernel ~net () in
+  let b = Executor.run ~mode:Executor.Timing ~plan ~kernel:pascal_kernel ~net () in
+  Alcotest.(check (float 0.)) "same completion"
+    a.Executor.stats.Sim.completion b.Executor.stats.Sim.completion;
+  Alcotest.(check int) "same messages" a.Executor.stats.Sim.messages
+    b.Executor.stats.Sim.messages;
+  Alcotest.(check int) "same bytes" a.Executor.stats.Sim.bytes
+    b.Executor.stats.Sim.bytes;
+  Alcotest.(check int) "same points" a.Executor.points_computed
+    b.Executor.points_computed
+
+let test_executor_rejects_mismatched_kernel () =
+  let nest = pascal_nest 6 6 in
+  let plan = Plan.make nest (Tiling.rectangular [ 2; 2 ]) in
+  let other =
+    Kernel.make ~name:"other" ~dim:2
+      ~reads:[ [| 1; 0 |] ]
+      ~boundary:(fun _ _ -> 0.)
+      ~compute:(fun ~read ~j:_ ~out -> out.(0) <- read 0 0)
+      ()
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Executor.run ~plan ~kernel:other ~net ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_overlap_correct_and_not_slower () =
+  (* §5 future-work schedule: results identical, completion no worse *)
+  let nest = pascal_nest 40 40 in
+  let plan = Plan.make nest (Tiling.rectangular [ 5; 5 ]) in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel in
+  let blocking = Executor.run ~mode:Executor.Full ~plan ~kernel:pascal_kernel ~net () in
+  let overlapped =
+    Executor.run ~mode:Executor.Full ~overlap:true ~plan ~kernel:pascal_kernel
+      ~net ()
+  in
+  (match overlapped.Executor.grid with
+  | Some g ->
+    Alcotest.(check (float 0.)) "still exact" 0.
+      (Grid.max_abs_diff g seq nest.Nest.space)
+  | None -> Alcotest.fail "no grid");
+  Alcotest.(check bool) "not slower" true
+    (overlapped.Executor.stats.Sim.completion
+    <= blocking.Executor.stats.Sim.completion +. 1e-12)
+
+let test_executor_ideal_net_faster () =
+  let nest = pascal_nest 30 30 in
+  let plan = Plan.make nest (Tiling.rectangular [ 5; 5 ]) in
+  let slow = Executor.run ~mode:Executor.Timing ~plan ~kernel:pascal_kernel ~net () in
+  let fast =
+    Executor.run ~mode:Executor.Timing ~plan ~kernel:pascal_kernel
+      ~net:Netmodel.ideal ()
+  in
+  Alcotest.(check bool) "ideal faster" true
+    (fast.Executor.stats.Sim.completion < slow.Executor.stats.Sim.completion)
+
+(* ---------- Shm_executor: real domains ---------- *)
+
+let test_shm_pascal () =
+  let nest = pascal_nest 30 30 in
+  let plan = Plan.make nest (Tiling.rectangular [ 6; 10 ]) in
+  let r = Tiles_runtime.Shm_executor.run ~plan ~kernel:pascal_kernel () in
+  Alcotest.(check (float 0.)) "exact vs oracle" 0. r.Tiles_runtime.Shm_executor.max_abs_err;
+  Alcotest.(check int) "procs" (Plan.nprocs plan) r.Tiles_runtime.Shm_executor.nprocs;
+  Alcotest.(check bool) "messages sent" true (r.Tiles_runtime.Shm_executor.messages > 0)
+
+let test_shm_sor () =
+  let module Sor = Tiles_apps.Sor in
+  let p = Sor.make ~m_steps:8 ~size:12 in
+  let nest = Sor.nest p in
+  let plan = Plan.make ~m:Sor.mapping_dim nest (Sor.nonrect ~x:4 ~y:7 ~z:4) in
+  let r = Tiles_runtime.Shm_executor.run ~plan ~kernel:(Sor.kernel p) () in
+  Alcotest.(check (float 0.)) "exact" 0. r.Tiles_runtime.Shm_executor.max_abs_err
+
+let test_shm_matches_sim_messages () =
+  (* the domain backend exchanges exactly the same number of messages as
+     the simulator backend — same protocol, different transport *)
+  let nest = pascal_nest 24 24 in
+  let plan = Plan.make nest (Tiling.rectangular [ 6; 6 ]) in
+  let sim = Executor.run ~mode:Executor.Timing ~plan ~kernel:pascal_kernel ~net () in
+  let shm = Tiles_runtime.Shm_executor.run ~plan ~kernel:pascal_kernel () in
+  Alcotest.(check int) "same messages" sim.Executor.stats.Sim.messages
+    shm.Tiles_runtime.Shm_executor.messages
+
+(* ---------- Model ---------- *)
+
+let test_model_predicts () =
+  let nest = pascal_nest 40 40 in
+  let plan = Plan.make nest (Tiling.rectangular [ 5; 5 ]) in
+  let est = Tiles_runtime.Model.predict plan ~net in
+  Alcotest.(check bool) "total positive" true (est.Tiles_runtime.Model.total > 0.);
+  Alcotest.(check bool) "steps positive" true (est.Tiles_runtime.Model.steps > 0);
+  Alcotest.(check bool) "speedup positive" true
+    (est.Tiles_runtime.Model.predicted_speedup > 0.)
+
+let test_model_ranks_sor_tilings () =
+  (* the model must reproduce the paper's ordering: nonrect < rect in
+     predicted completion time (same factors) *)
+  let module Sor = Tiles_apps.Sor in
+  let p = Sor.make ~m_steps:48 ~size:48 in
+  let nest = Sor.nest p in
+  let predict tiling =
+    (Tiles_runtime.Model.predict (Plan.make ~m:2 nest tiling) ~net)
+      .Tiles_runtime.Model.total
+  in
+  Alcotest.(check bool) "nonrect predicted faster" true
+    (predict (Sor.nonrect ~x:24 ~y:16 ~z:8) < predict (Sor.rect ~x:24 ~y:16 ~z:8))
+
+let test_model_best_factor () =
+  let nest = pascal_nest 60 60 in
+  let mk f = Plan.make nest (Tiling.rectangular [ f; f ]) in
+  let f, est = Tiles_runtime.Model.best_factor mk ~factors:[ 2; 5; 10; 20 ] ~net in
+  Alcotest.(check bool) "feasible factor" true (List.mem f [ 2; 5; 10; 20 ]);
+  Alcotest.(check bool) "estimate sane" true (est.Tiles_runtime.Model.total > 0.);
+  Alcotest.check_raises "none feasible"
+    (Failure "Model.best_factor: no feasible factor") (fun () ->
+      ignore
+        (Tiles_runtime.Model.best_factor
+           (fun _ -> failwith "nope")
+           ~factors:[ 1 ] ~net))
+
+let () =
+  Alcotest.run "tiles_runtime"
+    [
+      ( "grid",
+        [
+          Alcotest.test_case "basic" `Quick test_grid_basic;
+          Alcotest.test_case "diff" `Quick test_grid_diff;
+        ] );
+      ("seq", [ Alcotest.test_case "pascal" `Quick test_seq_pascal ]);
+      ( "kernel",
+        [ Alcotest.test_case "skewed equivalence" `Quick test_kernel_skewed_equivalence ] );
+      ( "executor",
+        [
+          Alcotest.test_case "pascal rect" `Quick test_pascal_rect;
+          Alcotest.test_case "pascal oblique" `Quick test_pascal_oblique;
+          Alcotest.test_case "speedup sane" `Quick test_pascal_speedup_sane;
+          Alcotest.test_case "timing = full" `Quick test_timing_full_agree;
+          Alcotest.test_case "kernel mismatch" `Quick test_executor_rejects_mismatched_kernel;
+          Alcotest.test_case "ideal net faster" `Quick test_executor_ideal_net_faster;
+          Alcotest.test_case "overlap correct" `Quick test_overlap_correct_and_not_slower;
+        ] );
+      ( "shm",
+        [
+          Alcotest.test_case "pascal on domains" `Quick test_shm_pascal;
+          Alcotest.test_case "sor on domains" `Quick test_shm_sor;
+          Alcotest.test_case "same messages as sim" `Quick test_shm_matches_sim_messages;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "predicts" `Quick test_model_predicts;
+          Alcotest.test_case "ranks tilings" `Quick test_model_ranks_sor_tilings;
+          Alcotest.test_case "best factor" `Quick test_model_best_factor;
+        ] );
+    ]

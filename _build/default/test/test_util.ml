@@ -1,0 +1,227 @@
+open Tiles_util
+
+let check_int = Alcotest.(check int)
+
+(* ---------- Ints ---------- *)
+
+let test_fdiv_basic () =
+  check_int "7/2" 3 (Ints.fdiv 7 2);
+  check_int "-7/2" (-4) (Ints.fdiv (-7) 2);
+  check_int "7/-2" (-4) (Ints.fdiv 7 (-2));
+  check_int "-7/-2" 3 (Ints.fdiv (-7) (-2));
+  check_int "0/5" 0 (Ints.fdiv 0 5);
+  check_int "-1/3" (-1) (Ints.fdiv (-1) 3)
+
+let test_fmod_basic () =
+  check_int "7 mod 2" 1 (Ints.fmod 7 2);
+  check_int "-7 mod 2" 1 (Ints.fmod (-7) 2);
+  check_int "-6 mod 3" 0 (Ints.fmod (-6) 3);
+  check_int "5 mod -3" (-1) (Ints.fmod 5 (-3))
+
+let test_cdiv_basic () =
+  check_int "7 cdiv 2" 4 (Ints.cdiv 7 2);
+  check_int "-7 cdiv 2" (-3) (Ints.cdiv (-7) 2);
+  check_int "6 cdiv 3" 2 (Ints.cdiv 6 3)
+
+let test_fdiv_zero () =
+  Alcotest.check_raises "div by zero" (Invalid_argument "Ints.fdiv: division by zero")
+    (fun () -> ignore (Ints.fdiv 1 0))
+
+let test_gcd_lcm () =
+  check_int "gcd 12 18" 6 (Ints.gcd 12 18);
+  check_int "gcd -12 18" 6 (Ints.gcd (-12) 18);
+  check_int "gcd 0 5" 5 (Ints.gcd 0 5);
+  check_int "gcd 0 0" 0 (Ints.gcd 0 0);
+  check_int "lcm 4 6" 12 (Ints.lcm 4 6);
+  check_int "lcm 0 5" 0 (Ints.lcm 0 5)
+
+let test_overflow () =
+  Alcotest.check_raises "mul overflow" Ints.Overflow (fun () ->
+      ignore (Ints.mul_exn max_int 2));
+  Alcotest.check_raises "add overflow" Ints.Overflow (fun () ->
+      ignore (Ints.add_exn max_int 1));
+  check_int "mul ok" 6 (Ints.mul_exn 2 3);
+  check_int "mul neg" (-6) (Ints.mul_exn 2 (-3))
+
+let test_pow () =
+  check_int "2^10" 1024 (Ints.pow 2 10);
+  check_int "5^0" 1 (Ints.pow 5 0);
+  check_int "0^0" 1 (Ints.pow 0 0);
+  check_int "(-2)^3" (-8) (Ints.pow (-2) 3)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (Ints.divisors 12);
+  Alcotest.(check (list int)) "divisors 1" [ 1 ] (Ints.divisors 1);
+  Alcotest.(check (list int)) "divisors 9" [ 1; 3; 9 ] (Ints.divisors 9)
+
+let prop_fdiv_fmod =
+  QCheck.Test.make ~name:"fdiv/fmod euclidean identity" ~count:1000
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-100) 100))
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q = Ints.fdiv a b and r = Ints.fmod a b in
+      a = (b * q) + r && if b > 0 then r >= 0 && r < b else r <= 0 && r > b)
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"gcd divides both" ~count:1000
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+    (fun (a, b) ->
+      let g = Ints.gcd a b in
+      if a = 0 && b = 0 then g = 0
+      else g > 0 && a mod g = 0 && b mod g = 0)
+
+(* ---------- Vec ---------- *)
+
+let vec = Alcotest.testable (Fmt.of_to_string Vec.to_string) Vec.equal
+
+let test_vec_ops () =
+  Alcotest.check vec "add" [| 4; 6 |] (Vec.add [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check vec "sub" [| -2; -2 |] (Vec.sub [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check vec "scale" [| 3; 6 |] (Vec.scale 3 [| 1; 2 |]);
+  check_int "dot" 11 (Vec.dot [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check vec "basis" [| 0; 1; 0 |] (Vec.basis 3 1)
+
+let test_vec_lex () =
+  Alcotest.(check bool) "lex pos" true (Vec.is_lex_positive [| 0; 1; -5 |]);
+  Alcotest.(check bool) "lex neg" false (Vec.is_lex_positive [| 0; -1; 5 |]);
+  Alcotest.(check bool) "zero not pos" false (Vec.is_lex_positive [| 0; 0 |]);
+  check_int "cmp" (-1) (Vec.compare_lex [| 1; 2 |] [| 1; 3 |]);
+  check_int "cmp eq" 0 (Vec.compare_lex [| 1; 2 |] [| 1; 2 |])
+
+let test_vec_insert_remove () =
+  Alcotest.check vec "insert mid" [| 1; 9; 2 |] (Vec.insert [| 1; 2 |] 1 9);
+  Alcotest.check vec "insert end" [| 1; 2; 9 |] (Vec.insert [| 1; 2 |] 2 9);
+  Alcotest.check vec "remove" [| 1; 3 |] (Vec.remove [| 1; 2; 3 |] 1);
+  Alcotest.check vec "permute last" [| 1; 3; 2 |]
+    (Vec.permute_to_last [| 1; 2; 3 |] 1);
+  Alcotest.check vec "permute last idempotent on last" [| 1; 2; 3 |]
+    (Vec.permute_to_last [| 1; 2; 3 |] 2)
+
+let prop_insert_remove =
+  QCheck.Test.make ~name:"remove (insert v k x) k = v" ~count:500
+    QCheck.(triple (array_of_size (Gen.int_range 1 6) small_int) (int_range 0 5) small_int)
+    (fun (v, k, x) ->
+      QCheck.assume (k <= Array.length v);
+      Vec.remove (Vec.insert v k x) k = v)
+
+(* ---------- Heap ---------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.push h ~priority:p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (1.5, "ab") ];
+  let drain () =
+    let rec go acc =
+      match Heap.pop h with None -> List.rev acc | Some (_, v) -> go (v :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted" [ "a"; "ab"; "b"; "c" ] (drain ())
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~priority:1.0 v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Heap.push h ~priority:1.0 42;
+  Alcotest.(check bool) "nonempty" false (Heap.is_empty h);
+  check_int "size" 1 (Heap.size h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list (float_range 0. 1000.))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p ()) prios;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+(* ---------- Table ---------- *)
+
+let test_table_rejects_long_row () =
+  let t = Table.create ~header:[ "a" ] in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Table.add_row: row longer than header") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+let test_vec_dim_mismatch () =
+  Alcotest.(check bool) "add raises" true
+    (try
+       ignore (Vec.add [| 1 |] [| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "dot raises" true
+    (try
+       ignore (Vec.dot [| 1 |] [| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_divisors_rejects_nonpositive () =
+  Alcotest.check_raises "zero" (Invalid_argument "Ints.divisors: need n > 0")
+    (fun () -> ignore (Ints.divisors 0))
+
+let test_table_render () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "333" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  Alcotest.(check int) "line count" 4
+    (List.length (String.split_on_char '\n' s))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tiles_util"
+    [
+      ( "ints",
+        [
+          Alcotest.test_case "fdiv" `Quick test_fdiv_basic;
+          Alcotest.test_case "fmod" `Quick test_fmod_basic;
+          Alcotest.test_case "cdiv" `Quick test_cdiv_basic;
+          Alcotest.test_case "fdiv zero" `Quick test_fdiv_zero;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "divisors" `Quick test_divisors;
+          q prop_fdiv_fmod;
+          q prop_gcd_divides;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "ops" `Quick test_vec_ops;
+          Alcotest.test_case "lex" `Quick test_vec_lex;
+          Alcotest.test_case "insert/remove" `Quick test_vec_insert_remove;
+          q prop_insert_remove;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          q prop_heap_sorted;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "long row" `Quick test_table_rejects_long_row;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "vec dim mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "divisors nonpositive" `Quick
+            test_divisors_rejects_nonpositive;
+        ] );
+    ]

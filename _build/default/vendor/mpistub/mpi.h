@@ -1,0 +1,43 @@
+/* Minimal single-machine MPI substitute for testing generated programs.
+ *
+ * MPI_Init forks size-1 child processes (size from the TILES_MPI_NPROCS
+ * environment variable); every pair of ranks is connected by a Unix
+ * socketpair. Blocking MPI_Send is buffered by the socket (buffers are
+ * enlarged at startup), MPI_Recv matches by (source, tag) with a stash
+ * for out-of-order tags — the same eager-buffered semantics the paper's
+ * generated code relies on and the OCaml simulator models.
+ *
+ * Supported: Init, Comm_rank, Comm_size, Send, Recv (MPI_DOUBLE),
+ * Reduce (MPI_SUM over MPI_DOUBLE), Barrier, Finalize, Abort.
+ */
+#ifndef TILES_MPI_STUB_H
+#define TILES_MPI_STUB_H
+
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef struct {
+  int MPI_SOURCE;
+  int MPI_TAG;
+  int count;
+} MPI_Status;
+
+#define MPI_COMM_WORLD 0
+#define MPI_DOUBLE 1
+#define MPI_SUM 1
+#define MPI_STATUS_IGNORE ((MPI_Status *)0)
+
+int MPI_Init(int *argc, char ***argv);
+int MPI_Comm_rank(MPI_Comm comm, int *rank);
+int MPI_Comm_size(MPI_Comm comm, int *size);
+int MPI_Send(const void *buf, int count, MPI_Datatype dt, int dest, int tag,
+             MPI_Comm comm);
+int MPI_Recv(void *buf, int count, MPI_Datatype dt, int source, int tag,
+             MPI_Comm comm, MPI_Status *status);
+int MPI_Reduce(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt,
+               MPI_Op op, int root, MPI_Comm comm);
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Finalize(void);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+
+#endif

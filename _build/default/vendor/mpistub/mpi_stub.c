@@ -1,0 +1,266 @@
+#include "mpi.h"
+
+#include <errno.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#define MAXP 64
+#define TAG_REDUCE 0x7ffffff0
+#define TAG_BARRIER 0x7ffffff1
+
+static int g_rank = 0;
+static int g_size = 1;
+static int g_fd[MAXP][MAXP]; /* g_fd[me][peer], valid for peer != me */
+static pid_t g_children[MAXP];
+static int g_nchildren = 0;
+
+typedef struct stash_msg {
+  int tag;
+  int count; /* doubles */
+  double *data;
+  struct stash_msg *next;
+} stash_msg;
+
+static stash_msg *g_stash[MAXP];
+
+static void die(const char *what) {
+  fprintf(stderr, "mpistub rank %d: %s: %s\n", g_rank, what, strerror(errno));
+  exit(1);
+}
+
+static void write_all(int fd, const void *buf, size_t len) {
+  const char *p = (const char *)buf;
+  while (len > 0) {
+    ssize_t w = write(fd, p, len);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      die("write");
+    }
+    p += w;
+    len -= (size_t)w;
+  }
+}
+
+static void read_all(int fd, void *buf, size_t len) {
+  char *p = (char *)buf;
+  while (len > 0) {
+    ssize_t r = read(fd, p, len);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      die("read");
+    }
+    if (r == 0) die("unexpected EOF from peer");
+    p += r;
+    len -= (size_t)r;
+  }
+}
+
+int MPI_Init(int *argc, char ***argv) {
+  const char *env = getenv("TILES_MPI_NPROCS");
+  int i, j, r;
+  (void)argc;
+  (void)argv;
+  g_size = env ? atoi(env) : 1;
+  if (g_size < 1 || g_size > MAXP) {
+    fprintf(stderr, "mpistub: bad TILES_MPI_NPROCS\n");
+    exit(1);
+  }
+  if (g_size == 1) return 0;
+
+  /* one socketpair per unordered rank pair, created before forking */
+  static int pair_a[MAXP][MAXP], pair_b[MAXP][MAXP];
+  for (i = 0; i < g_size; i++)
+    for (j = i + 1; j < g_size; j++) {
+      int sv[2];
+      int bufsz = 8 << 20;
+      if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) die("socketpair");
+      setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof bufsz);
+      setsockopt(sv[1], SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof bufsz);
+      setsockopt(sv[0], SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof bufsz);
+      setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof bufsz);
+      pair_a[i][j] = sv[0];
+      pair_b[i][j] = sv[1];
+    }
+
+  g_rank = 0;
+  for (r = 1; r < g_size; r++) {
+    pid_t pid = fork();
+    if (pid < 0) die("fork");
+    if (pid == 0) {
+      g_rank = r;
+      g_nchildren = 0;
+      break;
+    }
+    g_children[g_nchildren++] = pid;
+  }
+
+  /* keep only the endpoints involving this rank */
+  for (i = 0; i < g_size; i++)
+    for (j = i + 1; j < g_size; j++) {
+      if (i == g_rank) g_fd[g_rank][j] = pair_a[i][j];
+      else if (j == g_rank) g_fd[g_rank][i] = pair_b[i][j];
+      else {
+        close(pair_a[i][j]);
+        close(pair_b[i][j]);
+      }
+    }
+  return 0;
+}
+
+int MPI_Comm_rank(MPI_Comm comm, int *rank) {
+  (void)comm;
+  *rank = g_rank;
+  return 0;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int *size) {
+  (void)comm;
+  *size = g_size;
+  return 0;
+}
+
+static int send_raw(int dest, int tag, const double *data, int count) {
+  int hdr[2];
+  if (dest < 0 || dest >= g_size || dest == g_rank) {
+    fprintf(stderr, "mpistub rank %d: bad destination %d\n", g_rank, dest);
+    exit(1);
+  }
+  hdr[0] = tag;
+  hdr[1] = count;
+  write_all(g_fd[g_rank][dest], hdr, sizeof hdr);
+  if (count > 0) write_all(g_fd[g_rank][dest], data, (size_t)count * sizeof(double));
+  return 0;
+}
+
+int MPI_Send(const void *buf, int count, MPI_Datatype dt, int dest, int tag,
+             MPI_Comm comm) {
+  (void)dt;
+  (void)comm;
+  return send_raw(dest, tag, (const double *)buf, count);
+}
+
+static int recv_raw(int source, int tag, double *buf, int count) {
+  stash_msg **link;
+  if (source < 0 || source >= g_size || source == g_rank) {
+    fprintf(stderr, "mpistub rank %d: bad source %d\n", g_rank, source);
+    exit(1);
+  }
+  /* check the stash for an out-of-order earlier arrival */
+  for (link = &g_stash[source]; *link; link = &(*link)->next) {
+    if ((*link)->tag == tag) {
+      stash_msg *m = *link;
+      if (m->count != count) {
+        fprintf(stderr, "mpistub rank %d: count mismatch (src=%d tag=%d)\n",
+                g_rank, source, tag);
+        exit(1);
+      }
+      memcpy(buf, m->data, (size_t)count * sizeof(double));
+      *link = m->next;
+      free(m->data);
+      free(m);
+      return 0;
+    }
+  }
+  for (;;) {
+    int hdr[2];
+    read_all(g_fd[g_rank][source], hdr, sizeof hdr);
+    if (hdr[0] == tag) {
+      if (hdr[1] != count) {
+        fprintf(stderr, "mpistub rank %d: count mismatch (src=%d tag=%d)\n",
+                g_rank, source, tag);
+        exit(1);
+      }
+      if (count > 0) read_all(g_fd[g_rank][source], buf, (size_t)count * sizeof(double));
+      return 0;
+    }
+    else {
+      stash_msg *m = (stash_msg *)malloc(sizeof *m);
+      m->tag = hdr[0];
+      m->count = hdr[1];
+      m->data = (double *)malloc((size_t)(hdr[1] > 0 ? hdr[1] : 1) * sizeof(double));
+      if (hdr[1] > 0) read_all(g_fd[g_rank][source], m->data, (size_t)hdr[1] * sizeof(double));
+      m->next = g_stash[source];
+      g_stash[source] = m;
+    }
+  }
+}
+
+int MPI_Recv(void *buf, int count, MPI_Datatype dt, int source, int tag,
+             MPI_Comm comm, MPI_Status *status) {
+  (void)dt;
+  (void)comm;
+  recv_raw(source, tag, (double *)buf, count);
+  if (status != MPI_STATUS_IGNORE) {
+    status->MPI_SOURCE = source;
+    status->MPI_TAG = tag;
+    status->count = count;
+  }
+  return 0;
+}
+
+int MPI_Reduce(const void *sendbuf, void *recvbuf, int count, MPI_Datatype dt,
+               MPI_Op op, int root, MPI_Comm comm) {
+  (void)dt;
+  (void)op;
+  (void)comm;
+  if (g_size == 1) {
+    memcpy(recvbuf, sendbuf, (size_t)count * sizeof(double));
+    return 0;
+  }
+  if (g_rank == root) {
+    int r, i;
+    double *acc = (double *)recvbuf;
+    double *tmp = (double *)malloc((size_t)count * sizeof(double));
+    memcpy(acc, sendbuf, (size_t)count * sizeof(double));
+    for (r = 0; r < g_size; r++) {
+      if (r == root) continue;
+      recv_raw(r, TAG_REDUCE, tmp, count);
+      for (i = 0; i < count; i++) acc[i] += tmp[i];
+    }
+    free(tmp);
+  }
+  else
+    send_raw(root, TAG_REDUCE, (const double *)sendbuf, count);
+  return 0;
+}
+
+int MPI_Barrier(MPI_Comm comm) {
+  double token = 0.;
+  (void)comm;
+  if (g_size == 1) return 0;
+  if (g_rank == 0) {
+    int r;
+    for (r = 1; r < g_size; r++) recv_raw(r, TAG_BARRIER, &token, 1);
+    for (r = 1; r < g_size; r++) send_raw(r, TAG_BARRIER, &token, 1);
+  }
+  else {
+    send_raw(0, TAG_BARRIER, &token, 1);
+    recv_raw(0, TAG_BARRIER, &token, 1);
+  }
+  return 0;
+}
+
+int MPI_Finalize(void) {
+  int i;
+  fflush(stdout);
+  if (g_rank != 0) _exit(0); /* children leave; only rank 0 returns */
+  for (i = 0; i < g_nchildren; i++) {
+    int st;
+    waitpid(g_children[i], &st, 0);
+    if (!WIFEXITED(st) || WEXITSTATUS(st) != 0) {
+      fprintf(stderr, "mpistub: child %d failed\n", i + 1);
+      exit(1);
+    }
+  }
+  return 0;
+}
+
+int MPI_Abort(MPI_Comm comm, int errorcode) {
+  (void)comm;
+  exit(errorcode);
+}
