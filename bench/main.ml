@@ -7,10 +7,14 @@
      bench/main.exe                 all figures + summary + analytic
      bench/main.exe fig5 ... fig10  individual figures
      bench/main.exe summary | analytic | ablation-net | ablation-map
+     bench/main.exe ablation-tune   autotuner predictor vs simulator ranks
      bench/main.exe micro           Bechamel micro-benchmarks
-     bench/main.exe everything      all of the above *)
+     bench/main.exe everything      all of the above
+     bench/main.exe --json ...      also write each target's tables to
+                                    BENCH_<target>.json *)
 
 module Table = Tiles_util.Table
+module Json = Tiles_util.Json
 module Netmodel = Tiles_mpisim.Netmodel
 module E = Tiles_apps.Experiment
 module Plan = Tiles_core.Plan
@@ -22,6 +26,32 @@ module Sim = Tiles_mpisim.Sim
 let net = Netmodel.fast_ethernet_cluster
 
 let pf fmt = Printf.printf fmt
+
+(* tables printed by the current target, collected for --json output *)
+let collected : Table.t list ref = ref []
+
+let emit t =
+  Table.print t;
+  collected := t :: !collected
+
+let table_json t =
+  let row_json cells = Json.List (List.map (fun c -> Json.Str c) cells) in
+  Json.Obj
+    [ ("header", row_json (Table.header t));
+      ("rows", Json.List (List.map row_json (Table.rows t))) ]
+
+let write_json ~target =
+  let file = Printf.sprintf "BENCH_%s.json" target in
+  let json =
+    Json.Obj
+      [ ("target", Json.Str target);
+        ("tables", Json.List (List.rev_map table_json !collected)) ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string ~indent:2 json);
+  output_char oc '\n';
+  close_out oc;
+  pf "[%s written]\n" file
 
 let sor_spaces = [ (100, 100); (100, 200); (200, 200); (100, 400) ]
 let jacobi_spaces = [ (50, 100); (100, 100); (50, 200); (100, 200) ]
@@ -75,7 +105,7 @@ let max_speedup_figure ~title ~specs =
       in
       Table.add_row t ((label :: cells) @ [ string_of_int spec.E.procs; gain ]))
     specs;
-  Table.print t
+  emit t
 
 let fig5 () =
   let specs =
@@ -167,7 +197,7 @@ let sweep_figure ~title ~spec ~factor_label =
       in
       Table.add_row t ((string_of_int f :: tile :: cells) @ [ steps; gain ]))
     spec.E.factors;
-  Table.print t
+  emit t
 
 let fig6 () =
   sweep_figure
@@ -233,7 +263,7 @@ let summary () =
     (List.map (fun (t, s) -> E.jacobi ~factors:jacobi_factors ~t_steps:t ~size:s ()) jacobi_spaces);
   avg "ADI" "+10.1%"
     (List.map (fun (t, n) -> E.adi ~factors:adi_factors ~t_steps:t ~size:n ()) adi_spaces);
-  Table.print t
+  emit t
 
 (* ---------------- §4.1-4.3 analytic schedule gaps ---------------- *)
 
@@ -304,7 +334,7 @@ let analytic () =
           Printf.sprintf "2N/x = %d" (2 * 256 / x);
         ])
     [ 4; 10; 25 ];
-  Table.print t
+  emit t
 
 (* ---------------- ablations ---------------- *)
 
@@ -329,7 +359,7 @@ let ablation_net () =
             (100. *. (nr.E.speedup -. rect.E.speedup) /. rect.E.speedup);
         ])
     [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
-  Table.print t
+  emit t
 
 let ablation_map () =
   pf "\n=== Ablation — mapping-dimension choice (ADI T=100 N=256, nr3, x=10) ===\n";
@@ -356,7 +386,7 @@ let ablation_map () =
       | exception e ->
         Table.add_row t [ string_of_int m; "-"; Printexc.to_string e ])
     [ 0; 1; 2 ];
-  Table.print t
+  emit t
 
 let ablation_overlap () =
   pf "\n=== Ablation — §5 future work: computation/communication overlap ===\n";
@@ -394,7 +424,7 @@ let ablation_overlap () =
   let adi = E.adi ~factors:[ 10 ] ~t_steps:100 ~size:256 () in
   row "ADI x=10" adi "rect" 10;
   row "ADI x=10" adi "nr3" 10;
-  Table.print t
+  emit t
 
 let model () =
   pf "\n=== Model — Hodzic–Shang analytic completion time vs simulation ===\n";
@@ -420,7 +450,7 @@ let model () =
           Printf.sprintf "%.2f" r.E.speedup;
         ])
     spec.E.factors;
-  Table.print t;
+  emit t;
   let best_f, _ = Model.best_factor mk ~factors:spec.E.factors ~net in
   let measured_best =
     List.fold_left
@@ -503,7 +533,76 @@ let memory () =
   let adi = E.adi ~factors:[ 10 ] ~t_steps:60 ~size:96 () in
   row "ADI T=60 N=96 x=10" adi "rect" 10;
   row "ADI T=60 N=96 x=10" adi "nr3" 10;
-  Table.print t
+  emit t
+
+let ablation_tune () =
+  pf "\n=== Ablation — autotuner: predictor rank order vs simulator rank order ===\n";
+  pf "(SOR M=100 N=200, 16-processor budget, the fig6 factor sweep; the\n";
+  pf " tuner's shortlist re-simulated, both orderings side by side)\n";
+  let module Tune = Tiles_tune.Tune in
+  let module Predictor = Tiles_tune.Predictor in
+  let module Cache = Tiles_tune.Cache in
+  let p = Tiles_apps.Sor.make ~m_steps:100 ~size:200 in
+  let nest = Tiles_apps.Sor.nest p in
+  let kernel = Tiles_apps.Sor.kernel p in
+  let options =
+    { Tune.default_options with factors = [ 2; 3; 4; 6; 8; 10; 16; 25 ] }
+  in
+  let r = Tune.search ~options ~nest ~kernel ~net () in
+  let by_pred =
+    List.sort
+      (fun (a : Tune.scored) b ->
+        compare a.Tune.predicted.Predictor.total b.Tune.predicted.Predictor.total)
+      r.Tune.simulated
+  in
+  let pred_rank s =
+    let rec find i = function
+      | [] -> 0
+      | x :: rest -> if x.Tune.cand = s.Tune.cand then i else find (i + 1) rest
+    in
+    find 1 by_pred
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "candidate"; "predicted ms"; "pred rank"; "simulated ms"; "sim rank" ]
+  in
+  List.iteri
+    (fun i s ->
+      let sim =
+        match s.Tune.score with
+        | Some sc -> Printf.sprintf "%.3f" (1e3 *. sc.Cache.completion)
+        | None -> "-"
+      in
+      Table.add_row t
+        [
+          Tiles_tune.Candidate.label s.Tune.cand;
+          Printf.sprintf "%.3f" (1e3 *. s.Tune.predicted.Predictor.total);
+          string_of_int (pred_rank s);
+          sim;
+          string_of_int (i + 1);
+        ])
+    r.Tune.simulated;
+  emit t;
+  (* the acceptance comparison: the tuner against fig6's best hand-picked
+     tiling (same nest, net and processor budget) *)
+  let hand =
+    let plan = Plan.make ~m:2 nest (Tiles_apps.Sor.nonrect ~x:50 ~y:34 ~z:4) in
+    Executor.run ~mode:Executor.Timing ~plan ~kernel ~net ()
+  in
+  let best_completion =
+    match r.Tune.best.Tune.score with
+    | Some sc -> sc.Cache.completion
+    | None -> nan
+  in
+  pf "tuned best  : %s — %.3f ms\n"
+    (Tiles_tune.Candidate.label r.Tune.best.Tune.cand)
+    (1e3 *. best_completion);
+  pf "hand-picked : nonrect z=4 (fig6) — %.3f ms\n"
+    (1e3 *. hand.Executor.stats.Sim.completion);
+  pf "sim-best predictor rank: %d of %d simulated\n"
+    (pred_rank (List.hd r.Tune.simulated))
+    (List.length r.Tune.simulated)
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -586,7 +685,7 @@ let micro () =
       in
       Table.add_row t [ name; time ])
     (List.sort compare rows);
-  Table.print t
+  emit t
 
 (* ---------------- driver ---------------- *)
 
@@ -596,6 +695,7 @@ let figures =
     ("fig9", fig9); ("fig10", fig10); ("summary", summary);
     ("analytic", analytic); ("ablation-net", ablation_net);
     ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
+    ("ablation-tune", ablation_tune);
     ("memory", memory); ("model", model); ("micro", micro);
   ]
 
@@ -603,6 +703,8 @@ let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "ana
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
   let targets =
     match args with
     | [] -> default
@@ -619,8 +721,10 @@ let () =
       match List.assoc_opt name figures with
       | Some f ->
         let t0 = Unix.gettimeofday () in
+        collected := [];
         f ();
-        pf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t0)
+        pf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t0);
+        if json then write_json ~target:name
       | None ->
         pf "unknown target %s (available: %s)\n" name
           (String.concat ", " (List.map fst figures));

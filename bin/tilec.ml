@@ -8,7 +8,8 @@
      emit-pseq  generate the parametric sequential program (sizes at runtime)
      simulate   run the plan on the simulated cluster and report speedup
                 (--full verifies, --overlap uses non-blocking sends,
-                 --utilisation prints the traced busy/wait breakdown) *)
+                 --utilisation prints the traced busy/wait breakdown)
+     tune       search tile shape, size and mapping for the best plan *)
 
 open Cmdliner
 
@@ -89,6 +90,19 @@ let instance app ~size1 ~size2 =
     }
   | other -> failwith ("unknown app " ^ other ^ " (sor | jacobi | adi)")
 
+(* User errors (illegal or singular tiling matrices, infeasible factors,
+   unknown variants…) surface as raised exceptions from the libraries;
+   report them as a one-line message with a non-zero exit, never a
+   backtrace. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "tilec: error: %s\n" msg;
+    exit 1
+  | Division_by_zero ->
+    Printf.eprintf "tilec: error: singular tiling (zero tile factor)\n";
+    exit 1
+
 (* ---------------- common options ---------------- *)
 
 let app_arg =
@@ -122,6 +136,7 @@ let build_plan app size1 size2 variant (x, y, z) =
 
 let plan_cmd =
   let run app size1 size2 variant xyz =
+    guard @@ fun () ->
     let _, plan = build_plan app size1 size2 variant xyz in
     print_string (Plan.summary plan);
     Printf.printf "  wavefront steps   : %d\n" (Schedule.steps plan);
@@ -132,6 +147,7 @@ let plan_cmd =
 
 let cone_cmd =
   let run app size1 size2 =
+    guard @@ fun () ->
     let inst = instance app ~size1 ~size2 in
     let cone = Nest.tiling_cone inst.nest in
     Printf.printf "dependence columns: %s\n"
@@ -150,6 +166,7 @@ let output_arg =
 
 let emit gen =
   fun app size1 size2 variant xyz output ->
+    guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let src = gen inst plan in
     match output with
@@ -173,6 +190,7 @@ let emit_mpi_cmd =
 
 let emit_pseq_cmd =
   let run app variant xyz output =
+    guard @@ fun () ->
     (* sizes are irrelevant for the parametric generator; use small
        placeholders for the app instance *)
     let inst = instance app ~size1:8 ~size2:8 in
@@ -223,6 +241,7 @@ let simulate_cmd =
                  schedule).")
   in
   let run app size1 size2 variant xyz full trace overlap =
+    guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let net = Netmodel.fast_ethernet_cluster in
     let mode = if full then Executor.Full else Executor.Timing in
@@ -267,10 +286,119 @@ let simulate_cmd =
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
           $ full_arg $ trace_arg $ overlap_arg)
 
+let tune_cmd =
+  let module Tune = Tiles_tune.Tune in
+  let module Predictor = Tiles_tune.Predictor in
+  let module Cache = Tiles_tune.Cache in
+  let procs_arg =
+    Arg.(value & opt int 16 & info [ "procs" ] ~docv:"P"
+           ~doc:"Processor budget (candidate plans use at most P processes).")
+  in
+  let factors_arg =
+    Arg.(value & opt (list int) [ 2; 4; 6; 8; 10; 16; 25 ]
+         & info [ "factors" ] ~docv:"F,F,…"
+             ~doc:"Tile factors swept along the mapping dimension.")
+  in
+  let top_arg =
+    Arg.(value & opt int 12 & info [ "top" ] ~docv:"K"
+           ~doc:"Candidates surviving predictor pruning into exact \
+                 simulation.")
+  in
+  let workers_arg =
+    Arg.(value & opt int Tune.default_options.Tune.workers
+         & info [ "workers" ] ~docv:"W"
+             ~doc:"Domains used for parallel candidate evaluation.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Memoize exact scores in $(docv) so repeated tunes are \
+                 incremental.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the result as JSON.")
+  in
+  let overlap_arg =
+    Arg.(value & flag & info [ "overlap" ]
+           ~doc:"Tune for the non-blocking (overlapped) send schedule.")
+  in
+  let m_arg =
+    Arg.(value & opt (some int) None & info [ "m" ] ~docv:"DIM"
+           ~doc:"Restrict the mapping dimension (default: search all).")
+  in
+  let run app size1 size2 procs factors top workers cache json overlap m =
+    guard @@ fun () ->
+    let inst = instance app ~size1 ~size2 in
+    let options =
+      {
+        Tune.procs;
+        factors;
+        top_k = top;
+        workers;
+        cache_dir = cache;
+        overlap;
+        mapping_dims = Option.map (fun m -> [ m ]) m;
+      }
+    in
+    let r =
+      Tune.search ~options ~nest:inst.nest ~kernel:inst.kernel
+        ~net:Netmodel.fast_ethernet_cluster ()
+    in
+    if json then
+      print_endline (Tiles_util.Json.to_string (Tune.result_json r))
+    else begin
+      Printf.printf
+        "tune %s: %d candidates generated, %d feasible, %d simulated \
+         (%d cache hit%s)\n"
+        inst.app_name r.Tune.generated r.Tune.feasible
+        (List.length r.Tune.simulated) r.Tune.cache_hits
+        (if r.Tune.cache_hits = 1 then "" else "s");
+      let t =
+        Tiles_util.Table.create
+          ~header:
+            [ "candidate"; "procs"; "tile"; "steps"; "predicted ms";
+              "simulated ms"; "speedup"; "cache" ]
+      in
+      List.iter
+        (fun (s : Tune.scored) ->
+          let sim, spd =
+            match s.Tune.score with
+            | Some sc ->
+              ( Printf.sprintf "%.3f" (1e3 *. sc.Cache.completion),
+                Printf.sprintf "%.2f" sc.Cache.speedup )
+            | None -> ("-", "-")
+          in
+          Tiles_util.Table.add_row t
+            [
+              Tiles_tune.Candidate.label s.Tune.cand;
+              string_of_int s.Tune.nprocs;
+              string_of_int s.Tune.tile_size;
+              string_of_int s.Tune.predicted.Predictor.steps;
+              Printf.sprintf "%.3f" (1e3 *. s.Tune.predicted.Predictor.total);
+              sim;
+              spd;
+              (if s.Tune.from_cache then "hit" else "");
+            ])
+        r.Tune.simulated;
+      Tiles_util.Table.print t;
+      let best = r.Tune.best in
+      Printf.printf "\nbest: %s\n" (Tiles_tune.Candidate.label best.Tune.cand);
+      let plan = Tune.plan_of ~nest:inst.nest best.Tune.cand in
+      print_string (Plan.summary plan)
+    end
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Search tile shape, tile size and mapping dimension for the \
+             fastest plan under a processor budget.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ procs_arg
+          $ factors_arg $ top_arg $ workers_arg $ cache_arg $ json_arg
+          $ overlap_arg $ m_arg)
+
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in
   let info = Cmd.info "tilec" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd; simulate_cmd ]))
+          [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd;
+            simulate_cmd; tune_cmd ]))

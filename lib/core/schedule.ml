@@ -22,18 +22,25 @@ let steps p =
   let lo, hi = step_range p in
   hi - lo + 1
 
-let last_point_step (plan : Plan.t) =
-  (* lexicographically last point of J^n via the projection chain *)
+(* linear-schedule step of the lexicographic extreme point of J^n,
+   [pick] selecting the lower or upper projection bound per variable *)
+let extreme_point_step (plan : Plan.t) ~pick =
   let space = plan.Plan.nest.Tiles_loop.Nest.space in
   let n = Polyhedron.dim space in
   let proj = Polyhedron.projection space in
-  let jmax = Array.make n 0 in
+  let j = Array.make n 0 in
   for k = 0 to n - 1 do
-    match Tiles_poly.Fourier_motzkin.bounds proj ~var:k ~prefix:jmax with
-    | Some (_, hi) -> jmax.(k) <- hi
-    | None -> invalid_arg "Schedule.last_point_step: empty space"
+    match Tiles_poly.Fourier_motzkin.bounds proj ~var:k ~prefix:j with
+    | Some (lo, hi) -> j.(k) <- pick lo hi
+    | None -> invalid_arg "Schedule.extreme_point_step: empty space"
   done;
-  Vec.sum (Tiling.tile_of plan.Plan.tiling jmax)
+  Vec.sum (Tiling.tile_of plan.Plan.tiling j)
+
+let last_point_step plan = extreme_point_step plan ~pick:(fun _ hi -> hi)
+let first_point_step plan = extreme_point_step plan ~pick:(fun lo _ -> lo)
+
+let effective_steps plan =
+  last_point_step plan - first_point_step plan + 1
 
 let predicted_time plan ~compute_per_point ~comm_per_step =
   let tile_points = float_of_int (Tiling.tile_size plan.Plan.tiling) in

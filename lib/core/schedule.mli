@@ -22,6 +22,17 @@ val last_point_step : Plan.t -> int
     ADI's nr3). Unlike {!steps} it is not inflated by nearly-empty corner
     tiles of oblique tilings. *)
 
+val first_point_step : Plan.t -> int
+(** [Π·⌊H·j_min⌋] for the lexicographically first iteration — the
+    symmetric counterpart of {!last_point_step}. *)
+
+val effective_steps : Plan.t -> int
+(** [last_point_step − first_point_step + 1]: the schedule length between
+    the first and last {e real} iterations. Unlike {!steps} it is not
+    inflated by the nearly-empty corner tiles of oblique tilings
+    (reproduction finding 4 in DESIGN.md), so the tuner's analytic
+    predictor ranks mixed shape families sensibly. *)
+
 val predicted_time :
   Plan.t -> compute_per_point:float -> comm_per_step:float -> float
 (** Hodzic–Shang-style estimate: [steps × (tile_size · compute_per_point

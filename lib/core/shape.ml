@@ -60,6 +60,51 @@ let cone_rows deps =
     failwith "Shape.cone_rows: fewer than n independent extreme rays";
   chosen
 
+let families deps =
+  let n = Dependence.dim deps in
+  let axis = List.init n (fun k -> Vec.basis n k) in
+  let cone = match cone_rows deps with
+    | rows -> Some (Array.of_list rows)
+    | exception Failure _ -> None
+  in
+  let legal rows =
+    List.for_all
+      (fun r ->
+        List.for_all (fun d -> Vec.dot r d >= 0) (Dependence.vectors deps))
+      rows
+  in
+  let independent rows =
+    Intmat.det (Array.of_list (List.map Array.copy rows)) <> 0
+  in
+  let name_of mask =
+    if mask = 0 then "rect"
+    else if mask = (1 lsl n) - 1 then "cone"
+    else
+      "mix"
+      ^ String.concat ""
+          (List.filter_map
+             (fun k -> if mask land (1 lsl k) <> 0 then Some (string_of_int k) else None)
+             (List.init n Fun.id))
+  in
+  let masks = List.init (1 lsl n) Fun.id in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun mask ->
+      let rows =
+        List.init n (fun k ->
+            if mask land (1 lsl k) <> 0 then
+              match cone with Some c -> c.(k) | None -> List.nth axis k
+            else List.nth axis k)
+      in
+      let key = List.map Array.to_list rows in
+      if Hashtbl.mem seen key then None
+      else begin
+        Hashtbl.add seen key ();
+        if legal rows && independent rows then Some (name_of mask, rows)
+        else None
+      end)
+    masks
+
 let from_cone deps ~factors =
   let n = Dependence.dim deps in
   if List.length factors <> n then invalid_arg "Shape.from_cone: factors";

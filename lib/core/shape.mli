@@ -17,3 +17,12 @@ val cone_rows : Tiles_loop.Dependence.t -> Tiles_util.Vec.t list
 val from_cone : Tiles_loop.Dependence.t -> factors:int list -> Tiling.t
 (** Raises like {!Tiling.make} (e.g. stride divisibility) plus the
     {!cone_rows} failures. *)
+
+val families : Tiles_loop.Dependence.t -> (string * Tiles_util.Vec.t list) list
+(** The tuner's shape vocabulary: every mix of axis rows and
+    {!cone_rows} rays (row [k] is either [e_k] or ray [k]), filtered to
+    legal ([row·d >= 0] for every dependence — scaling rows by positive
+    [1/f] preserves this) and linearly independent families, deduplicated.
+    [("rect", axis rows)] appears first when legal; [("cone", …)] is the
+    full-ray family; in-between families are named ["mix<ray indices>"].
+    If the cone has no usable ray basis only the axis family is tried. *)

@@ -14,7 +14,6 @@ type estimate = {
   predicted_speedup : float;
 }
 
-(* geometric (unclipped) slab cell count per direction *)
 let slab_cells (plan : Tiles_core.Plan.t) =
   let tiling = plan.Plan.tiling and comm = plan.Plan.comm in
   let n = tiling.Tiling.n and m = comm.Comm.m in

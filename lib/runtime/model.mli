@@ -20,6 +20,11 @@ type estimate = {
   predicted_speedup : float;
 }
 
+val slab_cells : Tiles_core.Plan.t -> int
+(** Geometric (unclipped) per-tile communication cells, summed over the
+    plan's processor directions — the per-step traffic the α-β terms
+    charge. Exposed for {!Tiles_tune}'s predictor. *)
+
 val predict : Tiles_core.Plan.t -> net:Tiles_mpisim.Netmodel.t -> estimate
 
 val best_factor :

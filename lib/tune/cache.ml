@@ -1,0 +1,91 @@
+module Constr = Tiles_poly.Constr
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Dependence = Tiles_loop.Dependence
+module Tiling = Tiles_core.Tiling
+module Ratmat = Tiles_linalg.Ratmat
+module Kernel = Tiles_runtime.Kernel
+module Netmodel = Tiles_mpisim.Netmodel
+
+type score = {
+  completion : float;
+  speedup : float;
+  messages : int;
+  bytes : int;
+  points_computed : int;
+  tiles_executed : int;
+}
+
+type t = { dir : string }
+
+(* bump when the score record or the key rendering changes *)
+let version = 1
+
+let open_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": not a directory"))
+  end
+  else Unix.mkdir dir 0o755;
+  { dir }
+
+let dir t = t.dir
+
+let key ~nest ~tiling ~m ~kernel ~net ~overlap =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let addf x = add "%Lx;" (Int64.bits_of_float x) in
+  add "v%d|" version;
+  add "space:%d:" (Polyhedron.dim nest.Nest.space);
+  List.iter
+    (fun c ->
+      for k = 0 to Constr.dim c - 1 do
+        add "%d," (Constr.coeff c k)
+      done;
+      add "+%d;" (Constr.const c))
+    (Polyhedron.constraints nest.Nest.space);
+  add "|deps:";
+  List.iter
+    (fun d -> Array.iter (fun x -> add "%d," x) d; add ";")
+    (Dependence.vectors nest.Nest.deps);
+  add "|h:%s" (Ratmat.to_string tiling.Tiling.h);
+  add "|m:%d" m;
+  add "|kernel:%s:%d:" kernel.Kernel.name kernel.Kernel.width;
+  List.iter
+    (fun d -> Array.iter (fun x -> add "%d," x) d; add ";")
+    kernel.Kernel.reads;
+  add "|net:";
+  addf net.Netmodel.latency;
+  addf net.Netmodel.bandwidth;
+  addf net.Netmodel.send_overhead;
+  addf net.Netmodel.recv_overhead;
+  addf net.Netmodel.flop_time;
+  addf net.Netmodel.pack_time;
+  add "|overlap:%b" overlap;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let path t k = Filename.concat t.dir (k ^ ".score")
+
+let find t k =
+  match open_in_bin (path t k) with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r =
+      match (Marshal.from_channel ic : int * score) with
+      | v, s when v = version -> Some s
+      | _ -> None
+      | exception _ -> None
+    in
+    close_in_noerr ic;
+    r
+
+let store t k score =
+  let final = path t k in
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".%s.%d.tmp" k (Unix.getpid ()))
+  in
+  let oc = open_out_bin tmp in
+  Marshal.to_channel oc ((version, score) : int * score) [];
+  close_out oc;
+  Sys.rename tmp final

@@ -1,0 +1,40 @@
+(** Content-addressed on-disk memo of exact simulator scores.
+
+    A score is keyed by everything that determines the (deterministic)
+    discrete-event result: the nest (space constraints + dependencies),
+    the tiling matrix [H], the mapping dimension, the kernel's identity
+    (name, width, read offsets), the network model's exact parameters and
+    the overlap flag. Keys are MD5 digests of a canonical rendering;
+    values are [Marshal]ed {!score} records written atomically
+    (temp-file + rename), so concurrent tunes sharing a directory are
+    safe and a cache hit returns bit-identical floats. A corrupt or
+    truncated entry reads as a miss. *)
+
+type score = {
+  completion : float;  (** simulated parallel time, seconds *)
+  speedup : float;
+  messages : int;
+  bytes : int;
+  points_computed : int;
+  tiles_executed : int;
+}
+
+type t
+
+val open_dir : string -> t
+(** Create the directory if needed. Raises [Sys_error] if the path exists
+    and is not a directory. *)
+
+val dir : t -> string
+
+val key :
+  nest:Tiles_loop.Nest.t ->
+  tiling:Tiles_core.Tiling.t ->
+  m:int ->
+  kernel:Tiles_runtime.Kernel.t ->
+  net:Tiles_mpisim.Netmodel.t ->
+  overlap:bool ->
+  string
+
+val find : t -> string -> score option
+val store : t -> string -> score -> unit

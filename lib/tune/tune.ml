@@ -1,0 +1,273 @@
+module Json = Tiles_util.Json
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Plan = Tiles_core.Plan
+module Tiling = Tiles_core.Tiling
+module Kernel = Tiles_runtime.Kernel
+module Executor = Tiles_runtime.Executor
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+
+type options = {
+  procs : int;
+  factors : int list;
+  top_k : int;
+  workers : int;
+  cache_dir : string option;
+  overlap : bool;
+  mapping_dims : int list option;
+}
+
+let default_options =
+  {
+    procs = 16;
+    factors = [ 2; 4; 6; 8; 10; 16; 25 ];
+    top_k = 12;
+    workers = max 1 (min 8 (Domain.recommended_domain_count ()));
+    cache_dir = None;
+    overlap = false;
+    mapping_dims = None;
+  }
+
+type scored = {
+  cand : Candidate.t;
+  nprocs : int;
+  tile_size : int;
+  predicted : Predictor.estimate;
+  score : Cache.score option;
+  from_cache : bool;
+}
+
+type result = {
+  best : scored;
+  simulated : scored list;
+  pruned : scored list;
+  generated : int;
+  feasible : int;
+  cache_hits : int;
+}
+
+let plan_of ~nest cand = Plan.make ~m:cand.Candidate.m nest (Candidate.tiling cand)
+
+let score_of_run (r : Executor.result) : Cache.score =
+  {
+    Cache.completion = r.Executor.stats.Sim.completion;
+    speedup = r.Executor.speedup;
+    messages = r.Executor.stats.Sim.messages;
+    bytes = r.Executor.stats.Sim.bytes;
+    points_computed = r.Executor.points_computed;
+    tiles_executed = r.Executor.tiles_executed;
+  }
+
+(* evaluate [jobs] (plan per candidate) across [workers] domains; the
+   simulator state is per-run and all cross-candidate shared structures
+   (the nest-space projection memo) are forced before spawning *)
+let evaluate_parallel ~workers ~kernel ~net ~overlap jobs =
+  let jobs = Array.of_list jobs in
+  let out = Array.make (Array.length jobs) None in
+  let eval i =
+    let _, plan = jobs.(i) in
+    let r = Executor.run ~mode:Executor.Timing ~overlap ~plan ~kernel ~net () in
+    out.(i) <- Some (score_of_run r)
+  in
+  let nw = max 1 (min workers (Array.length jobs)) in
+  if nw = 1 then Array.iteri (fun i _ -> eval i) jobs
+  else begin
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length jobs && Atomic.get failure = None then begin
+          (try eval i
+           with e -> Atomic.compare_and_set failure None (Some e) |> ignore);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init nw (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    match Atomic.get failure with Some e -> raise e | None -> ()
+  end;
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         match s with
+         | Some s -> (fst jobs.(i), s)
+         | None -> failwith "Tune.evaluate_parallel: job skipped")
+       out)
+
+let search ?(options = default_options) ~nest ~kernel ~net () =
+  let cands =
+    Candidate.generate ~nest ~procs:options.procs ~factors:options.factors
+      ?mapping_dims:options.mapping_dims ()
+  in
+  let generated = List.length cands in
+  let width = kernel.Kernel.width in
+  let feasible =
+    List.filter_map
+      (fun cand ->
+        match
+          let plan = plan_of ~nest cand in
+          let predicted = Predictor.predict ~width plan ~net in
+          ( cand,
+            plan,
+            predicted,
+            Plan.nprocs plan,
+            Tiling.tile_size plan.Plan.tiling )
+        with
+        | x -> Some x
+        | exception (Invalid_argument _ | Failure _ | Division_by_zero) -> None)
+      cands
+  in
+  let ranked =
+    List.sort
+      (fun (_, _, a, _, _) (_, _, b, _, _) ->
+        compare a.Predictor.total b.Predictor.total)
+      feasible
+  in
+  let rec split k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split (k - 1) (x :: acc) rest
+  in
+  (* second pruning pass: re-rank a shortlist with the exact-volume
+     refinement before committing simulator time *)
+  let shortlist, tail = split (max 1 (3 * options.top_k)) [] ranked in
+  let shortlist =
+    List.map
+      (fun (cand, plan, _, nprocs, tile_size) ->
+        (cand, plan, Predictor.refine ~width plan ~net, nprocs, tile_size))
+      shortlist
+    |> List.sort (fun (_, _, a, _, _) (_, _, b, _, _) ->
+           compare a.Predictor.total b.Predictor.total)
+  in
+  let survivors, rest = split (max 1 options.top_k) [] shortlist in
+  let pruned =
+    List.map
+      (fun (cand, _, predicted, nprocs, tile_size) ->
+        { cand; nprocs; tile_size; predicted; score = None; from_cache = false })
+      (rest @ tail)
+  in
+  (* force the shared nest-space projection memo before domains race on it *)
+  ignore (Polyhedron.count_points nest.Nest.space);
+  let cache = Option.map Cache.open_dir options.cache_dir in
+  let keyed =
+    List.map
+      (fun ((cand, plan, _, _, _) as s) ->
+        let key =
+          Option.map
+            (fun _ ->
+              Cache.key ~nest ~tiling:plan.Plan.tiling ~m:cand.Candidate.m
+                ~kernel ~net ~overlap:options.overlap)
+            cache
+        in
+        (s, key))
+      survivors
+  in
+  let hits, misses =
+    List.partition_map
+      (fun ((s, key) as entry) ->
+        match (cache, key) with
+        | Some c, Some k -> (
+          match Cache.find c k with
+          | Some score -> Left (s, score)
+          | None -> Right entry)
+        | _ -> Right entry)
+      keyed
+  in
+  let cache_hits = List.length hits in
+  let miss_scores =
+    evaluate_parallel ~workers:options.workers ~kernel ~net
+      ~overlap:options.overlap
+      (List.map (fun ((_, plan, _, _, _), key) -> (key, plan)) misses)
+  in
+  (match cache with
+  | Some c ->
+    List.iter
+      (fun (key, score) ->
+        match key with Some k -> Cache.store c k score | None -> ())
+      miss_scores
+  | None -> ());
+  let scored_of (cand, _, predicted, nprocs, tile_size) score from_cache =
+    { cand; nprocs; tile_size; predicted; score = Some score; from_cache }
+  in
+  let simulated =
+    List.map2
+      (fun ((s, _) : _ * string option) (_, score) -> scored_of s score false)
+      misses miss_scores
+    @ List.map (fun (s, score) -> scored_of s score true) hits
+  in
+  let simulated =
+    List.sort
+      (fun a b ->
+        match (a.score, b.score) with
+        | Some x, Some y -> compare x.Cache.completion y.Cache.completion
+        | _ -> 0)
+      simulated
+  in
+  match simulated with
+  | [] -> failwith "Tune.search: no feasible candidate"
+  | best :: _ ->
+    { best; simulated; pruned; generated; feasible = List.length feasible; cache_hits }
+
+(* ---------------- JSON rendering ---------------- *)
+
+let estimate_json (e : Predictor.estimate) =
+  Json.Obj
+    [
+      ("steps", Json.Int e.Predictor.steps);
+      ("chain", Json.Int e.Predictor.chain);
+      ("fill", Json.Int e.Predictor.fill);
+      ("tile_compute_s", Json.Float e.Predictor.tile_compute);
+      ("comm_cpu_s", Json.Float e.Predictor.comm_cpu);
+      ("comm_wire_s", Json.Float e.Predictor.comm_wire);
+      ("total_s", Json.Float e.Predictor.total);
+      ("speedup", Json.Float e.Predictor.predicted_speedup);
+    ]
+
+let score_json (s : Cache.score) =
+  Json.Obj
+    [
+      ("completion_s", Json.Float s.Cache.completion);
+      ("speedup", Json.Float s.Cache.speedup);
+      ("messages", Json.Int s.Cache.messages);
+      ("bytes", Json.Int s.Cache.bytes);
+      ("points", Json.Int s.Cache.points_computed);
+      ("tiles", Json.Int s.Cache.tiles_executed);
+    ]
+
+let scored_json s =
+  let c = s.cand in
+  Json.Obj
+    [
+      ("label", Json.Str (Candidate.label c));
+      ("shape", Json.Str c.Candidate.shape);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r -> Json.List (List.map (fun x -> Json.Int x) (Array.to_list r)))
+             c.Candidate.rows) );
+      ( "factors",
+        Json.List
+          (List.map (fun x -> Json.Int x) (Array.to_list c.Candidate.factors)) );
+      ("m", Json.Int c.Candidate.m);
+      ("nprocs", Json.Int s.nprocs);
+      ("tile_size", Json.Int s.tile_size);
+      ("predicted", estimate_json s.predicted);
+      ( "simulated",
+        match s.score with Some sc -> score_json sc | None -> Json.Null );
+      ("from_cache", Json.Bool s.from_cache);
+    ]
+
+let result_json r =
+  Json.Obj
+    [
+      ("best", scored_json r.best);
+      ("simulated", Json.List (List.map scored_json r.simulated));
+      ("pruned", Json.List (List.map scored_json r.pruned));
+      ("generated", Json.Int r.generated);
+      ("feasible", Json.Int r.feasible);
+      ("cache_hits", Json.Int r.cache_hits);
+    ]

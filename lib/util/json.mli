@@ -1,0 +1,18 @@
+(** A minimal JSON value type and printer — the sealed environment has no
+    JSON library, and the tuner / bench harness only need to {e emit}
+    machine-readable results, never parse them. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indentation step (default 2). Strings are
+    escaped per RFC 8259; non-finite floats render as [null]; finite
+    floats round-trip ([%.17g], trailing [.0] added to integral values so
+    consumers see a JSON number that parses back to the same double). *)

@@ -9,6 +9,9 @@ let add_row t row =
   let row = if len < n then row @ List.init (n - len) (fun _ -> "") else row in
   t.rows <- row :: t.rows
 
+let header t = t.header
+let rows t = List.rev t.rows
+
 let render t =
   let rows = List.rev t.rows in
   let all = t.header :: rows in

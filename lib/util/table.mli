@@ -7,6 +7,11 @@ val add_row : t -> string list -> unit
 (** Rows shorter than the header are right-padded with empty cells; longer
     rows raise [Invalid_argument]. *)
 
+val header : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order (padded to header width). *)
+
 val render : t -> string
 (** Render with a header rule, columns left-aligned and padded. *)
 

@@ -66,6 +66,52 @@ let test_bad_app () =
   let status, _ = run "plan --app nope" in
   Alcotest.(check bool) "non-zero exit" true (status <> Unix.WEXITED 0)
 
+(* illegal or singular tilings must exit non-zero with a one-line
+   diagnostic, not an OCaml backtrace *)
+let check_err args =
+  let status, out = run args in
+  if status = Unix.WEXITED 0 then
+    Alcotest.failf "tilec %s unexpectedly succeeded:\n%s" args out;
+  if not (contains out "tilec: error:") then
+    Alcotest.failf "tilec %s: missing error prefix:\n%s" args out;
+  List.iter
+    (fun marker ->
+      if contains out marker then
+        Alcotest.failf "tilec %s: leaked a backtrace:\n%s" args out)
+    [ "Raised at"; "Called from"; "Fatal error: exception" ];
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  if List.length lines <> 1 then
+    Alcotest.failf "tilec %s: expected a one-line error, got %d lines:\n%s"
+      args (List.length lines) out
+
+let test_singular_tiling () =
+  check_err "plan --app sor -M 12 -N 16 --variant nonrect -x 6 -y 7 -z 0"
+
+let test_illegal_tiling () =
+  check_err "plan --app sor -M 12 -N 16 --variant rect -x 0 -y 7 -z 4";
+  check_err "simulate --app adi -t 12 -n 16 --variant nr3 -x 3 -y 0 -z 4"
+
+let test_tune () =
+  check_ok
+    "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 3 --workers 2"
+    [ "tune adi"; "simulated ms"; "best:"; "plan for adi" ]
+
+let test_tune_json () =
+  let status, out =
+    run "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 2 --json"
+  in
+  if status <> Unix.WEXITED 0 then Alcotest.failf "tune --json failed:\n%s" out;
+  List.iter
+    (fun n ->
+      if not (contains out n) then
+        Alcotest.failf "tune --json: %S not in output:\n%s" n out)
+    [
+      {|"best"|}; {|"simulated"|}; {|"pruned"|}; {|"generated"|};
+      {|"label"|}; {|"completion_s"|}; {|"predicted"|};
+    ]
+
 let () =
   Alcotest.run "tilec_cli"
     [
@@ -76,5 +122,9 @@ let () =
           Alcotest.test_case "simulate --full" `Quick test_simulate;
           Alcotest.test_case "emit-mpi" `Quick test_emit;
           Alcotest.test_case "bad app" `Quick test_bad_app;
+          Alcotest.test_case "singular tiling error" `Quick test_singular_tiling;
+          Alcotest.test_case "illegal tiling error" `Quick test_illegal_tiling;
+          Alcotest.test_case "tune" `Quick test_tune;
+          Alcotest.test_case "tune --json" `Quick test_tune_json;
         ] );
     ]

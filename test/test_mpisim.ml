@@ -192,6 +192,44 @@ let test_trace_and_utilisation () =
      e > 0. && e <= 1.);
   Alcotest.(check int) "critical rank" 1 (Trace.critical_rank stats)
 
+(* on a real traced run (SOR through the executor), every rank's
+   utilisation components must account for the whole schedule *)
+let test_traced_sor_utilisation () =
+  let module Trace = Tiles_mpisim.Trace in
+  let module Plan = Tiles_core.Plan in
+  let module Executor = Tiles_runtime.Executor in
+  let p = Tiles_apps.Sor.make ~m_steps:12 ~size:16 in
+  let plan =
+    Plan.make ~m:2 (Tiles_apps.Sor.nest p)
+      (Tiles_apps.Sor.nonrect ~x:6 ~y:7 ~z:4)
+  in
+  let r =
+    Executor.run ~mode:Executor.Timing ~trace:true ~plan
+      ~kernel:(Tiles_apps.Sor.kernel p) ~net ()
+  in
+  let stats = r.Executor.stats in
+  let u = Trace.utilisation stats in
+  Alcotest.(check bool) "several ranks" true (Array.length u > 1);
+  Array.iteri
+    (fun rank c ->
+      let sum = c.Trace.compute +. c.Trace.send +. c.Trace.wait +. c.Trace.idle in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "rank %d components sum to completion" rank)
+        stats.Sim.completion sum;
+      List.iter
+        (fun (part, v) ->
+          if v < -.1e-12 then
+            Alcotest.failf "rank %d: negative %s time %.3e" rank part v)
+        [
+          ("compute", c.Trace.compute);
+          ("send", c.Trace.send);
+          ("wait", c.Trace.wait);
+          ("idle", c.Trace.idle);
+        ])
+    u;
+  let e = Trace.efficiency stats in
+  Alcotest.(check bool) "efficiency in [0,1]" true (e >= 0. && e <= 1.)
+
 let test_trace_off_by_default () =
   let stats = Sim.run ~nprocs:1 ~net (fun _ -> Sim.Api.compute 1.0) in
   Alcotest.(check bool) "no trace" true (stats.Sim.trace = [])
@@ -224,6 +262,8 @@ let () =
           Alcotest.test_case "send copies" `Quick test_send_copies;
           Alcotest.test_case "zero nprocs" `Quick test_zero_nprocs;
           Alcotest.test_case "trace + utilisation" `Quick test_trace_and_utilisation;
+          Alcotest.test_case "traced sor utilisation" `Quick
+            test_traced_sor_utilisation;
           Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
           Alcotest.test_case "netmodel" `Quick test_netmodel;
         ] );
