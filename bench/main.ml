@@ -8,9 +8,11 @@
      bench/main.exe fig5 ... fig10  individual figures
      bench/main.exe summary | analytic | ablation-net | ablation-map
      bench/main.exe ablation-tune   autotuner predictor vs simulator ranks
+     bench/main.exe trace           unified span metrics, sim vs shm domains
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe everything      all of the above
-     bench/main.exe --json ...      also write each target's tables to
+     bench/main.exe --json ...      also write each target's tables (plus any
+                                    embedded aggregate statistics records) to
                                     BENCH_<target>.json *)
 
 module Table = Tiles_util.Table
@@ -34,6 +36,12 @@ let emit t =
   Table.print t;
   collected := t :: !collected
 
+(* raw JSON records (e.g. aggregate run statistics) riding along in the
+   current target's BENCH_<target>.json under "stats" *)
+let collected_json : (string * Json.t) list ref = ref []
+
+let emit_json key j = collected_json := (key, j) :: !collected_json
+
 let table_json t =
   let row_json cells = Json.List (List.map (fun c -> Json.Str c) cells) in
   Json.Obj
@@ -44,8 +52,11 @@ let write_json ~target =
   let file = Printf.sprintf "BENCH_%s.json" target in
   let json =
     Json.Obj
-      [ ("target", Json.Str target);
-        ("tables", Json.List (List.rev_map table_json !collected)) ]
+      (( "target", Json.Str target)
+       :: ("tables", Json.List (List.rev_map table_json !collected))
+       :: (match !collected_json with
+          | [] -> []
+          | kvs -> [ ("stats", Json.Obj (List.rev kvs)) ]))
   in
   let oc = open_out file in
   output_string oc (Json.to_string ~indent:2 json);
@@ -604,6 +615,54 @@ let ablation_tune () =
     (pred_rank (List.hd r.Tune.simulated))
     (List.length r.Tune.simulated)
 
+(* ---------------- unified trace metrics ---------------- *)
+
+let trace_target () =
+  pf "\n=== Trace — unified span metrics, simulator vs shm domains ===\n";
+  pf "(SOR M=24 N=32 nonrect x=6 y=8 z=8; both backends run the same plan\n";
+  pf " through the same recorder vocabulary; counters must agree exactly)\n";
+  let module Stats = Tiles_obs.Stats in
+  let module Shm_executor = Tiles_runtime.Shm_executor in
+  let p = Tiles_apps.Sor.make ~m_steps:24 ~size:32 in
+  let nest = Tiles_apps.Sor.nest p in
+  let kernel = Tiles_apps.Sor.kernel p in
+  let plan =
+    Plan.make ~m:Tiles_apps.Sor.mapping_dim nest
+      (Tiles_apps.Sor.nonrect ~x:6 ~y:8 ~z:8)
+  in
+  let sim =
+    let r = Executor.run ~mode:Executor.Full ~trace:true ~plan ~kernel ~net () in
+    Tiles_mpisim.Trace.aggregate r.Executor.stats
+  in
+  let shm = (Shm_executor.run ~trace:true ~plan ~kernel ()).Shm_executor.stats in
+  let t =
+    Table.create
+      ~header:
+        [ "backend"; "completion"; "messages"; "bytes"; "max in-flight";
+          "mean busy"; "comm/compute"; "critical path" ]
+  in
+  let row name (s : Stats.t) =
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.6f s" s.Stats.completion;
+        string_of_int s.Stats.messages;
+        string_of_int s.Stats.bytes;
+        string_of_int s.Stats.max_inflight_bytes;
+        Printf.sprintf "%.0f%%" (100. *. s.Stats.mean_busy_fraction);
+        Printf.sprintf "%.2f" s.Stats.comm_compute_ratio;
+        Printf.sprintf "%.6f s" s.Stats.critical_path;
+      ]
+  in
+  row "sim (virtual)" sim;
+  row "shm (wall)" shm;
+  emit t;
+  emit_json "sim" (Stats.to_json sim);
+  emit_json "shm" (Stats.to_json shm);
+  if sim.Stats.messages <> shm.Stats.messages
+     || sim.Stats.bytes <> shm.Stats.bytes then
+    pf "WARNING: backend counters disagree\n"
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -696,7 +755,8 @@ let figures =
     ("analytic", analytic); ("ablation-net", ablation_net);
     ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
     ("ablation-tune", ablation_tune);
-    ("memory", memory); ("model", model); ("micro", micro);
+    ("memory", memory); ("model", model); ("trace", trace_target);
+    ("micro", micro);
   ]
 
 let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "analytic" ]
@@ -722,6 +782,7 @@ let () =
       | Some f ->
         let t0 = Unix.gettimeofday () in
         collected := [];
+        collected_json := [];
         f ();
         pf "[%s done in %.1fs]\n" name (Unix.gettimeofday () -. t0);
         if json then write_json ~target:name

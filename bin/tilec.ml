@@ -8,7 +8,10 @@
      emit-pseq  generate the parametric sequential program (sizes at runtime)
      simulate   run the plan on the simulated cluster and report speedup
                 (--full verifies, --overlap uses non-blocking sends,
-                 --utilisation prints the traced busy/wait breakdown)
+                 --utilisation prints the traced busy/wait breakdown,
+                 --trace FILE writes a Chrome trace-event JSON)
+     trace      run traced (simulator or shm domains), export the Chrome
+                trace-event JSON / SVG timeline, print aggregate stats
      tune       search tile shape, size and mapping for the best plan *)
 
 open Cmdliner
@@ -17,8 +20,11 @@ module Plan = Tiles_core.Plan
 module Tiling = Tiles_core.Tiling
 module Schedule = Tiles_core.Schedule
 module Executor = Tiles_runtime.Executor
+module Shm_executor = Tiles_runtime.Shm_executor
 module Seq_exec = Tiles_runtime.Seq_exec
 module Grid = Tiles_runtime.Grid
+module Chrome = Tiles_obs.Chrome
+module Stats = Tiles_obs.Stats
 module Sim = Tiles_mpisim.Sim
 module Netmodel = Tiles_mpisim.Netmodel
 module Nest = Tiles_loop.Nest
@@ -96,7 +102,8 @@ let instance app ~size1 ~size2 =
    backtrace. *)
 let guard f =
   try f () with
-  | Invalid_argument msg | Failure msg | Sys_error msg ->
+  | Invalid_argument msg | Failure msg | Sys_error msg
+  | Shm_executor.Recv_timeout msg ->
     Printf.eprintf "tilec: error: %s\n" msg;
     exit 1
   | Division_by_zero ->
@@ -240,11 +247,17 @@ let simulate_cmd =
            ~doc:"Use non-blocking (overlapped) sends (the paper's future-work \
                  schedule).")
   in
-  let run app size1 size2 variant xyz full trace overlap =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the traced run as Chrome trace-event JSON to $(docv) \
+                 (open in chrome://tracing or Perfetto).")
+  in
+  let run app size1 size2 variant xyz full trace overlap trace_out =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let net = Netmodel.fast_ethernet_cluster in
     let mode = if full then Executor.Full else Executor.Timing in
+    let trace = trace || trace_out <> None in
     let r = Executor.run ~mode ~overlap ~trace ~plan ~kernel:inst.kernel ~net () in
     Printf.printf "app %s (%s), %d processes, %d tiles, %d points\n"
       inst.app_name variant (Plan.nprocs plan) r.Executor.tiles_executed
@@ -279,12 +292,79 @@ let simulate_cmd =
             (1e3 *. x.Tiles_mpisim.Trace.wait)
             (1e3 *. x.Tiles_mpisim.Trace.idle))
         u
-    end
+    end;
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      Chrome.write
+        ~process_name:(Printf.sprintf "tilec %s (sim)" inst.app_name)
+        ~nprocs:(Plan.nprocs plan) ~path r.Executor.stats.Sim.trace;
+      Printf.eprintf "wrote %s\n" path
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Execute the plan on the simulated cluster.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
-          $ full_arg $ trace_arg $ overlap_arg)
+          $ full_arg $ trace_arg $ overlap_arg $ trace_out_arg)
+
+let trace_cmd =
+  let backend_arg =
+    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
+           ~doc:"Execution backend: sim (discrete-event simulator, virtual \
+                 time) or shm (real OCaml domains, wall time).")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE"
+           ~doc:"Chrome trace-event JSON output path.")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
+           ~doc:"Also render the per-rank timeline as SVG to $(docv).")
+  in
+  let overlap_arg =
+    Arg.(value & flag & info [ "overlap" ]
+           ~doc:"Non-blocking (overlapped) sends (sim backend only).")
+  in
+  let run app size1 size2 variant xyz backend out svg overlap =
+    guard @@ fun () ->
+    let inst, plan = build_plan app size1 size2 variant xyz in
+    let nprocs = Plan.nprocs plan in
+    let spans, stats =
+      match backend with
+      | "sim" ->
+        let r =
+          Executor.run ~mode:Executor.Full ~overlap ~trace:true ~plan
+            ~kernel:inst.kernel ~net:Netmodel.fast_ethernet_cluster ()
+        in
+        (r.Executor.stats.Sim.trace,
+         Tiles_mpisim.Trace.aggregate r.Executor.stats)
+      | "shm" ->
+        if overlap then
+          failwith "trace: --overlap applies to the sim backend only";
+        let r = Shm_executor.run ~trace:true ~plan ~kernel:inst.kernel () in
+        (r.Shm_executor.trace, r.Shm_executor.stats)
+      | other -> failwith ("unknown backend " ^ other ^ " (sim | shm)")
+    in
+    Chrome.write
+      ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend)
+      ~nprocs ~path:out spans;
+    Printf.eprintf "wrote %s\n" out;
+    (match svg with
+    | None -> ()
+    | Some path ->
+      Tiles_viz.Svg.save
+        (Tiles_viz.Figures.timeline
+           ~title:(Printf.sprintf "%s on %s" inst.app_name backend)
+           ~nprocs ~completion:stats.Stats.completion spans)
+        path;
+      Printf.eprintf "wrote %s\n" path);
+    print_string (Stats.summary stats)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the plan traced and export Chrome trace-event JSON (plus \
+             an optional SVG timeline) with aggregate statistics.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
+          $ backend_arg $ out_arg $ svg_arg $ overlap_arg)
 
 let tune_cmd =
   let module Tune = Tiles_tune.Tune in
@@ -401,4 +481,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd;
-            simulate_cmd; tune_cmd ]))
+            simulate_cmd; trace_cmd; tune_cmd ]))

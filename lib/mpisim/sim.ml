@@ -1,11 +1,12 @@
 open Effect
 open Effect.Deep
+module Span = Tiles_obs.Span
 
-type span = {
+type span = Span.t = {
   rank : int;
   t0 : float;
   t1 : float;
-  kind : [ `Compute | `Send | `Wait ];
+  kind : Span.kind;
 }
 
 type stats = {
@@ -13,6 +14,8 @@ type stats = {
   rank_clocks : float array;
   messages : int;
   bytes : int;
+  rank_messages : int array;
+  rank_bytes : int array;
   max_inflight_bytes : int;
   trace : span list;
 }
@@ -22,7 +25,7 @@ exception Deadlock of string
 type _ Effect.t +=
   | E_rank : int Effect.t
   | E_nprocs : int Effect.t
-  | E_compute : float -> unit Effect.t
+  | E_work : (Span.kind * float) -> unit Effect.t
   | E_now : float Effect.t
   | E_send : (int * int * float array) -> unit Effect.t
   | E_isend : (int * int * float array) -> unit Effect.t
@@ -32,7 +35,9 @@ type _ Effect.t +=
 module Api = struct
   let rank () = perform E_rank
   let nprocs () = perform E_nprocs
-  let compute dt = perform (E_compute dt)
+  let compute dt = perform (E_work (Span.Compute, dt))
+  let pack dt = perform (E_work (Span.Pack, dt))
+  let unpack dt = perform (E_work (Span.Unpack, dt))
   let now () = perform E_now
   let send ~dst ~tag data = perform (E_send (dst, tag, data))
   let isend ~dst ~tag data = perform (E_isend (dst, tag, data))
@@ -54,6 +59,8 @@ type state = {
   mutable at_barrier : (int * (unit -> unit)) list;
   mutable messages : int;
   mutable bytes : int;
+  rank_messages : int array;
+  rank_bytes : int array;
   mutable inflight : int;
   mutable max_inflight : int;
   tracing : bool;
@@ -80,9 +87,12 @@ let pop_message st key =
     end
 
 let deposit st key arrival data =
+  let src, _, _ = key in
   let nbytes = 8 * Array.length data in
   st.messages <- st.messages + 1;
   st.bytes <- st.bytes + nbytes;
+  st.rank_messages.(src) <- st.rank_messages.(src) + 1;
+  st.rank_bytes.(src) <- st.rank_bytes.(src) + nbytes;
   st.inflight <- st.inflight + nbytes;
   if st.inflight > st.max_inflight then st.max_inflight <- st.inflight;
   Queue.push (arrival, data) (queue_of st key);
@@ -101,10 +111,19 @@ let deposit st key arrival data =
 let record st rank t0 t1 kind =
   if st.tracing && t1 > t0 then st.spans <- { rank; t0; t1; kind } :: st.spans
 
-let receive_clock st r (arrival, data) =
-  let t0 = st.clocks.(r) in
-  st.clocks.(r) <- Float.max st.clocks.(r) arrival +. st.net.Netmodel.recv_overhead;
-  record st r t0 st.clocks.(r) `Wait;
+(* Advance the receiver past one message. [t0] is when the rank entered
+   the receive (for a parked receiver: its park time, NOT the virtual
+   time at which the simulator happened to resume the fiber). Only the
+   genuinely blocked interval — from [t0] until the message's arrival —
+   counts as [Wait]; the per-message receive overhead is its own
+   [Unpack] span, so a message that was already waiting in the channel
+   contributes no wait time at all. *)
+let receive_clock st r ~t0 (arrival, data) =
+  let ready = Float.max t0 arrival in
+  record st r t0 ready Span.Wait;
+  let t1 = ready +. st.net.Netmodel.recv_overhead in
+  st.clocks.(r) <- t1;
+  record st r ready t1 Span.Unpack;
   data
 
 let release_barrier st =
@@ -130,12 +149,12 @@ let handler st (r : int) =
         | E_rank -> Some (fun (k : (a, unit) continuation) -> continue k r)
         | E_nprocs -> Some (fun k -> continue k st.nprocs)
         | E_now -> Some (fun k -> continue k st.clocks.(r))
-        | E_compute dt ->
+        | E_work (kind, dt) ->
           Some
             (fun k ->
               let t0 = st.clocks.(r) in
               st.clocks.(r) <- st.clocks.(r) +. dt;
-              record st r t0 st.clocks.(r) `Compute;
+              record st r t0 st.clocks.(r) kind;
               continue k ())
         | E_send (dst, tag, data) ->
           Some
@@ -148,7 +167,7 @@ let handler st (r : int) =
                 st.clocks.(r)
                 +. st.net.Netmodel.send_overhead
                 +. Netmodel.transfer_time st.net ~bytes:nbytes;
-              record st r t0 st.clocks.(r) `Send;
+              record st r t0 st.clocks.(r) Span.Send;
               let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
               deposit st (r, dst, tag) arrival (Array.copy data);
               continue k ())
@@ -162,7 +181,7 @@ let handler st (r : int) =
                  parallel with subsequent computation *)
               let t0 = st.clocks.(r) in
               st.clocks.(r) <- st.clocks.(r) +. st.net.Netmodel.send_overhead;
-              record st r t0 st.clocks.(r) `Send;
+              record st r t0 st.clocks.(r) Span.Send;
               let arrival =
                 st.clocks.(r)
                 +. Netmodel.transfer_time st.net ~bytes:nbytes
@@ -175,13 +194,15 @@ let handler st (r : int) =
             (fun k ->
               let key = (src, r, tag) in
               match pop_message st key with
-              | Some msg -> continue k (receive_clock st r msg)
+              | Some msg ->
+                continue k (receive_clock st r ~t0:st.clocks.(r) msg)
               | None ->
                 if Hashtbl.mem st.parked key then
                   failwith
                     "Sim.recv: two simultaneous receives on one channel";
+                let t_park = st.clocks.(r) in
                 Hashtbl.replace st.parked key (fun msg ->
-                    continue k (receive_clock st r msg)))
+                    continue k (receive_clock st r ~t0:t_park msg)))
         | E_barrier ->
           Some
             (fun k ->
@@ -204,6 +225,8 @@ let run ?(trace = false) ~nprocs ~net program =
       at_barrier = [];
       messages = 0;
       bytes = 0;
+      rank_messages = Array.make nprocs 0;
+      rank_bytes = Array.make nprocs 0;
       inflight = 0;
       max_inflight = 0;
       tracing = trace;
@@ -236,6 +259,11 @@ let run ?(trace = false) ~nprocs ~net program =
     rank_clocks = Array.copy st.clocks;
     messages = st.messages;
     bytes = st.bytes;
+    rank_messages = Array.copy st.rank_messages;
+    rank_bytes = Array.copy st.rank_bytes;
     max_inflight_bytes = st.max_inflight;
-    trace = List.rev st.spans;
+    (* recording order follows the event interleaving, not virtual time;
+       sort so consumers (exporters, invariant checks) see a time-ordered
+       merged stream like the wall-clock recorder produces *)
+    trace = Span.sort (List.rev st.spans);
   }

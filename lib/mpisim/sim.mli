@@ -10,14 +10,19 @@
     generated code communicates.
 
     The simulation is deterministic: rank programs are pure functions of
-    their inputs and message contents, and queue order is fixed. *)
+    their inputs and message contents, and queue order is fixed.
 
-(** One traced activity interval on a rank's timeline. *)
-type span = {
+    Traced spans use the observability layer's shared vocabulary
+    ({!Tiles_obs.Span}), so a simulated timeline and a real
+    {!Tiles_runtime.Shm_executor} timeline feed the same exporters. *)
+
+(** One traced activity interval on a rank's virtual timeline (an alias
+    of {!Tiles_obs.Span.t}; times are virtual seconds). *)
+type span = Tiles_obs.Span.t = {
   rank : int;
   t0 : float;
   t1 : float;
-  kind : [ `Compute | `Send | `Wait ];
+  kind : Tiles_obs.Span.kind;
 }
 
 type stats = {
@@ -25,9 +30,11 @@ type stats = {
   rank_clocks : float array;
   messages : int;
   bytes : int;
+  rank_messages : int array;  (** messages sent, per sender rank *)
+  rank_bytes : int array;  (** bytes sent, per sender rank *)
   max_inflight_bytes : int;  (** peak total bytes buffered in channels *)
-  trace : span list;  (** chronological per-event spans; empty unless
-                          [run] was called with [~trace:true] *)
+  trace : span list;  (** per-event spans; empty unless [run] was called
+                          with [~trace:true] *)
 }
 
 exception Deadlock of string
@@ -41,6 +48,14 @@ module Api : sig
 
   val compute : float -> unit
   (** Advance this rank's clock by [dt] seconds of local work. *)
+
+  val pack : float -> unit
+  (** Like {!compute}, but the traced span is tagged [Pack] (gathering a
+      slab into a message buffer). *)
+
+  val unpack : float -> unit
+  (** Like {!compute}, but tagged [Unpack] (scattering a received buffer
+      into the LDS). *)
 
   val now : unit -> float
   (** Current virtual time on this rank. *)
@@ -59,7 +74,10 @@ module Api : sig
 
   val recv : src:int -> tag:int -> float array
   (** Block until the matching message arrives; the clock advances to
-      [max own-clock (arrival + recv_overhead)]. *)
+      [max own-clock arrival + recv_overhead]. Only the genuinely
+      blocked interval (own clock → arrival) is traced as [Wait]; the
+      receive overhead is traced as [Unpack], so a message that was
+      already buffered records no wait time. *)
 
   val barrier : unit -> unit
   (** All ranks synchronise; everyone leaves at the common maximum clock
@@ -70,5 +88,6 @@ val run : ?trace:bool -> nprocs:int -> net:Netmodel.t -> (int -> unit) -> stats
 (** [run ~nprocs ~net program] executes [program rank] on every rank and
     returns the virtual-time statistics. Raises [Deadlock] on a stuck
     communication pattern, and re-raises any exception escaping a rank
-    program. With [~trace:true], every compute / send / receive-wait
-    interval is recorded in [stats.trace] (for Gantt rendering). *)
+    program. With [~trace:true], every compute / pack / send / wait /
+    unpack interval is recorded in [stats.trace] (for Gantt rendering
+    and the {!Tiles_obs} exporters). *)

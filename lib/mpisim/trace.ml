@@ -1,7 +1,11 @@
+module Span = Tiles_obs.Span
+
 type utilisation = {
   compute : float;
+  pack : float;
   send : float;
   wait : float;
+  unpack : float;
   idle : float;
 }
 
@@ -9,24 +13,31 @@ let utilisation (stats : Sim.stats) =
   if stats.Sim.trace = [] then invalid_arg "Trace.utilisation: no trace";
   let nprocs = Array.length stats.Sim.rank_clocks in
   let compute = Array.make nprocs 0. in
+  let pack = Array.make nprocs 0. in
   let send = Array.make nprocs 0. in
   let wait = Array.make nprocs 0. in
+  let unpack = Array.make nprocs 0. in
   List.iter
     (fun { Sim.rank; t0; t1; kind } ->
       let d = t1 -. t0 in
       match kind with
-      | `Compute -> compute.(rank) <- compute.(rank) +. d
-      | `Send -> send.(rank) <- send.(rank) +. d
-      | `Wait -> wait.(rank) <- wait.(rank) +. d)
+      | Span.Compute -> compute.(rank) <- compute.(rank) +. d
+      | Span.Pack -> pack.(rank) <- pack.(rank) +. d
+      | Span.Send -> send.(rank) <- send.(rank) +. d
+      | Span.Wait -> wait.(rank) <- wait.(rank) +. d
+      | Span.Unpack -> unpack.(rank) <- unpack.(rank) +. d)
     stats.Sim.trace;
   Array.init nprocs (fun r ->
       {
         compute = compute.(r);
+        pack = pack.(r);
         send = send.(r);
         wait = wait.(r);
+        unpack = unpack.(r);
         idle =
           Float.max 0.
-            (stats.Sim.completion -. compute.(r) -. send.(r) -. wait.(r));
+            (stats.Sim.completion -. compute.(r) -. pack.(r) -. send.(r)
+           -. wait.(r) -. unpack.(r));
       })
 
 let efficiency stats =
@@ -41,3 +52,11 @@ let critical_rank (stats : Sim.stats) =
     (fun r t -> if t > stats.Sim.rank_clocks.(!best) then best := r)
     stats.Sim.rank_clocks;
   !best
+
+let aggregate (stats : Sim.stats) =
+  Tiles_obs.Stats.make ~completion:stats.Sim.completion
+    ~nprocs:(Array.length stats.Sim.rank_clocks)
+    ~messages:stats.Sim.messages ~bytes:stats.Sim.bytes
+    ~max_inflight_bytes:stats.Sim.max_inflight_bytes
+    ~rank_messages:stats.Sim.rank_messages ~rank_bytes:stats.Sim.rank_bytes
+    stats.Sim.trace

@@ -2,9 +2,11 @@
 
 type utilisation = {
   compute : float;  (** seconds spent computing *)
+  pack : float;     (** seconds gathering slabs into send buffers *)
   send : float;     (** seconds in send overhead / wire occupancy *)
-  wait : float;     (** seconds blocked in receives *)
-  idle : float;     (** completion − (compute + send + wait) for this rank *)
+  wait : float;     (** seconds genuinely blocked in receives *)
+  unpack : float;   (** seconds in receive overhead + halo scatter *)
+  idle : float;     (** completion − all of the above for this rank *)
 }
 
 val utilisation : Sim.stats -> utilisation array
@@ -19,3 +21,8 @@ val efficiency : Sim.stats -> float
 
 val critical_rank : Sim.stats -> int
 (** The rank that finished last. *)
+
+val aggregate : Sim.stats -> Tiles_obs.Stats.t
+(** The backend-neutral aggregate record (busy fractions, comm/compute
+    ratio, message counters) for a simulated run — directly comparable
+    with the one reported by {!Tiles_runtime.Shm_executor}. *)

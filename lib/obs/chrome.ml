@@ -1,0 +1,56 @@
+module Json = Tiles_util.Json
+
+let colour = function
+  (* Catapult reserved colour names, so the five kinds are visually
+     stable across viewers *)
+  | Span.Compute -> "thread_state_running"
+  | Span.Pack -> "thread_state_iowait"
+  | Span.Send -> "rail_animation"
+  | Span.Wait -> "grey"
+  | Span.Unpack -> "rail_response"
+
+let event ~time_scale (s : Span.t) =
+  Json.Obj
+    [
+      ("name", Json.Str (Span.kind_name s.Span.kind));
+      ("cat", Json.Str "tiles");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (s.Span.t0 *. time_scale));
+      ("dur", Json.Float (Span.duration s *. time_scale));
+      ("pid", Json.Int 0);
+      ("tid", Json.Int s.Span.rank);
+      ("cname", Json.Str (colour s.Span.kind));
+    ]
+
+let metadata ~name ~tid ~value =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str value) ]);
+    ]
+
+let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ~nprocs spans =
+  let threads =
+    List.init nprocs (fun r ->
+        metadata ~name:"thread_name" ~tid:r ~value:(Printf.sprintf "rank %d" r))
+  in
+  let events =
+    metadata ~name:"process_name" ~tid:0 ~value:process_name
+    :: threads
+    @ List.map (event ~time_scale) (Span.sort spans)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write ?process_name ?time_scale ~nprocs ~path spans =
+  let json = to_json ?process_name ?time_scale ~nprocs spans in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~indent:1 json);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,26 @@
+(** Chrome [trace_event] exporter.
+
+    Produces the JSON object-format trace understood by
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}: one
+    complete ("ph":"X") event per span, one virtual process, one thread
+    per rank, timestamps in microseconds. Span times are seconds
+    (virtual or wall) and are scaled by [time_scale] (default 1e6, i.e.
+    seconds → µs). *)
+
+val to_json :
+  ?process_name:string ->
+  ?time_scale:float ->
+  nprocs:int ->
+  Span.t list ->
+  Tiles_util.Json.t
+(** The complete [{"traceEvents": [...], ...}] document, including
+    thread-name metadata events for every rank in [0, nprocs). *)
+
+val write :
+  ?process_name:string ->
+  ?time_scale:float ->
+  nprocs:int ->
+  path:string ->
+  Span.t list ->
+  unit
+(** {!to_json} rendered to [path] with a trailing newline. *)

@@ -1,0 +1,6 @@
+(** Monotonic time source for real (wall-clock) span recording. *)
+
+val monotonic : unit -> float
+(** Seconds on the host's monotonic clock (CLOCK_MONOTONIC via the
+    bechamel stub). Differences are meaningful; the absolute origin is
+    arbitrary, so recorders rebase to their creation time. *)

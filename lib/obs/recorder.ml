@@ -1,0 +1,94 @@
+type shared = {
+  trace : bool;
+  clock : unit -> float;
+  origin : float;
+  inflight : int Atomic.t;
+  max_inflight : int Atomic.t;
+}
+
+type log = {
+  rank : int;
+  shared : shared;
+  mutable spans : Span.t list;  (* newest first *)
+  mutable cursor : float;
+  mutable messages : int;
+  mutable bytes : int;
+  mutable finished_at : float;
+}
+
+type t = {
+  nprocs : int;
+  s : shared;
+  logs : log array;
+}
+
+let create ?(trace = false) ?(clock = Clock.monotonic) ~nprocs () =
+  if nprocs <= 0 then invalid_arg "Recorder.create: nprocs";
+  let s =
+    {
+      trace;
+      clock;
+      origin = clock ();
+      inflight = Atomic.make 0;
+      max_inflight = Atomic.make 0;
+    }
+  in
+  {
+    nprocs;
+    s;
+    logs =
+      Array.init nprocs (fun rank ->
+          {
+            rank;
+            shared = s;
+            spans = [];
+            cursor = 0.;
+            messages = 0;
+            bytes = 0;
+            finished_at = 0.;
+          });
+  }
+
+let tracing t = t.s.trace
+let nprocs t = t.nprocs
+let now t = t.s.clock () -. t.s.origin
+let log t ~rank = t.logs.(rank)
+
+let log_now l = l.shared.clock () -. l.shared.origin
+
+let span l ~t0 ~t1 kind =
+  if l.shared.trace && t1 > t0 then
+    l.spans <- { Span.rank = l.rank; t0; t1; kind } :: l.spans
+
+let mark l = l.cursor <- log_now l
+
+let close l kind =
+  let t = log_now l in
+  span l ~t0:l.cursor ~t1:t kind;
+  l.cursor <- t
+
+let rec raise_high_water m v =
+  let cur = Atomic.get m in
+  if v > cur && not (Atomic.compare_and_set m cur v) then raise_high_water m v
+
+let message_sent l ~bytes =
+  l.messages <- l.messages + 1;
+  l.bytes <- l.bytes + bytes;
+  let level = Atomic.fetch_and_add l.shared.inflight bytes + bytes in
+  raise_high_water l.shared.max_inflight level
+
+let message_received l ~bytes =
+  ignore (Atomic.fetch_and_add l.shared.inflight (-bytes))
+
+let finish l = l.finished_at <- log_now l
+
+let spans t =
+  Span.sort
+    (Array.fold_left (fun acc l -> List.rev_append l.spans acc) [] t.logs)
+
+let messages t = Array.fold_left (fun acc l -> acc + l.messages) 0 t.logs
+let bytes t = Array.fold_left (fun acc l -> acc + l.bytes) 0 t.logs
+let max_inflight_bytes t = Atomic.get t.s.max_inflight
+let rank_messages t = Array.map (fun l -> l.messages) t.logs
+let rank_bytes t = Array.map (fun l -> l.bytes) t.logs
+let rank_finish t = Array.map (fun l -> l.finished_at) t.logs

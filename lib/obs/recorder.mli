@@ -1,0 +1,64 @@
+(** Per-rank span recorder with message counters.
+
+    Designed for concurrent backends: each rank obtains its own {!log}
+    and only ever appends to it, so span recording is lock-free (no
+    shared mutable state between ranks); the only cross-rank state is a
+    pair of atomic in-flight byte counters. The simulator uses the same
+    recorder API with explicit virtual timestamps.
+
+    Counters (messages, bytes, in-flight) are always maintained; spans
+    are kept only when the recorder was created with [~trace:true], so an
+    untraced run pays one branch per event. *)
+
+type t
+type log
+
+val create : ?trace:bool -> ?clock:(unit -> float) -> nprocs:int -> unit -> t
+(** [clock] defaults to {!Clock.monotonic}; readings are rebased so time
+    0 is the recorder's creation. [trace] defaults to [false]. *)
+
+val tracing : t -> bool
+val nprocs : t -> int
+
+val now : t -> float
+(** Current (rebased) clock reading. *)
+
+val log : t -> rank:int -> log
+(** The rank's private log. Each log must only be used from the domain
+    running that rank. *)
+
+val span : log -> t0:float -> t1:float -> Span.kind -> unit
+(** Record one span with explicit endpoints (no-op when not tracing or
+    when [t1 <= t0]). *)
+
+val mark : log -> unit
+(** Set the rank's cursor to [now] — the start of the next {!close}d
+    section. Call once when the rank starts running. *)
+
+val close : log -> Span.kind -> unit
+(** Record the interval from the cursor to [now] under the given kind
+    and advance the cursor. This lets straight-line backend code
+    partition its timeline by closing each section as it finishes. *)
+
+val message_sent : log -> bytes:int -> unit
+(** Count one outgoing message on this rank; raises the in-flight byte
+    level (and the high-water mark). *)
+
+val message_received : log -> bytes:int -> unit
+(** Lower the in-flight byte level. *)
+
+val finish : log -> unit
+(** Stamp the rank's completion time ([now]) for {!rank_finish}. *)
+
+val spans : t -> Span.t list
+(** All recorded spans, merged chronologically. *)
+
+val messages : t -> int
+val bytes : t -> int
+val max_inflight_bytes : t -> int
+val rank_messages : t -> int array
+val rank_bytes : t -> int array
+
+val rank_finish : t -> float array
+(** Per-rank completion stamps (0 for ranks that never called
+    {!finish}). *)

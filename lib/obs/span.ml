@@ -1,0 +1,36 @@
+type kind = Compute | Pack | Send | Wait | Unpack
+
+type t = {
+  rank : int;
+  t0 : float;
+  t1 : float;
+  kind : kind;
+}
+
+let kind_name = function
+  | Compute -> "compute"
+  | Pack -> "pack"
+  | Send -> "send"
+  | Wait -> "wait"
+  | Unpack -> "unpack"
+
+let all_kinds = [ Compute; Pack; Send; Wait; Unpack ]
+
+let duration s = s.t1 -. s.t0
+
+let compare_time a b =
+  match Float.compare a.t0 b.t0 with
+  | 0 -> (match compare a.rank b.rank with 0 -> Float.compare a.t1 b.t1 | c -> c)
+  | c -> c
+
+let sort spans = List.sort compare_time spans
+
+let by_rank ~nprocs spans =
+  let buckets = Array.make nprocs [] in
+  List.iter
+    (fun s ->
+      if s.rank < 0 || s.rank >= nprocs then
+        invalid_arg "Span.by_rank: rank out of range";
+      buckets.(s.rank) <- s :: buckets.(s.rank))
+    spans;
+  Array.map (fun l -> List.sort compare_time (List.rev l)) buckets

@@ -1,0 +1,143 @@
+module Json = Tiles_util.Json
+
+type rank = {
+  rank : int;
+  compute : float;
+  pack : float;
+  send : float;
+  wait : float;
+  unpack : float;
+  busy : float;
+  busy_fraction : float;
+  messages : int;
+  bytes : int;
+}
+
+type t = {
+  nprocs : int;
+  completion : float;
+  ranks : rank array;
+  messages : int;
+  bytes : int;
+  max_inflight_bytes : int;
+  total_compute : float;
+  total_comm : float;
+  comm_compute_ratio : float;
+  mean_busy_fraction : float;
+  critical_path : float;
+}
+
+let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ?rank_messages ?rank_bytes spans =
+  if nprocs <= 0 then invalid_arg "Stats.make: nprocs";
+  let sums = Array.make_matrix nprocs 5 0. in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.rank < 0 || s.Span.rank >= nprocs then
+        invalid_arg "Stats.make: span rank out of range";
+      let slot =
+        match s.Span.kind with
+        | Span.Compute -> 0
+        | Span.Pack -> 1
+        | Span.Send -> 2
+        | Span.Wait -> 3
+        | Span.Unpack -> 4
+      in
+      sums.(s.Span.rank).(slot) <-
+        sums.(s.Span.rank).(slot) +. Span.duration s)
+    spans;
+  let per_rank arr r =
+    match arr with
+    | Some a when Array.length a = nprocs -> a.(r)
+    | Some _ -> invalid_arg "Stats.make: per-rank counter length"
+    | None -> 0
+  in
+  let ranks =
+    Array.init nprocs (fun r ->
+        let compute = sums.(r).(0) and pack = sums.(r).(1) in
+        let send = sums.(r).(2) and wait = sums.(r).(3) in
+        let unpack = sums.(r).(4) in
+        let busy = compute +. pack +. send +. unpack in
+        {
+          rank = r;
+          compute;
+          pack;
+          send;
+          wait;
+          unpack;
+          busy;
+          busy_fraction = (if completion > 0. then busy /. completion else 0.);
+          messages = per_rank rank_messages r;
+          bytes = per_rank rank_bytes r;
+        })
+  in
+  let total f = Array.fold_left (fun acc r -> acc +. f r) 0. ranks in
+  let total_compute = total (fun r -> r.compute) in
+  let total_comm = total (fun r -> r.pack +. r.send +. r.wait +. r.unpack) in
+  {
+    nprocs;
+    completion;
+    ranks;
+    messages;
+    bytes;
+    max_inflight_bytes;
+    total_compute;
+    total_comm;
+    comm_compute_ratio =
+      (if total_compute > 0. then total_comm /. total_compute else 0.);
+    mean_busy_fraction =
+      total (fun r -> r.busy_fraction) /. float_of_int nprocs;
+    critical_path = Array.fold_left (fun acc r -> Float.max acc r.busy) 0. ranks;
+  }
+
+let rank_json r =
+  Json.Obj
+    [
+      ("rank", Json.Int r.rank);
+      ("compute_s", Json.Float r.compute);
+      ("pack_s", Json.Float r.pack);
+      ("send_s", Json.Float r.send);
+      ("wait_s", Json.Float r.wait);
+      ("unpack_s", Json.Float r.unpack);
+      ("busy_s", Json.Float r.busy);
+      ("busy_fraction", Json.Float r.busy_fraction);
+      ("messages", Json.Int r.messages);
+      ("bytes", Json.Int r.bytes);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("nprocs", Json.Int t.nprocs);
+      ("completion_s", Json.Float t.completion);
+      ("messages", Json.Int t.messages);
+      ("bytes", Json.Int t.bytes);
+      ("max_inflight_bytes", Json.Int t.max_inflight_bytes);
+      ("total_compute_s", Json.Float t.total_compute);
+      ("total_comm_s", Json.Float t.total_comm);
+      ("comm_compute_ratio", Json.Float t.comm_compute_ratio);
+      ("mean_busy_fraction", Json.Float t.mean_busy_fraction);
+      ("critical_path_s", Json.Float t.critical_path);
+      ("ranks", Json.List (Array.to_list (Array.map rank_json t.ranks)));
+    ]
+
+let summary t =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "completion %.6f s, %d messages, %d bytes, max in-flight %d bytes\n"
+    t.completion t.messages t.bytes t.max_inflight_bytes;
+  pf "comm/compute ratio %.3f, mean busy %.0f%%, critical path >= %.6f s\n"
+    t.comm_compute_ratio
+    (100. *. t.mean_busy_fraction)
+    t.critical_path;
+  Array.iter
+    (fun r ->
+      pf
+        "  rank %-3d compute %8.3fms  pack %7.3fms  send %7.3fms  wait \
+         %7.3fms  unpack %7.3fms  busy %3.0f%%  %d msgs\n"
+        r.rank (1e3 *. r.compute) (1e3 *. r.pack) (1e3 *. r.send)
+        (1e3 *. r.wait) (1e3 *. r.unpack)
+        (100. *. r.busy_fraction)
+        r.messages)
+    t.ranks;
+  Buffer.contents buf

@@ -1,0 +1,53 @@
+(** Aggregate statistics of one run, computed from the span trace plus
+    the recorder's counters — the machine-readable summary embedded in
+    [bench --json] and printed by [tilec trace]. The same record is
+    produced from simulated (virtual-time) and real (wall-time) runs, so
+    the two backends can be compared field by field. *)
+
+type rank = {
+  rank : int;
+  compute : float;
+  pack : float;
+  send : float;
+  wait : float;
+  unpack : float;
+  busy : float;  (** compute + pack + send + unpack *)
+  busy_fraction : float;  (** busy / completion (0 when untraced) *)
+  messages : int;  (** messages sent by this rank (0 when the per-rank
+                       split was not supplied to {!make}) *)
+  bytes : int;  (** bytes sent by this rank (0 likewise) *)
+}
+
+type t = {
+  nprocs : int;
+  completion : float;  (** makespan, seconds (virtual or wall) *)
+  ranks : rank array;
+  messages : int;
+  bytes : int;
+  max_inflight_bytes : int;
+  total_compute : float;
+  total_comm : float;  (** pack + send + wait + unpack over all ranks *)
+  comm_compute_ratio : float;  (** total_comm / total_compute (0 if none) *)
+  mean_busy_fraction : float;
+  critical_path : float;
+      (** lower bound on any schedule's makespan: the largest per-rank
+          busy time (no reordering can finish before its busiest rank) *)
+}
+
+val make :
+  completion:float ->
+  nprocs:int ->
+  messages:int ->
+  bytes:int ->
+  max_inflight_bytes:int ->
+  ?rank_messages:int array ->
+  ?rank_bytes:int array ->
+  Span.t list ->
+  t
+(** Aggregate a trace. With an empty span list (untraced run) all time
+    components are zero but the counters are still meaningful. *)
+
+val to_json : t -> Tiles_util.Json.t
+
+val summary : t -> string
+(** Multi-line human-readable rendering (per-rank table + totals). *)

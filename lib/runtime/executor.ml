@@ -28,6 +28,8 @@ let run ?(mode = Full) ?(overlap = false) ?(trace = false) ~plan ~kernel ~net ()
           else Sim.Api.send ~dst ~tag data);
       recv = (fun ~src ~tag -> Sim.Api.recv ~src ~tag);
       compute = Sim.Api.compute;
+      pack = Sim.Api.pack;
+      unpack = Sim.Api.unpack;
     }
   in
   let stats =

@@ -13,6 +13,8 @@ type comms = {
   send : dst:int -> tag:int -> float array -> unit;
   recv : src:int -> tag:int -> float array;
   compute : float -> unit;
+  pack : float -> unit;
+  unpack : float -> unit;
 }
 
 type mode = Full | Timing
@@ -163,8 +165,6 @@ let rank_program shared comms rank =
             then begin
               let buf = comms.recv ~src:(rank_of pred_pid) ~tag:pred_ts in
               let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
-              comms.compute
-                (float_of_int (Array.length buf) *. shared.pack_time);
               if shared.mode = Full then begin
                 let count = ref 0 in
                 Tile_space.iter_slab_points tspace ~tile:pred_tile
@@ -180,7 +180,9 @@ let rank_program shared comms rank =
                     incr count);
                 if !count * width <> Array.length buf then
                   failwith "Protocol: pack/unpack cell count mismatch"
-              end
+              end;
+              comms.unpack
+                (float_of_int (Array.length buf) *. shared.pack_time)
             end)
           dir.dss)
       directions;
@@ -249,7 +251,7 @@ let rank_program shared comms rank =
                 done;
                 incr count)
           end;
-          comms.compute (float_of_int (cells * width) *. shared.pack_time);
+          comms.pack (float_of_int (cells * width) *. shared.pack_time);
           comms.send ~dst:(rank_of (Vec.add pid dir.dm)) ~tag:ts buf
         end)
       directions
@@ -267,4 +269,7 @@ let rank_program shared comms rank =
           for f = 0 to width - 1 do
             Grid.set grid j f la.((cell * width) + f)
           done)
-    done
+    done;
+    (* a zero-cost charge so span-recording backends close the write-back
+       interval as compute instead of leaving it unattributed *)
+    comms.compute 0.

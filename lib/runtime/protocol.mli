@@ -5,13 +5,21 @@
     shared-memory backend ({!Shm_executor}) drive this same code, so the
     protocol logic is verified once and executed everywhere. *)
 
-(** Transport + cost hooks supplied by a backend. *)
+(** Transport + cost hooks supplied by a backend.
+
+    The three cost hooks are called {e after} the real work of the
+    corresponding section, with the section's modelled cost: the
+    simulator charges virtual time (and records a span of that kind);
+    the shared-memory backend ignores the modelled cost and instead
+    closes the wall-clock interval since its previous event under the
+    same tag — so both backends partition every rank's timeline into the
+    same compute / pack / send / wait / unpack vocabulary. *)
 type comms = {
   send : dst:int -> tag:int -> float array -> unit;
   recv : src:int -> tag:int -> float array;
-  compute : float -> unit;
-      (** virtual-cost hook: the simulator charges time; real backends
-          ignore it *)
+  compute : float -> unit;  (** tile-point arithmetic for one tile *)
+  pack : float -> unit;  (** gathering one outgoing slab *)
+  unpack : float -> unit;  (** scattering one received slab *)
 }
 
 type mode = Full | Timing

@@ -1,6 +1,11 @@
 module Mapping = Tiles_core.Mapping
 module Plan = Tiles_core.Plan
 module Polyhedron = Tiles_poly.Polyhedron
+module Span = Tiles_obs.Span
+module Recorder = Tiles_obs.Recorder
+module Clock = Tiles_obs.Clock
+
+exception Recv_timeout of string
 
 type result = {
   wall_seconds : float;
@@ -10,6 +15,9 @@ type result = {
   max_abs_err : float;
   nprocs : int;
   messages : int;
+  bytes : int;
+  trace : Span.t list;
+  stats : Tiles_obs.Stats.t;
 }
 
 (* A blocking mailbox per (src, dst) channel, tag-matched. *)
@@ -38,21 +46,50 @@ module Mailbox = struct
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex
 
-  let recv t ~tag =
+  let recv ?(timeout = infinity) ?(diag = fun () -> "Mailbox.recv: timed out")
+      t ~tag =
+    let deadline =
+      if timeout > 0. && timeout < infinity then Clock.monotonic () +. timeout
+      else infinity
+    in
     Mutex.lock t.mutex;
     let rec wait () =
       match Hashtbl.find_opt t.messages tag with
-      | Some q when not (Queue.is_empty q) -> Queue.pop q
+      | Some q when not (Queue.is_empty q) ->
+        let data = Queue.pop q in
+        (* a drained per-tag queue must go, or a long-running channel
+           leaks one empty Queue.t per tag it has ever carried *)
+        if Queue.is_empty q then Hashtbl.remove t.messages tag;
+        data
       | _ ->
+        if Clock.monotonic () > deadline then begin
+          Mutex.unlock t.mutex;
+          raise (Recv_timeout (diag ()))
+        end;
+        (* the run's watchdog broadcasts periodically, so this wait
+           rechecks the deadline even if no message ever arrives *)
         Condition.wait t.cond t.mutex;
         wait ()
     in
     let data = wait () in
     Mutex.unlock t.mutex;
     data
+
+  let tag_count t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.messages in
+    Mutex.unlock t.mutex;
+    n
+
+  let nudge t =
+    Mutex.lock t.mutex;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
 end
 
-let run ~plan ~kernel () =
+let watchdog_period = 0.02
+
+let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
   let nprocs = Mapping.nprocs plan.Plan.mapping in
   let shared =
     Protocol.prepare ~mode:Protocol.Full ~plan ~kernel ~flop_time:0.
@@ -61,36 +98,87 @@ let run ~plan ~kernel () =
   let boxes =
     Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Mailbox.create ()))
   in
-  let messages = Atomic.make 0 in
+  let recorder = Recorder.create ~trace ~nprocs () in
   let comms_for rank =
+    let log = Recorder.log recorder ~rank in
     {
       Protocol.send =
         (fun ~dst ~tag data ->
-          Atomic.incr messages;
-          Mailbox.send boxes.(rank).(dst) ~tag data);
-      recv = (fun ~src ~tag -> Mailbox.recv boxes.(src).(rank) ~tag);
-      compute = (fun _ -> ());
+          let t0 = Recorder.now recorder in
+          Mailbox.send boxes.(rank).(dst) ~tag data;
+          Recorder.message_sent log ~bytes:(8 * Array.length data);
+          Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Send;
+          Recorder.mark log);
+      recv =
+        (fun ~src ~tag ->
+          let t0 = Recorder.now recorder in
+          let diag () =
+            Printf.sprintf
+              "Shm_executor: rank %d blocked > %gs in recv (src=%d, tag=%d) \
+               — mis-generated schedule?"
+              rank recv_timeout src tag
+          in
+          let data =
+            Mailbox.recv ~timeout:recv_timeout ~diag boxes.(src).(rank) ~tag
+          in
+          Recorder.message_received log ~bytes:(8 * Array.length data);
+          Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Wait;
+          Recorder.mark log;
+          data);
+      compute = (fun _ -> Recorder.close log Span.Compute);
+      pack = (fun _ -> Recorder.close log Span.Pack);
+      unpack = (fun _ -> Recorder.close log Span.Unpack);
     }
   in
   let failure = Atomic.make None in
-  let t0 = Unix.gettimeofday () in
+  let stop_watchdog = Atomic.make false in
+  (* Condition.wait has no timed variant; a watchdog domain periodically
+     wakes every mailbox so blocked receivers can notice their deadline. *)
+  let watchdog =
+    if recv_timeout > 0. && recv_timeout < infinity then
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_watchdog) do
+               Unix.sleepf watchdog_period;
+               Array.iter (Array.iter Mailbox.nudge) boxes
+             done))
+    else None
+  in
+  let t0 = Clock.monotonic () in
   let domains =
     List.init nprocs (fun rank ->
         Domain.spawn (fun () ->
-            try Protocol.rank_program shared (comms_for rank) rank
-            with e -> Atomic.set failure (Some e)))
+            let log = Recorder.log recorder ~rank in
+            Recorder.mark log;
+            (try Protocol.rank_program shared (comms_for rank) rank
+             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+            Recorder.finish log))
   in
   List.iter Domain.join domains;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Clock.monotonic () -. t0 in
+  Atomic.set stop_watchdog true;
+  Option.iter Domain.join watchdog;
   (match Atomic.get failure with Some e -> raise e | None -> ());
   let space = plan.Plan.nest.Tiles_loop.Nest.space in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Clock.monotonic () in
   let oracle = Seq_exec.run ~space ~kernel in
-  let seq_wall = Unix.gettimeofday () -. t1 in
+  let seq_wall = Clock.monotonic () -. t1 in
   let grid =
     match shared.Protocol.grid with
     | Some g -> g
     | None -> assert false
+  in
+  let completion =
+    Array.fold_left Float.max 0. (Recorder.rank_finish recorder)
+  in
+  let stats =
+    Tiles_obs.Stats.make ~completion ~nprocs
+      ~messages:(Recorder.messages recorder)
+      ~bytes:(Recorder.bytes recorder)
+      ~max_inflight_bytes:(Recorder.max_inflight_bytes recorder)
+      ~rank_messages:(Recorder.rank_messages recorder)
+      ~rank_bytes:(Recorder.rank_bytes recorder)
+      (Recorder.spans recorder)
   in
   {
     wall_seconds = wall;
@@ -99,5 +187,8 @@ let run ~plan ~kernel () =
     grid;
     max_abs_err = Grid.max_abs_diff grid oracle space;
     nprocs;
-    messages = Atomic.get messages;
+    messages = Recorder.messages recorder;
+    bytes = Recorder.bytes recorder;
+    trace = Recorder.spans recorder;
+    stats;
   }

@@ -8,8 +8,19 @@
     oracle like everything else. Wall-clock speedup is measured but
     depends on the host; correctness is the point.
 
+    Every run also drives a {!Tiles_obs.Recorder}: message/byte counters
+    are always on, and with [~trace:true] each rank additionally records
+    wall-clock {!Tiles_obs.Span.t} values using the same
+    compute/pack/send/wait/unpack vocabulary as the simulator, so the two
+    backends' traces are directly comparable.
+
     Use modest process counts (≲ number of cores); each rank is a real
     domain. *)
+
+exception Recv_timeout of string
+(** Raised (with a diagnostic naming the blocked rank, source and tag)
+    when a receive blocks longer than [recv_timeout] — the symptom of a
+    mis-generated schedule, which would otherwise hang forever. *)
 
 type result = {
   wall_seconds : float;       (** parallel wall-clock time *)
@@ -19,8 +30,47 @@ type result = {
   max_abs_err : float;        (** vs the sequential oracle *)
   nprocs : int;
   messages : int;
+  bytes : int;                (** total payload bytes sent *)
+  trace : Tiles_obs.Span.t list;
+      (** wall-clock spans, all ranks, time-sorted; [[]] unless [trace] *)
+  stats : Tiles_obs.Stats.t;  (** aggregate per-rank/backend statistics *)
 }
 
-val run : plan:Tiles_core.Plan.t -> kernel:Kernel.t -> unit -> result
-(** Always Full mode (the whole point is the real data flow). Raises like
-    {!Protocol.prepare}. *)
+(** The blocking tag-matched channel used between each (src, dst) rank
+    pair. Exposed for tests. *)
+module Mailbox : sig
+  type t
+
+  val create : unit -> t
+
+  val send : t -> tag:int -> float array -> unit
+
+  val recv :
+    ?timeout:float -> ?diag:(unit -> string) -> t -> tag:int -> float array
+  (** Blocks until a message with [tag] is available. A drained per-tag
+      queue is removed from the table, so the table stays bounded by the
+      number of {e pending} tags rather than growing with every tag ever
+      seen. With a finite positive [timeout] (seconds), raises
+      {!Recv_timeout} with [diag ()] once the deadline passes — provided
+      something (e.g. the run's watchdog) wakes the condition
+      periodically. *)
+
+  val tag_count : t -> int
+  (** Number of per-tag queues currently in the table (for leak tests). *)
+
+  val nudge : t -> unit
+  (** Wake all waiters so they can re-check their deadlines. *)
+end
+
+val run :
+  ?trace:bool ->
+  ?recv_timeout:float ->
+  plan:Tiles_core.Plan.t ->
+  kernel:Kernel.t ->
+  unit ->
+  result
+(** Always Full mode (the whole point is the real data flow). [trace]
+    (default false) records per-rank wall-clock spans. [recv_timeout]
+    (default 30 seconds) bounds how long any receive may block before
+    {!Recv_timeout} is raised; pass [0.] or [infinity] to wait forever.
+    Raises like {!Protocol.prepare}. *)

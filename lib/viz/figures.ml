@@ -4,6 +4,7 @@ module Ttis = Tiles_core.Ttis
 module Comm = Tiles_core.Comm
 module Lds = Tiles_core.Lds
 module Sim = Tiles_mpisim.Sim
+module Span = Tiles_obs.Span
 module Rat = Tiles_rat.Rat
 
 let cell = 18.
@@ -154,37 +155,51 @@ let lds tiling comm ~ntiles =
        ntiles m);
   svg
 
-let gantt (stats : Sim.stats) =
-  if stats.Sim.trace = [] then invalid_arg "Figures.gantt: no trace recorded";
-  let nprocs = Array.length stats.Sim.rank_clocks in
+let span_colour = function
+  | Span.Compute -> "#7fc97f"
+  | Span.Pack -> "#beaed4"
+  | Span.Send -> "#fdc086"
+  | Span.Wait -> "#d9d9d9"
+  | Span.Unpack -> "#80b1d3"
+
+let timeline ?(title = "execution timeline") ~nprocs ~completion spans =
+  if spans = [] then invalid_arg "Figures.timeline: no spans";
+  if completion <= 0. then invalid_arg "Figures.timeline: completion <= 0";
   let row_h = 22. and left = 60. in
   let time_w = 720. in
+  let legend_y = (2. *. margin) +. (float_of_int nprocs *. row_h) in
   let svg =
     Svg.create
       ~width:(left +. time_w +. margin)
-      ~height:((float_of_int nprocs *. row_h) +. (2. *. margin))
+      ~height:(legend_y +. row_h)
   in
-  let scale = time_w /. stats.Sim.completion in
-  let colour = function
-    | `Compute -> "#7fc97f"
-    | `Send -> "#fdc086"
-    | `Wait -> "#d9d9d9"
-  in
+  let scale = time_w /. completion in
   List.iter
-    (fun { Sim.rank; t0; t1; kind } ->
+    (fun { Span.rank; t0; t1; kind } ->
       Svg.rect svg
         ~x:(left +. (t0 *. scale))
         ~y:(margin +. (float_of_int rank *. row_h) +. 2.)
         ~w:(Float.max 0.5 ((t1 -. t0) *. scale))
-        ~h:(row_h -. 4.) ~fill:(colour kind) ())
-    stats.Sim.trace;
+        ~h:(row_h -. 4.) ~fill:(span_colour kind) ())
+    spans;
   for r = 0 to nprocs - 1 do
     Svg.text svg ~x:8.
       ~y:(margin +. (float_of_int r *. row_h) +. (row_h /. 2.) +. 4.)
       (Printf.sprintf "rank %d" r)
   done;
+  List.iteri
+    (fun i kind ->
+      let x = left +. (float_of_int i *. 110.) in
+      Svg.rect svg ~x ~y:(legend_y -. 10.) ~w:12. ~h:12.
+        ~fill:(span_colour kind) ~stroke:"#666" ();
+      Svg.text svg ~x:(x +. 16.) ~y:(legend_y +. 1.) (Span.kind_name kind))
+    Span.all_kinds;
   Svg.text svg ~x:left ~y:(margin /. 2.)
-    (Printf.sprintf
-       "execution timeline, %.4f s total (green compute, orange send, grey wait)"
-       stats.Sim.completion);
+    (Printf.sprintf "%s, %.4g s total" title completion);
   svg
+
+let gantt (stats : Sim.stats) =
+  if stats.Sim.trace = [] then invalid_arg "Figures.gantt: no trace recorded";
+  timeline ~title:"simulated execution timeline"
+    ~nprocs:(Array.length stats.Sim.rank_clocks)
+    ~completion:stats.Sim.completion stats.Sim.trace

@@ -8,9 +8,9 @@
       (Fig. 1 right / Fig. 2).
     - {!lds}: one processor's Local Data Space — computation cells vs
       communication (halo) storage (Fig. 3).
-    - {!gantt}: per-rank activity timeline (compute / send / receive-wait)
-      from a traced simulation — not in the paper, but the picture its
-      schedule analysis is about. *)
+    - {!timeline}: per-rank activity timeline from any span list
+      (simulated or wall-clock) — not in the paper, but the picture its
+      schedule analysis is about. {!gantt} is the simulator shorthand. *)
 
 val tiled_space : Tiles_poly.Polyhedron.t -> Tiles_core.Tiling.t -> Svg.t
 (** 2-D spaces only; raises [Invalid_argument] otherwise. *)
@@ -23,6 +23,18 @@ val lds :
 (** 2-D tilings only: halo cells shaded, computation cells white, one
     column group per chain tile. *)
 
+val timeline :
+  ?title:string ->
+  nprocs:int ->
+  completion:float ->
+  Tiles_obs.Span.t list ->
+  Svg.t
+(** One row per rank, spans coloured by kind (compute green, pack
+    purple, send orange, wait grey, unpack blue) with a legend. Works
+    for both simulator and shared-memory traces; raises
+    [Invalid_argument] on an empty span list or non-positive
+    [completion]. *)
+
 val gantt : Tiles_mpisim.Sim.stats -> Svg.t
-(** Requires a trace ([Sim.run ~trace:true]); raises [Invalid_argument]
-    on an empty trace. Compute spans green, sends orange, waits grey. *)
+(** {!timeline} applied to a traced simulation ([Sim.run ~trace:true]);
+    raises [Invalid_argument] on an empty trace. *)

@@ -93,6 +93,79 @@ let test_illegal_tiling () =
   check_err "plan --app sor -M 12 -N 16 --variant rect -x 0 -y 7 -z 4";
   check_err "simulate --app adi -t 12 -n 16 --variant nr3 -x 3 -y 0 -z 4"
 
+(* tilec trace: both backends must produce a loadable Chrome trace with
+   the same message/byte counters in the printed summary *)
+let test_trace () =
+  let counters_of backend =
+    let json = Filename.temp_file "tilec_trace" ".json" in
+    let svg = Filename.temp_file "tilec_trace" ".svg" in
+    let status, out =
+      run
+        (Printf.sprintf
+           "trace --app sor -M 12 -N 16 -x 3 -y 4 -z 4 --backend %s --out %s \
+            --svg %s"
+           backend (Filename.quote json) (Filename.quote svg))
+    in
+    if status <> Unix.WEXITED 0 then
+      Alcotest.failf "trace --backend %s failed:\n%s" backend out;
+    let slurp path =
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove path;
+      s
+    in
+    let doc = slurp json and drawing = slurp svg in
+    List.iter
+      (fun n ->
+        if not (contains doc n) then
+          Alcotest.failf "%s trace JSON lacks %S" backend n)
+      [ {|"traceEvents"|}; {|"ph": "X"|}; {|"thread_name"|}; {|"ts"|} ];
+    if not (contains drawing "<svg") then
+      Alcotest.failf "%s timeline is not SVG" backend;
+    (* "... N messages, M bytes ..." from the aggregate summary *)
+    match
+      List.find_opt (fun l -> contains l "messages") (String.split_on_char '\n' out)
+    with
+    | Some line -> line
+    | None -> Alcotest.failf "%s summary lacks counters:\n%s" backend out
+  in
+  let sim = counters_of "sim" and shm = counters_of "shm" in
+  let counters l =
+    (* keep only "N messages, M bytes": completion differs by clock, and
+       the in-flight high-water mark by interleaving *)
+    let tail =
+      match Astring.String.cut ~sep:" s, " l with
+      | Some (_, t) -> t
+      | None -> l
+    in
+    match Astring.String.cut ~sep:", max in-flight" tail with
+    | Some (counts, _) -> counts
+    | None -> tail
+  in
+  Alcotest.(check string) "backends agree on counters" (counters sim)
+    (counters shm)
+
+let test_simulate_trace_out () =
+  let json = Filename.temp_file "tilec_sim" ".json" in
+  check_ok
+    (Printf.sprintf
+       "simulate --app sor -M 12 -N 16 -x 3 -y 4 --trace %s"
+       (Filename.quote json))
+    [ "speedup" ];
+  let ic = open_in json in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  if not (contains doc {|"traceEvents"|}) then
+    Alcotest.fail "simulate --trace did not write a Chrome trace"
+
+let test_trace_bad_backend () =
+  let status, out = run "trace --app sor --backend lan" in
+  Alcotest.(check bool) "non-zero exit" true (status <> Unix.WEXITED 0);
+  if not (contains out "unknown backend") then
+    Alcotest.failf "missing diagnostic:\n%s" out
+
 let test_tune () =
   check_ok
     "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 3 --workers 2"
@@ -124,6 +197,9 @@ let () =
           Alcotest.test_case "bad app" `Quick test_bad_app;
           Alcotest.test_case "singular tiling error" `Quick test_singular_tiling;
           Alcotest.test_case "illegal tiling error" `Quick test_illegal_tiling;
+          Alcotest.test_case "trace both backends" `Quick test_trace;
+          Alcotest.test_case "simulate --trace" `Quick test_simulate_trace_out;
+          Alcotest.test_case "trace bad backend" `Quick test_trace_bad_backend;
           Alcotest.test_case "tune" `Quick test_tune;
           Alcotest.test_case "tune --json" `Quick test_tune_json;
         ] );

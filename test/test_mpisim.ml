@@ -212,7 +212,10 @@ let test_traced_sor_utilisation () =
   Alcotest.(check bool) "several ranks" true (Array.length u > 1);
   Array.iteri
     (fun rank c ->
-      let sum = c.Trace.compute +. c.Trace.send +. c.Trace.wait +. c.Trace.idle in
+      let sum =
+        c.Trace.compute +. c.Trace.pack +. c.Trace.send +. c.Trace.wait
+        +. c.Trace.unpack +. c.Trace.idle
+      in
       Alcotest.(check (float 1e-9))
         (Printf.sprintf "rank %d components sum to completion" rank)
         stats.Sim.completion sum;
@@ -222,8 +225,10 @@ let test_traced_sor_utilisation () =
             Alcotest.failf "rank %d: negative %s time %.3e" rank part v)
         [
           ("compute", c.Trace.compute);
+          ("pack", c.Trace.pack);
           ("send", c.Trace.send);
           ("wait", c.Trace.wait);
+          ("unpack", c.Trace.unpack);
           ("idle", c.Trace.idle);
         ])
     u;
@@ -233,6 +238,94 @@ let test_traced_sor_utilisation () =
 let test_trace_off_by_default () =
   let stats = Sim.run ~nprocs:1 ~net (fun _ -> Sim.Api.compute 1.0) in
   Alcotest.(check bool) "no trace" true (stats.Sim.trace = [])
+
+let spans_of stats rank kind =
+  List.filter
+    (fun s -> s.Sim.rank = rank && s.Sim.kind = kind)
+    stats.Sim.trace
+
+let span_total spans = List.fold_left (fun a s -> a +. (s.Sim.t1 -. s.Sim.t0)) 0. spans
+
+(* receiver arrives long after the message: no Wait span may be recorded
+   (the old recorder logged the [t0, t0 + overhead] interval as Wait even
+   when nothing was waited for) *)
+let test_recv_no_wait_when_ready () =
+  let module Span = Tiles_obs.Span in
+  let stats =
+    Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
+        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+        else begin
+          Sim.Api.compute 10.0;
+          ignore (Sim.Api.recv ~src:0 ~tag:0)
+        end)
+  in
+  Alcotest.(check (list (float 0.))) "no wait spans" []
+    (List.map (fun s -> s.Sim.t1 -. s.Sim.t0) (spans_of stats 1 Span.Wait));
+  Alcotest.(check bool) "unpack = recv overhead" true
+    (close (span_total (spans_of stats 1 Span.Unpack))
+       net.Netmodel.recv_overhead);
+  Alcotest.(check bool) "clock = compute + overhead" true
+    (close stats.Sim.rank_clocks.(1) (10.0 +. net.Netmodel.recv_overhead))
+
+(* parked receiver: the Wait span covers exactly the blocked interval
+   (from the park time to the arrival), and the per-message receive
+   overhead is a separate Unpack span *)
+let test_recv_wait_covers_blocked_interval () =
+  let module Span = Tiles_obs.Span in
+  let stats =
+    Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
+        if r = 0 then begin
+          Sim.Api.compute 1.0;
+          Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+        end
+        else begin
+          Sim.Api.compute 0.25;
+          ignore (Sim.Api.recv ~src:0 ~tag:0)
+        end)
+  in
+  match spans_of stats 1 Span.Wait with
+  | [ w ] ->
+    Alcotest.(check bool) "wait starts at park time" true (close w.Sim.t0 0.25);
+    Alcotest.(check bool) "wait ends at arrival" true
+      (close w.Sim.t1
+         (stats.Sim.rank_clocks.(1) -. net.Netmodel.recv_overhead));
+    Alcotest.(check bool) "arrival after sender compute" true (w.Sim.t1 > 1.0);
+    Alcotest.(check bool) "unpack = recv overhead" true
+      (close (span_total (spans_of stats 1 Span.Unpack))
+         net.Netmodel.recv_overhead)
+  | spans -> Alcotest.failf "expected one wait span, got %d" (List.length spans)
+
+(* pack/unpack charges appear as their own span kinds *)
+let test_pack_unpack_spans () =
+  let module Span = Tiles_obs.Span in
+  let stats =
+    Sim.run ~trace:true ~nprocs:1 ~net (fun _ ->
+        Sim.Api.pack 0.25;
+        Sim.Api.compute 1.0;
+        Sim.Api.unpack 0.5)
+  in
+  Alcotest.(check bool) "pack total" true
+    (close (span_total (spans_of stats 0 Span.Pack)) 0.25);
+  Alcotest.(check bool) "unpack total" true
+    (close (span_total (spans_of stats 0 Span.Unpack)) 0.5);
+  Alcotest.(check bool) "completion" true (close stats.Sim.completion 1.75)
+
+(* per-rank counters split the totals by sender *)
+let test_per_rank_counters () =
+  let stats =
+    Sim.run ~nprocs:3 ~net (fun r ->
+        if r = 0 then begin
+          Sim.Api.send ~dst:1 ~tag:0 [| 1.; 2. |];
+          Sim.Api.send ~dst:2 ~tag:0 [| 3. |]
+        end
+        else ignore (Sim.Api.recv ~src:0 ~tag:0))
+  in
+  Alcotest.(check (list int)) "rank messages" [ 2; 0; 0 ]
+    (Array.to_list stats.Sim.rank_messages);
+  Alcotest.(check (list int)) "rank bytes" [ 24; 0; 0 ]
+    (Array.to_list stats.Sim.rank_bytes);
+  Alcotest.(check int) "total messages" 2 stats.Sim.messages;
+  Alcotest.(check int) "total bytes" 24 stats.Sim.bytes
 
 let test_netmodel () =
   Alcotest.(check (float 1e-9)) "transfer" 8e-5
@@ -265,6 +358,12 @@ let () =
           Alcotest.test_case "traced sor utilisation" `Quick
             test_traced_sor_utilisation;
           Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+          Alcotest.test_case "recv no spurious wait" `Quick
+            test_recv_no_wait_when_ready;
+          Alcotest.test_case "recv wait = blocked interval" `Quick
+            test_recv_wait_covers_blocked_interval;
+          Alcotest.test_case "pack/unpack spans" `Quick test_pack_unpack_spans;
+          Alcotest.test_case "per-rank counters" `Quick test_per_rank_counters;
           Alcotest.test_case "netmodel" `Quick test_netmodel;
         ] );
     ]

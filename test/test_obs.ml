@@ -1,0 +1,337 @@
+module Span = Tiles_obs.Span
+module Recorder = Tiles_obs.Recorder
+module Stats = Tiles_obs.Stats
+module Chrome = Tiles_obs.Chrome
+module Json = Tiles_util.Json
+module Sim = Tiles_mpisim.Sim
+module Netmodel = Tiles_mpisim.Netmodel
+module Plan = Tiles_core.Plan
+module Executor = Tiles_runtime.Executor
+module Shm_executor = Tiles_runtime.Shm_executor
+
+let net = Netmodel.fast_ethernet_cluster
+
+let sor_plan () =
+  let p = Tiles_apps.Sor.make ~m_steps:12 ~size:16 in
+  ( Plan.make ~m:2 (Tiles_apps.Sor.nest p) (Tiles_apps.Sor.nonrect ~x:3 ~y:4 ~z:4),
+    Tiles_apps.Sor.kernel p )
+
+let sim_run () =
+  let plan, kernel = sor_plan () in
+  Executor.run ~mode:Executor.Full ~trace:true ~plan ~kernel ~net ()
+
+let shm_run () =
+  let plan, kernel = sor_plan () in
+  Shm_executor.run ~trace:true ~plan ~kernel ()
+
+(* ---------------- recorder unit tests ---------------- *)
+
+let test_recorder_counters () =
+  let t = Recorder.create ~nprocs:2 () in
+  let l0 = Recorder.log t ~rank:0 and l1 = Recorder.log t ~rank:1 in
+  Recorder.message_sent l0 ~bytes:100;
+  Recorder.message_sent l0 ~bytes:50;
+  Recorder.message_received l1 ~bytes:100;
+  Recorder.message_sent l1 ~bytes:25;
+  Alcotest.(check int) "messages" 3 (Recorder.messages t);
+  Alcotest.(check int) "bytes" 175 (Recorder.bytes t);
+  Alcotest.(check (list int)) "rank messages" [ 2; 1 ]
+    (Array.to_list (Recorder.rank_messages t));
+  Alcotest.(check (list int)) "rank bytes" [ 150; 25 ]
+    (Array.to_list (Recorder.rank_bytes t));
+  (* in-flight peaked at 150 before rank 1 drained 100 *)
+  Alcotest.(check int) "high water" 150 (Recorder.max_inflight_bytes t)
+
+let test_recorder_untraced_drops_spans () =
+  let t = Recorder.create ~nprocs:1 () in
+  let l = Recorder.log t ~rank:0 in
+  Recorder.span l ~t0:0. ~t1:1. Span.Compute;
+  Recorder.close l Span.Send;
+  Alcotest.(check (list (float 0.))) "no spans" []
+    (List.map Span.duration (Recorder.spans t))
+
+let test_recorder_virtual_clock () =
+  let now = ref 0. in
+  let t = Recorder.create ~trace:true ~clock:(fun () -> !now) ~nprocs:1 () in
+  let l = Recorder.log t ~rank:0 in
+  Recorder.mark l;
+  now := 2.;
+  Recorder.close l Span.Compute;
+  now := 3.5;
+  Recorder.close l Span.Send;
+  Recorder.span l ~t0:5. ~t1:4. Span.Wait (* reversed: dropped *);
+  match Recorder.spans t with
+  | [ a; b ] ->
+    Alcotest.(check (float 1e-12)) "first closes [0,2]" 2. (Span.duration a);
+    Alcotest.(check bool) "first is compute" true (a.Span.kind = Span.Compute);
+    Alcotest.(check (float 1e-12)) "second closes [2,3.5]" 1.5 (Span.duration b);
+    Alcotest.(check bool) "second is send" true (b.Span.kind = Span.Send)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+(* ---------------- span invariants on real traces ---------------- *)
+
+let check_rank_spans_disjoint name spans ~nprocs =
+  Array.iteri
+    (fun rank spans ->
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if a.Span.t1 > b.Span.t0 +. 1e-9 then
+            Alcotest.failf "%s: rank %d spans overlap: [%g,%g] then [%g,%g]"
+              name rank a.Span.t0 a.Span.t1 b.Span.t0 b.Span.t1;
+          go rest
+        | _ -> ()
+      in
+      go spans)
+    (Span.by_rank ~nprocs spans)
+
+let test_sim_span_invariants () =
+  let r = sim_run () in
+  let stats = r.Executor.stats in
+  let nprocs = Array.length stats.Sim.rank_clocks in
+  Alcotest.(check bool) "trace nonempty" true (stats.Sim.trace <> []);
+  check_rank_spans_disjoint "sim" stats.Sim.trace ~nprocs;
+  (* every rank's span durations sum to at most its final clock *)
+  Array.iteri
+    (fun rank spans ->
+      let total = List.fold_left (fun a s -> a +. Span.duration s) 0. spans in
+      if total > stats.Sim.rank_clocks.(rank) +. 1e-9 then
+        Alcotest.failf "rank %d: %g traced > %g clock" rank total
+          stats.Sim.rank_clocks.(rank))
+    (Span.by_rank ~nprocs stats.Sim.trace);
+  (* the merged list is globally time-ordered *)
+  let rec ordered = function
+    | a :: (b :: _ as rest) -> a.Span.t0 <= b.Span.t0 && ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged trace time-ordered" true
+    (ordered stats.Sim.trace)
+
+let test_shm_span_invariants () =
+  let r = shm_run () in
+  Alcotest.(check bool) "trace nonempty" true (r.Shm_executor.trace <> []);
+  check_rank_spans_disjoint "shm" r.Shm_executor.trace
+    ~nprocs:r.Shm_executor.nprocs;
+  List.iter
+    (fun s ->
+      if Span.duration s < 0. then
+        Alcotest.failf "negative span duration %g" (Span.duration s))
+    r.Shm_executor.trace
+
+(* both backends execute the same protocol, so their message and byte
+   counts must agree exactly — globally and per rank *)
+let test_sim_shm_counters_agree () =
+  let sim = sim_run () and shm = shm_run () in
+  let agg = Tiles_mpisim.Trace.aggregate sim.Executor.stats in
+  Alcotest.(check int) "messages" agg.Stats.messages
+    shm.Shm_executor.stats.Stats.messages;
+  Alcotest.(check int) "bytes" agg.Stats.bytes
+    shm.Shm_executor.stats.Stats.bytes;
+  (* the in-flight high-water mark depends on the interleaving, so the
+     wall-clock backend's is only bounded, not equal *)
+  let shm_hw = shm.Shm_executor.stats.Stats.max_inflight_bytes in
+  Alcotest.(check bool) "max in-flight positive and bounded" true
+    (shm_hw > 0 && shm_hw <= agg.Stats.bytes);
+  Array.iteri
+    (fun i (a : Stats.rank) ->
+      let b = shm.Shm_executor.stats.Stats.ranks.(i) in
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d messages" i)
+        a.Stats.messages b.Stats.messages;
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d bytes" i)
+        a.Stats.bytes b.Stats.bytes)
+    agg.Stats.ranks;
+  (* and the shm run really computed the right answer *)
+  Alcotest.(check (float 1e-9)) "shm correct" 0. shm.Shm_executor.max_abs_err
+
+(* ---------------- aggregate stats ---------------- *)
+
+let test_stats_make () =
+  let spans =
+    [
+      { Span.rank = 0; t0 = 0.; t1 = 2.; kind = Span.Compute };
+      { Span.rank = 0; t0 = 2.; t1 = 3.; kind = Span.Send };
+      { Span.rank = 1; t0 = 0.; t1 = 1.; kind = Span.Wait };
+      { Span.rank = 1; t0 = 1.; t1 = 2.; kind = Span.Unpack };
+      { Span.rank = 1; t0 = 2.; t1 = 2.5; kind = Span.Pack };
+    ]
+  in
+  let s =
+    Stats.make ~completion:4. ~nprocs:2 ~messages:3 ~bytes:120
+      ~max_inflight_bytes:80 spans
+  in
+  Alcotest.(check (float 1e-12)) "rank0 busy" 3. s.Stats.ranks.(0).Stats.busy;
+  Alcotest.(check (float 1e-12)) "rank0 busy fraction" 0.75
+    s.Stats.ranks.(0).Stats.busy_fraction;
+  Alcotest.(check (float 1e-12)) "rank1 wait not busy" 1.5
+    s.Stats.ranks.(1).Stats.busy;
+  Alcotest.(check (float 1e-12)) "total compute" 2. s.Stats.total_compute;
+  Alcotest.(check (float 1e-12)) "total comm" 3.5 s.Stats.total_comm;
+  Alcotest.(check (float 1e-12)) "ratio" 1.75 s.Stats.comm_compute_ratio;
+  Alcotest.(check (float 1e-12)) "critical path" 3. s.Stats.critical_path;
+  (* json embeds per-rank busy fractions *)
+  match Stats.to_json s with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "has ranks" true (List.mem_assoc "ranks" kvs);
+    Alcotest.(check bool) "has mean_busy_fraction" true
+      (List.mem_assoc "mean_busy_fraction" kvs)
+  | _ -> Alcotest.fail "stats json not an object"
+
+let test_stats_untraced () =
+  let s =
+    Stats.make ~completion:1. ~nprocs:2 ~messages:5 ~bytes:40
+      ~max_inflight_bytes:16 []
+  in
+  Alcotest.(check int) "messages survive" 5 s.Stats.messages;
+  Alcotest.(check (float 0.)) "no busy" 0. s.Stats.mean_busy_fraction
+
+(* ---------------- chrome exporter ---------------- *)
+
+let test_chrome_json_shape () =
+  let spans =
+    [
+      { Span.rank = 0; t0 = 0.; t1 = 1e-3; kind = Span.Compute };
+      { Span.rank = 1; t0 = 1e-3; t1 = 2e-3; kind = Span.Wait };
+    ]
+  in
+  match Chrome.to_json ~process_name:"test" ~nprocs:2 spans with
+  | Json.Obj kvs ->
+    (match List.assoc_opt "traceEvents" kvs with
+    | Some (Json.List events) ->
+      (* 1 process_name + 2 thread_name metadata + 2 "X" events *)
+      Alcotest.(check int) "event count" 5 (List.length events);
+      let phases =
+        List.filter_map
+          (fun e ->
+            match e with
+            | Json.Obj fields ->
+              (match List.assoc_opt "ph" fields with
+              | Some (Json.Str p) -> Some p
+              | _ -> None)
+            | _ -> None)
+          events
+      in
+      Alcotest.(check int) "metadata events" 3
+        (List.length (List.filter (( = ) "M") phases));
+      Alcotest.(check int) "complete events" 2
+        (List.length (List.filter (( = ) "X") phases));
+      (* an "X" event carries microsecond ts/dur *)
+      let x =
+        List.find
+          (fun e ->
+            match e with
+            | Json.Obj f -> List.assoc_opt "ph" f = Some (Json.Str "X")
+            | _ -> false)
+          events
+      in
+      (match x with
+      | Json.Obj f ->
+        (match (List.assoc_opt "ts" f, List.assoc_opt "dur" f) with
+        | Some (Json.Float ts), Some (Json.Float dur) ->
+          Alcotest.(check (float 1e-9)) "ts scaled" 0. ts;
+          Alcotest.(check (float 1e-9)) "dur scaled" 1000. dur
+        | _ -> Alcotest.fail "X event lacks ts/dur floats")
+      | _ -> assert false)
+    | _ -> Alcotest.fail "no traceEvents list")
+  | _ -> Alcotest.fail "chrome json not an object"
+
+let test_chrome_write () =
+  let path = Filename.temp_file "tiles_trace" ".json" in
+  Chrome.write ~nprocs:1 ~path
+    [ { Span.rank = 0; t0 = 0.; t1 = 1.; kind = Span.Send } ];
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "mentions traceEvents" true
+    (Astring.String.is_infix ~affix:"traceEvents" s);
+  Alcotest.(check bool) "displayTimeUnit" true
+    (Astring.String.is_infix ~affix:"displayTimeUnit" s)
+
+(* ---------------- shm mailbox ---------------- *)
+
+let test_mailbox_leak_bounded () =
+  let mb = Shm_executor.Mailbox.create () in
+  for tag = 0 to 99 do
+    Shm_executor.Mailbox.send mb ~tag [| float_of_int tag |];
+    let got = Shm_executor.Mailbox.recv mb ~tag in
+    Alcotest.(check (float 0.)) "payload" (float_of_int tag) got.(0)
+  done;
+  (* before the fix this table held one empty queue per tag ever used *)
+  Alcotest.(check int) "drained queues removed" 0
+    (Shm_executor.Mailbox.tag_count mb);
+  Shm_executor.Mailbox.send mb ~tag:7 [| 1. |];
+  Shm_executor.Mailbox.send mb ~tag:7 [| 2. |];
+  Shm_executor.Mailbox.send mb ~tag:9 [| 3. |];
+  Alcotest.(check int) "pending tags counted" 2
+    (Shm_executor.Mailbox.tag_count mb);
+  ignore (Shm_executor.Mailbox.recv mb ~tag:7);
+  Alcotest.(check int) "partial drain keeps queue" 2
+    (Shm_executor.Mailbox.tag_count mb);
+  ignore (Shm_executor.Mailbox.recv mb ~tag:7);
+  Alcotest.(check int) "full drain drops queue" 1
+    (Shm_executor.Mailbox.tag_count mb)
+
+let test_mailbox_recv_timeout () =
+  let mb = Shm_executor.Mailbox.create () in
+  (* nobody sends; a nudger stands in for the run's watchdog *)
+  let stop = Atomic.make false in
+  let nudger =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.01;
+          Shm_executor.Mailbox.nudge mb
+        done)
+  in
+  let raised =
+    try
+      ignore
+        (Shm_executor.Mailbox.recv ~timeout:0.05
+           ~diag:(fun () -> "rank 1 blocked (src=0, tag=42)")
+           mb ~tag:42);
+      None
+    with Shm_executor.Recv_timeout msg -> Some msg
+  in
+  Atomic.set stop true;
+  Domain.join nudger;
+  match raised with
+  | Some msg ->
+    Alcotest.(check bool) "diagnostic names the channel" true
+      (Astring.String.is_infix ~affix:"tag=42" msg)
+  | None -> Alcotest.fail "recv did not time out"
+
+let () =
+  Alcotest.run "tiles_obs"
+    [
+      ( "recorder",
+        [
+          Alcotest.test_case "counters" `Quick test_recorder_counters;
+          Alcotest.test_case "untraced drops spans" `Quick
+            test_recorder_untraced_drops_spans;
+          Alcotest.test_case "virtual clock close" `Quick
+            test_recorder_virtual_clock;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "sim spans" `Quick test_sim_span_invariants;
+          Alcotest.test_case "shm spans" `Quick test_shm_span_invariants;
+          Alcotest.test_case "sim vs shm counters" `Quick
+            test_sim_shm_counters_agree;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "make" `Quick test_stats_make;
+          Alcotest.test_case "untraced" `Quick test_stats_untraced;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "json shape" `Quick test_chrome_json_shape;
+          Alcotest.test_case "write" `Quick test_chrome_write;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "leak bounded" `Quick test_mailbox_leak_bounded;
+          Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+        ] );
+    ]

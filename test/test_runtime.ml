@@ -185,7 +185,13 @@ let test_shm_pascal () =
   let r = Tiles_runtime.Shm_executor.run ~plan ~kernel:pascal_kernel () in
   Alcotest.(check (float 0.)) "exact vs oracle" 0. r.Tiles_runtime.Shm_executor.max_abs_err;
   Alcotest.(check int) "procs" (Plan.nprocs plan) r.Tiles_runtime.Shm_executor.nprocs;
-  Alcotest.(check bool) "messages sent" true (r.Tiles_runtime.Shm_executor.messages > 0)
+  Alcotest.(check bool) "messages sent" true (r.Tiles_runtime.Shm_executor.messages > 0);
+  Alcotest.(check bool) "bytes counted" true (r.Tiles_runtime.Shm_executor.bytes > 0);
+  (* counters live in the stats record too; spans only with ~trace:true *)
+  Alcotest.(check int) "stats messages" r.Tiles_runtime.Shm_executor.messages
+    r.Tiles_runtime.Shm_executor.stats.Tiles_obs.Stats.messages;
+  Alcotest.(check bool) "untraced: no spans" true
+    (r.Tiles_runtime.Shm_executor.trace = [])
 
 let test_shm_sor () =
   let module Sor = Tiles_apps.Sor in
@@ -203,7 +209,9 @@ let test_shm_matches_sim_messages () =
   let sim = Executor.run ~mode:Executor.Timing ~plan ~kernel:pascal_kernel ~net () in
   let shm = Tiles_runtime.Shm_executor.run ~plan ~kernel:pascal_kernel () in
   Alcotest.(check int) "same messages" sim.Executor.stats.Sim.messages
-    shm.Tiles_runtime.Shm_executor.messages
+    shm.Tiles_runtime.Shm_executor.messages;
+  Alcotest.(check int) "same bytes" sim.Executor.stats.Sim.bytes
+    shm.Tiles_runtime.Shm_executor.bytes
 
 (* ---------- Model ---------- *)
 

@@ -103,6 +103,30 @@ let test_gantt_requires_trace () =
        false
      with Invalid_argument _ -> true)
 
+let test_timeline_figure () =
+  let module Span = Tiles_obs.Span in
+  (* hand-built spans covering all five kinds across two ranks *)
+  let spans =
+    [
+      { Span.rank = 0; t0 = 0.; t1 = 1.; kind = Span.Compute };
+      { Span.rank = 0; t0 = 1.; t1 = 1.2; kind = Span.Pack };
+      { Span.rank = 0; t0 = 1.2; t1 = 1.5; kind = Span.Send };
+      { Span.rank = 1; t0 = 0.; t1 = 1.4; kind = Span.Wait };
+      { Span.rank = 1; t0 = 1.4; t1 = 1.6; kind = Span.Unpack };
+    ]
+  in
+  let svg = Figures.timeline ~nprocs:2 ~completion:2. spans in
+  (* 5 span rects + 5 legend swatches at least *)
+  Alcotest.(check bool) "enough elements" true (Svg.element_count svg >= 10);
+  ignore (well_formed svg)
+
+let test_timeline_rejects_empty () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Figures.timeline ~nprocs:1 ~completion:1. []);
+       false
+     with Invalid_argument _ -> true)
+
 let test_save () =
   let svg = Figures.ttis oblique in
   let path = Filename.temp_file "tiles_viz" ".svg" in
@@ -128,5 +152,8 @@ let () =
           Alcotest.test_case "lds" `Quick test_lds_figure;
           Alcotest.test_case "gantt" `Quick test_gantt_figure;
           Alcotest.test_case "gantt needs trace" `Quick test_gantt_requires_trace;
+          Alcotest.test_case "timeline" `Quick test_timeline_figure;
+          Alcotest.test_case "timeline needs spans" `Quick
+            test_timeline_rejects_empty;
         ] );
     ]
