@@ -9,6 +9,7 @@
      bench/main.exe summary | analytic | ablation-net | ablation-map
      bench/main.exe ablation-tune   autotuner predictor vs simulator ranks
      bench/main.exe trace           unified span metrics, sim vs shm domains
+     bench/main.exe perf            run distributions + analytic-model residuals
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe everything      all of the above
      bench/main.exe --json ...      also write each target's tables (plus any
@@ -48,11 +49,27 @@ let table_json t =
     [ ("header", row_json (Table.header t));
       ("rows", Json.List (List.map row_json (Table.rows t))) ]
 
+(* every artifact carries its provenance: CI uploads these files and a
+   downloaded BENCH_*.json must say what produced it *)
+let bench_metadata ~target =
+  Json.Obj
+    [
+      ("tool", Json.Str "bench");
+      ("tilec_version", Json.Str Tiles_obs.Runmeta.version);
+      ("target", Json.Str target);
+      ("nprocs", Json.Int 16);
+      ("netmodel", Json.Str "fast_ethernet_cluster");
+      ("netmodel_latency_s", Json.Float net.Netmodel.latency);
+      ("netmodel_bandwidth_Bps", Json.Float net.Netmodel.bandwidth);
+      ("netmodel_flop_time_s", Json.Float net.Netmodel.flop_time);
+    ]
+
 let write_json ~target =
   let file = Printf.sprintf "BENCH_%s.json" target in
   let json =
     Json.Obj
-      (( "target", Json.Str target)
+      (("target", Json.Str target)
+       :: ("metadata", bench_metadata ~target)
        :: ("tables", Json.List (List.rev_map table_json !collected))
        :: (match !collected_json with
           | [] -> []
@@ -663,6 +680,161 @@ let trace_target () =
      || sim.Stats.bytes <> shm.Stats.bytes then
     pf "WARNING: backend counters disagree\n"
 
+(* ---------------- perf observatory ---------------- *)
+
+let perf_target () =
+  pf "\n=== Perf — repeated-run distributions and analytic-model residuals ===\n";
+  pf "(each config runs 1 warmup + 3 measured sim repeats; the residual\n";
+  pf " table compares the tuner's two predictor passes and the\n";
+  pf " Hodzic-Shang model against the observed completion)\n";
+  let module Stats = Tiles_obs.Stats in
+  let module Metric = Tiles_obs.Metric in
+  let module Residual = Tiles_obs.Residual in
+  let module Baseline = Tiles_obs.Baseline in
+  let module Runmeta = Tiles_obs.Runmeta in
+  let module Predictor = Tiles_tune.Predictor in
+  let module Model = Tiles_runtime.Model in
+  let repeats = 3 and warmup = 1 in
+  let suite =
+    [
+      ("sor", "rect", 24, 32, (6, 8, 8));
+      ("sor", "nonrect", 24, 32, (6, 8, 8));
+      ("jacobi", "rect", 12, 16, (3, 4, 4));
+      ("jacobi", "nonrect", 12, 16, (3, 4, 4));
+      ("adi", "rect", 12, 16, (3, 4, 4));
+      ("adi", "nr3", 12, 16, (3, 4, 4));
+    ]
+  in
+  let dist_table =
+    Table.create
+      ~header:
+        [ "config"; "procs"; "mean ms"; "stddev ms"; "p50 ms"; "p99 ms";
+          "messages"; "bytes" ]
+  in
+  let residual_entries = ref [] in
+  let records = ref [] in
+  List.iter
+    (fun (app, variant, size1, size2, ((x, y, z) as tile)) ->
+      let nest, kernel, tiling, m =
+        match app with
+        | "sor" ->
+          let p = Tiles_apps.Sor.make ~m_steps:size1 ~size:size2 in
+          ( Tiles_apps.Sor.nest p, Tiles_apps.Sor.kernel p,
+            (List.assoc variant Tiles_apps.Sor.variants) ~x ~y ~z,
+            Tiles_apps.Sor.mapping_dim )
+        | "jacobi" ->
+          let p = Tiles_apps.Jacobi.make ~t_steps:size1 ~size:size2 in
+          ( Tiles_apps.Jacobi.nest p, Tiles_apps.Jacobi.kernel p,
+            (List.assoc variant Tiles_apps.Jacobi.variants) ~x ~y ~z,
+            Tiles_apps.Jacobi.mapping_dim )
+        | _ ->
+          let p = Tiles_apps.Adi.make ~t_steps:size1 ~size:size2 in
+          ( Tiles_apps.Adi.nest p, Tiles_apps.Adi.kernel p,
+            (List.assoc variant Tiles_apps.Adi.variants) ~x ~y ~z,
+            Tiles_apps.Adi.mapping_dim )
+      in
+      let plan = Plan.make ~m nest tiling in
+      let label = Printf.sprintf "%s/%s x=%d y=%d z=%d" app variant x y z in
+      let last_speedup = ref nan in
+      let run_once () =
+        let r =
+          Executor.run ~mode:Executor.Timing ~trace:true ~plan ~kernel ~net ()
+        in
+        last_speedup := r.Executor.speedup;
+        Tiles_mpisim.Trace.aggregate r.Executor.stats
+      in
+      let runs = List.init (warmup + repeats) (fun _ -> run_once ()) in
+      let stats = List.nth runs (List.length runs - 1) in
+      let dist = Stats.distributions ~warmup runs in
+      let c = List.assoc "completion_s" dist in
+      Table.add_row dist_table
+        [
+          label;
+          string_of_int (Plan.nprocs plan);
+          Printf.sprintf "%.3f" (1e3 *. c.Metric.mean);
+          Printf.sprintf "%.3f" (1e3 *. c.Metric.stddev);
+          Printf.sprintf "%.3f" (1e3 *. c.Metric.p50);
+          Printf.sprintf "%.3f" (1e3 *. c.Metric.p99);
+          string_of_int stats.Stats.messages;
+          string_of_int stats.Stats.bytes;
+        ];
+      let observed =
+        [
+          ("completion_s", stats.Stats.completion);
+          ("speedup", !last_speedup);
+        ]
+      in
+      let width = kernel.Tiles_runtime.Kernel.width in
+      let entries source fields =
+        List.filter_map
+          (fun (field, predicted) ->
+            Option.map
+              (fun observed ->
+                { Residual.label; source; field; predicted; observed })
+              (List.assoc_opt field observed))
+          fields
+      in
+      let p = Predictor.predict ~width plan ~net in
+      let r = Predictor.refine ~width plan ~net in
+      let mo = Model.predict plan ~net in
+      residual_entries :=
+        !residual_entries
+        @ entries (Predictor.source p) (Predictor.fields p)
+        @ entries (Predictor.source r) (Predictor.fields r)
+        @ entries "model" (Model.fields mo);
+      let meta =
+        Runmeta.make ~app ~variant ~size1 ~size2 ~tile
+          ~nprocs:(Plan.nprocs plan) ~backend:"sim"
+          ~netmodel:"fast_ethernet_cluster"
+      in
+      records :=
+        (label,
+         Json.Obj
+           [
+             ("metadata", Runmeta.to_json meta);
+             ("baseline",
+              Baseline.to_json (Baseline.make ~meta ~stats ~timings:dist));
+           ])
+        :: !records)
+    suite;
+  emit dist_table;
+  let entries = !residual_entries in
+  let residual_table =
+    Table.create
+      ~header:[ "config"; "source"; "field"; "predicted"; "observed"; "err" ]
+  in
+  List.iter
+    (fun (e : Residual.entry) ->
+      Table.add_row residual_table
+        [
+          e.Residual.label;
+          e.Residual.source;
+          e.Residual.field;
+          Printf.sprintf "%.6g" e.Residual.predicted;
+          Printf.sprintf "%.6g" e.Residual.observed;
+          Printf.sprintf "%+.1f%%" (100. *. Residual.rel_error e);
+        ])
+    entries;
+  emit residual_table;
+  let calibration_table =
+    Table.create
+      ~header:[ "source"; "n"; "mean |err|"; "bias"; "max |err|" ]
+  in
+  List.iter
+    (fun (c : Residual.calibration) ->
+      Table.add_row calibration_table
+        [
+          c.Residual.source;
+          string_of_int c.Residual.count;
+          Printf.sprintf "%.1f%%" (100. *. c.Residual.mean_abs_rel);
+          Printf.sprintf "%+.1f%%" (100. *. c.Residual.mean_rel);
+          Printf.sprintf "%.1f%%" (100. *. c.Residual.max_abs_rel);
+        ])
+    (Residual.calibrate entries);
+  emit calibration_table;
+  List.iter (fun (k, j) -> emit_json k j) (List.rev !records);
+  emit_json "residuals" (Residual.to_json entries)
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let micro () =
@@ -756,7 +928,7 @@ let figures =
     ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
     ("ablation-tune", ablation_tune);
     ("memory", memory); ("model", model); ("trace", trace_target);
-    ("micro", micro);
+    ("perf", perf_target); ("micro", micro);
   ]
 
 let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "analytic" ]

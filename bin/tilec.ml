@@ -12,7 +12,9 @@
                  --trace FILE writes a Chrome trace-event JSON)
      trace      run traced (simulator or shm domains), export the Chrome
                 trace-event JSON / SVG timeline, print aggregate stats
-     tune       search tile shape, size and mapping for the best plan *)
+     tune       search tile shape, size and mapping for the best plan
+     perf       repeated timed runs with distribution statistics;
+                --record writes a baseline, --check gates against it *)
 
 open Cmdliner
 
@@ -138,6 +140,24 @@ let build_plan app size1 size2 variant (x, y, z) =
   let inst = instance app ~size1 ~size2 in
   let tiling = inst.tiling_of variant ~x ~y ~z in
   (inst, Plan.make ~m:inst.m inst.nest tiling)
+
+(* an unknown --backend must be a Cmdliner usage error listing sim|shm,
+   not a raw exception from deep inside the run *)
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("sim", `Sim); ("shm", `Shm) ]) `Sim
+       & info [ "backend" ] ~docv:"B"
+           ~doc:"Execution backend: $(b,sim) (discrete-event simulator, \
+                 virtual time) or $(b,shm) (real OCaml domains, wall time).")
+
+let backend_name = function `Sim -> "sim" | `Shm -> "shm"
+
+let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~size1 ~size2 =
+  Tiles_obs.Runmeta.make ~app:inst.app_name ~variant ~size1 ~size2
+    ~tile:(x, y, z) ~nprocs ~backend:(backend_name backend)
+    ~netmodel:(match backend with
+      | `Sim -> "fast_ethernet_cluster"
+      | `Shm -> "-")
 
 (* ---------------- subcommands ---------------- *)
 
@@ -298,6 +318,8 @@ let simulate_cmd =
     | Some path ->
       Chrome.write
         ~process_name:(Printf.sprintf "tilec %s (sim)" inst.app_name)
+        ~meta:(run_meta inst ~variant ~xyz ~nprocs:(Plan.nprocs plan)
+                 ~backend:`Sim ~size1 ~size2)
         ~nprocs:(Plan.nprocs plan) ~path r.Executor.stats.Sim.trace;
       Printf.eprintf "wrote %s\n" path
   in
@@ -307,11 +329,6 @@ let simulate_cmd =
           $ full_arg $ trace_arg $ overlap_arg $ trace_out_arg)
 
 let trace_cmd =
-  let backend_arg =
-    Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"B"
-           ~doc:"Execution backend: sim (discrete-event simulator, virtual \
-                 time) or shm (real OCaml domains, wall time).")
-  in
   let out_arg =
     Arg.(value & opt string "trace.json" & info [ "out" ] ~docv:"FILE"
            ~doc:"Chrome trace-event JSON output path.")
@@ -330,22 +347,23 @@ let trace_cmd =
     let nprocs = Plan.nprocs plan in
     let spans, stats =
       match backend with
-      | "sim" ->
+      | `Sim ->
         let r =
           Executor.run ~mode:Executor.Full ~overlap ~trace:true ~plan
             ~kernel:inst.kernel ~net:Netmodel.fast_ethernet_cluster ()
         in
         (r.Executor.stats.Sim.trace,
          Tiles_mpisim.Trace.aggregate r.Executor.stats)
-      | "shm" ->
+      | `Shm ->
         if overlap then
           failwith "trace: --overlap applies to the sim backend only";
         let r = Shm_executor.run ~trace:true ~plan ~kernel:inst.kernel () in
         (r.Shm_executor.trace, r.Shm_executor.stats)
-      | other -> failwith ("unknown backend " ^ other ^ " (sim | shm)")
     in
+    let backend_str = backend_name backend in
     Chrome.write
-      ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend)
+      ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend_str)
+      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~size1 ~size2)
       ~nprocs ~path:out spans;
     Printf.eprintf "wrote %s\n" out;
     (match svg with
@@ -353,7 +371,7 @@ let trace_cmd =
     | Some path ->
       Tiles_viz.Svg.save
         (Tiles_viz.Figures.timeline
-           ~title:(Printf.sprintf "%s on %s" inst.app_name backend)
+           ~title:(Printf.sprintf "%s on %s" inst.app_name backend_str)
            ~nprocs ~completion:stats.Stats.completion spans)
         path;
       Printf.eprintf "wrote %s\n" path);
@@ -474,11 +492,199 @@ let tune_cmd =
           $ factors_arg $ top_arg $ workers_arg $ cache_arg $ json_arg
           $ overlap_arg $ m_arg)
 
+let perf_cmd =
+  let module Metric = Tiles_obs.Metric in
+  let module Baseline = Tiles_obs.Baseline in
+  let module Residual = Tiles_obs.Residual in
+  let module Runmeta = Tiles_obs.Runmeta in
+  let repeats_arg =
+    Arg.(value & opt int 5 & info [ "repeats" ] ~docv:"N"
+           ~doc:"Measured runs folded into each field's distribution.")
+  in
+  let warmup_arg =
+    Arg.(value & opt int 1 & info [ "warmup" ] ~docv:"W"
+           ~doc:"Runs executed and discarded before measuring.")
+  in
+  let record_arg =
+    Arg.(value & flag & info [ "record" ]
+           ~doc:"Write the measured distributions as the committed baseline \
+                 for this configuration.")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Compare against the recorded baseline and exit non-zero on \
+                 a regression, counter drift or metadata mismatch.")
+  in
+  let dir_arg =
+    Arg.(value & opt string "perf/baselines" & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Baseline directory.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the result as JSON.")
+  in
+  let counters_arg =
+    Arg.(value & flag & info [ "counters-only" ]
+           ~doc:"Check only the deterministic message/byte counters, not \
+                 timings — for the wall-clock shm backend whose times \
+                 depend on the host.")
+  in
+  let inflate_arg =
+    Arg.(value & opt float 1.0 & info [ "inflate" ] ~docv:"F"
+           ~doc:"Scale the sim network model's latency and per-point \
+                 compute cost by $(docv) — a synthetic slowdown for \
+                 exercising the regression gate.")
+  in
+  let run app size1 size2 variant xyz backend repeats warmup record check dir
+      json counters_only inflate =
+    guard @@ fun () ->
+    if repeats < 1 then failwith "perf: --repeats must be >= 1";
+    if warmup < 0 then failwith "perf: --warmup must be >= 0";
+    if record && check then failwith "perf: --record and --check conflict";
+    let inst, plan = build_plan app size1 size2 variant xyz in
+    let nprocs = Plan.nprocs plan in
+    let net =
+      let n = Netmodel.fast_ethernet_cluster in
+      if inflate = 1.0 then n
+      else
+        { n with
+          Netmodel.latency = n.Netmodel.latency *. inflate;
+          flop_time = n.Netmodel.flop_time *. inflate }
+    in
+    let last_speedup = ref nan in
+    let run_once () =
+      match backend with
+      | `Sim ->
+        let r =
+          Executor.run ~mode:Executor.Timing ~trace:true ~plan
+            ~kernel:inst.kernel ~net ()
+        in
+        last_speedup := r.Executor.speedup;
+        Tiles_mpisim.Trace.aggregate r.Executor.stats
+      | `Shm ->
+        let r = Shm_executor.run ~trace:true ~plan ~kernel:inst.kernel () in
+        last_speedup := r.Shm_executor.wall_speedup;
+        r.Shm_executor.stats
+    in
+    let runs = List.init (warmup + repeats) (fun _ -> run_once ()) in
+    let stats = List.nth runs (List.length runs - 1) in
+    let dist = Stats.distributions ~warmup runs in
+    let meta = run_meta inst ~variant ~xyz ~nprocs ~backend ~size1 ~size2 in
+    let current = Baseline.make ~meta ~stats ~timings:dist in
+    let path = Baseline.default_path ~dir ~meta in
+    (* the analytic models' drift from this observation (sim only: the
+       models predict virtual time, not the host's wall clock) *)
+    let residuals () =
+      match backend with
+      | `Shm -> []
+      | `Sim ->
+        let module Predictor = Tiles_tune.Predictor in
+        let module Model = Tiles_runtime.Model in
+        let width = inst.kernel.Tiles_runtime.Kernel.width in
+        let observed =
+          [
+            ("completion_s", stats.Stats.completion);
+            ("speedup", !last_speedup);
+          ]
+        in
+        let label = Printf.sprintf "%s/%s" inst.app_name variant in
+        let entries source fields =
+          List.filter_map
+            (fun (field, predicted) ->
+              match List.assoc_opt field observed with
+              | Some obs ->
+                Some
+                  { Residual.label; source; field; predicted; observed = obs }
+              | None -> None)
+            fields
+        in
+        let p = Predictor.predict ~width plan ~net in
+        let r = Predictor.refine ~width plan ~net in
+        let m = Model.predict plan ~net in
+        entries (Predictor.source p) (Predictor.fields p)
+        @ entries (Predictor.source r) (Predictor.fields r)
+        @ entries "model" (Model.fields m)
+    in
+    if record then begin
+      (if not (Sys.file_exists dir) then
+         (* mkdir -p: create each missing prefix *)
+         let rec mk d =
+           if d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+             mk (Filename.dirname d);
+             Sys.mkdir d 0o755
+           end
+         in
+         mk dir);
+      Baseline.save current ~path;
+      if json then
+        print_endline (Tiles_util.Json.to_string (Baseline.to_json current))
+      else Printf.printf "recorded %s (%d measured runs, %d warmup)\n" path
+          repeats warmup
+    end
+    else if check then begin
+      match Baseline.load ~path with
+      | Error e -> failwith ("perf --check: " ^ e)
+      | Ok baseline ->
+        let verdict =
+          if counters_only then
+            Baseline.compare ~rel_threshold:infinity
+              ~exact:[ "messages"; "bytes" ] ~baseline current
+          else
+            Baseline.compare
+              ?exact:(match backend with
+                | `Shm ->
+                  (* the in-flight high-water mark depends on thread
+                     interleaving, so it is not exact on shm *)
+                  Some [ "messages"; "bytes" ]
+                | `Sim -> None)
+              ~baseline current
+        in
+        if json then
+          print_endline
+            (Tiles_util.Json.to_string (Baseline.verdict_to_json verdict))
+        else begin
+          Printf.printf "checking %s against %s\n"
+            (Printf.sprintf "%s/%s (%s)" inst.app_name variant
+               (backend_name backend))
+            path;
+          print_string (Baseline.report verdict)
+        end;
+        if not verdict.Baseline.ok then exit 1
+    end
+    else begin
+      let res = residuals () in
+      if json then
+        print_endline
+          (Tiles_util.Json.to_string
+             (Tiles_util.Json.Obj
+                [
+                  ("metadata", Runmeta.to_json meta);
+                  ("baseline", Baseline.to_json current);
+                  ("residuals", Residual.to_json res);
+                ]))
+      else begin
+        Printf.printf "perf %s/%s (%s): %d measured run%s, %d warmup\n"
+          inst.app_name variant (backend_name backend) repeats
+          (if repeats = 1 then "" else "s")
+          warmup;
+        print_string (Stats.summary ~dist stats);
+        if res <> [] then print_string (Residual.report res)
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Run a configuration repeatedly, report distribution statistics \
+             (mean, stddev, percentiles) of every timed field, and record or \
+             check a persistent performance baseline.")
+    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
+          $ backend_arg $ repeats_arg $ warmup_arg $ record_arg $ check_arg
+          $ dir_arg $ json_arg $ counters_arg $ inflate_arg)
+
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in
-  let info = Cmd.info "tilec" ~version:"1.0" ~doc in
+  let info = Cmd.info "tilec" ~version:Tiles_obs.Runmeta.version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd;
-            simulate_cmd; trace_cmd; tune_cmd ]))
+            simulate_cmd; trace_cmd; tune_cmd; perf_cmd ]))

@@ -32,7 +32,7 @@ let metadata ~name ~tid ~value =
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ~nprocs spans =
+let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ?meta ~nprocs spans =
   let threads =
     List.init nprocs (fun r ->
         metadata ~name:"thread_name" ~tid:r ~value:(Printf.sprintf "rank %d" r))
@@ -43,13 +43,17 @@ let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ~nprocs spans =
     @ List.map (event ~time_scale) (Span.sort spans)
   in
   Json.Obj
-    [
-      ("traceEvents", Json.List events);
-      ("displayTimeUnit", Json.Str "ms");
-    ]
+    ([
+       ("traceEvents", Json.List events);
+       ("displayTimeUnit", Json.Str "ms");
+     ]
+    @
+    match meta with
+    | None -> []
+    | Some m -> [ ("metadata", Runmeta.to_json m) ])
 
-let write ?process_name ?time_scale ~nprocs ~path spans =
-  let json = to_json ?process_name ?time_scale ~nprocs spans in
+let write ?process_name ?time_scale ?meta ~nprocs ~path spans =
+  let json = to_json ?process_name ?time_scale ?meta ~nprocs spans in
   let oc = open_out path in
   output_string oc (Json.to_string ~indent:1 json);
   output_char oc '\n';

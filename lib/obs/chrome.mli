@@ -10,15 +10,20 @@
 val to_json :
   ?process_name:string ->
   ?time_scale:float ->
+  ?meta:Runmeta.t ->
   nprocs:int ->
   Span.t list ->
   Tiles_util.Json.t
 (** The complete [{"traceEvents": [...], ...}] document, including
-    thread-name metadata events for every rank in [0, nprocs). *)
+    thread-name metadata events for every rank in [0, nprocs). With
+    [meta], the run's provenance is embedded under the top-level
+    [metadata] key (the object format's free-form metadata slot), so a
+    trace downloaded from CI is self-describing. *)
 
 val write :
   ?process_name:string ->
   ?time_scale:float ->
+  ?meta:Runmeta.t ->
   nprocs:int ->
   path:string ->
   Span.t list ->

@@ -1,0 +1,133 @@
+module Json = Tiles_util.Json
+
+(* geometric histogram: bucket 0 collects everything <= v0; bucket i
+   (1 <= i < nbuckets) covers (v0·γ^(i-1), v0·γ^i]; the last bucket is
+   open-ended.  v0 = 1 ns and γ = 1.05 span ~1 ns … ~1 h in 600
+   buckets, i.e. one int per 5% of dynamic range. *)
+let nbuckets = 600
+let v0 = 1e-9
+let log_gamma = Float.log 1.05
+
+let bucket_of v =
+  if not (Float.is_finite v) then if v > 0. then nbuckets - 1 else 0
+  else if v <= v0 then 0
+  else
+    let i = 1 + int_of_float (Float.log (v /. v0) /. log_gamma) in
+    if i >= nbuckets then nbuckets - 1 else i
+
+(* geometric midpoint of the bucket, used as the percentile estimate *)
+let bucket_value i =
+  if i = 0 then v0
+  else v0 *. Float.exp ((float_of_int i -. 0.5) *. log_gamma)
+
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  hist : int array;
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.;
+    m2 = 0.;
+    min = infinity;
+    max = neg_infinity;
+    hist = Array.make nbuckets 0;
+  }
+
+let add t v =
+  t.count <- t.count + 1;
+  let d = v -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.count);
+  t.m2 <- t.m2 +. (d *. (v -. t.mean));
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v;
+  let b = bucket_of v in
+  t.hist.(b) <- t.hist.(b) + 1
+
+let count t = t.count
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile (t : t) q =
+  (* smallest bucket at which the cumulative count reaches q·total,
+     clamped into [min, max] so exact repeats summarise exactly *)
+  let target = q *. float_of_int t.count in
+  let rec go i acc =
+    if i >= nbuckets then t.max
+    else
+      let acc = acc + t.hist.(i) in
+      if float_of_int acc >= target then bucket_value i else go (i + 1) acc
+  in
+  let v = go 0 0 in
+  Float.min t.max (Float.max t.min v)
+
+let summarize (t : t) =
+  if t.count = 0 then
+    { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.;
+      p50 = 0.; p90 = 0.; p99 = 0. }
+  else
+    {
+      count = t.count;
+      mean = t.mean;
+      stddev =
+        (if t.count < 2 then 0.
+         else Float.sqrt (t.m2 /. float_of_int (t.count - 1)));
+      min = t.min;
+      max = t.max;
+      p50 = percentile t 0.50;
+      p90 = percentile t 0.90;
+      p99 = percentile t 0.99;
+    }
+
+let of_values vs =
+  let t = create () in
+  List.iter (add t) vs;
+  summarize t
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let summary_of_json j =
+  let ( let* ) = Result.bind in
+  let num key =
+    match Option.bind (Json.member key j) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "metric summary: missing number %S" key)
+  in
+  let* count =
+    match Option.bind (Json.member "count" j) Json.to_int_opt with
+    | Some i -> Ok i
+    | None -> Error "metric summary: missing int \"count\""
+  in
+  let* mean = num "mean" in
+  let* stddev = num "stddev" in
+  let* min = num "min" in
+  let* max = num "max" in
+  let* p50 = num "p50" in
+  let* p90 = num "p90" in
+  let* p99 = num "p99" in
+  Ok { count; mean; stddev; min; max; p50; p90; p99 }

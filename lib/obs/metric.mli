@@ -1,0 +1,47 @@
+(** Streaming summaries of repeated measurements.
+
+    One {!t} accumulates samples of a single non-negative quantity
+    (seconds, ratios, counts) in O(1) space: Welford mean/variance,
+    min/max, and a small fixed-bucket geometric histogram from which
+    p50/p90/p99 are estimated. The bench harness and [tilec perf] fold
+    every timed field of N repeated runs into one of these, so the perf
+    trajectory records distributions instead of point samples.
+
+    Histogram resolution: buckets grow geometrically by ~5% per step
+    from 1 ns up, so a percentile estimate is within ±2.5% of the true
+    sample value — far below the run-to-run noise it is meant to
+    bound. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Fold one sample. Negative and non-finite samples are counted in
+    mean/stddev/min/max but clamped to the lowest / highest bucket for
+    the percentile histogram. *)
+
+val count : t -> int
+
+(** Immutable snapshot of a metric — the value stored in baselines. *)
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (0 when count < 2) *)
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : t -> summary
+(** All-zero summary when no samples were added. *)
+
+val of_values : float list -> summary
+
+val summary_to_json : summary -> Tiles_util.Json.t
+
+val summary_of_json : Tiles_util.Json.t -> (summary, string) result
+(** Inverse of {!summary_to_json}; [Error] names the missing or
+    ill-typed field. *)

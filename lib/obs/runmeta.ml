@@ -1,0 +1,58 @@
+module Json = Tiles_util.Json
+
+let version = "1.1"
+
+type t = {
+  app : string;
+  variant : string;
+  size1 : int;
+  size2 : int;
+  tile : int * int * int;
+  nprocs : int;
+  backend : string;
+  netmodel : string;
+}
+
+let make ~app ~variant ~size1 ~size2 ~tile ~nprocs ~backend ~netmodel =
+  { app; variant; size1; size2; tile; nprocs; backend; netmodel }
+
+let to_json t =
+  let x, y, z = t.tile in
+  Json.Obj
+    [
+      ("tilec_version", Json.Str version);
+      ("app", Json.Str t.app);
+      ("variant", Json.Str t.variant);
+      ("size1", Json.Int t.size1);
+      ("size2", Json.Int t.size2);
+      ("tile", Json.List [ Json.Int x; Json.Int y; Json.Int z ]);
+      ("nprocs", Json.Int t.nprocs);
+      ("backend", Json.Str t.backend);
+      ("netmodel", Json.Str t.netmodel);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str key =
+    match Option.bind (Json.member key j) Json.to_str_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "run metadata: missing string %S" key)
+  in
+  let int key =
+    match Option.bind (Json.member key j) Json.to_int_opt with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "run metadata: missing int %S" key)
+  in
+  let* app = str "app" in
+  let* variant = str "variant" in
+  let* size1 = int "size1" in
+  let* size2 = int "size2" in
+  let* tile =
+    match Json.member "tile" j with
+    | Some (Json.List [ Json.Int x; Json.Int y; Json.Int z ]) -> Ok (x, y, z)
+    | _ -> Error "run metadata: missing [x, y, z] \"tile\""
+  in
+  let* nprocs = int "nprocs" in
+  let* backend = str "backend" in
+  let* netmodel = str "netmodel" in
+  Ok { app; variant; size1; size2; tile; nprocs; backend; netmodel }

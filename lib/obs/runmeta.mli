@@ -1,0 +1,38 @@
+(** Self-describing run metadata embedded in exported artifacts.
+
+    CI uploads Chrome traces, [BENCH_*.json] files and perf baselines;
+    once downloaded they lose their provenance unless they carry it.
+    Every exporter therefore embeds one of these records under a
+    [metadata] key: tool version, app, tiling variant, grid/tile
+    parameters, process count, backend and network-model name. *)
+
+val version : string
+(** The tilec / bench tool version (single source of truth; the CLI's
+    [--version] reports the same string). *)
+
+type t = {
+  app : string;        (** sor | jacobi | adi | … *)
+  variant : string;    (** tiling variant (rect, nonrect, nr1…) *)
+  size1 : int;         (** time-like extent (M or T) *)
+  size2 : int;         (** spatial extent (N) *)
+  tile : int * int * int;  (** tile factors x, y, z *)
+  nprocs : int;
+  backend : string;    (** sim | shm *)
+  netmodel : string;   (** network-model name, "-" for wall-clock runs *)
+}
+
+val make :
+  app:string ->
+  variant:string ->
+  size1:int ->
+  size2:int ->
+  tile:int * int * int ->
+  nprocs:int ->
+  backend:string ->
+  netmodel:string ->
+  t
+
+val to_json : t -> Tiles_util.Json.t
+(** Flat object including a [tilec_version] field. *)
+
+val of_json : Tiles_util.Json.t -> (t, string) result

@@ -121,7 +121,57 @@ let to_json t =
       ("ranks", Json.List (Array.to_list (Array.map rank_json t.ranks)));
     ]
 
-let summary t =
+(* ---------------- distributions over repeated runs ---------------- *)
+
+let timed_fields t =
+  [
+    ("completion_s", t.completion);
+    ("total_compute_s", t.total_compute);
+    ("total_comm_s", t.total_comm);
+    ("comm_compute_ratio", t.comm_compute_ratio);
+    ("mean_busy_fraction", t.mean_busy_fraction);
+    ("critical_path_s", t.critical_path);
+  ]
+
+type dist = (string * Metric.summary) list
+
+let distributions ?(warmup = 0) runs =
+  if warmup < 0 then invalid_arg "Stats.distributions: warmup";
+  let rec drop n = function
+    | xs when n <= 0 -> xs
+    | [] -> []
+    | _ :: rest -> drop (n - 1) rest
+  in
+  let measured = drop warmup runs in
+  if measured = [] then
+    invalid_arg "Stats.distributions: warmup leaves no measured runs";
+  let metrics =
+    List.map (fun (k, _) -> (k, Metric.create ())) (timed_fields (List.hd measured))
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, v) -> Metric.add (List.assoc k metrics) v)
+        (timed_fields r))
+    measured;
+  List.map (fun (k, m) -> (k, Metric.summarize m)) metrics
+
+let dist_to_json d =
+  Json.Obj (List.map (fun (k, s) -> (k, Metric.summary_to_json s)) d)
+
+let dist_of_json = function
+  | Json.Obj kvs ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, j) :: rest ->
+        (match Metric.summary_of_json j with
+        | Ok s -> go ((k, s) :: acc) rest
+        | Error e -> Error (Printf.sprintf "field %S: %s" k e))
+    in
+    go [] kvs
+  | _ -> Error "distributions: expected an object of metric summaries"
+
+let summary ?dist t =
   let buf = Buffer.create 512 in
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "completion %.6f s, %d messages, %d bytes, max in-flight %d bytes\n"
@@ -130,6 +180,17 @@ let summary t =
     t.comm_compute_ratio
     (100. *. t.mean_busy_fraction)
     t.critical_path;
+  (match dist with
+  | None -> ()
+  | Some d ->
+    let n = match d with (_, s) :: _ -> s.Metric.count | [] -> 0 in
+    pf "distributions over %d measured run%s:\n" n (if n = 1 then "" else "s");
+    pf "  %-20s %12s %12s %12s %12s\n" "field" "mean" "stddev" "p50" "p99";
+    List.iter
+      (fun (k, (s : Metric.summary)) ->
+        pf "  %-20s %12.6g %12.6g %12.6g %12.6g\n" k s.Metric.mean
+          s.Metric.stddev s.Metric.p50 s.Metric.p99)
+      d);
   Array.iter
     (fun r ->
       pf

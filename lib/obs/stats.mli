@@ -49,5 +49,29 @@ val make :
 
 val to_json : t -> Tiles_util.Json.t
 
-val summary : t -> string
-(** Multi-line human-readable rendering (per-rank table + totals). *)
+(** {2 Distributions over repeated runs}
+
+    A single run yields scalars; the perf observatory re-runs a config
+    N times (after a warmup) and folds every timed field into a
+    {!Metric}, so baselines and bench artifacts carry noise bounds. *)
+
+val timed_fields : t -> (string * float) list
+(** The run's timed scalar fields, keyed as in {!to_json}
+    ([completion_s], [total_compute_s], [total_comm_s],
+    [comm_compute_ratio], [mean_busy_fraction], [critical_path_s]). *)
+
+type dist = (string * Metric.summary) list
+(** Per-field distributions, same keys as {!timed_fields}. *)
+
+val distributions : ?warmup:int -> t list -> dist
+(** Fold the timed fields of the runs after dropping the first [warmup]
+    (default 0). Raises [Invalid_argument] if nothing remains. *)
+
+val dist_to_json : dist -> Tiles_util.Json.t
+
+val dist_of_json : Tiles_util.Json.t -> (dist, string) result
+
+val summary : ?dist:dist -> t -> string
+(** Multi-line human-readable rendering (per-rank table + totals).
+    With [dist], a mean/stddev/p50/p99 table of the repeated-run
+    distributions is included; single-run output is unchanged. *)

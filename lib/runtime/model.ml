@@ -62,6 +62,9 @@ let predict (plan : Tiles_core.Plan.t) ~net =
     predicted_speedup = seq /. total;
   }
 
+let fields e =
+  [ ("completion_s", e.total); ("speedup", e.predicted_speedup) ]
+
 let best_factor mk ~factors ~net =
   let candidates =
     List.filter_map

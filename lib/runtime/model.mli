@@ -27,6 +27,11 @@ val slab_cells : Tiles_core.Plan.t -> int
 
 val predict : Tiles_core.Plan.t -> net:Tiles_mpisim.Netmodel.t -> estimate
 
+val fields : estimate -> (string * float) list
+(** The estimate's externally comparable quantities ([completion_s],
+    [speedup]) for the {!Tiles_obs.Residual} report, keyed like
+    {!Tiles_obs.Stats.timed_fields}. *)
+
 val best_factor :
   (int -> Tiles_core.Plan.t) -> factors:int list -> net:Tiles_mpisim.Netmodel.t -> int * estimate
 (** Scan a factor sweep and return the predicted-optimal factor (plans

@@ -73,6 +73,11 @@ let predict ?(width = 1) (plan : Plan.t) ~net =
     refined = false;
   }
 
+let fields e =
+  [ ("completion_s", e.total); ("speedup", e.predicted_speedup) ]
+
+let source e = if e.refined then "predictor.refine" else "predictor.predict"
+
 let refine ?(width = 1) (plan : Plan.t) ~net =
   let tile_points = float_of_int (Tiling.tile_size plan.Plan.tiling) in
   let w = float_of_int width in

@@ -29,6 +29,292 @@ let float_str f =
     let s = Printf.sprintf "%.17g" f in
     if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
 
+(* ---------------- parser ----------------
+
+   Recursive descent over the RFC 8259 grammar. The type was emit-only
+   by design (the sealed environment has no JSON library); the perf
+   observatory made read-back necessary — baselines and bench artifacts
+   written by one run are loaded and compared by the next. Errors carry
+   the 1-based line and column of the offending byte. *)
+
+type parse_state = {
+  src : string;
+  mutable pos : int;
+}
+
+exception Parse_error of int * string
+(* byte position, message — converted to line/col at the boundary *)
+
+let err st msg = raise (Parse_error (st.pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> err st (Printf.sprintf "expected '%c', found '%c'" c d)
+  | None -> err st (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else err st (Printf.sprintf "expected %s" word)
+
+(* add a Unicode scalar value to the buffer as UTF-8 *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+      let d =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> err st "invalid \\u escape (expected 4 hex digits)"
+      in
+      v := (!v * 16) + d
+    | None -> err st "unterminated \\u escape");
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> err st "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> err st "unterminated escape"
+      | Some c ->
+        (match c with
+        | '"' -> advance st; Buffer.add_char buf '"'
+        | '\\' -> advance st; Buffer.add_char buf '\\'
+        | '/' -> advance st; Buffer.add_char buf '/'
+        | 'b' -> advance st; Buffer.add_char buf '\b'
+        | 'f' -> advance st; Buffer.add_char buf '\012'
+        | 'n' -> advance st; Buffer.add_char buf '\n'
+        | 'r' -> advance st; Buffer.add_char buf '\r'
+        | 't' -> advance st; Buffer.add_char buf '\t'
+        | 'u' ->
+          advance st;
+          let u = hex4 st in
+          (* combine surrogate pairs; lone surrogates become U+FFFD *)
+          if u >= 0xd800 && u <= 0xdbff then begin
+            if
+              st.pos + 1 < String.length st.src
+              && st.src.[st.pos] = '\\'
+              && st.src.[st.pos + 1] = 'u'
+            then begin
+              advance st;
+              advance st;
+              let lo = hex4 st in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                add_utf8 buf
+                  (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+              else begin
+                add_utf8 buf 0xfffd;
+                add_utf8 buf lo
+              end
+            end
+            else add_utf8 buf 0xfffd
+          end
+          else if u >= 0xdc00 && u <= 0xdfff then add_utf8 buf 0xfffd
+          else add_utf8 buf u
+        | c -> err st (Printf.sprintf "invalid escape '\\%c'" c)));
+      go ()
+    | Some c when Char.code c < 0x20 ->
+      err st "unescaped control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  if peek st = Some '-' then advance st;
+  let digits () =
+    let n0 = st.pos in
+    let rec go () =
+      match peek st with
+      | Some '0' .. '9' ->
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ();
+    if st.pos = n0 then err st "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+    is_float := true;
+    advance st;
+    digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    digits ()
+  | _ -> ());
+  let lexeme = String.sub st.src start (st.pos - start) in
+  if !is_float then Float (float_of_string lexeme)
+  else
+    match int_of_string_opt lexeme with
+    | Some i -> Int i
+    | None -> Float (float_of_string lexeme) (* out of native int range *)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> err st "expected a JSON value, found end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | Some c -> err st (Printf.sprintf "expected ',' or ']', found '%c'" c)
+        | None -> err st "unterminated array"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec members acc =
+        let kv = member () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | Some c -> err st (Printf.sprintf "expected ',' or '}', found '%c'" c)
+        | None -> err st "unterminated object"
+      in
+      Obj (members [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> err st (Printf.sprintf "unexpected character '%c'" c)
+
+let line_col src pos =
+  let line = ref 1 and col = ref 1 in
+  let stop = min pos (String.length src) in
+  for i = 0 to stop - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    (match peek st with
+    | Some c -> err st (Printf.sprintf "trailing garbage '%c' after value" c)
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+    let line, col = line_col s pos in
+    Error (Printf.sprintf "line %d, column %d: %s" line col msg)
+
+(* ---------------- accessors ---------------- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+
 let to_string ?(indent = 2) v =
   let buf = Buffer.create 256 in
   let pad d = Buffer.add_string buf (String.make (d * indent) ' ') in

@@ -1,6 +1,8 @@
-(** A minimal JSON value type and printer — the sealed environment has no
-    JSON library, and the tuner / bench harness only need to {e emit}
-    machine-readable results, never parse them. *)
+(** A minimal JSON value type, printer and parser — the sealed
+    environment has no JSON library. Originally emit-only (the tuner and
+    bench harness only wrote machine-readable results); the perf
+    observatory added {!parse} so committed baselines and bench
+    artifacts can be read back and compared. *)
 
 type t =
   | Null
@@ -16,3 +18,24 @@ val to_string : ?indent:int -> t -> string
     escaped per RFC 8259; non-finite floats render as [null]; finite
     floats round-trip ([%.17g], trailing [.0] added to integral values so
     consumers see a JSON number that parses back to the same double). *)
+
+val parse : string -> (t, string) result
+(** Parse one RFC 8259 document. Numbers without a fraction or exponent
+    become [Int] (falling back to [Float] beyond native-int range);
+    [\u] escapes decode to UTF-8 (surrogate pairs combined, lone
+    surrogates replaced by U+FFFD). Trailing non-whitespace is an
+    error. The error string carries the 1-based line and column of the
+    offending byte, e.g. ["line 3, column 7: expected ',' or '}', …"].
+    [parse (to_string j) = Ok j] for every [j] free of non-finite
+    floats (those print as [null]). *)
+
+(** {2 Accessors} — small helpers for decoding parsed documents. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on a missing key or a non-object). *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] (widened); [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option

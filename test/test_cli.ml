@@ -160,11 +160,39 @@ let test_simulate_trace_out () =
   if not (contains doc {|"traceEvents"|}) then
     Alcotest.fail "simulate --trace did not write a Chrome trace"
 
+(* --backend is a Cmdliner enum: an unknown value must be rejected up
+   front with a diagnostic that lists the valid backends *)
 let test_trace_bad_backend () =
   let status, out = run "trace --app sor --backend lan" in
   Alcotest.(check bool) "non-zero exit" true (status <> Unix.WEXITED 0);
-  if not (contains out "unknown backend") then
-    Alcotest.failf "missing diagnostic:\n%s" out
+  if not (contains out "invalid value 'lan'") then
+    Alcotest.failf "missing diagnostic:\n%s" out;
+  if not (contains out "'sim'" && contains out "'shm'") then
+    Alcotest.failf "diagnostic does not list sim and shm:\n%s" out
+
+(* tilec perf: record a baseline, a clean re-run passes the gate, and a
+   synthetically slowed run (inflated net model) trips it *)
+let test_perf_record_check () =
+  let dir = Filename.temp_file "tilec_perf" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let base =
+    Printf.sprintf
+      "--app sor -M 12 -N 16 --variant nonrect -x 3 -y 4 -z 4 --repeats 2 \
+       --warmup 1 --dir %s"
+      (Filename.quote dir)
+  in
+  check_ok ("perf " ^ base ^ " --record") [ "recorded" ];
+  check_ok ("perf " ^ base ^ " --check") [ "PASS" ];
+  let status, out = run ("perf " ^ base ^ " --check --inflate 3.0") in
+  Alcotest.(check bool) "regression exits non-zero" true
+    (status <> Unix.WEXITED 0);
+  if not (contains out "REGRESSION") then
+    Alcotest.failf "slowed run did not report a regression:\n%s" out;
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir
 
 let test_tune () =
   check_ok
@@ -200,6 +228,7 @@ let () =
           Alcotest.test_case "trace both backends" `Quick test_trace;
           Alcotest.test_case "simulate --trace" `Quick test_simulate_trace_out;
           Alcotest.test_case "trace bad backend" `Quick test_trace_bad_backend;
+          Alcotest.test_case "perf record/check" `Quick test_perf_record_check;
           Alcotest.test_case "tune" `Quick test_tune;
           Alcotest.test_case "tune --json" `Quick test_tune_json;
         ] );

@@ -249,6 +249,261 @@ let test_chrome_write () =
   Alcotest.(check bool) "displayTimeUnit" true
     (Astring.String.is_infix ~affix:"displayTimeUnit" s)
 
+(* ---------------- metric distributions ---------------- *)
+
+module Metric = Tiles_obs.Metric
+module Baseline = Tiles_obs.Baseline
+module Residual = Tiles_obs.Residual
+module Runmeta = Tiles_obs.Runmeta
+
+let test_metric_summary () =
+  let s = Metric.of_values [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Metric.count;
+  Alcotest.(check (float 1e-12)) "mean" 2.5 s.Metric.mean;
+  (* sample stddev of 1..4 is sqrt(5/3) *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (5. /. 3.)) s.Metric.stddev;
+  Alcotest.(check (float 0.)) "min" 1.0 s.Metric.min;
+  Alcotest.(check (float 0.)) "max" 4.0 s.Metric.max;
+  (* the geometric histogram estimates percentiles within ±2.5% *)
+  Alcotest.(check bool) "p50 near 2" true
+    (Float.abs (s.Metric.p50 -. 2.0) <= 0.05 *. 2.0);
+  Alcotest.(check bool) "p99 near max" true
+    (Float.abs (s.Metric.p99 -. 4.0) <= 0.1 *. 4.0);
+  Alcotest.(check bool) "ordered" true
+    (s.Metric.p50 <= s.Metric.p90 && s.Metric.p90 <= s.Metric.p99)
+
+let test_metric_constant_samples () =
+  (* a deterministic quantity must summarize exactly: percentiles are
+     clamped into [min, max] so bucket midpoints cannot leak noise *)
+  let s = Metric.of_values [ 0.125; 0.125; 0.125 ] in
+  Alcotest.(check (float 0.)) "stddev" 0. s.Metric.stddev;
+  Alcotest.(check (float 0.)) "p50 exact" 0.125 s.Metric.p50;
+  Alcotest.(check (float 0.)) "p99 exact" 0.125 s.Metric.p99
+
+let test_metric_empty () =
+  let s = Metric.summarize (Metric.create ()) in
+  Alcotest.(check int) "count" 0 s.Metric.count;
+  Alcotest.(check (float 0.)) "mean" 0. s.Metric.mean
+
+let test_metric_json_roundtrip () =
+  let s = Metric.of_values [ 0.5; 0.75; 1.5 ] in
+  match Metric.summary_of_json (Metric.summary_to_json s) with
+  | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+  | Error e -> Alcotest.failf "summary json did not round-trip: %s" e
+
+let mk_stats ~completion ?(messages = 10) ?(bytes = 100) () =
+  Stats.make ~completion ~nprocs:1 ~messages ~bytes ~max_inflight_bytes:50 []
+
+let test_stats_distributions () =
+  let runs =
+    [ mk_stats ~completion:9.9 (); mk_stats ~completion:1.0 ();
+      mk_stats ~completion:1.2 () ]
+  in
+  let dist = Stats.distributions ~warmup:1 runs in
+  let c = List.assoc "completion_s" dist in
+  (* the warmup run (9.9) is dropped *)
+  Alcotest.(check int) "count" 2 c.Metric.count;
+  Alcotest.(check (float 1e-12)) "mean" 1.1 c.Metric.mean;
+  Alcotest.(check bool) "all timed fields present" true
+    (List.for_all
+       (fun (k, _) -> List.mem_assoc k dist)
+       (Stats.timed_fields (List.hd runs)));
+  (* summary grows a distribution table only when dist is passed *)
+  let plain = Stats.summary (List.hd runs) in
+  let with_dist = Stats.summary ~dist (List.hd runs) in
+  Alcotest.(check bool) "plain has no dist table" false
+    (Astring.String.is_infix ~affix:"distributions" plain);
+  Alcotest.(check bool) "dist table present" true
+    (Astring.String.is_infix ~affix:"distributions" with_dist);
+  Alcotest.(check bool) "p99 column" true
+    (Astring.String.is_infix ~affix:"p99" with_dist);
+  Alcotest.check_raises "empty after warmup"
+    (Invalid_argument "Stats.distributions: warmup leaves no measured runs")
+    (fun () -> ignore (Stats.distributions ~warmup:3 runs))
+
+let test_dist_json_roundtrip () =
+  let dist =
+    Stats.distributions [ mk_stats ~completion:1.0 (); mk_stats ~completion:1.5 () ]
+  in
+  match Stats.dist_of_json (Stats.dist_to_json dist) with
+  | Ok d -> Alcotest.(check bool) "roundtrip" true (d = dist)
+  | Error e -> Alcotest.failf "dist json did not round-trip: %s" e
+
+(* ---------------- baselines and the regression gate ---------------- *)
+
+let meta ?(app = "sor") () =
+  Runmeta.make ~app ~variant:"nonrect" ~size1:12 ~size2:16 ~tile:(3, 4, 4)
+    ~nprocs:4 ~backend:"sim" ~netmodel:"fast_ethernet_cluster"
+
+let baseline_of ~completions ?messages ?bytes () =
+  let runs = List.map (fun c -> mk_stats ~completion:c ?messages ?bytes ()) completions in
+  Baseline.make ~meta:(meta ())
+    ~stats:(List.hd (List.rev runs))
+    ~timings:(Stats.distributions runs)
+
+let test_runmeta_roundtrip () =
+  let m = meta () in
+  match Runmeta.of_json (Runmeta.to_json m) with
+  | Ok m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+  | Error e -> Alcotest.failf "runmeta did not round-trip: %s" e
+
+let test_baseline_roundtrip_and_load () =
+  let b = baseline_of ~completions:[ 1.0; 1.1 ] () in
+  (match Baseline.of_json (Baseline.to_json b) with
+  | Ok b' -> Alcotest.(check bool) "json roundtrip" true (b = b')
+  | Error e -> Alcotest.failf "baseline json did not round-trip: %s" e);
+  let path = Filename.temp_file "tiles_baseline" ".json" in
+  Baseline.save b ~path;
+  (match Baseline.load ~path with
+  | Ok b' -> Alcotest.(check bool) "save/load" true (b = b')
+  | Error e -> Alcotest.failf "baseline save/load failed: %s" e);
+  (* a corrupt file reports the parse position, prefixed by the path *)
+  let oc = open_out path in
+  output_string oc "{\n  \"schema\": oops\n}";
+  close_out oc;
+  (match Baseline.load ~path with
+  | Ok _ -> Alcotest.fail "corrupt baseline unexpectedly loaded"
+  | Error e ->
+    Alcotest.(check bool) "error carries position" true
+      (Astring.String.is_infix ~affix:"line 2" e));
+  Sys.remove path
+
+let test_baseline_refuses_newer_schema () =
+  let b = baseline_of ~completions:[ 1.0 ] () in
+  let bumped =
+    match Baseline.to_json b with
+    | Json.Obj kvs ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             if k = "schema_version" then
+               (k, Json.Int (Baseline.schema_version + 1))
+             else (k, v))
+           kvs)
+    | _ -> Alcotest.fail "baseline json not an object"
+  in
+  match Baseline.of_json bumped with
+  | Ok _ -> Alcotest.fail "newer schema unexpectedly accepted"
+  | Error e ->
+    Alcotest.(check bool) "names the schema" true
+      (Astring.String.is_infix ~affix:"schema" e)
+
+let test_compare_noise_tolerated () =
+  (* base is noisy (stddev 0.2); current is 8% slower — beyond the 5%
+     relative threshold but well inside 3σ, so the gate stays green *)
+  let base = baseline_of ~completions:[ 1.0; 1.2; 0.8 ] () in
+  let cur = baseline_of ~completions:[ 1.08; 1.08; 1.08 ] () in
+  let v = Baseline.compare ~baseline:base cur in
+  Alcotest.(check bool) "ok" true v.Baseline.ok;
+  Alcotest.(check int) "no regressions" 0 (List.length v.Baseline.regressions);
+  Alcotest.(check bool) "fields were checked" true (v.Baseline.checked > 0);
+  Alcotest.(check bool) "report says PASS" true
+    (Astring.String.is_infix ~affix:"PASS" (Baseline.report v))
+
+let test_compare_regression_fails () =
+  (* deterministic base (stddev 0): a 30% slowdown gates on the
+     relative threshold alone *)
+  let base = baseline_of ~completions:[ 1.0; 1.0 ] () in
+  let cur = baseline_of ~completions:[ 1.3; 1.3 ] () in
+  let v = Baseline.compare ~baseline:base cur in
+  Alcotest.(check bool) "not ok" false v.Baseline.ok;
+  Alcotest.(check bool) "has regression" true (v.Baseline.regressions <> []);
+  let d =
+    List.find
+      (fun (d : Baseline.delta) -> d.Baseline.field = "completion_s")
+      v.Baseline.regressions
+  in
+  Alcotest.(check (float 1e-9)) "rel" 0.3 d.Baseline.rel;
+  Alcotest.(check bool) "report says REGRESSION" true
+    (Astring.String.is_infix ~affix:"REGRESSION" (Baseline.report v));
+  (* the same delta in the other direction is an improvement, not a
+     failure *)
+  let v' = Baseline.compare ~baseline:cur base in
+  Alcotest.(check bool) "improvement ok" true v'.Baseline.ok;
+  Alcotest.(check bool) "has improvement" true (v'.Baseline.improvements <> [])
+
+let test_compare_counter_mismatch () =
+  let base = baseline_of ~completions:[ 1.0 ] ~messages:10 ~bytes:100 () in
+  let cur = baseline_of ~completions:[ 1.0 ] ~messages:11 ~bytes:100 () in
+  let v = Baseline.compare ~baseline:base cur in
+  Alcotest.(check bool) "not ok" false v.Baseline.ok;
+  (match v.Baseline.counter_mismatch with
+  | [ (field, b, c) ] ->
+    Alcotest.(check string) "field" "messages" field;
+    Alcotest.(check int) "base" 10 b;
+    Alcotest.(check int) "cur" 11 c
+  | l -> Alcotest.failf "expected 1 counter mismatch, got %d" (List.length l));
+  (* excluding the counter from the exact list (the shm high-water case)
+     lets the comparison pass *)
+  let v' = Baseline.compare ~exact:[ "bytes" ] ~baseline:base cur in
+  Alcotest.(check bool) "excluded counter tolerated" true v'.Baseline.ok
+
+let test_compare_meta_mismatch () =
+  let base = baseline_of ~completions:[ 1.0 ] () in
+  let cur = { base with Baseline.meta = meta ~app:"jacobi" () } in
+  let v = Baseline.compare ~baseline:base cur in
+  Alcotest.(check bool) "not ok" false v.Baseline.ok;
+  Alcotest.(check bool) "names app" true
+    (List.mem "app" v.Baseline.meta_mismatch)
+
+(* ---------------- model residuals ---------------- *)
+
+let test_residual_calibrate () =
+  let e label source predicted observed =
+    { Residual.label; source; field = "completion_s"; predicted; observed }
+  in
+  let entries =
+    [
+      e "a" "model" 1.5 1.0; (* +50% *)
+      e "b" "model" 0.75 1.0; (* -25% *)
+      e "a" "refine" 1.0 1.0; (* exact *)
+    ]
+  in
+  Alcotest.(check (float 1e-12)) "rel_error" 0.5
+    (Residual.rel_error (e "a" "model" 1.5 1.0));
+  Alcotest.(check (float 0.)) "0/0" 0. (Residual.rel_error (e "z" "m" 0. 0.));
+  Alcotest.(check bool) "x/0 infinite" true
+    (Float.is_infinite (Residual.rel_error (e "z" "m" 2. 0.)));
+  (match Residual.calibrate entries with
+  | [ m; r ] ->
+    Alcotest.(check string) "first source" "model" m.Residual.source;
+    Alcotest.(check int) "count" 2 m.Residual.count;
+    Alcotest.(check (float 1e-12)) "mean |err|" 0.375 m.Residual.mean_abs_rel;
+    Alcotest.(check (float 1e-12)) "bias" 0.125 m.Residual.mean_rel;
+    Alcotest.(check (float 1e-12)) "max |err|" 0.5 m.Residual.max_abs_rel;
+    Alcotest.(check (float 0.)) "exact source" 0. r.Residual.mean_abs_rel
+  | l -> Alcotest.failf "expected 2 calibration rows, got %d" (List.length l));
+  let rendered = Residual.report entries in
+  Alcotest.(check bool) "report has calibration" true
+    (Astring.String.is_infix ~affix:"calibration" rendered);
+  match Residual.to_json entries with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "json has entries" true (List.mem_assoc "entries" kvs);
+    Alcotest.(check bool) "json has calibration" true
+      (List.mem_assoc "calibration" kvs)
+  | _ -> Alcotest.fail "residual json not an object"
+
+(* ---------------- chrome metadata ---------------- *)
+
+let test_chrome_metadata () =
+  let spans = [ { Span.rank = 0; t0 = 0.; t1 = 1e-3; kind = Span.Compute } ] in
+  (match Chrome.to_json ~meta:(meta ()) ~nprocs:1 spans with
+  | Json.Obj kvs ->
+    (match List.assoc_opt "metadata" kvs with
+    | Some (Json.Obj m) ->
+      Alcotest.(check bool) "has app" true (List.mem_assoc "app" m);
+      Alcotest.(check bool) "has tilec_version" true
+        (List.mem_assoc "tilec_version" m);
+      Alcotest.(check bool) "has backend" true (List.mem_assoc "backend" m)
+    | _ -> Alcotest.fail "metadata key missing or not an object")
+  | _ -> Alcotest.fail "chrome json not an object");
+  (* without meta the key is absent — old consumers see the old shape *)
+  match Chrome.to_json ~nprocs:1 spans with
+  | Json.Obj kvs ->
+    Alcotest.(check bool) "no metadata by default" false
+      (List.mem_assoc "metadata" kvs)
+  | _ -> Alcotest.fail "chrome json not an object"
+
 (* ---------------- shm mailbox ---------------- *)
 
 let test_mailbox_leak_bounded () =
@@ -328,7 +583,36 @@ let () =
         [
           Alcotest.test_case "json shape" `Quick test_chrome_json_shape;
           Alcotest.test_case "write" `Quick test_chrome_write;
+          Alcotest.test_case "run metadata" `Quick test_chrome_metadata;
         ] );
+      ( "metric",
+        [
+          Alcotest.test_case "summary" `Quick test_metric_summary;
+          Alcotest.test_case "constant samples" `Quick
+            test_metric_constant_samples;
+          Alcotest.test_case "empty" `Quick test_metric_empty;
+          Alcotest.test_case "json roundtrip" `Quick test_metric_json_roundtrip;
+          Alcotest.test_case "stats distributions" `Quick
+            test_stats_distributions;
+          Alcotest.test_case "dist json roundtrip" `Quick
+            test_dist_json_roundtrip;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "runmeta roundtrip" `Quick test_runmeta_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_baseline_roundtrip_and_load;
+          Alcotest.test_case "newer schema refused" `Quick
+            test_baseline_refuses_newer_schema;
+          Alcotest.test_case "noise tolerated" `Quick
+            test_compare_noise_tolerated;
+          Alcotest.test_case "regression fails" `Quick
+            test_compare_regression_fails;
+          Alcotest.test_case "counter mismatch" `Quick
+            test_compare_counter_mismatch;
+          Alcotest.test_case "meta mismatch" `Quick test_compare_meta_mismatch;
+        ] );
+      ( "residual",
+        [ Alcotest.test_case "calibrate" `Quick test_residual_calibrate ] );
       ( "mailbox",
         [
           Alcotest.test_case "leak bounded" `Quick test_mailbox_leak_bounded;

@@ -104,6 +104,115 @@ let prop_insert_remove =
       QCheck.assume (k <= Array.length v);
       Vec.remove (Vec.insert v k x) k = v)
 
+(* ---------- Json ---------- *)
+
+let json = Alcotest.testable (Fmt.of_to_string (Json.to_string ~indent:0)) ( = )
+
+let test_json_parse_scalars () =
+  Alcotest.(check (result json string)) "null" (Ok Json.Null) (Json.parse "null");
+  Alcotest.(check (result json string)) "true" (Ok (Json.Bool true))
+    (Json.parse " true ");
+  Alcotest.(check (result json string)) "int" (Ok (Json.Int (-42)))
+    (Json.parse "-42");
+  Alcotest.(check (result json string)) "float" (Ok (Json.Float 2.5))
+    (Json.parse "2.5");
+  Alcotest.(check (result json string)) "exponent is float"
+    (Ok (Json.Float 1e3)) (Json.parse "1e3");
+  Alcotest.(check (result json string)) "string escapes"
+    (Ok (Json.Str "a\"b\\c\nd"))
+    (Json.parse {|"a\"b\\c\nd"|});
+  (* \u escapes decode to UTF-8, including surrogate pairs *)
+  Alcotest.(check (result json string)) "bmp escape"
+    (Ok (Json.Str "\xce\xbb"))
+    (Json.parse {|"λ"|});
+  Alcotest.(check (result json string)) "surrogate pair"
+    (Ok (Json.Str "\xf0\x9f\x98\x80"))
+    (Json.parse {|"😀"|})
+
+let test_json_parse_nested () =
+  Alcotest.(check (result json string)) "nested"
+    (Ok
+       (Json.Obj
+          [
+            ("xs", Json.List [ Json.Int 1; Json.Int 2 ]);
+            ("o", Json.Obj [ ("k", Json.Null) ]);
+            ("empty", Json.List []);
+          ]))
+    (Json.parse {|{ "xs": [1, 2], "o": {"k": null}, "empty": [] }|})
+
+(* errors carry the 1-based line and column of the offending byte *)
+let check_parse_error src expected_loc =
+  match Json.parse src with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" src
+  | Error msg ->
+    if not (Astring.String.is_infix ~affix:expected_loc msg) then
+      Alcotest.failf "parse %S: expected %S in error %S" src expected_loc msg
+
+let test_json_parse_errors () =
+  check_parse_error "" "line 1, column 1";
+  check_parse_error "[1, 2" "line 1, column 6";
+  check_parse_error {|{"a": 1,}|} "line 1, column 9";
+  check_parse_error "{\n  \"a\": tru\n}" "line 2, column 8";
+  check_parse_error "1 2" "trailing garbage";
+  check_parse_error {|"unterminated|} "unterminated string";
+  check_parse_error {|{"a" 1}|} "expected ':'"
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("n", Json.Int 3); ("f", Json.Float 0.5); ("s", Json.Str "x") ] in
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (Json.member "n" j) Json.to_int_opt);
+  (* to_float_opt widens ints: a baseline field written as 3 reads as 3.0 *)
+  Alcotest.(check (option (float 0.))) "widen" (Some 3.)
+    (Option.bind (Json.member "n" j) Json.to_float_opt);
+  Alcotest.(check (option (float 0.))) "float" (Some 0.5)
+    (Option.bind (Json.member "f" j) Json.to_float_opt);
+  Alcotest.(check (option string)) "str" (Some "x")
+    (Option.bind (Json.member "s" j) Json.to_str_opt);
+  Alcotest.(check (option int)) "missing" None
+    (Option.bind (Json.member "zz" j) Json.to_int_opt);
+  Alcotest.(check (option int)) "non-obj" None
+    (Option.bind (Json.member "n" (Json.List [])) Json.to_int_opt)
+
+(* emit → parse is the identity on finite values (non-finite floats emit
+   as null by design, so the generator stays finite) *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 10));
+      ]
+  in
+  let key = string_size ~gen:printable (int_range 0 5) in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_range 0 4) (pair key (self (depth - 1)))) );
+          ])
+    3
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string j) = Ok j" ~count:500
+    (QCheck.make ~print:(Json.to_string ~indent:1) json_gen)
+    (fun j -> Json.parse (Json.to_string j) = Ok j)
+
+let prop_json_roundtrip_compact =
+  QCheck.Test.make ~name:"roundtrip at indent 0" ~count:200
+    (QCheck.make ~print:(Json.to_string ~indent:1) json_gen)
+    (fun j -> Json.parse (Json.to_string ~indent:0 j) = Ok j)
+
 (* ---------- Heap ---------- *)
 
 let test_heap_order () =
@@ -205,6 +314,15 @@ let () =
           Alcotest.test_case "lex" `Quick test_vec_lex;
           Alcotest.test_case "insert/remove" `Quick test_vec_insert_remove;
           q prop_insert_remove;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_parse_scalars;
+          Alcotest.test_case "nested" `Quick test_json_parse_nested;
+          Alcotest.test_case "error positions" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          q prop_json_roundtrip;
+          q prop_json_roundtrip_compact;
         ] );
       ( "heap",
         [
