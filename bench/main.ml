@@ -452,7 +452,48 @@ let ablation_overlap () =
   let adi = E.adi ~factors:[ 10 ] ~t_steps:100 ~size:256 () in
   row "ADI x=10" adi "rect" 10;
   row "ADI x=10" adi "nr3" 10;
-  emit t
+  emit t;
+  (* the same ablation on the real shm backend: wall clock, so smaller
+     configurations that fit the host's cores, and the busy fractions
+     come from the unified span recorder instead of the simulator *)
+  pf "\nshm backend (real domains, wall-clock; host-dependent):\n";
+  let module Shm_executor = Tiles_runtime.Shm_executor in
+  let ts =
+    Table.create
+      ~header:
+        [ "experiment"; "variant"; "blocking"; "overlapped"; "overlap gain";
+          "busy% blk"; "busy% ovl" ]
+  in
+  let shm_row label spec variant factor =
+    let mk overlap =
+      let tiling = (List.assoc variant spec.E.variants) factor in
+      let plan = Plan.make ~m:spec.E.m spec.E.nest tiling in
+      Shm_executor.run ~trace:true ~overlap ~plan ~kernel:spec.E.kernel ()
+    in
+    let b = mk false and o = mk true in
+    let busy (r : Shm_executor.result) =
+      r.Shm_executor.stats.Tiles_obs.Stats.mean_busy_fraction
+    in
+    Table.add_row ts
+      [
+        label; variant;
+        Printf.sprintf "%.2f" b.Shm_executor.wall_speedup;
+        Printf.sprintf "%.2f" o.Shm_executor.wall_speedup;
+        Printf.sprintf "%+.1f%%"
+          (100.
+           *. (o.Shm_executor.wall_speedup -. b.Shm_executor.wall_speedup)
+           /. b.Shm_executor.wall_speedup);
+        Printf.sprintf "%.0f%%" (100. *. busy b);
+        Printf.sprintf "%.0f%%" (100. *. busy o);
+      ]
+  in
+  let sor_shm = E.sor ~factors:[ 6 ] ~m_steps:24 ~size:128 () in
+  shm_row "SOR z=6 (M=24 N=128)" sor_shm "rect" 6;
+  shm_row "SOR z=6 (M=24 N=128)" sor_shm "nonrect" 6;
+  let adi_shm = E.adi ~factors:[ 8 ] ~t_steps:24 ~size:96 () in
+  shm_row "ADI x=8 (T=24 N=96)" adi_shm "rect" 8;
+  shm_row "ADI x=8 (T=24 N=96)" adi_shm "nr3" 8;
+  emit ts
 
 let model () =
   pf "\n=== Model — Hodzic–Shang analytic completion time vs simulation ===\n";
@@ -785,7 +826,7 @@ let perf_target () =
       let meta =
         Runmeta.make ~app ~variant ~size1 ~size2 ~tile
           ~nprocs:(Plan.nprocs plan) ~backend:"sim"
-          ~netmodel:"fast_ethernet_cluster"
+          ~netmodel:"fast_ethernet_cluster" ()
       in
       records :=
         (label,

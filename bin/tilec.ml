@@ -105,7 +105,7 @@ let instance app ~size1 ~size2 =
 let guard f =
   try f () with
   | Invalid_argument msg | Failure msg | Sys_error msg
-  | Shm_executor.Recv_timeout msg ->
+  | Shm_executor.Recv_timeout msg | Shm_executor.Send_timeout msg ->
     Printf.eprintf "tilec: error: %s\n" msg;
     exit 1
   | Division_by_zero ->
@@ -152,12 +152,14 @@ let backend_arg =
 
 let backend_name = function `Sim -> "sim" | `Shm -> "shm"
 
-let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~size1 ~size2 =
+let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~overlap ~size1
+    ~size2 =
   Tiles_obs.Runmeta.make ~app:inst.app_name ~variant ~size1 ~size2
-    ~tile:(x, y, z) ~nprocs ~backend:(backend_name backend)
+    ~tile:(x, y, z) ~nprocs ~backend:(backend_name backend) ~overlap
     ~netmodel:(match backend with
       | `Sim -> "fast_ethernet_cluster"
       | `Shm -> "-")
+    ()
 
 (* ---------------- subcommands ---------------- *)
 
@@ -319,7 +321,7 @@ let simulate_cmd =
       Chrome.write
         ~process_name:(Printf.sprintf "tilec %s (sim)" inst.app_name)
         ~meta:(run_meta inst ~variant ~xyz ~nprocs:(Plan.nprocs plan)
-                 ~backend:`Sim ~size1 ~size2)
+                 ~backend:`Sim ~overlap ~size1 ~size2)
         ~nprocs:(Plan.nprocs plan) ~path r.Executor.stats.Sim.trace;
       Printf.eprintf "wrote %s\n" path
   in
@@ -339,7 +341,9 @@ let trace_cmd =
   in
   let overlap_arg =
     Arg.(value & flag & info [ "overlap" ]
-           ~doc:"Non-blocking (overlapped) sends (sim backend only).")
+           ~doc:"Run the §5 overlapped schedule: pre-posted receives, \
+                 non-blocking sends (sim) / a bounded per-rank send stage \
+                 (shm).")
   in
   let run app size1 size2 variant xyz backend out svg overlap =
     guard @@ fun () ->
@@ -355,15 +359,18 @@ let trace_cmd =
         (r.Executor.stats.Sim.trace,
          Tiles_mpisim.Trace.aggregate r.Executor.stats)
       | `Shm ->
-        if overlap then
-          failwith "trace: --overlap applies to the sim backend only";
-        let r = Shm_executor.run ~trace:true ~plan ~kernel:inst.kernel () in
+        let r =
+          Shm_executor.run ~trace:true ~overlap ~plan ~kernel:inst.kernel ()
+        in
+        Printf.printf "max |parallel - sequential| = %g\n"
+          r.Shm_executor.max_abs_err;
         (r.Shm_executor.trace, r.Shm_executor.stats)
     in
     let backend_str = backend_name backend in
     Chrome.write
       ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend_str)
-      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~size1 ~size2)
+      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1
+               ~size2)
       ~nprocs ~path:out spans;
     Printf.eprintf "wrote %s\n" out;
     (match svg with
@@ -417,13 +424,14 @@ let tune_cmd =
   in
   let overlap_arg =
     Arg.(value & flag & info [ "overlap" ]
-           ~doc:"Tune for the non-blocking (overlapped) send schedule.")
+           ~doc:"Tune for the §5 overlapped schedule (either backend).")
   in
   let m_arg =
     Arg.(value & opt (some int) None & info [ "m" ] ~docv:"DIM"
            ~doc:"Restrict the mapping dimension (default: search all).")
   in
-  let run app size1 size2 procs factors top workers cache json overlap m =
+  let run app size1 size2 procs factors top workers cache json overlap backend
+      m =
     guard @@ fun () ->
     let inst = instance app ~size1 ~size2 in
     let options =
@@ -434,6 +442,7 @@ let tune_cmd =
         workers;
         cache_dir = cache;
         overlap;
+        backend = (match backend with `Sim -> Tune.Sim | `Shm -> Tune.Shm);
         mapping_dims = Option.map (fun m -> [ m ]) m;
       }
     in
@@ -445,16 +454,18 @@ let tune_cmd =
       print_endline (Tiles_util.Json.to_string (Tune.result_json r))
     else begin
       Printf.printf
-        "tune %s: %d candidates generated, %d feasible, %d simulated \
+        "tune %s (%s%s): %d candidates generated, %d feasible, %d measured \
          (%d cache hit%s)\n"
-        inst.app_name r.Tune.generated r.Tune.feasible
+        inst.app_name (backend_name backend)
+        (if overlap then ", overlapped" else "")
+        r.Tune.generated r.Tune.feasible
         (List.length r.Tune.simulated) r.Tune.cache_hits
         (if r.Tune.cache_hits = 1 then "" else "s");
       let t =
         Tiles_util.Table.create
           ~header:
             [ "candidate"; "procs"; "tile"; "steps"; "predicted ms";
-              "simulated ms"; "speedup"; "cache" ]
+              "measured ms"; "speedup"; "cache" ]
       in
       List.iter
         (fun (s : Tune.scored) ->
@@ -490,7 +501,7 @@ let tune_cmd =
              fastest plan under a processor budget.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ procs_arg
           $ factors_arg $ top_arg $ workers_arg $ cache_arg $ json_arg
-          $ overlap_arg $ m_arg)
+          $ overlap_arg $ backend_arg $ m_arg)
 
 let perf_cmd =
   let module Metric = Tiles_obs.Metric in
@@ -532,11 +543,26 @@ let perf_cmd =
     Arg.(value & opt float 1.0 & info [ "inflate" ] ~docv:"F"
            ~doc:"Scale the sim network model's latency and per-point \
                  compute cost by $(docv) — a synthetic slowdown for \
-                 exercising the regression gate.")
+                 exercising the regression gate. Sim backend only.")
+  in
+  let overlap_arg =
+    Arg.(value & flag & info [ "overlap" ]
+           ~doc:"Measure the §5 overlapped schedule (either backend); \
+                 baselines get an $(b,-overlap) file-name suffix.")
   in
   let run app size1 size2 variant xyz backend repeats warmup record check dir
-      json counters_only inflate =
-    guard @@ fun () ->
+      json counters_only inflate overlap =
+    (* --inflate scales the simulator's network model; the shm backend has
+       no model to scale, so the combination is a usage error, not a
+       silently ignored flag *)
+    if backend = `Shm && inflate <> 1.0 then
+      `Error
+        ( true,
+          "--inflate scales the sim network model and does not apply to the \
+           shm backend" )
+    else
+      `Ok
+        ( guard @@ fun () ->
     if repeats < 1 then failwith "perf: --repeats must be >= 1";
     if warmup < 0 then failwith "perf: --warmup must be >= 0";
     if record && check then failwith "perf: --record and --check conflict";
@@ -555,20 +581,24 @@ let perf_cmd =
       match backend with
       | `Sim ->
         let r =
-          Executor.run ~mode:Executor.Timing ~trace:true ~plan
+          Executor.run ~mode:Executor.Timing ~overlap ~trace:true ~plan
             ~kernel:inst.kernel ~net ()
         in
         last_speedup := r.Executor.speedup;
         Tiles_mpisim.Trace.aggregate r.Executor.stats
       | `Shm ->
-        let r = Shm_executor.run ~trace:true ~plan ~kernel:inst.kernel () in
+        let r =
+          Shm_executor.run ~trace:true ~overlap ~plan ~kernel:inst.kernel ()
+        in
         last_speedup := r.Shm_executor.wall_speedup;
         r.Shm_executor.stats
     in
     let runs = List.init (warmup + repeats) (fun _ -> run_once ()) in
     let stats = List.nth runs (List.length runs - 1) in
     let dist = Stats.distributions ~warmup runs in
-    let meta = run_meta inst ~variant ~xyz ~nprocs ~backend ~size1 ~size2 in
+    let meta =
+      run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1 ~size2
+    in
     let current = Baseline.make ~meta ~stats ~timings:dist in
     let path = Baseline.default_path ~dir ~meta in
     (* the analytic models' drift from this observation (sim only: the
@@ -669,16 +699,18 @@ let perf_cmd =
         print_string (Stats.summary ~dist stats);
         if res <> [] then print_string (Residual.report res)
       end
-    end
+    end )
   in
   Cmd.v
     (Cmd.info "perf"
        ~doc:"Run a configuration repeatedly, report distribution statistics \
              (mean, stddev, percentiles) of every timed field, and record or \
              check a persistent performance baseline.")
-    Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
-          $ backend_arg $ repeats_arg $ warmup_arg $ record_arg $ check_arg
-          $ dir_arg $ json_arg $ counters_arg $ inflate_arg)
+    Term.(ret
+            (const run $ app_arg $ size1_arg $ size2_arg $ variant_arg
+             $ xyz_args $ backend_arg $ repeats_arg $ warmup_arg $ record_arg
+             $ check_arg $ dir_arg $ json_arg $ counters_arg $ inflate_arg
+             $ overlap_arg))
 
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in

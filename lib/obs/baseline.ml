@@ -109,8 +109,9 @@ let load ~path =
 
 let default_path ~dir ~(meta : Runmeta.t) =
   Filename.concat dir
-    (Printf.sprintf "%s-%s-%s.json" meta.Runmeta.app meta.Runmeta.variant
-       meta.Runmeta.backend)
+    (Printf.sprintf "%s-%s-%s%s.json" meta.Runmeta.app meta.Runmeta.variant
+       meta.Runmeta.backend
+       (if meta.Runmeta.overlap then "-overlap" else ""))
 
 (* ---------------- comparison ---------------- *)
 

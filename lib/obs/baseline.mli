@@ -41,8 +41,9 @@ val load : path:string -> (t, string) result
 (** Parse + decode; parse errors carry the file's line/column. *)
 
 val default_path : dir:string -> meta:Runmeta.t -> string
-(** [dir/<app>-<variant>-<backend>.json] — the layout the CI gate and
-    the README document. *)
+(** [dir/<app>-<variant>-<backend>.json], with an [-overlap] suffix after
+    the backend for overlapped runs — the layout the CI gate and the
+    README document. *)
 
 (** {2 Comparison} *)
 

@@ -1,6 +1,6 @@
 module Json = Tiles_util.Json
 
-let version = "1.1"
+let version = "1.2"
 
 type t = {
   app : string;
@@ -10,11 +10,13 @@ type t = {
   tile : int * int * int;
   nprocs : int;
   backend : string;
+  overlap : bool;
   netmodel : string;
 }
 
-let make ~app ~variant ~size1 ~size2 ~tile ~nprocs ~backend ~netmodel =
-  { app; variant; size1; size2; tile; nprocs; backend; netmodel }
+let make ~app ~variant ~size1 ~size2 ~tile ~nprocs ~backend ?(overlap = false)
+    ~netmodel () =
+  { app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel }
 
 let to_json t =
   let x, y, z = t.tile in
@@ -28,6 +30,7 @@ let to_json t =
       ("tile", Json.List [ Json.Int x; Json.Int y; Json.Int z ]);
       ("nprocs", Json.Int t.nprocs);
       ("backend", Json.Str t.backend);
+      ("overlap", Json.Bool t.overlap);
       ("netmodel", Json.Str t.netmodel);
     ]
 
@@ -54,5 +57,10 @@ let of_json j =
   in
   let* nprocs = int "nprocs" in
   let* backend = str "backend" in
+  (* absent in files written before the overlap flag existed: those runs
+     were all blocking *)
+  let overlap =
+    match Json.member "overlap" j with Some (Json.Bool b) -> b | _ -> false
+  in
   let* netmodel = str "netmodel" in
-  Ok { app; variant; size1; size2; tile; nprocs; backend; netmodel }
+  Ok { app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel }

@@ -18,6 +18,7 @@ type t = {
   tile : int * int * int;  (** tile factors x, y, z *)
   nprocs : int;
   backend : string;    (** sim | shm *)
+  overlap : bool;      (** §5 overlapped schedule *)
   netmodel : string;   (** network-model name, "-" for wall-clock runs *)
 }
 
@@ -29,8 +30,12 @@ val make :
   tile:int * int * int ->
   nprocs:int ->
   backend:string ->
+  ?overlap:bool ->
   netmodel:string ->
+  unit ->
   t
+(** [overlap] defaults to false; files written before the field existed
+    parse as blocking runs. *)
 
 val to_json : t -> Tiles_util.Json.t
 (** Flat object including a [tilec_version] field. *)

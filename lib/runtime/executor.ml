@@ -36,7 +36,7 @@ let run ?(mode = Full) ?(overlap = false) ?(trace = false) ~plan ~kernel ~net ()
     Sim.run ~trace
       ~nprocs:(Mapping.nprocs plan.Plan.mapping)
       ~net
-      (Protocol.rank_program shared comms)
+      (Protocol.rank_program ~overlap shared comms)
   in
   let seq_modelled =
     Seq_exec.modelled_time ~space:plan.Plan.nest.Tiles_loop.Nest.space ~net

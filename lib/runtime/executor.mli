@@ -46,10 +46,12 @@ val run :
 (** Raises [Invalid_argument] if the kernel's dependencies don't match the
     plan's nest.
 
-    [overlap] (default false) switches sends to the non-blocking,
-    NIC-driven model of {!Tiles_mpisim.Sim.Api.isend}: the paper's §5
-    future-work scheme (ref [8]) where a tile's outgoing communication
-    overlaps the next tile's computation.
+    [overlap] (default false) runs {!Protocol.rank_program} in its
+    overlapped §5 schedule (receives pre-posted per tile) and switches
+    sends to the non-blocking, NIC-driven model of
+    {!Tiles_mpisim.Sim.Api.isend}: the paper's §5 future-work scheme
+    (ref [8]) where a tile's outgoing communication overlaps the next
+    tile's computation.
 
     [trace] (default false) records per-rank activity spans in
     [result.stats.trace] for Gantt rendering. *)

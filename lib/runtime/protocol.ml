@@ -113,7 +113,7 @@ let prepare ~mode ~plan ~kernel ~flop_time ~pack_time () =
     tiles_per_rank = Array.make nprocs 0;
   }
 
-let rank_program shared comms rank =
+let rank_program ?(overlap = false) shared comms rank =
   let plan = shared.plan and kernel = shared.kernel in
   let tiling = plan.Plan.tiling in
   let comm = plan.Plan.comm in
@@ -153,39 +153,56 @@ let rank_program shared comms rank =
     let tile = Mapping.join mapping ~pid ~ts in
     Array.blit tile 0 tile_buf 0 n;
     (* ---------------- RECEIVE ---------------- *)
-    List.iter
-      (fun dir ->
-        let pred_pid = Vec.sub pid dir.dm in
-        List.iter
-          (fun dS ->
-            let pred_ts = ts - dS.(m) in
-            if
-              Mapping.valid mapping ~pid:pred_pid ~ts:pred_ts
-              && minsucc_ts mapping ~pid ~pred_ts dir.dss = Some ts
-            then begin
-              let buf = comms.recv ~src:(rank_of pred_pid) ~tag:pred_ts in
-              let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
-              if shared.mode = Full then begin
-                let count = ref 0 in
-                Tile_space.iter_slab_points tspace ~tile:pred_tile
-                  ~lo:dir.slab_lo (fun ~local:jp' ~global:_ ->
-                    let j'' = Lds.map tiling comm ~t:trel jp' in
-                    for k = 0 to n - 1 do
-                      j''.(k) <- j''.(k) - (dS.(k) * vpt k)
-                    done;
-                    let cell = cell_of_map j'' in
-                    for f = 0 to width - 1 do
-                      la.((cell * width) + f) <- buf.((!count * width) + f)
-                    done;
-                    incr count);
-                if !count * width <> Array.length buf then
-                  failwith "Protocol: pack/unpack cell count mismatch"
-              end;
-              comms.unpack
-                (float_of_int (Array.length buf) *. shared.pack_time)
-            end)
-          dir.dss)
-      directions;
+    (* the channels this tile must receive on (minsucc pairing), in
+       deterministic channel order shared by both schedules *)
+    let expected =
+      List.concat_map
+        (fun dir ->
+          let pred_pid = Vec.sub pid dir.dm in
+          List.filter_map
+            (fun dS ->
+              let pred_ts = ts - dS.(m) in
+              if
+                Mapping.valid mapping ~pid:pred_pid ~ts:pred_ts
+                && minsucc_ts mapping ~pid ~pred_ts dir.dss = Some ts
+              then Some (dir, dS, pred_pid, pred_ts)
+              else None)
+            dir.dss)
+        directions
+    in
+    let recv_one (_, _, pred_pid, pred_ts) =
+      comms.recv ~src:(rank_of pred_pid) ~tag:pred_ts
+    in
+    let unpack_one (dir, dS, pred_pid, pred_ts) buf =
+      let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
+      if shared.mode = Full then begin
+        let count = ref 0 in
+        Tile_space.iter_slab_points tspace ~tile:pred_tile ~lo:dir.slab_lo
+          (fun ~local:jp' ~global:_ ->
+            let j'' = Lds.map tiling comm ~t:trel jp' in
+            for k = 0 to n - 1 do
+              j''.(k) <- j''.(k) - (dS.(k) * vpt k)
+            done;
+            let cell = cell_of_map j'' in
+            for f = 0 to width - 1 do
+              la.((cell * width) + f) <- buf.((!count * width) + f)
+            done;
+            incr count);
+        if !count * width <> Array.length buf then
+          failwith "Protocol: pack/unpack cell count mismatch"
+      end;
+      comms.unpack (float_of_int (Array.length buf) *. shared.pack_time)
+    in
+    if overlap then
+      (* §5 overlapped schedule: pre-post every receive of this tile and
+         drain the channels before scattering any slab, so a backend with
+         asynchronous delivery keeps all incoming transfers in flight at
+         once instead of serialising wait → unpack per channel *)
+      List.iter
+        (fun (ch, buf) -> unpack_one ch buf)
+        (List.map (fun ch -> (ch, recv_one ch)) expected)
+    else
+      List.iter (fun ch -> unpack_one ch (recv_one ch)) expected;
     (* ---------------- COMPUTE ---------------- *)
     let points = ref 0 in
     (match shared.mode with

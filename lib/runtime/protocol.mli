@@ -46,7 +46,17 @@ val prepare :
 (** Validates the kernel against the plan and allocates the shared
     state. Raises [Invalid_argument] on mismatch. *)
 
-val rank_program : shared -> comms -> int -> unit
+val rank_program : ?overlap:bool -> shared -> comms -> int -> unit
 (** Execute one rank's whole tile chain (including the untimed LDS→DS
     write-back in [Full] mode). Thread-safe across ranks: all shared
-    writes are rank-disjoint. *)
+    writes are rank-disjoint.
+
+    With [~overlap:true] the rank runs the paper's §5 overlapped
+    schedule: every receive a tile expects (per the minsucc pairing) is
+    pre-posted before any slab is scattered into the LDS, and outgoing
+    slabs are packed and handed to [comms.send] immediately after the
+    tile's computation — a backend whose [send] is asynchronous (the
+    simulator's [isend], the shared-memory backend's bounded send stage)
+    then overlaps the transfer with the next tile's computation. The
+    message set, tags and per-channel order are identical in both
+    schedules, so counters agree exactly with the blocking run. *)

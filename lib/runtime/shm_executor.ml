@@ -6,6 +6,7 @@ module Recorder = Tiles_obs.Recorder
 module Clock = Tiles_obs.Clock
 
 exception Recv_timeout of string
+exception Send_timeout of string
 
 type result = {
   wall_seconds : float;
@@ -16,6 +17,8 @@ type result = {
   nprocs : int;
   messages : int;
   bytes : int;
+  points_computed : int;
+  tiles_executed : int;
   trace : Span.t list;
   stats : Tiles_obs.Stats.t;
 }
@@ -48,9 +51,13 @@ module Mailbox = struct
 
   let recv ?(timeout = infinity) ?(diag = fun () -> "Mailbox.recv: timed out")
       t ~tag =
+    (* [not (timeout > 0.)] also catches NaN; a zero or negative timeout
+       used to silently mean "wait forever", hiding watchdog misuse *)
+    if not (timeout > 0.) then
+      invalid_arg
+        "Mailbox.recv: timeout must be positive (use infinity to wait forever)";
     let deadline =
-      if timeout > 0. && timeout < infinity then Clock.monotonic () +. timeout
-      else infinity
+      if timeout < infinity then Clock.monotonic () +. timeout else infinity
     in
     Mutex.lock t.mutex;
     let rec wait () =
@@ -87,9 +94,107 @@ module Mailbox = struct
     Mutex.unlock t.mutex
 end
 
+(* The per-rank asynchronous send stage of the overlapped schedule: a
+   bounded queue of delivery thunks drained by a dedicated domain, so
+   the rank hands a packed slab off and computes the next tile while the
+   transfer completes. The bound makes backpressure real — a producer
+   outrunning the drainer blocks in [submit], and the blocked interval
+   is returned so the caller can charge it as communication wait. *)
+module Send_stage = struct
+  type t = {
+    mutex : Mutex.t;
+    not_full : Condition.t;
+    not_empty : Condition.t;
+    jobs : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable closed : bool;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Send_stage.create: capacity must be >= 1";
+    { mutex = Mutex.create (); not_full = Condition.create ();
+      not_empty = Condition.create (); jobs = Queue.create ();
+      capacity; closed = false }
+
+  let capacity t = t.capacity
+
+  let submit ?(timeout = infinity)
+      ?(diag = fun () -> "Send_stage.submit: timed out") t job =
+    if not (timeout > 0.) then
+      invalid_arg
+        "Send_stage.submit: timeout must be positive (use infinity to wait \
+         forever)";
+    let deadline =
+      if timeout < infinity then Clock.monotonic () +. timeout else infinity
+    in
+    Mutex.lock t.mutex;
+    let rec wait_room blocked =
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Send_stage.submit: stage is closed"
+      end;
+      if Queue.length t.jobs < t.capacity then blocked
+      else begin
+        if Clock.monotonic () > deadline then begin
+          Mutex.unlock t.mutex;
+          raise (Send_timeout (diag ()))
+        end;
+        (* like Mailbox.recv, relies on a periodic nudge to re-check the
+           deadline when the drainer never makes room *)
+        let t0 = Clock.monotonic () in
+        Condition.wait t.not_full t.mutex;
+        wait_room (blocked +. (Clock.monotonic () -. t0))
+      end
+    in
+    let blocked = wait_room 0. in
+    Queue.push job t.jobs;
+    Condition.signal t.not_empty;
+    Mutex.unlock t.mutex;
+    blocked
+
+  let close t =
+    Mutex.lock t.mutex;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Mutex.unlock t.mutex
+
+  let pending t =
+    Mutex.lock t.mutex;
+    let n = Queue.length t.jobs in
+    Mutex.unlock t.mutex;
+    n
+
+  let nudge t =
+    Mutex.lock t.mutex;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mutex
+
+  let drain t =
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while Queue.is_empty t.jobs && not t.closed do
+        Condition.wait t.not_empty t.mutex
+      done;
+      if Queue.is_empty t.jobs then Mutex.unlock t.mutex (* closed + empty *)
+      else begin
+        let job = Queue.pop t.jobs in
+        Condition.signal t.not_full;
+        Mutex.unlock t.mutex;
+        job ();
+        loop ()
+      end
+    in
+    loop ()
+end
+
 let watchdog_period = 0.02
 
-let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
+let run ?(trace = false) ?(overlap = false) ?(send_queue = 4)
+    ?(recv_timeout = 30.) ~plan ~kernel () =
+  if not (recv_timeout > 0.) then
+    invalid_arg
+      "Shm_executor.run: recv_timeout must be positive (use infinity to \
+       disable the watchdog)";
   let nprocs = Mapping.nprocs plan.Plan.mapping in
   let shared =
     Protocol.prepare ~mode:Protocol.Full ~plan ~kernel ~flop_time:0.
@@ -98,17 +203,55 @@ let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
   let boxes =
     Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Mailbox.create ()))
   in
+  let stages =
+    if overlap then
+      Some (Array.init nprocs (fun _ -> Send_stage.create ~capacity:send_queue))
+    else None
+  in
   let recorder = Recorder.create ~trace ~nprocs () in
   let comms_for rank =
     let log = Recorder.log recorder ~rank in
-    {
-      Protocol.send =
-        (fun ~dst ~tag data ->
+    let send =
+      match stages with
+      | None ->
+        (* blocking schedule: the "send" of this transport is the local
+           mailbox enqueue itself, so its Send span is just that enqueue *)
+        fun ~dst ~tag data ->
           let t0 = Recorder.now recorder in
           Mailbox.send boxes.(rank).(dst) ~tag data;
           Recorder.message_sent log ~bytes:(8 * Array.length data);
           Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Send;
-          Recorder.mark log);
+          Recorder.mark log
+      | Some stages ->
+        let stage = stages.(rank) in
+        fun ~dst ~tag data ->
+          let t0 = Recorder.now recorder in
+          let bytes = 8 * Array.length data in
+          let diag () =
+            Printf.sprintf
+              "Shm_executor: rank %d blocked > %gs handing a %d-byte slab \
+               to its send stage (dst=%d, tag=%d) — stalled drainer?"
+              rank recv_timeout bytes dst tag
+          in
+          let box = boxes.(rank).(dst) in
+          let blocked =
+            Send_stage.submit ~timeout:recv_timeout ~diag stage (fun () ->
+                Mailbox.send box ~tag data)
+          in
+          Recorder.message_sent log ~bytes;
+          let t1 = Recorder.now recorder in
+          (* backpressure from the bounded queue is communication wait,
+             not compute: the blocked interval is charged as Wait, only
+             the hand-off itself as Send *)
+          if blocked > 0. then begin
+            Recorder.span log ~t0 ~t1:(t0 +. blocked) Span.Wait;
+            Recorder.span log ~t0:(t0 +. blocked) ~t1 Span.Send
+          end
+          else Recorder.span log ~t0 ~t1 Span.Send;
+          Recorder.mark log
+    in
+    {
+      Protocol.send;
       recv =
         (fun ~src ~tag ->
           let t0 = Recorder.now recorder in
@@ -133,14 +276,16 @@ let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
   let failure = Atomic.make None in
   let stop_watchdog = Atomic.make false in
   (* Condition.wait has no timed variant; a watchdog domain periodically
-     wakes every mailbox so blocked receivers can notice their deadline. *)
+     wakes every mailbox (and send stage) so blocked receivers and
+     senders can notice their deadlines. *)
   let watchdog =
-    if recv_timeout > 0. && recv_timeout < infinity then
+    if recv_timeout < infinity then
       Some
         (Domain.spawn (fun () ->
              while not (Atomic.get stop_watchdog) do
                Unix.sleepf watchdog_period;
-               Array.iter (Array.iter Mailbox.nudge) boxes
+               Array.iter (Array.iter Mailbox.nudge) boxes;
+               Option.iter (Array.iter Send_stage.nudge) stages
              done))
     else None
   in
@@ -150,7 +295,22 @@ let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
         Domain.spawn (fun () ->
             let log = Recorder.log recorder ~rank in
             Recorder.mark log;
-            (try Protocol.rank_program shared (comms_for rank) rank
+            (try
+               match stages with
+               | None -> Protocol.rank_program shared (comms_for rank) rank
+               | Some stages ->
+                 let stage = stages.(rank) in
+                 let sender = Domain.spawn (fun () -> Send_stage.drain stage) in
+                 Fun.protect
+                   ~finally:(fun () ->
+                     Send_stage.close stage;
+                     Domain.join sender;
+                     (* flushing the stage after the last tile is the
+                        tail of the rank's communication *)
+                     Recorder.close log Span.Send)
+                   (fun () ->
+                     Protocol.rank_program ~overlap:true shared
+                       (comms_for rank) rank)
              with e -> ignore (Atomic.compare_and_set failure None (Some e)));
             Recorder.finish log))
   in
@@ -189,6 +349,8 @@ let run ?(trace = false) ?(recv_timeout = 30.) ~plan ~kernel () =
     nprocs;
     messages = Recorder.messages recorder;
     bytes = Recorder.bytes recorder;
+    points_computed = Array.fold_left ( + ) 0 shared.Protocol.points_per_rank;
+    tiles_executed = Array.fold_left ( + ) 0 shared.Protocol.tiles_per_rank;
     trace = Recorder.spans recorder;
     stats;
   }

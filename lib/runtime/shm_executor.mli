@@ -8,6 +8,15 @@
     oracle like everything else. Wall-clock speedup is measured but
     depends on the host; correctness is the point.
 
+    Two schedules are available. The default is the paper's blocking
+    receive → compute → send loop. With [~overlap:true] each rank also
+    gets a {!Send_stage}: a bounded queue drained by a dedicated sender
+    domain, so packed slabs are handed off and the transfer completes
+    while the rank computes its next tile — the real counterpart of the
+    simulator's §5 non-blocking [isend] schedule. The message set and
+    per-channel order are identical either way, so both schedules (and
+    both backends) report the same message/byte counters.
+
     Every run also drives a {!Tiles_obs.Recorder}: message/byte counters
     are always on, and with [~trace:true] each rank additionally records
     wall-clock {!Tiles_obs.Span.t} values using the same
@@ -15,12 +24,17 @@
     backends' traces are directly comparable.
 
     Use modest process counts (≲ number of cores); each rank is a real
-    domain. *)
+    domain, and the overlapped schedule adds one sender domain per
+    rank. *)
 
 exception Recv_timeout of string
 (** Raised (with a diagnostic naming the blocked rank, source and tag)
     when a receive blocks longer than [recv_timeout] — the symptom of a
     mis-generated schedule, which would otherwise hang forever. *)
+
+exception Send_timeout of string
+(** Raised when handing a slab to a full {!Send_stage} blocks longer than
+    the timeout — the symptom of a stalled drainer. *)
 
 type result = {
   wall_seconds : float;       (** parallel wall-clock time *)
@@ -31,6 +45,8 @@ type result = {
   nprocs : int;
   messages : int;
   bytes : int;                (** total payload bytes sent *)
+  points_computed : int;      (** total iterations executed across ranks *)
+  tiles_executed : int;
   trace : Tiles_obs.Span.t list;
       (** wall-clock spans, all ranks, time-sorted; [[]] unless [trace] *)
   stats : Tiles_obs.Stats.t;  (** aggregate per-rank/backend statistics *)
@@ -50,10 +66,13 @@ module Mailbox : sig
   (** Blocks until a message with [tag] is available. A drained per-tag
       queue is removed from the table, so the table stays bounded by the
       number of {e pending} tags rather than growing with every tag ever
-      seen. With a finite positive [timeout] (seconds), raises
-      {!Recv_timeout} with [diag ()] once the deadline passes — provided
-      something (e.g. the run's watchdog) wakes the condition
-      periodically. *)
+      seen. [timeout] (seconds) defaults to [infinity] — wait forever;
+      with a finite timeout, raises {!Recv_timeout} with [diag ()] once
+      the deadline passes — provided something (e.g. the run's watchdog)
+      wakes the condition periodically. A non-positive (or NaN) timeout
+      raises [Invalid_argument]: [0.] used to silently mean "wait
+      forever", disabling the watchdog exactly when the caller asked for
+      the tightest deadline. *)
 
   val tag_count : t -> int
   (** Number of per-tag queues currently in the table (for leak tests). *)
@@ -62,15 +81,60 @@ module Mailbox : sig
   (** Wake all waiters so they can re-check their deadlines. *)
 end
 
+(** The per-rank asynchronous send stage of the overlapped schedule: a
+    bounded queue of delivery thunks drained by a dedicated domain.
+    Exposed for tests. *)
+module Send_stage : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+  val capacity : t -> int
+
+  val submit : ?timeout:float -> ?diag:(unit -> string) -> t -> (unit -> unit) -> float
+  (** Enqueue a delivery thunk, blocking while the queue is at capacity;
+      returns the seconds spent blocked so the caller can charge
+      backpressure as communication wait. [timeout] follows the
+      {!Mailbox.recv} contract: default [infinity], finite deadlines
+      raise {!Send_timeout} with [diag ()] (a periodic {!nudge} is needed
+      for the deadline to be noticed), non-positive raises
+      [Invalid_argument]. Raises [Invalid_argument] if the stage is
+      {!close}d. *)
+
+  val drain : t -> unit
+  (** The drainer loop: runs submitted thunks in FIFO order until the
+      stage is {!close}d {e and} empty. Run this in the sender domain. *)
+
+  val close : t -> unit
+  (** No further submits; {!drain} returns once the queue empties. *)
+
+  val pending : t -> int
+  (** Thunks currently queued (for tests). *)
+
+  val nudge : t -> unit
+  (** Wake blocked submitters so they can re-check their deadlines. *)
+end
+
 val run :
   ?trace:bool ->
+  ?overlap:bool ->
+  ?send_queue:int ->
   ?recv_timeout:float ->
   plan:Tiles_core.Plan.t ->
   kernel:Kernel.t ->
   unit ->
   result
 (** Always Full mode (the whole point is the real data flow). [trace]
-    (default false) records per-rank wall-clock spans. [recv_timeout]
-    (default 30 seconds) bounds how long any receive may block before
-    {!Recv_timeout} is raised; pass [0.] or [infinity] to wait forever.
-    Raises like {!Protocol.prepare}. *)
+    (default false) records per-rank wall-clock spans. [overlap] (default
+    false) runs the §5 overlapped schedule: receives pre-posted per tile
+    ({!Protocol.rank_program}), sends handed to a per-rank bounded
+    {!Send_stage} of [send_queue] slots (default 4) and completed by a
+    sender domain while the rank computes on. Enqueue time blocked on a
+    full stage is traced as [Wait], the hand-off as [Send].
+    [recv_timeout] (default 30 seconds) bounds how long any receive — or,
+    overlapped, any hand-off to a full send stage — may block before
+    {!Recv_timeout} (resp. {!Send_timeout}) is raised; pass [infinity] to
+    wait forever (this also disables the watchdog domain). Raises
+    [Invalid_argument] on a non-positive [recv_timeout] or [send_queue],
+    and like {!Protocol.prepare}. *)

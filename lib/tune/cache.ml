@@ -19,7 +19,7 @@ type score = {
 type t = { dir : string }
 
 (* bump when the score record or the key rendering changes *)
-let version = 1
+let version = 2
 
 let open_dir dir =
   if Sys.file_exists dir then begin
@@ -31,7 +31,7 @@ let open_dir dir =
 
 let dir t = t.dir
 
-let key ~nest ~tiling ~m ~kernel ~net ~overlap =
+let key ~nest ~tiling ~m ~kernel ~net ~overlap ~backend =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let addf x = add "%Lx;" (Int64.bits_of_float x) in
@@ -62,6 +62,7 @@ let key ~nest ~tiling ~m ~kernel ~net ~overlap =
   addf net.Netmodel.flop_time;
   addf net.Netmodel.pack_time;
   add "|overlap:%b" overlap;
+  add "|backend:%s" backend;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let path t k = Filename.concat t.dir (k ^ ".score")

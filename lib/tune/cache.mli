@@ -3,8 +3,11 @@
     A score is keyed by everything that determines the (deterministic)
     discrete-event result: the nest (space constraints + dependencies),
     the tiling matrix [H], the mapping dimension, the kernel's identity
-    (name, width, read offsets), the network model's exact parameters and
-    the overlap flag. Keys are MD5 digests of a canonical rendering;
+    (name, width, read offsets), the network model's exact parameters,
+    the overlap flag and the backend name. Shared-memory scores are
+    wall-clock and therefore noisy, but caching them is still what the
+    user asked for: a tune resumed in the same directory re-ranks the
+    same measurements instead of paying for fresh ones. Keys are MD5 digests of a canonical rendering;
     values are [Marshal]ed {!score} records written atomically
     (temp-file + rename), so concurrent tunes sharing a directory are
     safe and a cache hit returns bit-identical floats. A corrupt or
@@ -34,6 +37,7 @@ val key :
   kernel:Tiles_runtime.Kernel.t ->
   net:Tiles_mpisim.Netmodel.t ->
   overlap:bool ->
+  backend:string ->
   string
 
 val find : t -> string -> score option

@@ -5,8 +5,13 @@ module Plan = Tiles_core.Plan
 module Tiling = Tiles_core.Tiling
 module Kernel = Tiles_runtime.Kernel
 module Executor = Tiles_runtime.Executor
+module Shm_executor = Tiles_runtime.Shm_executor
 module Sim = Tiles_mpisim.Sim
 module Netmodel = Tiles_mpisim.Netmodel
+
+type backend = Sim | Shm
+
+let backend_label = function Sim -> "sim" | Shm -> "shm"
 
 type options = {
   procs : int;
@@ -15,6 +20,7 @@ type options = {
   workers : int;
   cache_dir : string option;
   overlap : bool;
+  backend : backend;
   mapping_dims : int list option;
 }
 
@@ -26,6 +32,7 @@ let default_options =
     workers = max 1 (min 8 (Domain.recommended_domain_count ()));
     cache_dir = None;
     overlap = false;
+    backend = Sim;
     mapping_dims = None;
   }
 
@@ -59,17 +66,37 @@ let score_of_run (r : Executor.result) : Cache.score =
     tiles_executed = r.Executor.tiles_executed;
   }
 
+let score_of_shm_run (r : Shm_executor.result) : Cache.score =
+  {
+    Cache.completion = r.Shm_executor.wall_seconds;
+    speedup = r.Shm_executor.wall_speedup;
+    messages = r.Shm_executor.messages;
+    bytes = r.Shm_executor.bytes;
+    points_computed = r.Shm_executor.points_computed;
+    tiles_executed = r.Shm_executor.tiles_executed;
+  }
+
 (* evaluate [jobs] (plan per candidate) across [workers] domains; the
    simulator state is per-run and all cross-candidate shared structures
-   (the nest-space projection memo) are forced before spawning *)
-let evaluate_parallel ~workers ~kernel ~net ~overlap jobs =
+   (the nest-space projection memo) are forced before spawning. Shm
+   evaluation spawns one domain per rank (plus senders when overlapped)
+   inside each run, so it is serialized: parallel evals would
+   oversubscribe the cores being measured. *)
+let evaluate_parallel ~workers ~kernel ~net ~overlap ~backend jobs =
   let jobs = Array.of_list jobs in
   let out = Array.make (Array.length jobs) None in
   let eval i =
     let _, plan = jobs.(i) in
-    let r = Executor.run ~mode:Executor.Timing ~overlap ~plan ~kernel ~net () in
-    out.(i) <- Some (score_of_run r)
+    let score =
+      match backend with
+      | Sim ->
+        score_of_run
+          (Executor.run ~mode:Executor.Timing ~overlap ~plan ~kernel ~net ())
+      | Shm -> score_of_shm_run (Shm_executor.run ~overlap ~plan ~kernel ())
+    in
+    out.(i) <- Some score
   in
+  let workers = match backend with Sim -> workers | Shm -> 1 in
   let nw = max 1 (min workers (Array.length jobs)) in
   if nw = 1 then Array.iteri (fun i _ -> eval i) jobs
   else begin
@@ -160,7 +187,8 @@ let search ?(options = default_options) ~nest ~kernel ~net () =
           Option.map
             (fun _ ->
               Cache.key ~nest ~tiling:plan.Plan.tiling ~m:cand.Candidate.m
-                ~kernel ~net ~overlap:options.overlap)
+                ~kernel ~net ~overlap:options.overlap
+                ~backend:(backend_label options.backend))
             cache
         in
         (s, key))
@@ -180,7 +208,7 @@ let search ?(options = default_options) ~nest ~kernel ~net () =
   let cache_hits = List.length hits in
   let miss_scores =
     evaluate_parallel ~workers:options.workers ~kernel ~net
-      ~overlap:options.overlap
+      ~overlap:options.overlap ~backend:options.backend
       (List.map (fun ((_, plan, _, _, _), key) -> (key, plan)) misses)
   in
   (match cache with

@@ -8,29 +8,41 @@
       dimension × processor grid × tile-size sweep;
     + scores every constructible candidate with the fast analytic
       predictor ({!Predictor.predict}) and keeps the [top_k] cheapest;
-    + scores the survivors exactly on the discrete-event simulator
-      ({!Tiles_runtime.Executor.run} in [Timing] mode), fanned out across
-      OCaml domains and memoized in an optional on-disk {!Cache} so
-      repeated tunes are incremental;
+    + scores the survivors exactly on the chosen backend — the
+      discrete-event simulator ({!Tiles_runtime.Executor.run} in [Timing]
+      mode), fanned out across OCaml domains, or the real shared-memory
+      executor ({!Tiles_runtime.Shm_executor.run}), serialized because
+      each measurement already uses one domain per rank — memoized in an
+      optional on-disk {!Cache} so repeated tunes are incremental;
     + returns everything, best candidate first.
 
     The paper hand-picks each tiling and observes which wins (§4); this
     module closes that loop — the compiler chooses. *)
 
+type backend = Sim | Shm
+(** What scores the pruning survivors: the discrete-event simulator
+    (virtual time, deterministic) or the real shared-memory executor
+    (wall clock, noisy — keep [procs] within the host's cores). *)
+
+val backend_label : backend -> string
+(** ["sim"] / ["shm"] — the rendering used in cache keys and reports. *)
+
 type options = {
   procs : int;  (** processor budget (the paper's 16-node cluster) *)
   factors : int list;  (** mapping-dimension tile-factor sweep *)
   top_k : int;  (** candidates surviving predictor pruning *)
-  workers : int;  (** domains for parallel simulator evaluation *)
+  workers : int;  (** domains for parallel simulator evaluation;
+                      forced to 1 on the [Shm] backend *)
   cache_dir : string option;  (** [None] disables the on-disk memo *)
-  overlap : bool;  (** simulate with non-blocking (§5 overlapped) sends *)
+  overlap : bool;  (** §5 overlapped schedule (both backends) *)
+  backend : backend;  (** what scores the survivors *)
   mapping_dims : int list option;  (** restrict searched [m] (default all) *)
 }
 
 val default_options : options
 (** 16 processors, factors [2,4,6,8,10,16,25], top 12, as many workers as
-    recommended domains (capped at 8), no cache, blocking sends, all
-    mapping dimensions. *)
+    recommended domains (capped at 8), no cache, blocking sends, [Sim]
+    backend, all mapping dimensions. *)
 
 type scored = {
   cand : Candidate.t;

@@ -170,6 +170,55 @@ let test_trace_bad_backend () =
   if not (contains out "'sim'" && contains out "'shm'") then
     Alcotest.failf "diagnostic does not list sim and shm:\n%s" out
 
+(* the overlapped schedule runs on the shm backend too: exact vs the
+   oracle, and its counters agree with an overlapped sim run *)
+let test_trace_overlap_shm () =
+  let counters_of backend =
+    let json = Filename.temp_file "tilec_trace_ovl" ".json" in
+    let status, out =
+      run
+        (Printf.sprintf
+           "trace --app sor -M 12 -N 16 -x 3 -y 4 -z 4 --backend %s --overlap \
+            --out %s"
+           backend (Filename.quote json))
+    in
+    Sys.remove json;
+    if status <> Unix.WEXITED 0 then
+      Alcotest.failf "trace --backend %s --overlap failed:\n%s" backend out;
+    if backend = "shm" && not (contains out "max |parallel - sequential| = 0")
+    then Alcotest.failf "overlapped shm run is not exact:\n%s" out;
+    match
+      List.find_opt
+        (fun l -> contains l "messages")
+        (String.split_on_char '\n' out)
+    with
+    | Some line -> line
+    | None -> Alcotest.failf "%s summary lacks counters:\n%s" backend out
+  in
+  let sim = counters_of "sim" and shm = counters_of "shm" in
+  let counters l =
+    let tail =
+      match Astring.String.cut ~sep:" s, " l with
+      | Some (_, t) -> t
+      | None -> l
+    in
+    match Astring.String.cut ~sep:", max in-flight" tail with
+    | Some (counts, _) -> counts
+    | None -> tail
+  in
+  Alcotest.(check string) "overlapped backends agree on counters"
+    (counters sim) (counters shm)
+
+(* a genuinely unsupported flag/backend combination is a Cmdliner usage
+   error (usage line, exit 124), not a "tilec: error:" failwith *)
+let test_perf_inflate_shm_usage_error () =
+  let status, out = run "perf --app sor --backend shm --inflate 2.0" in
+  Alcotest.(check bool) "non-zero exit" true (status <> Unix.WEXITED 0);
+  if not (contains out "Usage: tilec perf") then
+    Alcotest.failf "expected a usage error:\n%s" out;
+  if contains out "tilec: error:" then
+    Alcotest.failf "surfaced as a runtime failure, not a usage error:\n%s" out
+
 (* tilec perf: record a baseline, a clean re-run passes the gate, and a
    synthetically slowed run (inflated net model) trips it *)
 let test_perf_record_check () =
@@ -197,7 +246,7 @@ let test_perf_record_check () =
 let test_tune () =
   check_ok
     "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 3 --workers 2"
-    [ "tune adi"; "simulated ms"; "best:"; "plan for adi" ]
+    [ "tune adi"; "measured ms"; "best:"; "plan for adi" ]
 
 let test_tune_json () =
   let status, out =
@@ -228,6 +277,9 @@ let () =
           Alcotest.test_case "trace both backends" `Quick test_trace;
           Alcotest.test_case "simulate --trace" `Quick test_simulate_trace_out;
           Alcotest.test_case "trace bad backend" `Quick test_trace_bad_backend;
+          Alcotest.test_case "trace overlap shm" `Quick test_trace_overlap_shm;
+          Alcotest.test_case "perf inflate+shm usage error" `Quick
+            test_perf_inflate_shm_usage_error;
           Alcotest.test_case "perf record/check" `Quick test_perf_record_check;
           Alcotest.test_case "tune" `Quick test_tune;
           Alcotest.test_case "tune --json" `Quick test_tune_json;

@@ -333,7 +333,7 @@ let test_dist_json_roundtrip () =
 
 let meta ?(app = "sor") () =
   Runmeta.make ~app ~variant:"nonrect" ~size1:12 ~size2:16 ~tile:(3, 4, 4)
-    ~nprocs:4 ~backend:"sim" ~netmodel:"fast_ethernet_cluster"
+    ~nprocs:4 ~backend:"sim" ~netmodel:"fast_ethernet_cluster" ()
 
 let baseline_of ~completions ?messages ?bytes () =
   let runs = List.map (fun c -> mk_stats ~completion:c ?messages ?bytes ()) completions in
@@ -556,6 +556,93 @@ let test_mailbox_recv_timeout () =
       (Astring.String.is_infix ~affix:"tag=42" msg)
   | None -> Alcotest.fail "recv did not time out"
 
+(* timeout = 0. (and negative) used to silently mean "wait forever" —
+   exactly the opposite of what the caller asked for; both must be
+   rejected up front *)
+let test_mailbox_rejects_nonpositive_timeout () =
+  let mb = Shm_executor.Mailbox.create () in
+  let expect t =
+    Alcotest.check_raises
+      (Printf.sprintf "timeout %g rejected" t)
+      (Invalid_argument
+         "Mailbox.recv: timeout must be positive (use infinity to wait \
+          forever)")
+      (fun () -> ignore (Shm_executor.Mailbox.recv ~timeout:t mb ~tag:0))
+  in
+  expect 0.;
+  expect (-0.5);
+  expect nan
+
+(* ---------------- the overlapped send stage ---------------- *)
+
+let test_send_stage_fifo_under_backpressure () =
+  let module Stage = Shm_executor.Send_stage in
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Send_stage.create: capacity must be >= 1") (fun () ->
+      ignore (Stage.create ~capacity:0));
+  let stage = Stage.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Stage.capacity stage);
+  let ran = ref [] and mu = Mutex.create () in
+  let drainer = Domain.spawn (fun () -> Stage.drain stage) in
+  let blocked = ref 0. in
+  for i = 1 to 20 do
+    blocked :=
+      !blocked
+      +. Stage.submit stage (fun () ->
+             (* the producer outruns this sleep, so the 2-slot queue
+                fills and submit must block (and report it) *)
+             Unix.sleepf 0.002;
+             Mutex.lock mu;
+             ran := i :: !ran;
+             Mutex.unlock mu)
+  done;
+  Shm_executor.Send_stage.close stage;
+  Domain.join drainer;
+  Alcotest.(check (list int)) "every job ran, in FIFO order"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !ran);
+  Alcotest.(check int) "closed stage drained" 0 (Stage.pending stage);
+  Alcotest.(check bool) "backpressure was visible" true (!blocked > 0.);
+  Alcotest.check_raises "submit after close rejected"
+    (Invalid_argument "Send_stage.submit: stage is closed") (fun () ->
+      ignore (Stage.submit stage (fun () -> ())))
+
+(* a deliberately stalled consumer: nobody drains, the bounded queue
+   fills, and a finite-timeout submit must raise rather than deadlock *)
+let test_send_stage_stalled_consumer_times_out () =
+  let module Stage = Shm_executor.Send_stage in
+  let stage = Stage.create ~capacity:1 in
+  ignore (Stage.submit stage (fun () -> ()));
+  Alcotest.(check int) "queue full" 1 (Stage.pending stage);
+  (* the nudger stands in for the run's watchdog: Condition.wait has no
+     timed variant, so deadlines are only noticed when woken *)
+  let stop = Atomic.make false in
+  let nudger =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.01;
+          Stage.nudge stage
+        done)
+  in
+  let raised =
+    try
+      ignore
+        (Stage.submit ~timeout:0.05
+           ~diag:(fun () -> "rank 3 send stage full (dst=1, tag=9)")
+           stage
+           (fun () -> ()));
+      None
+    with Shm_executor.Send_timeout msg -> Some msg
+  in
+  Atomic.set stop true;
+  Domain.join nudger;
+  (match raised with
+  | Some msg ->
+    Alcotest.(check bool) "diagnostic names the channel" true
+      (Astring.String.is_infix ~affix:"tag=9" msg)
+  | None -> Alcotest.fail "submit did not time out");
+  Alcotest.(check int) "stalled job still queued" 1 (Stage.pending stage)
+
 let () =
   Alcotest.run "tiles_obs"
     [
@@ -617,5 +704,14 @@ let () =
         [
           Alcotest.test_case "leak bounded" `Quick test_mailbox_leak_bounded;
           Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+          Alcotest.test_case "non-positive timeout rejected" `Quick
+            test_mailbox_rejects_nonpositive_timeout;
+        ] );
+      ( "send-stage",
+        [
+          Alcotest.test_case "fifo under backpressure" `Quick
+            test_send_stage_fifo_under_backpressure;
+          Alcotest.test_case "stalled consumer times out" `Quick
+            test_send_stage_stalled_consumer_times_out;
         ] );
     ]

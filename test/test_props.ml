@@ -228,6 +228,31 @@ let prop_executor_overlap_equivalence =
         | exception (Invalid_argument _ | Failure _) -> QCheck.assume_fail ())
       | _ -> QCheck.assume_fail ())
 
+(* real domains: the overlapped shm schedule is the same computation as
+   the blocking one — bit-identical grids, identical counters (few cases:
+   each run spawns one domain per rank, plus senders when overlapped) *)
+let prop_shm_overlap_equals_blocking =
+  let module Shm = Tiles_runtime.Shm_executor in
+  QCheck.Test.make ~name:"random kernel: shm overlapped = shm blocking"
+    ~count:8
+    (QCheck.pair (QCheck.make gen_kernel_2d) (arb_tiling 2))
+    (fun (kernel, tiling) ->
+      match tiling with
+      | Some tiling when Tiling.legal_for tiling (Kernel.deps kernel) -> (
+        let space = Polyhedron.box [ (0, 11); (0, 9) ] in
+        let nest = Nest.make ~name:"rand" ~space ~deps:(Kernel.deps kernel) in
+        match Plan.make nest tiling with
+        | plan ->
+          let b = Shm.run ~plan ~kernel () in
+          let o = Shm.run ~overlap:true ~plan ~kernel () in
+          Grid.max_abs_diff b.Shm.grid o.Shm.grid space = 0.
+          && b.Shm.messages = o.Shm.messages
+          && b.Shm.bytes = o.Shm.bytes
+          && b.Shm.max_abs_err = 0.
+          && o.Shm.max_abs_err = 0.
+        | exception (Invalid_argument _ | Failure _) -> QCheck.assume_fail ())
+      | _ -> QCheck.assume_fail ())
+
 let prop_timing_equals_full =
   QCheck.Test.make ~name:"timing mode = full mode virtual times" ~count:20
     (QCheck.pair (QCheck.make gen_kernel_2d) (arb_tiling 2))
@@ -266,6 +291,7 @@ let () =
         [
           q prop_executor_equivalence;
           q prop_executor_overlap_equivalence;
+          q prop_shm_overlap_equals_blocking;
           q prop_timing_equals_full;
         ] );
     ]

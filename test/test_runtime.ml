@@ -213,6 +213,73 @@ let test_shm_matches_sim_messages () =
   Alcotest.(check int) "same bytes" sim.Executor.stats.Sim.bytes
     shm.Tiles_runtime.Shm_executor.bytes
 
+(* the overlapped schedule is the same computation: blocking and
+   overlapped shm runs must produce bit-identical grids and identical
+   message/byte counters — which must also match the simulator's counters
+   in overlap mode (same protocol, different transport) *)
+let test_shm_overlap_matches_blocking () =
+  let module Shm = Tiles_runtime.Shm_executor in
+  let check name ~space ~plan ~kernel =
+    let b = Shm.run ~plan ~kernel () in
+    let o = Shm.run ~overlap:true ~plan ~kernel () in
+    Alcotest.(check (float 0.)) (name ^ ": blocking exact") 0.
+      b.Shm.max_abs_err;
+    Alcotest.(check (float 0.)) (name ^ ": overlapped exact") 0.
+      o.Shm.max_abs_err;
+    Alcotest.(check (float 0.)) (name ^ ": grids bit-identical") 0.
+      (Grid.max_abs_diff b.Shm.grid o.Shm.grid space);
+    Alcotest.(check int) (name ^ ": same messages") b.Shm.messages
+      o.Shm.messages;
+    Alcotest.(check int) (name ^ ": same bytes") b.Shm.bytes o.Shm.bytes;
+    Alcotest.(check int) (name ^ ": same points") b.Shm.points_computed
+      o.Shm.points_computed;
+    let sim =
+      Executor.run ~mode:Executor.Timing ~overlap:true ~plan ~kernel ~net ()
+    in
+    Alcotest.(check int) (name ^ ": sim overlap messages agree")
+      sim.Executor.stats.Sim.messages o.Shm.messages;
+    Alcotest.(check int) (name ^ ": sim overlap bytes agree")
+      sim.Executor.stats.Sim.bytes o.Shm.bytes
+  in
+  let module Sor = Tiles_apps.Sor in
+  let p = Sor.make ~m_steps:8 ~size:12 in
+  check "sor" ~space:(Sor.nest p).Nest.space
+    ~plan:
+      (Plan.make ~m:Sor.mapping_dim (Sor.nest p) (Sor.nonrect ~x:4 ~y:7 ~z:4))
+    ~kernel:(Sor.kernel p);
+  let module Jacobi = Tiles_apps.Jacobi in
+  let p = Jacobi.make ~t_steps:6 ~size:10 in
+  check "jacobi" ~space:(Jacobi.nest p).Nest.space
+    ~plan:
+      (Plan.make ~m:Jacobi.mapping_dim (Jacobi.nest p)
+         (Jacobi.nonrect ~x:2 ~y:6 ~z:6))
+    ~kernel:(Jacobi.kernel p);
+  let module Adi = Tiles_apps.Adi in
+  let p = Adi.make ~t_steps:6 ~size:10 in
+  check "adi" ~space:(Adi.nest p).Nest.space
+    ~plan:
+      (Plan.make ~m:Adi.mapping_dim (Adi.nest p) (Adi.nr3 ~x:3 ~y:5 ~z:5))
+    ~kernel:(Adi.kernel p)
+
+(* recv_timeout = 0 used to silently mean "wait forever"; it must now
+   fail fast instead of disabling the watchdog *)
+let test_shm_rejects_nonpositive_recv_timeout () =
+  let nest = pascal_nest 8 8 in
+  let plan = Plan.make nest (Tiling.rectangular [ 4; 4 ]) in
+  let expect t =
+    Alcotest.check_raises
+      (Printf.sprintf "recv_timeout %g rejected" t)
+      (Invalid_argument
+         "Shm_executor.run: recv_timeout must be positive (use infinity to \
+          disable the watchdog)")
+      (fun () ->
+        ignore
+          (Tiles_runtime.Shm_executor.run ~recv_timeout:t ~plan
+             ~kernel:pascal_kernel ()))
+  in
+  expect 0.;
+  expect (-1.)
+
 (* ---------- Model ---------- *)
 
 let test_model_predicts () =
@@ -276,6 +343,10 @@ let () =
           Alcotest.test_case "pascal on domains" `Quick test_shm_pascal;
           Alcotest.test_case "sor on domains" `Quick test_shm_sor;
           Alcotest.test_case "same messages as sim" `Quick test_shm_matches_sim_messages;
+          Alcotest.test_case "overlap = blocking (all apps)" `Quick
+            test_shm_overlap_matches_blocking;
+          Alcotest.test_case "recv_timeout contract" `Quick
+            test_shm_rejects_nonpositive_recv_timeout;
         ] );
       ( "model",
         [

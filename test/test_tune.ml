@@ -246,22 +246,56 @@ let test_cache_hits_identical () =
         (a.Tune.cand = b.Tune.cand && a.Tune.score = b.Tune.score))
     r1.Tune.simulated r2.Tune.simulated
 
+(* the shm backend scores survivors on real domains: every surviving
+   candidate must come back with a positive wall-clock measurement and
+   the same deterministic counters a sim-backed search would report *)
+let test_shm_backend_search () =
+  let p = Tiles_apps.Sor.make ~m_steps:8 ~size:10 in
+  let nest = Tiles_apps.Sor.nest p in
+  let kernel = Tiles_apps.Sor.kernel p in
+  let options =
+    {
+      Tune.default_options with
+      Tune.procs = 2;
+      factors = [ 2; 4 ];
+      top_k = 2;
+      backend = Tune.Shm;
+      overlap = true;
+    }
+  in
+  let r = Tune.search ~options ~nest ~kernel ~net () in
+  Alcotest.(check bool) "simulated non-empty" true (r.Tune.simulated <> []);
+  List.iter
+    (fun (s : Tune.scored) ->
+      match s.Tune.score with
+      | Some sc ->
+        Alcotest.(check bool) "wall time positive" true
+          (sc.Cache.completion > 0.);
+        Alcotest.(check bool) "messages non-negative" true
+          (sc.Cache.messages >= 0);
+        Alcotest.(check bool) "points counted" true
+          (sc.Cache.points_computed > 0)
+      | None -> Alcotest.fail "surviving candidate lacks a score")
+    r.Tune.simulated
+
 let test_cache_key_sensitivity () =
   let p = Tiles_apps.Sor.make ~m_steps:12 ~size:24 in
   let nest = Tiles_apps.Sor.nest p in
   let kernel = Tiles_apps.Sor.kernel p in
   let tiling = Tiles_apps.Sor.nonrect ~x:6 ~y:9 ~z:3 in
-  let key = Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false in
+  let key = Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false
+      ~backend:"sim" in
   let variants =
     [
-      Cache.key ~nest ~tiling ~m:1 ~kernel ~net ~overlap:false;
-      Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:true;
+      Cache.key ~nest ~tiling ~m:1 ~kernel ~net ~overlap:false ~backend:"sim";
+      Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:true ~backend:"sim";
+      Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false ~backend:"shm";
       Cache.key ~nest ~tiling ~m:2 ~kernel
         ~net:{ net with Netmodel.latency = net.Netmodel.latency *. 2. }
-        ~overlap:false;
+        ~overlap:false ~backend:"sim";
       Cache.key ~nest
         ~tiling:(Tiles_apps.Sor.nonrect ~x:6 ~y:9 ~z:4)
-        ~m:2 ~kernel ~net ~overlap:false;
+        ~m:2 ~kernel ~net ~overlap:false ~backend:"sim";
     ]
   in
   List.iteri
@@ -269,7 +303,7 @@ let test_cache_key_sensitivity () =
       if k = key then Alcotest.failf "variant %d collides with base key" i)
     variants;
   Alcotest.(check string) "key is deterministic" key
-    (Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false)
+    (Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false ~backend:"sim")
 
 let () =
   Alcotest.run "tiles_tune"
@@ -297,6 +331,7 @@ let () =
             test_sim_best_in_predictor_top3;
           Alcotest.test_case "result invariants" `Slow
             test_simulated_sorted_and_scored;
+          Alcotest.test_case "shm backend" `Slow test_shm_backend_search;
         ] );
       ( "cache",
         [
