@@ -11,6 +11,7 @@
      bench/main.exe trace           unified span metrics, sim vs shm domains
      bench/main.exe perf            run distributions + analytic-model residuals
      bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe kernels         walker throughput: reference vs strength vs fast
      bench/main.exe everything      all of the above
      bench/main.exe --json ...      also write each target's tables (plus any
                                     embedded aggregate statistics records) to
@@ -959,6 +960,108 @@ let micro () =
     (List.sort compare rows);
   emit t
 
+(* ---------------- walker throughput (kernels) ---------------- *)
+
+(* Wall-clock throughput of the three tile walkers on the real apps. The
+   sim backend in Full mode executes every rank's compute/pack/unpack
+   work on one thread with zero transport cost, so elapsed wall time
+   isolates walker cost from scheduling and parallel speedup:
+   points/s counts computed iteration points, bytes/s counts packed slab
+   payload, both against the same elapsed wall clock. *)
+let kernels_target () =
+  let module Walker = Tiles_runtime.Walker in
+  let module Metric = Tiles_obs.Metric in
+  pf "\n=== Kernels — walker throughput (reference vs strength vs fast) ===\n";
+  pf "(each cell is 1 warmup + %d measured Full-mode runs on the sim backend)\n" 4;
+  let repeats = 4 and warmup = 1 in
+  let suite =
+    [
+      ("sor", "nonrect", 32, 64, (8, 16, 16));
+      ("jacobi", "nonrect", 16, 48, (4, 12, 12));
+      ("adi", "nr3", 16, 40, (4, 10, 10));
+    ]
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "config"; "procs"; "walker"; "Mpoint/s"; "stddev"; "MB/s"; "x ref" ]
+  in
+  let records = ref [] in
+  List.iter
+    (fun (app, variant, size1, size2, (x, y, z)) ->
+      let nest, kernel, tiling, m =
+        match app with
+        | "sor" ->
+          let p = Tiles_apps.Sor.make ~m_steps:size1 ~size:size2 in
+          ( Tiles_apps.Sor.nest p, Tiles_apps.Sor.kernel p,
+            (List.assoc variant Tiles_apps.Sor.variants) ~x ~y ~z,
+            Tiles_apps.Sor.mapping_dim )
+        | "jacobi" ->
+          let p = Tiles_apps.Jacobi.make ~t_steps:size1 ~size:size2 in
+          ( Tiles_apps.Jacobi.nest p, Tiles_apps.Jacobi.kernel p,
+            (List.assoc variant Tiles_apps.Jacobi.variants) ~x ~y ~z,
+            Tiles_apps.Jacobi.mapping_dim )
+        | _ ->
+          let p = Tiles_apps.Adi.make ~t_steps:size1 ~size:size2 in
+          ( Tiles_apps.Adi.nest p, Tiles_apps.Adi.kernel p,
+            (List.assoc variant Tiles_apps.Adi.variants) ~x ~y ~z,
+            Tiles_apps.Adi.mapping_dim )
+      in
+      let plan = Plan.make ~m nest tiling in
+      let label = Printf.sprintf "%s/%s x=%d y=%d z=%d" app variant x y z in
+      let measure walker =
+        let samples =
+          List.init (warmup + repeats) (fun _ ->
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Executor.run ~walker ~mode:Executor.Full ~plan ~kernel ~net ()
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              ( float_of_int r.Executor.points_computed /. dt,
+                float_of_int r.Executor.stats.Sim.bytes /. dt ))
+        in
+        let measured = List.filteri (fun i _ -> i >= warmup) samples in
+        ( Metric.of_values (List.map fst measured),
+          Metric.of_values (List.map snd measured) )
+      in
+      let results =
+        List.map (fun w -> (w, measure w)) Walker.all_variants
+      in
+      let ref_pps =
+        (fst (List.assoc Walker.Reference results)).Metric.mean
+      in
+      List.iter
+        (fun (w, (pps, bps)) ->
+          Table.add_row t
+            [
+              label;
+              string_of_int (Plan.nprocs plan);
+              Walker.variant_to_string w;
+              Printf.sprintf "%.2f" (pps.Metric.mean /. 1e6);
+              Printf.sprintf "%.2f" (pps.Metric.stddev /. 1e6);
+              Printf.sprintf "%.1f" (bps.Metric.mean /. 1e6);
+              Printf.sprintf "%.2fx" (pps.Metric.mean /. ref_pps);
+            ])
+        results;
+      records :=
+        ( label,
+          Json.Obj
+            (List.map
+               (fun (w, (pps, bps)) ->
+                 ( Walker.variant_to_string w,
+                   Json.Obj
+                     [
+                       ("points_per_s", Metric.summary_to_json pps);
+                       ("packed_bytes_per_s", Metric.summary_to_json bps);
+                       ( "speedup_vs_reference",
+                         Json.Float (pps.Metric.mean /. ref_pps) );
+                     ] ))
+               results) )
+        :: !records)
+    suite;
+  emit t;
+  List.iter (fun (k, j) -> emit_json k j) (List.rev !records)
+
 (* ---------------- driver ---------------- *)
 
 let figures =
@@ -969,7 +1072,7 @@ let figures =
     ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
     ("ablation-tune", ablation_tune);
     ("memory", memory); ("model", model); ("trace", trace_target);
-    ("perf", perf_target); ("micro", micro);
+    ("perf", perf_target); ("micro", micro); ("kernels", kernels_target);
   ]
 
 let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "analytic" ]

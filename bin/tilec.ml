@@ -25,6 +25,8 @@ module Executor = Tiles_runtime.Executor
 module Shm_executor = Tiles_runtime.Shm_executor
 module Seq_exec = Tiles_runtime.Seq_exec
 module Grid = Tiles_runtime.Grid
+module Protocol = Tiles_runtime.Protocol
+module Walker = Tiles_runtime.Walker
 module Chrome = Tiles_obs.Chrome
 module Stats = Tiles_obs.Stats
 module Sim = Tiles_mpisim.Sim
@@ -108,6 +110,9 @@ let guard f =
   | Shm_executor.Recv_timeout msg | Shm_executor.Send_timeout msg ->
     Printf.eprintf "tilec: error: %s\n" msg;
     exit 1
+  | Protocol.Slab_mismatch m ->
+    Printf.eprintf "tilec: error: %s\n" (Protocol.slab_mismatch_to_string m);
+    exit 1
   | Division_by_zero ->
     Printf.eprintf "tilec: error: singular tiling (zero tile factor)\n";
     exit 1
@@ -151,6 +156,28 @@ let backend_arg =
                  virtual time) or $(b,shm) (real OCaml domains, wall time).")
 
 let backend_name = function `Sim -> "sim" | `Shm -> "shm"
+
+(* which tile-execution engine runs the data movement and arithmetic;
+   only meaningful where real data flows (simulate --full, trace, shm) *)
+let walker_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("reference", Walker.Reference);
+                ("strength", Walker.Strength_reduced);
+                ("fast", Walker.Fastpath) ])
+           Walker.Fastpath
+       & info [ "walker" ] ~docv:"W"
+           ~doc:"Tile-execution engine: $(b,reference) (per-point oracle), \
+                 $(b,strength) (strength-reduced rows) or $(b,fast) \
+                 (strength-reduced + contiguous-row blits and unrolled row \
+                 bodies; the default). All three produce bit-identical \
+                 results.")
+
+let check_reads_arg =
+  Arg.(value & flag & info [ "check-reads" ]
+         ~doc:"Validate every LDS read against NaN poisoning even in the \
+               fast walkers (the reference walker always validates).")
 
 let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~overlap ~size1
     ~size2 =
@@ -274,13 +301,17 @@ let simulate_cmd =
            ~doc:"Write the traced run as Chrome trace-event JSON to $(docv) \
                  (open in chrome://tracing or Perfetto).")
   in
-  let run app size1 size2 variant xyz full trace overlap trace_out =
+  let run app size1 size2 variant xyz full trace overlap trace_out walker
+      check_reads =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let net = Netmodel.fast_ethernet_cluster in
     let mode = if full then Executor.Full else Executor.Timing in
     let trace = trace || trace_out <> None in
-    let r = Executor.run ~mode ~overlap ~trace ~plan ~kernel:inst.kernel ~net () in
+    let r =
+      Executor.run ~walker ~check:check_reads ~mode ~overlap ~trace ~plan
+        ~kernel:inst.kernel ~net ()
+    in
     Printf.printf "app %s (%s), %d processes, %d tiles, %d points\n"
       inst.app_name variant (Plan.nprocs plan) r.Executor.tiles_executed
       r.Executor.points_computed;
@@ -291,7 +322,7 @@ let simulate_cmd =
     Printf.printf "%d messages, %d bytes\n" r.Executor.stats.Sim.messages
       r.Executor.stats.Sim.bytes;
     if full then begin
-      let seq = Seq_exec.run ~space:inst.nest.Nest.space ~kernel:inst.kernel in
+      let seq = Seq_exec.run ~space:inst.nest.Nest.space ~kernel:inst.kernel () in
       let err =
         match r.Executor.grid with
         | Some g -> Grid.max_abs_diff g seq inst.nest.Nest.space
@@ -328,7 +359,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Execute the plan on the simulated cluster.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
-          $ full_arg $ trace_arg $ overlap_arg $ trace_out_arg)
+          $ full_arg $ trace_arg $ overlap_arg $ trace_out_arg $ walker_arg
+          $ check_reads_arg)
 
 let trace_cmd =
   let out_arg =
@@ -345,7 +377,8 @@ let trace_cmd =
                  non-blocking sends (sim) / a bounded per-rank send stage \
                  (shm).")
   in
-  let run app size1 size2 variant xyz backend out svg overlap =
+  let run app size1 size2 variant xyz backend out svg overlap walker
+      check_reads =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let nprocs = Plan.nprocs plan in
@@ -353,14 +386,16 @@ let trace_cmd =
       match backend with
       | `Sim ->
         let r =
-          Executor.run ~mode:Executor.Full ~overlap ~trace:true ~plan
-            ~kernel:inst.kernel ~net:Netmodel.fast_ethernet_cluster ()
+          Executor.run ~walker ~check:check_reads ~mode:Executor.Full ~overlap
+            ~trace:true ~plan ~kernel:inst.kernel
+            ~net:Netmodel.fast_ethernet_cluster ()
         in
         (r.Executor.stats.Sim.trace,
          Tiles_mpisim.Trace.aggregate r.Executor.stats)
       | `Shm ->
         let r =
-          Shm_executor.run ~trace:true ~overlap ~plan ~kernel:inst.kernel ()
+          Shm_executor.run ~walker ~check:check_reads ~trace:true ~overlap
+            ~plan ~kernel:inst.kernel ()
         in
         Printf.printf "max |parallel - sequential| = %g\n"
           r.Shm_executor.max_abs_err;
@@ -389,7 +424,8 @@ let trace_cmd =
        ~doc:"Run the plan traced and export Chrome trace-event JSON (plus \
              an optional SVG timeline) with aggregate statistics.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
-          $ backend_arg $ out_arg $ svg_arg $ overlap_arg)
+          $ backend_arg $ out_arg $ svg_arg $ overlap_arg $ walker_arg
+          $ check_reads_arg)
 
 let tune_cmd =
   let module Tune = Tiles_tune.Tune in
@@ -551,7 +587,7 @@ let perf_cmd =
                  baselines get an $(b,-overlap) file-name suffix.")
   in
   let run app size1 size2 variant xyz backend repeats warmup record check dir
-      json counters_only inflate overlap =
+      json counters_only inflate overlap walker =
     (* --inflate scales the simulator's network model; the shm backend has
        no model to scale, so the combination is a usage error, not a
        silently ignored flag *)
@@ -587,8 +623,11 @@ let perf_cmd =
         last_speedup := r.Executor.speedup;
         Tiles_mpisim.Trace.aggregate r.Executor.stats
       | `Shm ->
+        (* the sim backend measures in Timing mode (virtual time, no data
+           movement), so [walker] only matters here *)
         let r =
-          Shm_executor.run ~trace:true ~overlap ~plan ~kernel:inst.kernel ()
+          Shm_executor.run ~walker ~trace:true ~overlap ~plan
+            ~kernel:inst.kernel ()
         in
         last_speedup := r.Shm_executor.wall_speedup;
         r.Shm_executor.stats
@@ -710,7 +749,7 @@ let perf_cmd =
             (const run $ app_arg $ size1_arg $ size2_arg $ variant_arg
              $ xyz_args $ backend_arg $ repeats_arg $ warmup_arg $ record_arg
              $ check_arg $ dir_arg $ json_arg $ counters_arg $ inflate_arg
-             $ overlap_arg))
+             $ overlap_arg $ walker_arg))
 
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in

@@ -46,7 +46,7 @@ let () =
   print_string (Plan.summary plan);
   let net = Tiles_mpisim.Netmodel.fast_ethernet_cluster in
   let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
-  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel () in
   let err =
     match r.Executor.grid with
     | Some g -> Grid.max_abs_diff g seq nest.Nest.space

@@ -67,7 +67,7 @@ let () =
   print_endline "\n== 6. execute on the simulated cluster and verify ==";
   let net = Tiles_mpisim.Netmodel.fast_ethernet_cluster in
   let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
-  let seq = Seq_exec.run ~space ~kernel in
+  let seq = Seq_exec.run ~space ~kernel () in
   let diff =
     match r.Executor.grid with
     | Some g -> Grid.max_abs_diff g seq space

@@ -26,7 +26,7 @@ let () =
   Printf.printf "skewed dependence columns: %s\n\n"
     (Format.asprintf "%a" Tiles_loop.Dependence.pp nest.Nest.deps);
   let net = Tiles_mpisim.Netmodel.fast_ethernet_cluster in
-  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel () in
   let x = 12 and y = 18 and z = 8 in
   let t = Table.create
       ~header:[ "tiling"; "procs"; "steps"; "t(jmax)"; "messages"; "sim time";

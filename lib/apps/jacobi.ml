@@ -24,8 +24,24 @@ let boundary j _field =
 let compute ~read ~j:_ ~out =
   out.(0) <- (read 0 0 +. read 1 0 +. read 2 0 +. read 3 0 +. read 4 0) /. 5.
 
+(* unrolled interior-row body; float-operation order matches [compute]
+   exactly so results are bit-identical *)
+let row ~la ~dst ~taps ~len =
+  let t0 = taps.(0) and t1 = taps.(1) and t2 = taps.(2) in
+  let t3 = taps.(3) and t4 = taps.(4) in
+  for i = dst to dst + len - 1 do
+    Array.unsafe_set la i
+      ((Array.unsafe_get la (i + t0)
+        +. Array.unsafe_get la (i + t1)
+        +. Array.unsafe_get la (i + t2)
+        +. Array.unsafe_get la (i + t3)
+        +. Array.unsafe_get la (i + t4))
+      /. 5.)
+  done
+
 let original_kernel =
-  Kernel.make ~name:"jacobi" ~dim:3 ~reads ~boundary ~compute ()
+  Kernel.make ~name:"jacobi" ~dim:3 ~uses_j:false ~row ~reads ~boundary
+    ~compute ()
 
 (* 0-based iteration space; see the note in sor.ml *)
 let original_nest p =

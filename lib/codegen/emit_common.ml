@@ -61,6 +61,19 @@ static int in_space(const int *j) {
 }|};
     ]
 
+(* global-space step of one innermost TTIS increment: moving j' by
+   c_{n-1}·e_{n-1} (a lattice vector, the last HNF basis column) moves j by
+   c_{n-1}·Q[:,n-1]/QDEN, which is therefore integral *)
+let jstep (tiling : Tiling.t) =
+  let n = Tiling.dim tiling in
+  let q, qden = pprime_numerator tiling in
+  let c = tiling.Tiling.c.(n - 1) in
+  Array.init n (fun i ->
+      let num = c * q.(i).(n - 1) in
+      if num mod qden <> 0 then
+        invalid_arg "Emit_common.jstep: non-integral innermost global step";
+      num / qden)
+
 let core_tables ~tiling ~kernel ~skew ~reads =
   let n = Tiling.dim tiling in
   let q, qden = pprime_numerator tiling in
@@ -84,6 +97,7 @@ let core_tables ~tiling ~kernel ~skew ~reads =
       int_table2 "D" d;
       int_table2 "DP" dp;
       int_table2 "TINV" tinv;
+      int_table1 "JSTEP" (jstep tiling);
     ]
   in
   let helpers =
@@ -140,6 +154,37 @@ static void orig(const int *j, int *o) {
 let tables ~plan ~kernel ~skew ~reads =
   core_tables ~tiling:plan.Plan.tiling ~kernel ~skew ~reads
   @ space_tables plan.Plan.nest.Tiles_loop.Nest.space
+
+(* Strength-reduced global addressing for the sequential generators: the
+   innermost loop keeps a running flat index [gi] into DATA (gidx is affine
+   over the dense bounding box, so one innermost step always adds GSTEP) and
+   each read tap is a constant flat offset DOFF[r].  Emitted after GDIMS and
+   DATA are declared; GDIMS may only be known at runtime (pseqgen), so the
+   derived strides are filled in by strength_init(). *)
+let strength_helpers =
+  [
+    {|/* row-start gidx, then addition-only addressing (Tables 1-2 applied
+   to the dense data box): GS = data strides, GSTEP = flat step of one
+   innermost TTIS increment, DOFF[r] = flat offset of read tap r */
+static long GS[NDIM], GSTEP, DOFF[NRD];
+static void strength_init(void) {
+  int k, r;
+  GS[NDIM - 1] = 1;
+  for (k = NDIM - 2; k >= 0; k--) GS[k] = GS[k + 1] * GDIMS[k + 1];
+  GSTEP = 0;
+  for (k = 0; k < NDIM; k++) GSTEP += GS[k] * JSTEP[k];
+  for (r = 0; r < NRD; r++) {
+    DOFF[r] = 0;
+    for (k = 0; k < NDIM; k++) DOFF[r] -= GS[k] * (long)D[r][k];
+  }
+}|};
+    {|/* boundary-aware tap read through the precomputed flat offset */
+static double rd_sr(const int *j, long gi, int r, int f) {
+  int src[NDIM], k;
+  for (k = 0; k < NDIM; k++) src[k] = j[k] - D[r][k];
+  return in_space(src) ? DATA[(gi + DOFF[r]) * W + f] : boundary(src, f);
+}|};
+  ]
 
 let bbox_tables space =
   let bbox = Polyhedron.bounding_box space in

@@ -10,6 +10,11 @@ val constraint_tables : string -> Tiles_poly.Constr.t list -> int -> string list
 (** [[prefix]NC] count define plus [[prefix]A]/[[prefix]B] coefficient and
     constant tables for a constraint system over [n] variables. *)
 
+val jstep : Tiles_core.Tiling.t -> int array
+(** Global-space delta of one innermost TTIS increment, i.e.
+    [c_{n-1} * Q[:,n-1] / QDEN].  Integral because [c_{n-1} * e_{n-1}] is
+    the last HNF basis column; raises [Invalid_argument] otherwise. *)
+
 val core_tables :
   tiling:Tiles_core.Tiling.t ->
   kernel:Ckernel.t ->
@@ -32,6 +37,12 @@ val tables :
   reads:Tiles_util.Vec.t list ->
   string list
 (** [space_tables] + [core_tables] for a concrete plan. *)
+
+val strength_helpers : string list
+(** Strength-reduced DATA addressing for the sequential generators:
+    GS/GSTEP/DOFF tables with a runtime [strength_init()] (GDIMS may be
+    parametric) and the flat-offset tap reader [rd_sr].  Must be emitted
+    after GDIMS, the JSTEP table (from {!core_tables}) and [DATA]. *)
 
 val bbox_tables : Tiles_poly.Polyhedron.t -> string list
 (** GLO/GDIMS/GTOT tables and [gidx] for a dense bounding-box data array

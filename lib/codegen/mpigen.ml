@@ -91,6 +91,7 @@ let generate ~plan ~kernel ~reads ?skew () =
       {|/* ------------------------------------------------------------------ */
 /* tile-space / mapping helpers                                         */
 static int LDIMS[NDIM];
+static long LSTR[NDIM]; /* row-major LDS strides (innermost = 1) */
 static double *LA;
 
 static void join_tile(const int *pid, int ts, int *s) {
@@ -142,6 +143,13 @@ static long lds_lin(const int *q) {
   int k; long idx = 0;
   for (k = 0; k < NDIM; k++) idx = idx * LDIMS[k] + q[k];
   return idx;
+}
+/* constant LDS cell shift of an unpack placement d^S (the lds_coords
+   offset is affine in q, so the shift is row-independent) */
+static long lds_shift(const int *ds) {
+  int k; long sh = 0;
+  for (k = 0; k < NDIM; k++) sh += (long)ds[k] * (V[k] / CS[k]) * LSTR[k];
+  return sh;
 }|};
       {|/* visitor-driven sweep of one tile's TTIS slab [lo, V), clipped to J^n */
 typedef struct {
@@ -149,85 +157,97 @@ typedef struct {
   long cnt;
   int trel;
   const int *tile;
-  const int *ds;     /* unpack placement shift */
+  long dshift;       /* unpack placement shift, in LDS cells */
+  long rowoff[NRD];  /* per-row tap cell offsets (want_taps only) */
+  int want_taps;
   double sum;
 } vctx;
-typedef void (*visit_fn)(const int *jp, const int *j, vctx *cx);
+typedef void (*visit_fn)(const int *jp, const int *j, long cell, vctx *cx);
 
 static void slab_rec(int k, int *jp, const int *lo, visit_fn fn, vctx *cx) {
-  if (k == NDIM) {
-    int j[NDIM];
+  int r = ttis_start(k, jp);
+  int lb = lo[k] > 0 ? lo[k] : 0;
+  int start = r + CS[k] * ceild(lb - r, CS[k]);
+  if (k == NDIM - 1) {
+    /* innermost row: hoist global/LDS addressing to the row start, then
+       advance by constant deltas -- consecutive TTIS points occupy
+       consecutive LDS cells, so the cell stride is 1 */
+    int j[NDIM], q[NDIM], i;
+    long cell;
+    if (start >= V[k]) return;
+    jp[k] = start;
     global_of(cx->tile, jp, j);
-    if (in_space(j)) fn(jp, j, cx);
+    lds_coords(jp, cx->trel, q);
+    cell = lds_lin(q);
+    if (cx->want_taps) {
+      int sp[NDIM], qq[NDIM], rd;
+      for (rd = 0; rd < NRD; rd++) {
+        for (i = 0; i < NDIM; i++) sp[i] = jp[i] - DP[rd][i];
+        lds_coords(sp, cx->trel, qq);
+        cx->rowoff[rd] = lds_lin(qq) - cell;
+      }
+    }
+    for (; jp[k] < V[k]; jp[k] += CS[k]) {
+      if (in_space(j)) fn(jp, j, cell, cx);
+      for (i = 0; i < NDIM; i++) j[i] += JSTEP[i];
+      cell += 1;
+    }
     return;
   }
-  {
-    int r = ttis_start(k, jp);
-    int lb = lo[k] > 0 ? lo[k] : 0;
-    int start = r + CS[k] * ceild(lb - r, CS[k]);
-    for (jp[k] = start; jp[k] < V[k]; jp[k] += CS[k])
-      slab_rec(k + 1, jp, lo, fn, cx);
-  }
+  for (jp[k] = start; jp[k] < V[k]; jp[k] += CS[k])
+    slab_rec(k + 1, jp, lo, fn, cx);
 }
 static void sweep(const int *lo, visit_fn fn, vctx *cx) {
   int jp[NDIM];
   slab_rec(0, jp, lo, fn, cx);
 }
 
-static void v_count(const int *jp, const int *j, vctx *cx) {
-  (void)jp; (void)j; cx->cnt++;
+static void v_count(const int *jp, const int *j, long cell, vctx *cx) {
+  (void)jp; (void)j; (void)cell; cx->cnt++;
 }
-static void v_pack(const int *jp, const int *j, vctx *cx) {
-  int q[NDIM], f; long cell;
-  (void)j;
-  lds_coords(jp, cx->trel, q);
-  cell = lds_lin(q);
+static void v_pack(const int *jp, const int *j, long cell, vctx *cx) {
+  int f;
+  (void)jp; (void)j;
   for (f = 0; f < W; f++) cx->buf[cx->cnt * W + f] = LA[cell * W + f];
   cx->cnt++;
 }
-static void v_unpack(const int *jp, const int *j, vctx *cx) {
-  int q[NDIM], f, k; long cell;
-  (void)j;
-  lds_coords(jp, cx->trel, q);
-  for (k = 0; k < NDIM; k++) q[k] -= cx->ds[k] * (V[k] / CS[k]);
-  cell = lds_lin(q);
-  for (f = 0; f < W; f++) LA[cell * W + f] = cx->buf[cx->cnt * W + f];
+static void v_unpack(const int *jp, const int *j, long cell, vctx *cx) {
+  int f;
+  (void)jp; (void)j;
+  for (f = 0; f < W; f++)
+    LA[(cell - cx->dshift) * W + f] = cx->buf[cx->cnt * W + f];
   cx->cnt++;
 }
-static void v_sum(const int *jp, const int *j, vctx *cx) {
-  int q[NDIM], f; long cell;
-  (void)j;
-  lds_coords(jp, cx->trel, q);
-  cell = lds_lin(q);
+static void v_sum(const int *jp, const int *j, long cell, vctx *cx) {
+  int f;
+  (void)jp; (void)j;
   for (f = 0; f < W; f++) cx->sum += LA[cell * W + f];
   cx->cnt++;
 }|};
-      {|/* LDS read for the loop body: halo-aware, boundary-aware */
-static double rd_mpi(const vctx *cx, const int *jp, const int *j, int r, int f) {
-  int src[NDIM], sp[NDIM], q[NDIM], k;
+      {|/* LDS read for the loop body: halo-aware via the per-row constant tap
+   offsets, boundary-aware via the space test on the source point */
+static double rd_mpi(const vctx *cx, const int *j, long cell, int r, int f) {
+  int src[NDIM], k;
   for (k = 0; k < NDIM; k++) src[k] = j[k] - D[r][k];
   if (!in_space(src)) return boundary(src, f);
-  for (k = 0; k < NDIM; k++) sp[k] = jp[k] - DP[r][k];
-  lds_coords(sp, cx->trel, q);
-  return LA[lds_lin(q) * W + f];
+  return LA[(cell + cx->rowoff[r]) * W + f];
 }
-#define RD(i, f) rd_mpi(cx, jp, j, (i), (f))
+#define RD(i, f) rd_mpi(cx, j, cell, (i), (f))
 #define WR(f) out[(f)]
 #define J(k) jo[(k)]|};
     ]
   in
   let compute_visitor =
     [
-      "static void v_compute(const int *jp, const int *j, vctx *cx) {";
-      "  double out[W]; int jo[NDIM], q[NDIM], f; long cell;";
+      "static void v_compute(const int *jp, const int *j, long cell, vctx *cx) {";
+      "  double out[W]; int jo[NDIM], f;";
+      "  (void)jp;";
       "  orig(j, jo);";
       "  /* ---- loop body ---- */";
     ]
     @ List.map (fun l -> "  " ^ l) kernel.Ckernel.body
     @ [
         "  /* ---- store ---- */";
-        "  lds_coords(jp, cx->trel, q);";
-        "  cell = lds_lin(q);";
         "  for (f = 0; f < W; f++) LA[cell * W + f] = out[f];";
         "  cx->cnt++;";
         "}";
@@ -259,6 +279,8 @@ static double rd_mpi(const vctx *cx, const int *jp, const int *j, int r, int f) 
     LDIMS[k] = OFF[k] + (k == MDIM ? ntiles : 1) * (V[k] / CS[k]);
     tot *= LDIMS[k];
   }
+  LSTR[NDIM - 1] = 1;
+  for (k = NDIM - 2; k >= 0; k--) LSTR[k] = LSTR[k + 1] * LDIMS[k + 1];
   LA = (double *)calloc((size_t)tot * W, sizeof(double));
 
   for (ts = chlo; ts <= chhi; ts++) {
@@ -286,7 +308,7 @@ static double rd_mpi(const vctx *cx, const int *jp, const int *j, int r, int f) 
           cx.buf = buf;
           cx.cnt = 0;
           cx.trel = trel;
-          cx.ds = DIRDS[d][s];
+          cx.dshift = lds_shift(DIRDS[d][s]);
           sweep(SLABLO[d], v_unpack, &cx);
           free(buf);
         }
@@ -299,6 +321,7 @@ static double rd_mpi(const vctx *cx, const int *jp, const int *j, int r, int f) 
       memset(&cx, 0, sizeof cx);
       cx.tile = tile;
       cx.trel = trel;
+      cx.want_taps = 1;
       sweep(zero_lo, v_compute, &cx);
       npoints += cx.cnt;
     }

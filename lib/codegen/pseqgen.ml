@@ -102,12 +102,10 @@ static int in_space(const int *j) {
   return idx;
 }|};
         "static double *DATA;";
-        {|static double rd_seq(const int *j, int r, int f) {
-  int src[NDIM], k;
-  for (k = 0; k < NDIM; k++) src[k] = j[k] - D[r][k];
-  return in_space(src) ? DATA[gidx(src) * W + f] : boundary(src, f);
-}|};
-        "#define RD(i, f) rd_seq(j, (i), (f))";
+      ]
+    @ Emit_common.strength_helpers
+    @ [
+        "#define RD(i, f) rd_sr(j, gi, (i), (f))";
         "#define WR(f) out[(f)]";
         "#define J(k) jo[(k)]";
       ]
@@ -133,24 +131,44 @@ static int in_space(const int *j) {
   let body_store =
     List.init kernel.Ckernel.width (fun f ->
         Assign
-          ( Idx
-              ( "DATA",
-                [
-                  Add
-                    ( Mul (Call ("gidx", [ Var "j" ]), Int kernel.Ckernel.width),
-                      Int f );
-                ] ),
+          ( Idx ("DATA", [ Add (Mul (Var "gi", Int kernel.Ckernel.width), Int f) ]),
             Idx ("out", [ Int f ]) ))
   in
   let kernel_body = List.map (fun l -> RawStmt l) kernel.Ckernel.body in
-  let innermost =
+  let point_body =
     [
-      Expr (Call ("global_of", [ Var "s"; Var "jp"; Var "j" ]));
       If
         ( Call ("in_space", [ Var "j" ]),
           [ Expr (Call ("orig", [ Var "j"; Var "jo" ])); Comment "loop body" ]
           @ kernel_body @ body_store
           @ [ RawStmt "npoints++;" ],
+          [] );
+      Comment "strength-reduced step: addition-only j / flat-index update";
+      RawStmt "for (k = 0; k < NDIM; k++) j[k] += JSTEP[k];";
+      RawStmt "gi += GSTEP;";
+    ]
+  in
+  (* innermost TTIS loop as a row: hoist global_of/gidx to the row start,
+     then advance by constant deltas per point *)
+  let last = n - 1 in
+  let row_block =
+    [
+      RawStmt (Printf.sprintf "jp[%d] = ttis_start(%d, jp);" last last);
+      If
+        ( Cmp ("<=", Raw (Printf.sprintf "jp[%d]" last),
+               Int (tiling.Tiling.v.(last) - 1)),
+          [
+            Expr (Call ("global_of", [ Var "s"; Var "jp"; Var "j" ]));
+            RawStmt "gi = gidx(j);";
+            For
+              {
+                var = Printf.sprintf "jp[%d]" last;
+                lo = Raw (Printf.sprintf "jp[%d]" last);
+                hi = Int (tiling.Tiling.v.(last) - 1);
+                step = Int tiling.Tiling.c.(last);
+                body = point_body;
+              };
+          ],
           [] );
     ]
   in
@@ -225,6 +243,7 @@ static int in_space(const int *j) {
           Decl ("int", "jo[NDIM]", None);
           Decl ("int", "jj[NDIM]", None);
           Decl ("int", "k", None);
+          Decl ("long", "gi", None);
           Decl ("double", "out[W]", None);
           Decl ("long", "npoints", Some (Int 0));
           Decl ("double", "sum", Some (Flt 0.));
@@ -244,9 +263,10 @@ static int in_space(const int *j) {
             RawStmt "for (k = 0; k < NDIM; k++) GTOT *= GDIMS[k];";
             RawStmt
               "DATA = (double *)malloc((size_t)GTOT * W * sizeof(double));";
+            RawStmt "strength_init();";
             Comment "tile loops (parametric Fourier-Motzkin bounds), then TTIS";
           ]
-        @ outer (n - 1) (inner (n - 1) innermost)
+        @ outer (n - 1) (inner (n - 2) row_block)
         @ [ Comment "verification output" ]
         @ checksum_loops
         @ [

@@ -19,38 +19,62 @@ let generate ~plan ~kernel ~reads ?skew () =
   let prelude =
     Emit_common.tables ~plan ~kernel ~skew ~reads
     @ Emit_common.bbox_tables space
+    @ [ "static double *DATA;" ]
+    @ Emit_common.strength_helpers
     @ [
-        "static double *DATA;";
-        {|static double rd_seq(const int *j, int r, int f) {
-  int src[NDIM], k;
-  for (k = 0; k < NDIM; k++) src[k] = j[k] - D[r][k];
-  return in_space(src) ? DATA[gidx(src) * W + f] : boundary(src, f);
-}|};
-        "#define RD(i, f) rd_seq(j, (i), (f))";
+        "#define RD(i, f) rd_sr(j, gi, (i), (f))";
         "#define WR(f) out[(f)]";
         "#define J(k) jo[(k)]";
       ]
   in
-  (* innermost body: reconstruct j, guard, run the kernel, store *)
+  (* innermost body: guard, run the kernel, store through the running gi *)
   let body_store =
     List.init kernel.Ckernel.width (fun f ->
         Assign
-          (Idx ("DATA", [ Add (Mul (Call ("gidx", [ Var "j" ]), Int kernel.Ckernel.width), Int f) ]),
-           Idx ("out", [ Int f ])))
+          ( Idx ("DATA", [ Add (Mul (Var "gi", Int kernel.Ckernel.width), Int f) ]),
+            Idx ("out", [ Int f ]) ))
   in
   let kernel_body = List.map (fun l -> RawStmt l) kernel.Ckernel.body in
-  let innermost =
+  let point_body =
     [
-      Expr (Call ("global_of", [ Var "s"; Var "jp"; Var "j" ]));
       If
         ( Call ("in_space", [ Var "j" ]),
           [ Expr (Call ("orig", [ Var "j"; Var "jo" ])); Comment "loop body" ]
           @ kernel_body @ body_store
           @ [ RawStmt "npoints++;" ],
           [] );
+      Comment "strength-reduced step: addition-only j / flat-index update";
+      RawStmt "for (k = 0; k < NDIM; k++) j[k] += JSTEP[k];";
+      RawStmt "gi += GSTEP;";
     ]
   in
-  (* n inner TTIS loops: stride c_k, start offset from the HNF lattice *)
+  (* innermost TTIS loop as a row: hoist global_of/gidx to the row start,
+     then advance by constant deltas per point *)
+  let last = n - 1 in
+  let row_block =
+    [
+      RawStmt
+        (Printf.sprintf "jp[%d] = ttis_start(%d, jp);" last last);
+      If
+        ( Cmp ("<=", Raw (Printf.sprintf "jp[%d]" last),
+               Int (tiling.Tiling.v.(last) - 1)),
+          [
+            Expr (Call ("global_of", [ Var "s"; Var "jp"; Var "j" ]));
+            RawStmt "gi = gidx(j);";
+            For
+              {
+                var = Printf.sprintf "jp[%d]" last;
+                lo = Raw (Printf.sprintf "jp[%d]" last);
+                hi = Int (tiling.Tiling.v.(last) - 1);
+                step = Int tiling.Tiling.c.(last);
+                body = point_body;
+              };
+          ],
+          [] );
+    ]
+  in
+  (* remaining inner TTIS loops: stride c_k, start offset from the HNF
+     lattice *)
   let rec inner k body =
     if k < 0 then body
     else
@@ -122,13 +146,16 @@ let generate ~plan ~kernel ~reads ?skew () =
           Decl ("int", "j[NDIM]", None);
           Decl ("int", "jo[NDIM]", None);
           Decl ("int", "jj[NDIM]", None);
+          Decl ("int", "k", None);
+          Decl ("long", "gi", None);
           Decl ("double", "out[W]", None);
           Decl ("long", "npoints", Some (Int 0));
           Decl ("double", "sum", Some (Flt 0.));
           RawStmt "DATA = (double *)malloc((size_t)GTOT * W * sizeof(double));";
+          RawStmt "strength_init();";
           Comment "tile loops (Fourier-Motzkin bounds), then TTIS loops";
         ]
-        @ outer (n - 1) (inner (n - 1) innermost)
+        @ outer (n - 1) (inner (n - 2) row_block)
         @ [ Comment "verification output" ]
         @ checksum_loops
         @ [

@@ -35,6 +35,8 @@ type result = {
 }
 
 val run :
+  ?walker:Walker.variant ->
+  ?check:bool ->
   ?mode:mode ->
   ?overlap:bool ->
   ?trace:bool ->
@@ -45,6 +47,11 @@ val run :
   result
 (** Raises [Invalid_argument] if the kernel's dependencies don't match the
     plan's nest.
+
+    [walker]/[check] (defaults {!Walker.Fastpath}, [false]) select the
+    tile-execution engine and its NaN-read validation; see
+    {!Protocol.prepare}. [Timing] mode never touches data, so they only
+    matter in [Full] mode.
 
     [overlap] (default false) runs {!Protocol.rank_program} in its
     overlapped §5 schedule (receives pre-posted per tile) and switches

@@ -34,6 +34,8 @@ let index t j field =
 
 let get t j field = t.data.(index t j field)
 let set t j field v = t.data.(index t j field) <- v
+let strides t = t.strides
+let data t = t.data
 
 let mem t j =
   let ok = ref true in

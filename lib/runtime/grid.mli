@@ -12,6 +12,22 @@ val set : t -> Tiles_util.Vec.t -> int -> float -> unit
 val mem : t -> Tiles_util.Vec.t -> bool
 (** Is the point inside the backing bounding box? *)
 
+val index : t -> Tiles_util.Vec.t -> int -> int
+(** [index t j field] — flat index of [field] at point [j] into [data].
+    Bounds-checked per dimension; raises [Invalid_argument] outside the
+    bounding box. Because storage is a dense row-major box, the flat index
+    is affine in [j]: walkers exploit this by computing [index] once per
+    row and incrementing by a precomputed step. *)
+
+val strides : t -> int array
+(** Per-dimension flat-index strides, in slot units (field width folded
+    in: moving by 1 in the last dimension moves [width t] slots). *)
+
+val data : t -> float array
+(** The raw backing store. Raw access is for strength-reduced walkers
+    that have validated their index arithmetic against [index]; everyone
+    else should go through [get]/[set]. *)
+
 val max_abs_diff : t -> t -> Tiles_poly.Polyhedron.t -> float
 (** Maximum absolute difference over the points of the given space (all
     fields). NaN in either operand at a space point yields [infinity]. *)

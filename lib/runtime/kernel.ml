@@ -2,23 +2,30 @@ module Vec = Tiles_util.Vec
 module Intmat = Tiles_linalg.Intmat
 module Ratmat = Tiles_linalg.Ratmat
 
+type row_body = la:float array -> dst:int -> taps:int array -> len:int -> unit
+
 type t = {
   name : string;
   dim : int;
   width : int;
+  uses_j : bool;
   reads : Vec.t list;
   boundary : Vec.t -> int -> float;
   compute : read:(int -> int -> float) -> j:Vec.t -> out:float array -> unit;
+  row : row_body option;
 }
 
 let deps t = Tiles_loop.Dependence.of_vectors t.reads
 
-let make ~name ~dim ?(width = 1) ~reads ~boundary ~compute () =
+let make ~name ~dim ?(width = 1) ?(uses_j = true) ?row ~reads ~boundary
+    ~compute () =
   if width <= 0 then invalid_arg "Kernel.make: width";
   if reads = [] then invalid_arg "Kernel.make: no reads";
   if List.exists (fun r -> Vec.dim r <> dim) reads then
     invalid_arg "Kernel.make: read offset dimension mismatch";
-  { name; dim; width; reads; boundary; compute }
+  if row <> None && width <> 1 then
+    invalid_arg "Kernel.make: row bodies require width = 1";
+  { name; dim; width; uses_j; reads; boundary; compute; row }
 
 let skewed k t =
   if not (Intmat.is_unimodular t) then invalid_arg "Kernel.skewed: not unimodular";
@@ -31,7 +38,10 @@ let skewed k t =
     (* compute receives the skewed j; kernels that need original
        coordinates (e.g. ADI's coefficient array A[i,j]) must be built via
        [skewed] from a kernel that uses original coordinates — so unskew
-       here too. *)
+       here too. Kernels that declare [uses_j = false] never look at j, so
+       the per-point unskew (an Intmat.apply allocation) is skipped. *)
     compute =
-      (fun ~read ~j ~out -> k.compute ~read ~j:(Intmat.apply tinv j) ~out);
+      (if k.uses_j then fun ~read ~j ~out ->
+         k.compute ~read ~j:(Intmat.apply tinv j) ~out
+       else k.compute);
   }

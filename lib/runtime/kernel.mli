@@ -5,10 +5,25 @@
     carry several scalar fields per iteration point ([width] — ADI updates
     both [X] and [B]). *)
 
+type row_body = la:float array -> dst:int -> taps:int array -> len:int -> unit
+(** An optional strength-reduced body for width-1 kernels, used by the
+    walker's innermost-contiguous fast path. [row ~la ~dst ~taps ~len]
+    must write [la.(dst + i) <- f (la.(dst + i + taps.(0)), ...)] for
+    [i = 0 .. len-1], where [taps.(r)] is the (negative) slot delta of
+    read [r] relative to the destination cell. The float operations must
+    match [compute]'s exactly (same order, same constants) so results are
+    bit-identical to the reference walker. All reads are guaranteed
+    in-bounds and interior (no boundary lookups) when a row body runs. *)
+
 type t = {
   name : string;
   dim : int;
   width : int;
+  uses_j : bool;
+      (** whether [compute] reads its [j] argument. Stencils whose body is
+          coordinate-free (SOR, Jacobi) set this false, letting [skewed]
+          and the walkers skip maintaining/unskewing global coordinates on
+          the hot path. *)
   reads : Tiles_util.Vec.t list;
       (** read offsets: read [i] sees the value at [j − reads.(i)] *)
   boundary : Tiles_util.Vec.t -> int -> float;
@@ -18,6 +33,8 @@ type t = {
       (** [compute ~read ~j ~out] evaluates the body at iteration [j];
           [read i f] is field [f] at [j − reads.(i)]; results go into
           [out.(0 .. width-1)]. *)
+  row : row_body option;
+      (** optional unrolled row body; requires [width = 1]. *)
 }
 
 val deps : t -> Tiles_loop.Dependence.t
@@ -27,6 +44,8 @@ val make :
   name:string ->
   dim:int ->
   ?width:int ->
+  ?uses_j:bool ->
+  ?row:row_body ->
   reads:Tiles_util.Vec.t list ->
   boundary:(Tiles_util.Vec.t -> int -> float) ->
   compute:(read:(int -> int -> float) -> j:Tiles_util.Vec.t -> out:float array -> unit) ->
@@ -36,4 +55,6 @@ val make :
 val skewed : t -> Tiles_linalg.Intmat.t -> t
 (** [skewed k t] — the same computation over the skewed space [T·J^n]:
     read offsets become [T·d], and boundary lookups un-skew their argument
-    before consulting the original boundary function. *)
+    before consulting the original boundary function. [uses_j] and [row]
+    are preserved; when [uses_j] is false the compute wrapper that
+    un-skews [j] per point is skipped entirely. *)

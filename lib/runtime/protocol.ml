@@ -1,12 +1,8 @@
 module Vec = Tiles_util.Vec
-module Intmat = Tiles_linalg.Intmat
-module Polyhedron = Tiles_poly.Polyhedron
-module Constr = Tiles_poly.Constr
 module Tiling = Tiles_core.Tiling
 module Tile_space = Tiles_core.Tile_space
 module Mapping = Tiles_core.Mapping
 module Comm = Tiles_core.Comm
-module Lds = Tiles_core.Lds
 module Plan = Tiles_core.Plan
 
 type comms = {
@@ -19,38 +15,42 @@ type comms = {
 
 type mode = Full | Timing
 
+type slab_mismatch = {
+  mm_rank : int;
+  mm_stage : [ `Pack | `Unpack ];
+  mm_dm : Vec.t;
+  mm_ts : int;
+  mm_expected : int;
+  mm_actual : int;
+}
+
+exception Slab_mismatch of slab_mismatch
+
+let slab_mismatch_to_string m =
+  Printf.sprintf
+    "Protocol: rank %d %s cell count mismatch for direction %s at tile \
+     t^S=%d: expected %d cells, walked %d"
+    m.mm_rank
+    (match m.mm_stage with `Pack -> "pack" | `Unpack -> "unpack")
+    (Vec.to_string m.mm_dm) m.mm_ts m.mm_expected m.mm_actual
+
+let () =
+  Printexc.register_printer (function
+    | Slab_mismatch m -> Some (slab_mismatch_to_string m)
+    | _ -> None)
+
 type shared = {
   plan : Plan.t;
   kernel : Kernel.t;
   mode : mode;
+  walker : Walker.variant;
+  check : bool;
   flop_time : float;
   pack_time : float;
   grid : Grid.t option;
   points_per_rank : int array;
   tiles_per_rank : int array;
 }
-
-(* Closure-free membership test compiled from the space's constraints. *)
-let fast_member space =
-  let cs =
-    Array.of_list
-      (List.map
-         (fun c -> (Array.init (Constr.dim c) (Constr.coeff c), Constr.const c))
-         (Polyhedron.constraints space))
-  in
-  fun (j : int array) ->
-    let ok = ref true in
-    Array.iter
-      (fun (coeffs, const) ->
-        if !ok then begin
-          let acc = ref const in
-          for k = 0 to Array.length coeffs - 1 do
-            acc := !acc + (coeffs.(k) * j.(k))
-          done;
-          if !acc < 0 then ok := false
-        end)
-      cs;
-    !ok
 
 type direction = {
   dm : Vec.t;
@@ -86,7 +86,8 @@ let minsucc_ts mapping ~pid ~pred_ts dss =
   | [] -> None
   | first :: rest -> Some (List.fold_left min first rest)
 
-let prepare ~mode ~plan ~kernel ~flop_time ~pack_time () =
+let prepare ?(walker = Walker.Fastpath) ?(check = false) ~mode ~plan ~kernel
+    ~flop_time ~pack_time () =
   let n = Tiling.dim plan.Plan.tiling in
   if kernel.Kernel.dim <> n then invalid_arg "Protocol.prepare: kernel dimension";
   if
@@ -106,6 +107,8 @@ let prepare ~mode ~plan ~kernel ~flop_time ~pack_time () =
     plan;
     kernel;
     mode;
+    walker;
+    check;
     flop_time;
     pack_time;
     grid;
@@ -115,34 +118,31 @@ let prepare ~mode ~plan ~kernel ~flop_time ~pack_time () =
 
 let rank_program ?(overlap = false) shared comms rank =
   let plan = shared.plan and kernel = shared.kernel in
-  let tiling = plan.Plan.tiling in
   let comm = plan.Plan.comm in
   let mapping = plan.Plan.mapping in
   let tspace = plan.Plan.tspace in
-  let space = plan.Plan.nest.Tiles_loop.Nest.space in
-  let n = tiling.Tiling.n in
+  let n = plan.Plan.tiling.Tiling.n in
   let m = comm.Comm.m in
   let width = kernel.Kernel.width in
   let directions = build_directions plan in
-  let reads = Array.of_list kernel.Kernel.reads in
-  let reads' = Array.map (Intmat.apply tiling.Tiling.h') reads in
-  let member = fast_member space in
-  let vpt k = tiling.Tiling.v.(k) / tiling.Tiling.c.(k) in
   let pid = Mapping.pid_of_rank mapping rank in
   let tlo, thi = Mapping.chain mapping rank in
   let ntiles = thi - tlo + 1 in
-  let shape = Lds.shape tiling comm ~ntiles in
-  let la =
+  let walker =
     match shared.mode with
-    | Full -> Array.make (shape.Lds.total * width) Float.nan
-    | Timing -> [||]
+    | Full ->
+      Some
+        (Walker.make ~plan ~kernel ~rank ~ntiles ~variant:shared.walker
+           ~check:shared.check)
+    | Timing -> None
+  in
+  let la =
+    match walker with
+    | Some w -> Array.make (Walker.lds_total w * width) Float.nan
+    | None -> [||]
   in
   let zero_lo = Array.make n 0 in
-  let scratch_src = Array.make n 0 in
-  let scratch_j' = Array.make n 0 in
-  let out = Array.make width 0. in
   let tile_buf = Array.make n 0 in
-  let cell_of_map j'' = Lds.map_index shape j'' in
   let rank_of pid =
     match Mapping.rank_of_pid mapping pid with
     | Some r -> r
@@ -174,23 +174,25 @@ let rank_program ?(overlap = false) shared comms rank =
       comms.recv ~src:(rank_of pred_pid) ~tag:pred_ts
     in
     let unpack_one (dir, dS, pred_pid, pred_ts) buf =
-      let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
-      if shared.mode = Full then begin
-        let count = ref 0 in
-        Tile_space.iter_slab_points tspace ~tile:pred_tile ~lo:dir.slab_lo
-          (fun ~local:jp' ~global:_ ->
-            let j'' = Lds.map tiling comm ~t:trel jp' in
-            for k = 0 to n - 1 do
-              j''.(k) <- j''.(k) - (dS.(k) * vpt k)
-            done;
-            let cell = cell_of_map j'' in
-            for f = 0 to width - 1 do
-              la.((cell * width) + f) <- buf.((!count * width) + f)
-            done;
-            incr count);
-        if !count * width <> Array.length buf then
-          failwith "Protocol: pack/unpack cell count mismatch"
-      end;
+      (match walker with
+      | None -> ()
+      | Some w ->
+        let pred_tile = Mapping.join mapping ~pid:pred_pid ~ts:pred_ts in
+        let count =
+          Walker.unpack_slab w ~trel ~pred_tile ~ds:dS ~lo:dir.slab_lo ~la
+            ~buf
+        in
+        if count * width <> Array.length buf then
+          raise
+            (Slab_mismatch
+               {
+                 mm_rank = rank;
+                 mm_stage = `Unpack;
+                 mm_dm = dir.dm;
+                 mm_ts = ts;
+                 mm_expected = Array.length buf / width;
+                 mm_actual = count;
+               }));
       comms.unpack (float_of_int (Array.length buf) *. shared.pack_time)
     in
     if overlap then
@@ -205,41 +207,10 @@ let rank_program ?(overlap = false) shared comms rank =
       List.iter (fun ch -> unpack_one ch (recv_one ch)) expected;
     (* ---------------- COMPUTE ---------------- *)
     let points = ref 0 in
-    (match shared.mode with
-    | Timing ->
+    (match walker with
+    | None ->
       points := Tile_space.slab_points tspace ~tile:tile_buf ~lo:zero_lo
-    | Full ->
-      Tile_space.iter_tile_points tspace ~tile:tile_buf
-        (fun ~local:j' ~global:j ->
-          incr points;
-          let read i field =
-            let d = reads.(i) in
-            for k = 0 to n - 1 do
-              scratch_src.(k) <- j.(k) - d.(k)
-            done;
-            if member scratch_src then begin
-              let d' = reads'.(i) in
-              for k = 0 to n - 1 do
-                scratch_j'.(k) <- j'.(k) - d'.(k)
-              done;
-              let j'' = Lds.map tiling comm ~t:trel scratch_j' in
-              let v = la.((cell_of_map j'' * width) + field) in
-              if Float.is_nan v then
-                failwith
-                  (Printf.sprintf
-                     "Protocol: rank %d read uninitialised LDS cell for \
-                      iteration %s read %d"
-                     rank (Vec.to_string j) i);
-              v
-            end
-            else kernel.Kernel.boundary scratch_src field
-          in
-          kernel.Kernel.compute ~read ~j ~out;
-          let j'' = Lds.map tiling comm ~t:trel j' in
-          let cell = cell_of_map j'' in
-          for f = 0 to width - 1 do
-            la.((cell * width) + f) <- out.(f)
-          done));
+    | Some w -> points := Walker.compute_tile w ~trel ~tile:tile_buf ~la);
     comms.compute (float_of_int !points *. shared.flop_time);
     shared.points_per_rank.(rank) <- shared.points_per_rank.(rank) + !points;
     shared.tiles_per_rank.(rank) <- shared.tiles_per_rank.(rank) + 1;
@@ -257,36 +228,38 @@ let rank_program ?(overlap = false) shared comms rank =
             Tile_space.slab_points tspace ~tile:tile_buf ~lo:dir.slab_lo
           in
           let buf = Array.make (cells * width) 0. in
-          if shared.mode = Full then begin
-            let count = ref 0 in
-            Tile_space.iter_slab_points tspace ~tile:tile_buf ~lo:dir.slab_lo
-              (fun ~local:j' ~global:_ ->
-                let j'' = Lds.map tiling comm ~t:trel j' in
-                let cell = cell_of_map j'' in
-                for f = 0 to width - 1 do
-                  buf.((!count * width) + f) <- la.((cell * width) + f)
-                done;
-                incr count)
-          end;
+          (match walker with
+          | None -> ()
+          | Some w ->
+            let count =
+              Walker.pack_slab w ~trel ~tile:tile_buf ~lo:dir.slab_lo ~la
+                ~buf
+            in
+            if count <> cells then
+              raise
+                (Slab_mismatch
+                   {
+                     mm_rank = rank;
+                     mm_stage = `Pack;
+                     mm_dm = dir.dm;
+                     mm_ts = ts;
+                     mm_expected = cells;
+                     mm_actual = count;
+                   }));
           comms.pack (float_of_int (cells * width) *. shared.pack_time);
           comms.send ~dst:(rank_of (Vec.add pid dir.dm)) ~tag:ts buf
         end)
       directions
   done;
   (* ---------------- write-back (LDS -> DS) ---------------- *)
-  match shared.grid with
-  | None -> ()
-  | Some grid ->
+  match (shared.grid, walker) with
+  | Some grid, Some w ->
     for ts = tlo to thi do
       let trel = ts - tlo in
       let tile = Mapping.join mapping ~pid ~ts in
-      Tile_space.iter_tile_points tspace ~tile (fun ~local:j' ~global:j ->
-          let j'' = Lds.map tiling comm ~t:trel j' in
-          let cell = cell_of_map j'' in
-          for f = 0 to width - 1 do
-            Grid.set grid j f la.((cell * width) + f)
-          done)
+      Walker.write_back w ~trel ~tile ~la grid
     done;
     (* a zero-cost charge so span-recording backends close the write-back
        interval as compute instead of leaving it unattributed *)
     comms.compute 0.
+  | _ -> ()

@@ -24,10 +24,28 @@ type comms = {
 
 type mode = Full | Timing
 
+type slab_mismatch = {
+  mm_rank : int;
+  mm_stage : [ `Pack | `Unpack ];
+  mm_dm : Tiles_util.Vec.t;  (** processor direction of the slab *)
+  mm_ts : int;  (** [t^S] of the tile being packed/unpacked *)
+  mm_expected : int;  (** cells the analytic slab count promised *)
+  mm_actual : int;  (** cells the walker actually visited *)
+}
+(** A pack/unpack walked a different number of cells than the analytic
+    slab count (or the received buffer) promised — a protocol bug or a
+    corrupted message, never a user error. *)
+
+exception Slab_mismatch of slab_mismatch
+
+val slab_mismatch_to_string : slab_mismatch -> string
+
 type shared = {
   plan : Tiles_core.Plan.t;
   kernel : Kernel.t;
   mode : mode;
+  walker : Walker.variant;
+  check : bool;
   flop_time : float;
   pack_time : float;
   grid : Grid.t option;  (** shared result mirror (disjoint writes) *)
@@ -36,6 +54,8 @@ type shared = {
 }
 
 val prepare :
+  ?walker:Walker.variant ->
+  ?check:bool ->
   mode:mode ->
   plan:Tiles_core.Plan.t ->
   kernel:Kernel.t ->
@@ -44,7 +64,12 @@ val prepare :
   unit ->
   shared
 (** Validates the kernel against the plan and allocates the shared
-    state. Raises [Invalid_argument] on mismatch. *)
+    state. Raises [Invalid_argument] on mismatch.
+
+    [?walker] (default {!Walker.Fastpath}) selects the tile-execution
+    engine; [?check] (default false) makes the fast walkers validate
+    every LDS read against NaN poisoning like the reference walker
+    does. *)
 
 val rank_program : ?overlap:bool -> shared -> comms -> int -> unit
 (** Execute one rank's whole tile chain (including the untimed LDS→DS

@@ -1,9 +1,10 @@
 module Polyhedron = Tiles_poly.Polyhedron
+module Constr = Tiles_poly.Constr
+module FM = Tiles_poly.Fourier_motzkin
 module Vec = Tiles_util.Vec
 
-let run ~space ~kernel =
+let reference_run ~space ~kernel =
   let n = Polyhedron.dim space in
-  if n <> kernel.Kernel.dim then invalid_arg "Seq_exec.run: dimension";
   let grid = Grid.create space ~width:kernel.Kernel.width in
   let reads = Array.of_list kernel.Kernel.reads in
   let src = Array.make n 0 in
@@ -22,6 +23,137 @@ let run ~space ~kernel =
         Grid.set grid j f out.(f)
       done);
   grid
+
+(* Strength-reduced sequential walk: rows of the iteration space are
+   enumerated through the Fourier–Motzkin projection chain (the innermost
+   level is the original system, so whole rows are members); the grid's
+   dense row-major box makes each tap's flat-index delta a global
+   constant, so interior rows read with pure index arithmetic. *)
+let fast_run ~variant ~check ~space ~kernel =
+  let n = Polyhedron.dim space in
+  let width = kernel.Kernel.width in
+  let grid = Grid.create space ~width in
+  let gdata = Grid.data grid in
+  let gstr = Grid.strides grid in
+  let reads = Array.of_list kernel.Kernel.reads in
+  let nrd = Array.length reads in
+  let member = Walker.compiled_member space in
+  (* flat-index (slot) delta of tap i: constant over the whole box *)
+  let deltas =
+    Array.map
+      (fun d ->
+        let acc = ref 0 in
+        for k = 0 to n - 1 do
+          acc := !acc - (gstr.(k) * d.(k))
+        done;
+        !acc)
+      reads
+  in
+  let proj = FM.project (Polyhedron.constraints space) ~dim:n in
+  let j = Array.make n 0 in
+  let jend = Array.make n 0 in
+  let src = Array.make n 0 in
+  let out = Array.make width 0. in
+  let row_body =
+    if variant = Walker.Fastpath && not check then kernel.Kernel.row else None
+  in
+  let uses_j = kernel.Kernel.uses_j in
+  let nan_error i =
+    failwith
+      (Printf.sprintf
+         "Seq_exec: read of uninitialised grid cell at iteration %s read %d"
+         (Vec.to_string j) i)
+  in
+  let do_row len =
+    let g0 = Grid.index grid j 0 in
+    Array.blit j 0 jend 0 n;
+    jend.(n - 1) <- j.(n - 1) + len - 1;
+    let interior = ref true in
+    let i = ref 0 in
+    while !interior && !i < nrd do
+      let d = reads.(!i) in
+      for k = 0 to n - 1 do
+        src.(k) <- j.(k) - d.(k)
+      done;
+      if not (member src) then interior := false
+      else begin
+        for k = 0 to n - 1 do
+          src.(k) <- jend.(k) - d.(k)
+        done;
+        if not (member src) then interior := false
+      end;
+      incr i
+    done;
+    if !interior && row_body <> None then
+      (* width = 1 (enforced by Kernel.make), so slots = cells *)
+      (Option.get row_body) ~la:gdata ~dst:g0 ~taps:deltas ~len
+    else if !interior then begin
+      let cur = ref g0 in
+      let read i field =
+        let v = Array.unsafe_get gdata (!cur + deltas.(i) + field) in
+        if check && Float.is_nan v then nan_error i;
+        v
+      in
+      for s = 0 to len - 1 do
+        if uses_j || check then j.(n - 1) <- jend.(n - 1) - len + 1 + s;
+        kernel.Kernel.compute ~read ~j ~out;
+        for f = 0 to width - 1 do
+          Array.unsafe_set gdata (!cur + f) out.(f)
+        done;
+        cur := !cur + width
+      done;
+      j.(n - 1) <- jend.(n - 1) - len + 1
+    end
+    else begin
+      let cur = ref g0 in
+      let read i field =
+        let d = reads.(i) in
+        for k = 0 to n - 1 do
+          src.(k) <- j.(k) - d.(k)
+        done;
+        if member src then begin
+          let v = gdata.(!cur + deltas.(i) + field) in
+          if check && Float.is_nan v then nan_error i;
+          v
+        end
+        else kernel.Kernel.boundary src field
+      in
+      let start = j.(n - 1) in
+      for s = 0 to len - 1 do
+        j.(n - 1) <- start + s;
+        kernel.Kernel.compute ~read ~j ~out;
+        for f = 0 to width - 1 do
+          gdata.(!cur + f) <- out.(f)
+        done;
+        cur := !cur + width
+      done;
+      j.(n - 1) <- start
+    end
+  in
+  let rec go k =
+    match FM.bounds proj ~var:k ~prefix:j with
+    | None -> ()
+    | Some (blo, bhi) ->
+      if k = n - 1 then begin
+        j.(k) <- blo;
+        do_row (bhi - blo + 1)
+      end
+      else
+        for x = blo to bhi do
+          j.(k) <- x;
+          go (k + 1)
+        done
+  in
+  go 0;
+  grid
+
+let run ?(variant = Walker.Fastpath) ?(check = false) ~space ~kernel () =
+  if Polyhedron.dim space <> kernel.Kernel.dim then
+    invalid_arg "Seq_exec.run: dimension";
+  match variant with
+  | Walker.Reference -> reference_run ~space ~kernel
+  | Walker.Strength_reduced | Walker.Fastpath ->
+    fast_run ~variant ~check ~space ~kernel
 
 let modelled_time ~space ~net =
   float_of_int (Polyhedron.count_points space)

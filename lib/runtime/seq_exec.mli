@@ -1,9 +1,25 @@
 (** Reference sequential execution of a kernel over its iteration space in
     lexicographic order — the paper's "original program", both the
     correctness oracle for the distributed executor and the baseline of
-    the speedup measurements. *)
+    the speedup measurements.
 
-val run : space:Tiles_poly.Polyhedron.t -> kernel:Kernel.t -> Grid.t
+    Three walkers mirror {!Walker.variant}: [Reference] is the original
+    per-point loop ([Polyhedron.iter_points] + bounds-checked [Grid]
+    accesses), the fast variants enumerate contiguous rows through the
+    Fourier–Motzkin projection chain and read taps through precomputed
+    flat-index deltas. All variants visit the space in the same
+    lexicographic order, so results are bit-for-bit identical. *)
+
+val run :
+  ?variant:Walker.variant ->
+  ?check:bool ->
+  space:Tiles_poly.Polyhedron.t ->
+  kernel:Kernel.t ->
+  unit ->
+  Grid.t
+(** [variant] defaults to {!Walker.Fastpath}; [check] (default false)
+    makes the fast variants validate reads against NaN poisoning (and
+    disables the unrolled row bodies so every read is inspected). *)
 
 val modelled_time :
   space:Tiles_poly.Polyhedron.t -> net:Tiles_mpisim.Netmodel.t -> float

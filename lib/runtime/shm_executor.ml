@@ -189,7 +189,7 @@ end
 
 let watchdog_period = 0.02
 
-let run ?(trace = false) ?(overlap = false) ?(send_queue = 4)
+let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
     ?(recv_timeout = 30.) ~plan ~kernel () =
   if not (recv_timeout > 0.) then
     invalid_arg
@@ -197,8 +197,8 @@ let run ?(trace = false) ?(overlap = false) ?(send_queue = 4)
        disable the watchdog)";
   let nprocs = Mapping.nprocs plan.Plan.mapping in
   let shared =
-    Protocol.prepare ~mode:Protocol.Full ~plan ~kernel ~flop_time:0.
-      ~pack_time:0. ()
+    Protocol.prepare ?walker ?check ~mode:Protocol.Full ~plan ~kernel
+      ~flop_time:0. ~pack_time:0. ()
   in
   let boxes =
     Array.init nprocs (fun _ -> Array.init nprocs (fun _ -> Mailbox.create ()))
@@ -321,7 +321,7 @@ let run ?(trace = false) ?(overlap = false) ?(send_queue = 4)
   (match Atomic.get failure with Some e -> raise e | None -> ());
   let space = plan.Plan.nest.Tiles_loop.Nest.space in
   let t1 = Clock.monotonic () in
-  let oracle = Seq_exec.run ~space ~kernel in
+  let oracle = Seq_exec.run ~space ~kernel () in
   let seq_wall = Clock.monotonic () -. t1 in
   let grid =
     match shared.Protocol.grid with

@@ -117,6 +117,8 @@ module Send_stage : sig
 end
 
 val run :
+  ?walker:Walker.variant ->
+  ?check:bool ->
   ?trace:bool ->
   ?overlap:bool ->
   ?send_queue:int ->
@@ -125,7 +127,9 @@ val run :
   kernel:Kernel.t ->
   unit ->
   result
-(** Always Full mode (the whole point is the real data flow). [trace]
+(** Always Full mode (the whole point is the real data flow).
+    [walker]/[check] select the tile-execution engine and its NaN-read
+    validation exactly as in {!Protocol.prepare}. [trace]
     (default false) records per-rank wall-clock spans. [overlap] (default
     false) runs the §5 overlapped schedule: receives pre-posted per tile
     ({!Protocol.rank_program}), sends handed to a per-rank bounded

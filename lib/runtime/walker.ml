@@ -1,0 +1,533 @@
+module Vec = Tiles_util.Vec
+module Ints = Tiles_util.Ints
+module Intmat = Tiles_linalg.Intmat
+module Lattice = Tiles_linalg.Lattice
+module Polyhedron = Tiles_poly.Polyhedron
+module Constr = Tiles_poly.Constr
+module FM = Tiles_poly.Fourier_motzkin
+module Rat = Tiles_rat.Rat
+module Tiling = Tiles_core.Tiling
+module Tile_space = Tiles_core.Tile_space
+module Comm = Tiles_core.Comm
+module Lds = Tiles_core.Lds
+module Plan = Tiles_core.Plan
+
+type variant = Reference | Strength_reduced | Fastpath
+
+let variant_to_string = function
+  | Reference -> "reference"
+  | Strength_reduced -> "strength"
+  | Fastpath -> "fast"
+
+let variant_of_string = function
+  | "reference" -> Some Reference
+  | "strength" -> Some Strength_reduced
+  | "fast" -> Some Fastpath
+  | _ -> None
+
+let all_variants = [ Reference; Strength_reduced; Fastpath ]
+
+let compiled_member space =
+  let cs =
+    Array.of_list
+      (List.map
+         (fun c -> (Array.init (Constr.dim c) (Constr.coeff c), Constr.const c))
+         (Polyhedron.constraints space))
+  in
+  fun (j : int array) ->
+    let ok = ref true in
+    Array.iter
+      (fun (coeffs, const) ->
+        if !ok then begin
+          let acc = ref const in
+          for k = 0 to Array.length coeffs - 1 do
+            acc := !acc + (coeffs.(k) * j.(k))
+          done;
+          if !acc < 0 then ok := false
+        end)
+      cs;
+    !ok
+
+type t = {
+  variant : variant;
+  check : bool;
+  rank : int;
+  kernel : Kernel.t;
+  tiling : Tiling.t;
+  comm : Comm.t;
+  tspace : Tile_space.t;
+  n : int;
+  width : int;
+  shape : Lds.shape;
+  lstr : int array;  (* LDS strides, cells *)
+  vpt : int array;  (* v_k / c_k *)
+  tshift : int;  (* LDS cell delta per unit of trel *)
+  den : int;
+  q : int array array;  (* P' = Q/den *)
+  jstep : int array;  (* global delta per innermost lattice step *)
+  member : int array -> bool;
+  reads : Vec.t array;
+  reads' : Vec.t array;  (* H'·reads *)
+  (* pullback of each space constraint onto TTIS coordinates: coeff rows
+     are tile-independent, only the constant varies per tile *)
+  pull_w : int array array;
+  pull_bden : int array;
+  (* scratch (one walker per rank; never shared across domains) *)
+  vs : int array;  (* V·tile *)
+  jp : int array;  (* TTIS row cursor *)
+  jrow : int array;  (* global row start *)
+  jend : int array;  (* global row end *)
+  jcur : int array;  (* global point cursor *)
+  src : int array;  (* tap source point *)
+  doffs : int array;  (* per-tap LDS cell deltas for the current row *)
+  out : float array;
+}
+
+let make ~plan ~kernel ~rank ~ntiles ~variant ~check =
+  let tiling = plan.Plan.tiling in
+  let comm = plan.Plan.comm in
+  let tspace = plan.Plan.tspace in
+  let space = plan.Plan.nest.Tiles_loop.Nest.space in
+  let n = tiling.Tiling.n in
+  let m = comm.Comm.m in
+  let width = kernel.Kernel.width in
+  let shape = Lds.shape tiling comm ~ntiles in
+  let lstr = shape.Lds.strides in
+  let vpt = Array.init n (fun k -> tiling.Tiling.v.(k) / tiling.Tiling.c.(k)) in
+  let den =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc x -> Ints.lcm acc (Rat.den x)) acc row)
+      1 tiling.Tiling.p'
+  in
+  let q =
+    Array.map
+      (Array.map (fun x -> Rat.num x * (den / Rat.den x)))
+      tiling.Tiling.p'
+  in
+  (* c_{n-1}·e_{n-1} is the last column of the HNF basis, hence a lattice
+     vector; its image under P' = Q/den is therefore integral. *)
+  let jstep =
+    Array.init n (fun i ->
+        let num = tiling.Tiling.c.(n - 1) * q.(i).(n - 1) in
+        if num mod den <> 0 then
+          invalid_arg "Walker.make: non-integral innermost global step";
+        num / den)
+  in
+  let reads = Array.of_list kernel.Kernel.reads in
+  let reads' = Array.map (Intmat.apply tiling.Tiling.h') reads in
+  let cs = Polyhedron.constraints space in
+  let pull_w =
+    Array.of_list
+      (List.map
+         (fun c ->
+           let a = Array.init n (Constr.coeff c) in
+           Array.init n (fun k ->
+               let acc = ref 0 in
+               for i = 0 to n - 1 do
+                 acc := !acc + (a.(i) * q.(i).(k))
+               done;
+               !acc))
+         cs)
+  in
+  let pull_bden =
+    Array.of_list (List.map (fun c -> Constr.const c * den) cs)
+  in
+  {
+    variant;
+    check;
+    rank;
+    kernel;
+    tiling;
+    comm;
+    tspace;
+    n;
+    width;
+    shape;
+    lstr;
+    vpt;
+    tshift = vpt.(m) * lstr.(m);
+    den;
+    q;
+    jstep;
+    member = compiled_member space;
+    reads;
+    reads';
+    pull_w;
+    pull_bden;
+    vs = Array.make n 0;
+    jp = Array.make n 0;
+    jrow = Array.make n 0;
+    jend = Array.make n 0;
+    jcur = Array.make n 0;
+    src = Array.make n 0;
+    doffs = Array.make (Array.length reads) 0;
+    out = Array.make width 0.;
+  }
+
+let variant t = t.variant
+let lds_total t = t.shape.Lds.total
+
+(* LDS cell index of TTIS point [j'] at trel = 0 (Table 1 with the
+   tile-relative shift split off: adding [trel * t.tshift] gives the
+   cell at chain position trel). *)
+let cell0 t (j' : int array) =
+  let comm = t.comm and c = t.tiling.Tiling.c in
+  let acc = ref 0 in
+  for k = 0 to t.n - 1 do
+    acc := !acc + ((Ints.fdiv j'.(k) c.(k) + comm.Comm.off.(k)) * t.lstr.(k))
+  done;
+  !acc
+
+(* Per-tap LDS cell delta for the row containing [j']: constant along the
+   row because the innermost coordinate moves in multiples of c_{n-1}. *)
+let set_row_doffs t (j' : int array) =
+  let c = t.tiling.Tiling.c in
+  for i = 0 to Array.length t.reads' - 1 do
+    let d' = t.reads'.(i) in
+    let acc = ref 0 in
+    for k = 0 to t.n - 1 do
+      acc :=
+        !acc
+        + ((Ints.fdiv (j'.(k) - d'.(k)) c.(k) - Ints.fdiv j'.(k) c.(k))
+          * t.lstr.(k))
+    done;
+    t.doffs.(i) <- !acc
+  done
+
+(* Global point of TTIS row start: j = Q·(V·tile + j') / den. *)
+let set_global t (j' : int array) (dst : int array) =
+  for i = 0 to t.n - 1 do
+    let acc = ref 0 in
+    for k = 0 to t.n - 1 do
+      acc := !acc + (t.q.(i).(k) * (t.vs.(k) + j'.(k)))
+    done;
+    dst.(i) <- !acc / t.den
+  done
+
+(* Row-wise enumeration of the clipped slab [j' >= lo] of [tile], in
+   lexicographic TTIS order. Mirrors Tile_space.count_clipped: the space
+   constraints pull back to TTIS coordinates with tile-dependent
+   constants only; the Fourier–Motzkin chain's innermost level is the
+   original system, so every residue-aligned point of [start, bhi] is a
+   slab member — rows need no per-point membership test. *)
+let iter_rows t ~tile ~lo f =
+  let n = t.n in
+  let tiling = t.tiling in
+  let c = tiling.Tiling.c in
+  for k = 0 to n - 1 do
+    t.vs.(k) <- tiling.Tiling.v.(k) * tile.(k)
+  done;
+  let pulled =
+    Array.to_list
+      (Array.mapi
+         (fun i w ->
+           Constr.make ~coeffs:(Array.copy w)
+             ~const:(Vec.dot w t.vs + t.pull_bden.(i)))
+         t.pull_w)
+  in
+  let box =
+    List.concat
+      (List.init n (fun k ->
+           [
+             Constr.lower_bound_var n k (max 0 lo.(k));
+             Constr.upper_bound_var n k (tiling.Tiling.v.(k) - 1);
+           ]))
+  in
+  let proj = FM.project (pulled @ box) ~dim:n in
+  let j' = t.jp in
+  let rec go k =
+    match FM.bounds proj ~var:k ~prefix:j' with
+    | None -> ()
+    | Some (blo, bhi) ->
+      let residue = Lattice.first_in_residue tiling.Tiling.lattice k j' in
+      let start = residue + (c.(k) * Ints.cdiv (blo - residue) c.(k)) in
+      if start <= bhi then
+        if k = n - 1 then begin
+          j'.(k) <- start;
+          f ~j' ~len:(((bhi - start) / c.(k)) + 1)
+        end
+        else begin
+          let x = ref start in
+          while !x <= bhi do
+            j'.(k) <- !x;
+            go (k + 1);
+            x := !x + c.(k)
+          done
+        end
+  in
+  go 0
+
+(* ---------------- reference paths (the original per-point code) ------- *)
+
+let reference_compute t ~trel ~tile ~la =
+  let n = t.n and width = t.width in
+  let tiling = t.tiling and comm = t.comm in
+  let points = ref 0 in
+  Tile_space.iter_tile_points t.tspace ~tile (fun ~local:j' ~global:j ->
+      incr points;
+      let read i field =
+        let d = t.reads.(i) in
+        for k = 0 to n - 1 do
+          t.src.(k) <- j.(k) - d.(k)
+        done;
+        if t.member t.src then begin
+          let d' = t.reads'.(i) in
+          for k = 0 to n - 1 do
+            t.jcur.(k) <- j'.(k) - d'.(k)
+          done;
+          let j'' = Lds.map tiling comm ~t:trel t.jcur in
+          let v = la.((Lds.map_index t.shape j'' * width) + field) in
+          if Float.is_nan v then
+            failwith
+              (Printf.sprintf
+                 "Protocol: rank %d read uninitialised LDS cell for \
+                  iteration %s read %d"
+                 t.rank (Vec.to_string j) i);
+          v
+        end
+        else t.kernel.Kernel.boundary t.src field
+      in
+      t.kernel.Kernel.compute ~read ~j ~out:t.out;
+      let j'' = Lds.map tiling comm ~t:trel j' in
+      let cell = Lds.map_index t.shape j'' in
+      for f = 0 to width - 1 do
+        la.((cell * width) + f) <- t.out.(f)
+      done);
+  !points
+
+let reference_pack t ~trel ~tile ~lo ~la ~buf =
+  let width = t.width in
+  let count = ref 0 in
+  Tile_space.iter_slab_points t.tspace ~tile ~lo (fun ~local:j' ~global:_ ->
+      let j'' = Lds.map t.tiling t.comm ~t:trel j' in
+      let cell = Lds.map_index t.shape j'' in
+      for f = 0 to width - 1 do
+        buf.((!count * width) + f) <- la.((cell * width) + f)
+      done;
+      incr count);
+  !count
+
+let reference_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
+  let n = t.n and width = t.width in
+  let count = ref 0 in
+  Tile_space.iter_slab_points t.tspace ~tile:pred_tile ~lo
+    (fun ~local:jp' ~global:_ ->
+      let j'' = Lds.map t.tiling t.comm ~t:trel jp' in
+      for k = 0 to n - 1 do
+        j''.(k) <- j''.(k) - (ds.(k) * t.vpt.(k))
+      done;
+      let cell = Lds.map_index t.shape j'' in
+      for f = 0 to width - 1 do
+        la.((cell * width) + f) <- buf.((!count * width) + f)
+      done;
+      incr count);
+  !count
+
+let reference_write_back t ~trel ~tile ~la grid =
+  let width = t.width in
+  Tile_space.iter_tile_points t.tspace ~tile (fun ~local:j' ~global:j ->
+      let j'' = Lds.map t.tiling t.comm ~t:trel j' in
+      let cell = Lds.map_index t.shape j'' in
+      for f = 0 to width - 1 do
+        Grid.set grid j f la.((cell * width) + f)
+      done)
+
+(* ---------------- strength-reduced paths ------------------------------ *)
+
+(* Are all taps of the whole row interior? Row points lie on the segment
+   [jrow, jend]; the space is convex, so checking both ends per tap
+   covers every point in between. *)
+let row_interior t len =
+  let n = t.n in
+  for k = 0 to n - 1 do
+    t.jend.(k) <- t.jrow.(k) + ((len - 1) * t.jstep.(k))
+  done;
+  let ok = ref true in
+  let nrd = Array.length t.reads in
+  let i = ref 0 in
+  while !ok && !i < nrd do
+    let d = t.reads.(!i) in
+    for k = 0 to n - 1 do
+      t.src.(k) <- t.jrow.(k) - d.(k)
+    done;
+    if not (t.member t.src) then ok := false
+    else begin
+      for k = 0 to n - 1 do
+        t.src.(k) <- t.jend.(k) - d.(k)
+      done;
+      if not (t.member t.src) then ok := false
+    end;
+    incr i
+  done;
+  !ok
+
+let nan_error t j i =
+  failwith
+    (Printf.sprintf
+       "Protocol: rank %d read uninitialised LDS cell for iteration %s \
+        read %d"
+       t.rank (Vec.to_string j) i)
+
+let fast_compute t ~trel ~tile ~la =
+  let n = t.n and width = t.width in
+  let kernel = t.kernel in
+  let uses_j = kernel.Kernel.uses_j in
+  let points = ref 0 in
+  let zero_lo = Array.make n 0 in
+  iter_rows t ~tile ~lo:zero_lo (fun ~j' ~len ->
+      points := !points + len;
+      let base = cell0 t j' + (trel * t.tshift) in
+      set_global t j' t.jrow;
+      set_row_doffs t j';
+      let interior = row_interior t len in
+      if
+        interior && t.variant = Fastpath && (not t.check)
+        && kernel.Kernel.row <> None
+      then
+        (* width = 1 (enforced by Kernel.make), so slots = cells *)
+        (Option.get kernel.Kernel.row) ~la ~dst:base ~taps:t.doffs ~len
+      else if interior then begin
+        (* interior row: unguarded reads off precomputed cell deltas *)
+        let cur = ref base in
+        Array.blit t.jrow 0 t.jcur 0 n;
+        let read i field =
+          let v = Array.unsafe_get la ((!cur + t.doffs.(i)) * width + field) in
+          if t.check && Float.is_nan v then nan_error t t.jcur i;
+          v
+        in
+        for _s = 0 to len - 1 do
+          kernel.Kernel.compute ~read ~j:t.jcur ~out:t.out;
+          let slot = !cur * width in
+          for f = 0 to width - 1 do
+            Array.unsafe_set la (slot + f) t.out.(f)
+          done;
+          incr cur;
+          if uses_j || t.check then
+            for k = 0 to n - 1 do
+              t.jcur.(k) <- t.jcur.(k) + t.jstep.(k)
+            done
+        done
+      end
+      else begin
+        (* boundary row: per-tap membership, boundary values outside *)
+        let cur = ref base in
+        Array.blit t.jrow 0 t.jcur 0 n;
+        let read i field =
+          let d = t.reads.(i) in
+          for k = 0 to n - 1 do
+            t.src.(k) <- t.jcur.(k) - d.(k)
+          done;
+          if t.member t.src then begin
+            let v = la.(((!cur + t.doffs.(i)) * width) + field) in
+            if t.check && Float.is_nan v then nan_error t t.jcur i;
+            v
+          end
+          else kernel.Kernel.boundary t.src field
+        in
+        for _s = 0 to len - 1 do
+          kernel.Kernel.compute ~read ~j:t.jcur ~out:t.out;
+          let slot = !cur * width in
+          for f = 0 to width - 1 do
+            la.(slot + f) <- t.out.(f)
+          done;
+          incr cur;
+          for k = 0 to n - 1 do
+            t.jcur.(k) <- t.jcur.(k) + t.jstep.(k)
+          done
+        done
+      end);
+  !points
+
+let fast_pack t ~trel ~tile ~lo ~la ~buf =
+  let width = t.width in
+  let count = ref 0 in
+  iter_rows t ~tile ~lo (fun ~j' ~len ->
+      let cell = cell0 t j' + (trel * t.tshift) in
+      if t.variant = Fastpath then
+        Array.blit la (cell * width) buf (!count * width) (len * width)
+      else begin
+        let src = ref (cell * width) and dst = ref (!count * width) in
+        for _s = 0 to (len * width) - 1 do
+          buf.(!dst) <- la.(!src);
+          incr src;
+          incr dst
+        done
+      end;
+      count := !count + len);
+  !count
+
+let fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
+  let width = t.width in
+  (* the received slab lands shifted by -d^S tiles: a constant cell
+     delta, precomputed once per slab *)
+  let dshift = ref 0 in
+  for k = 0 to t.n - 1 do
+    dshift := !dshift + (ds.(k) * t.vpt.(k) * t.lstr.(k))
+  done;
+  let shift = (trel * t.tshift) - !dshift in
+  let count = ref 0 in
+  iter_rows t ~tile:pred_tile ~lo (fun ~j' ~len ->
+      let cell = cell0 t j' + shift in
+      if t.variant = Fastpath then
+        Array.blit buf (!count * width) la (cell * width) (len * width)
+      else begin
+        let src = ref (!count * width) and dst = ref (cell * width) in
+        for _s = 0 to (len * width) - 1 do
+          la.(!dst) <- buf.(!src);
+          incr src;
+          incr dst
+        done
+      end;
+      count := !count + len);
+  !count
+
+let fast_write_back t ~trel ~tile ~la grid =
+  let n = t.n and width = t.width in
+  let gstr = Grid.strides grid in
+  let gdata = Grid.data grid in
+  let gstep = ref 0 in
+  for k = 0 to n - 1 do
+    gstep := !gstep + (gstr.(k) * t.jstep.(k))
+  done;
+  let gstep = !gstep in
+  let zero_lo = Array.make n 0 in
+  iter_rows t ~tile ~lo:zero_lo (fun ~j' ~len ->
+      let cell = cell0 t j' + (trel * t.tshift) in
+      set_global t j' t.jrow;
+      let g = ref (Grid.index grid t.jrow 0) in
+      if t.variant = Fastpath && gstep = width then
+        Array.blit la (cell * width) gdata !g (len * width)
+      else begin
+        let src = ref (cell * width) in
+        for _s = 0 to len - 1 do
+          for f = 0 to width - 1 do
+            gdata.(!g + f) <- la.(!src + f)
+          done;
+          src := !src + width;
+          g := !g + gstep
+        done
+      end)
+
+(* ---------------- dispatch ------------------------------------------- *)
+
+let compute_tile t ~trel ~tile ~la =
+  match t.variant with
+  | Reference -> reference_compute t ~trel ~tile ~la
+  | Strength_reduced | Fastpath -> fast_compute t ~trel ~tile ~la
+
+let pack_slab t ~trel ~tile ~lo ~la ~buf =
+  match t.variant with
+  | Reference -> reference_pack t ~trel ~tile ~lo ~la ~buf
+  | Strength_reduced | Fastpath -> fast_pack t ~trel ~tile ~lo ~la ~buf
+
+let unpack_slab t ~trel ~pred_tile ~ds ~lo ~la ~buf =
+  match t.variant with
+  | Reference -> reference_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf
+  | Strength_reduced | Fastpath ->
+    fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf
+
+let write_back t ~trel ~tile ~la grid =
+  match t.variant with
+  | Reference -> reference_write_back t ~trel ~tile ~la grid
+  | Strength_reduced | Fastpath -> fast_write_back t ~trel ~tile ~la grid

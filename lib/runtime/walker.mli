@@ -1,0 +1,99 @@
+(** The compiled tile-execution engine (§2.3, Tables 1–2).
+
+    A walker is built once per (plan, kernel, rank, chain length) and
+    precomputes everything the per-point protocol body used to re-derive
+    at every iteration: the TTIS→LDS linear-index strides, the
+    tile-relative LDS base shift, the integer numerator [Q/den] of [P'],
+    the per-innermost-step global-coordinate delta, and — per row — a
+    flat [int array] of linear read-offset deltas for each stencil tap.
+    The hot loop is then pure [Array.unsafe_get]/[set] on the local
+    array with index increments: no [Vec] allocation, no [Lds.map], no
+    bounds re-derivation.
+
+    Enumeration happens row-wise: the space constraints are pulled back
+    onto TTIS coordinates (tile-dependent constants only), projected
+    with Fourier–Motzkin, and walked with residue-aligned strides
+    exactly like {!Tiles_core.Tile_space.count_clipped} — the innermost
+    level of the projection chain is the original system, so every
+    aligned point of a row is a member and rows need no per-point
+    membership test. The enumeration order is lexicographic ascending,
+    identical to the reference walker's, so pack buffers are filled in
+    the same order and results are bit-for-bit equal. *)
+
+type variant =
+  | Reference
+      (** the original per-point walker ([Lds.map] + bounds-checked
+          indexing per tap); always validates against NaN reads.
+          Kept as the correctness oracle. *)
+  | Strength_reduced
+      (** row enumeration + precomputed linear indices, scalar loops *)
+  | Fastpath
+      (** [Strength_reduced] plus: contiguous-row [Array.blit]
+          pack/unpack, and the kernel's unrolled [row] body on interior
+          rows (width-1 kernels). The default. *)
+
+val variant_to_string : variant -> string
+
+val variant_of_string : string -> variant option
+(** Accepts ["reference"], ["strength"], ["fast"]. *)
+
+val all_variants : variant list
+
+val compiled_member : Tiles_poly.Polyhedron.t -> int array -> bool
+(** Closure-free membership test compiled from the space's constraints
+    (no per-call allocation). *)
+
+type t
+
+val make :
+  plan:Tiles_core.Plan.t ->
+  kernel:Kernel.t ->
+  rank:int ->
+  ntiles:int ->
+  variant:variant ->
+  check:bool ->
+  t
+(** [check] makes the fast variants validate every LDS read against NaN
+    (uninitialised-cell poisoning) like the reference walker does; the
+    fast variants skip the check — and become eligible for the unrolled
+    row bodies — when it is false. [Reference] validates regardless. *)
+
+val variant : t -> variant
+
+val lds_total : t -> int
+(** Cells of the rank's local array ([Lds.shape] total); the backing
+    float array must have [lds_total * width] slots. *)
+
+val compute_tile :
+  t -> trel:int -> tile:Tiles_util.Vec.t -> la:float array -> int
+(** Execute the kernel over the tile's clipped TTIS, reading/writing the
+    local array. Returns the number of iteration points computed. *)
+
+val pack_slab :
+  t ->
+  trel:int ->
+  tile:Tiles_util.Vec.t ->
+  lo:int array ->
+  la:float array ->
+  buf:float array ->
+  int
+(** Gather the clipped slab [j' >= lo] of the tile into [buf] in
+    lexicographic TTIS order. Returns the number of cells packed. *)
+
+val unpack_slab :
+  t ->
+  trel:int ->
+  pred_tile:Tiles_util.Vec.t ->
+  ds:Tiles_util.Vec.t ->
+  lo:int array ->
+  la:float array ->
+  buf:float array ->
+  int
+(** Scatter a received slab (packed by the predecessor tile
+    [pred_tile], arriving over tile dependence [ds]) into this rank's
+    local array. Returns the number of cells scattered. *)
+
+val write_back :
+  t -> trel:int -> tile:Tiles_util.Vec.t -> la:float array -> Grid.t -> unit
+(** Copy the tile's computed points from the local array into the
+    global grid (LDS → DS). *)

@@ -20,7 +20,7 @@ let net = Netmodel.fast_ethernet_cluster
 
 let check_equiv ~name ~nest ~kernel ~tiling ~m =
   let plan = Plan.make ~m nest tiling in
-  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel () in
   let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
   match r.Executor.grid with
   | None -> Alcotest.fail "no grid"
@@ -114,7 +114,7 @@ let test_adi_values_finite () =
   (* B must stay away from zero for the kernel to be well-conditioned *)
   let p = Adi.make ~t_steps:8 ~size:8 in
   let nest = Adi.nest p in
-  let g = Seq_exec.run ~space:nest.Nest.space ~kernel:(Adi.kernel p) in
+  let g = Seq_exec.run ~space:nest.Nest.space ~kernel:(Adi.kernel p) () in
   Polyhedron.iter_points nest.Nest.space (fun j ->
       let b = Grid.get g j 1 in
       Alcotest.(check bool) "B bounded" true (Float.is_finite b && b > 1.0))

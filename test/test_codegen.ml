@@ -125,7 +125,7 @@ let check_seq ~name ~nest ~kernel ~ckernel ~reads ~skew ~tiling =
   let points, checksum = parse_output out in
   let space = nest.Nest.space in
   Alcotest.(check int) (name ^ " points") (Polyhedron.count_points space) points;
-  let oracle = Grid.checksum (Seq_exec.run ~space ~kernel) space in
+  let oracle = Grid.checksum (Seq_exec.run ~space ~kernel ()) space in
   if not (rel_close checksum oracle) then
     Alcotest.failf "%s checksum %.12e vs oracle %.12e" name checksum oracle
 
@@ -160,7 +160,7 @@ let check_mpi ?m ~name ~nest ~kernel ~ckernel ~reads ~skew ~tiling () =
   let points, checksum = parse_output out in
   let space = nest.Nest.space in
   Alcotest.(check int) (name ^ " points") (Polyhedron.count_points space) points;
-  let oracle = Grid.checksum (Seq_exec.run ~space ~kernel) space in
+  let oracle = Grid.checksum (Seq_exec.run ~space ~kernel ()) space in
   if not (rel_close checksum oracle) then
     Alcotest.failf "%s checksum %.12e vs oracle %.12e (procs=%d)" name checksum
       oracle (Plan.nprocs plan)
@@ -292,7 +292,7 @@ let check_parametric ~name ~pspace ~tiling ~kernel_ml ~ckernel ~reads ~skew
         points;
       let oracle =
         Grid.checksum
-          (Seq_exec.run ~space:nest.Nest.space ~kernel:kernel_ml)
+          (Seq_exec.run ~space:nest.Nest.space ~kernel:kernel_ml ())
           nest.Nest.space
       in
       if not (rel_close checksum oracle) then

@@ -201,7 +201,7 @@ let prop_executor_equivalence =
         match Plan.make nest tiling with
         | plan ->
           let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
-          let seq = Seq_exec.run ~space ~kernel in
+          let seq = Seq_exec.run ~space ~kernel () in
           (match r.Executor.grid with
           | Some g -> Grid.max_abs_diff g seq space < 1e-9
           | None -> false)
@@ -221,7 +221,7 @@ let prop_executor_overlap_equivalence =
           let r =
             Executor.run ~mode:Executor.Full ~overlap:true ~plan ~kernel ~net ()
           in
-          let seq = Seq_exec.run ~space ~kernel in
+          let seq = Seq_exec.run ~space ~kernel () in
           (match r.Executor.grid with
           | Some g -> Grid.max_abs_diff g seq space < 1e-9
           | None -> false)

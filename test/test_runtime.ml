@@ -54,7 +54,7 @@ let test_grid_diff () =
 let test_seq_pascal () =
   (* with boundary ≡ 1, u[i,j] on the diagonal grows like binomials *)
   let space = Polyhedron.box [ (0, 3); (0, 3) ] in
-  let g = Seq_exec.run ~space ~kernel:pascal_kernel in
+  let g = Seq_exec.run ~space ~kernel:pascal_kernel () in
   Alcotest.(check (float 0.)) "corner" 2. (Grid.get g [| 0; 0 |] 0);
   (* u[1,0] = u[0,0] + boundary = 2 + 1 = 3 *)
   Alcotest.(check (float 0.)) "u10" 3. (Grid.get g [| 1; 0 |] 0);
@@ -70,8 +70,8 @@ let test_kernel_skewed_equivalence () =
   let t = Tiles_loop.Skew.of_factors 2 [ (1, 0, 1) ] in
   let skewed_nest = Tiles_loop.Skew.apply nest t in
   let sk = Kernel.skewed pascal_kernel t in
-  let g0 = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel in
-  let g1 = Seq_exec.run ~space:skewed_nest.Nest.space ~kernel:sk in
+  let g0 = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel () in
+  let g1 = Seq_exec.run ~space:skewed_nest.Nest.space ~kernel:sk () in
   Polyhedron.iter_points nest.Nest.space (fun j ->
       let js = Tiles_linalg.Intmat.apply t j in
       Alcotest.(check (float 0.)) "same value" (Grid.get g0 j 0) (Grid.get g1 js 0))
@@ -80,7 +80,7 @@ let test_kernel_skewed_equivalence () =
 
 let check_equiv ?m name nest kernel tiling =
   let plan = Plan.make ?m nest tiling in
-  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel () in
   let r = Executor.run ~mode:Executor.Full ~plan ~kernel ~net () in
   (match r.Executor.grid with
   | None -> Alcotest.fail "no grid"
@@ -151,7 +151,7 @@ let test_overlap_correct_and_not_slower () =
   (* §5 future-work schedule: results identical, completion no worse *)
   let nest = pascal_nest 40 40 in
   let plan = Plan.make nest (Tiling.rectangular [ 5; 5 ]) in
-  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel in
+  let seq = Seq_exec.run ~space:nest.Nest.space ~kernel:pascal_kernel () in
   let blocking = Executor.run ~mode:Executor.Full ~plan ~kernel:pascal_kernel ~net () in
   let overlapped =
     Executor.run ~mode:Executor.Full ~overlap:true ~plan ~kernel:pascal_kernel

@@ -1,0 +1,291 @@
+(* Tests for the compiled tile-execution engine ({!Walker}): walker
+   variants are bit-for-bit equivalent, the NaN-read validation knob
+   behaves as documented, and corrupted slab messages surface as the
+   structured {!Protocol.Slab_mismatch} error. *)
+
+module Polyhedron = Tiles_poly.Polyhedron
+module Nest = Tiles_loop.Nest
+module Tiling = Tiles_core.Tiling
+module Plan = Tiles_core.Plan
+module Mapping = Tiles_core.Mapping
+module Kernel = Tiles_runtime.Kernel
+module Grid = Tiles_runtime.Grid
+module Walker = Tiles_runtime.Walker
+module Protocol = Tiles_runtime.Protocol
+module Seq_exec = Tiles_runtime.Seq_exec
+module Executor = Tiles_runtime.Executor
+module Shm = Tiles_runtime.Shm_executor
+module Netmodel = Tiles_mpisim.Netmodel
+module Sim = Tiles_mpisim.Sim
+
+let net = Netmodel.fast_ethernet_cluster
+
+(* the 2-point recurrence from test_runtime: u[i,j] = u[i-1,j] + u[i,j-1] *)
+let pascal_kernel =
+  Kernel.make ~name:"pascal" ~dim:2
+    ~reads:[ [| 1; 0 |]; [| 0; 1 |] ]
+    ~boundary:(fun _ _ -> 1.)
+    ~compute:(fun ~read ~j:_ ~out -> out.(0) <- read 0 0 +. read 1 0)
+    ()
+
+let pascal_nest w h =
+  Nest.make ~name:"pascal"
+    ~space:(Polyhedron.box [ (0, w - 1); (0, h - 1) ])
+    ~deps:(Kernel.deps pascal_kernel)
+
+(* ---------- variant naming ---------- *)
+
+let test_variant_strings () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Walker.variant_to_string v ^ " roundtrips")
+        true
+        (Walker.variant_of_string (Walker.variant_to_string v) = Some v))
+    Walker.all_variants;
+  Alcotest.(check bool) "unknown rejected" true
+    (Walker.variant_of_string "turbo" = None)
+
+(* ---------- sequential walkers: bit-for-bit identical ---------- *)
+
+let test_seq_variants_identical () =
+  let check_app name space kernel =
+    let reference =
+      Seq_exec.run ~variant:Walker.Reference ~space ~kernel ()
+    in
+    List.iter
+      (fun v ->
+        let g = Seq_exec.run ~variant:v ~space ~kernel () in
+        Alcotest.(check (float 0.))
+          (name ^ ": " ^ Walker.variant_to_string v ^ " = reference")
+          0.
+          (Grid.max_abs_diff g reference space))
+      Walker.all_variants;
+    (* check mode must not change results, only add validation *)
+    let checked =
+      Seq_exec.run ~variant:Walker.Fastpath ~check:true ~space ~kernel ()
+    in
+    Alcotest.(check (float 0.))
+      (name ^ ": fast+check = reference")
+      0.
+      (Grid.max_abs_diff checked reference space)
+  in
+  let module Sor = Tiles_apps.Sor in
+  let p = Sor.make ~m_steps:6 ~size:10 in
+  check_app "sor" (Sor.nest p).Nest.space (Sor.kernel p);
+  let module Jacobi = Tiles_apps.Jacobi in
+  let p = Jacobi.make ~t_steps:5 ~size:9 in
+  check_app "jacobi" (Jacobi.nest p).Nest.space (Jacobi.kernel p);
+  let module Adi = Tiles_apps.Adi in
+  let p = Adi.make ~t_steps:5 ~size:9 in
+  check_app "adi" (Adi.nest p).Nest.space (Adi.kernel p)
+
+(* ---------- NaN-read validation modes ---------- *)
+
+(* Build a walker for a rank whose first tile needs halo data, give it a
+   freshly NaN-poisoned LDS and no received slabs: the reference walker
+   and the fast walkers under ~check:true must refuse the uninitialised
+   read; the fast walker without check must sail through (the whole point
+   of the knob is skipping that per-read branch). *)
+let test_check_modes () =
+  let nest = pascal_nest 12 9 in
+  let plan = Plan.make nest (Tiling.rectangular [ 3; 4 ]) in
+  let mapping = plan.Plan.mapping in
+  let nprocs = Mapping.nprocs mapping in
+  Alcotest.(check bool) "plan is multi-rank" true (nprocs > 1);
+  let rank = nprocs - 1 in
+  let tlo, thi = Mapping.chain mapping rank in
+  let ntiles = thi - tlo + 1 in
+  let pid = Mapping.pid_of_rank mapping rank in
+  let tile = Mapping.join mapping ~pid ~ts:tlo in
+  let width = pascal_kernel.Kernel.width in
+  let fires ~variant ~check =
+    let w =
+      Walker.make ~plan ~kernel:pascal_kernel ~rank ~ntiles ~variant ~check
+    in
+    let la = Array.make (Walker.lds_total w * width) Float.nan in
+    match Walker.compute_tile w ~trel:0 ~tile ~la with
+    | (_ : int) -> false
+    | exception Failure _ -> true
+  in
+  Alcotest.(check bool) "reference always validates" true
+    (fires ~variant:Walker.Reference ~check:false);
+  Alcotest.(check bool) "strength + check validates" true
+    (fires ~variant:Walker.Strength_reduced ~check:true);
+  Alcotest.(check bool) "fast + check validates" true
+    (fires ~variant:Walker.Fastpath ~check:true);
+  Alcotest.(check bool) "fast without check skips validation" false
+    (fires ~variant:Walker.Fastpath ~check:false)
+
+(* ---------- structured slab mismatch ---------- *)
+
+(* Run the protocol over an in-memory mailbox and corrupt the first
+   delivered message by appending one spurious cell: the receiving rank
+   must raise Slab_mismatch naming the rank, stage, direction, tile
+   timestamp and both cell counts — not a bare failwith. *)
+let test_slab_mismatch () =
+  let nest = pascal_nest 12 9 in
+  let plan = Plan.make nest (Tiling.rectangular [ 3; 4 ]) in
+  let kernel = pascal_kernel in
+  let width = kernel.Kernel.width in
+  let shared =
+    Protocol.prepare ~mode:Protocol.Full ~plan ~kernel ~flop_time:0.
+      ~pack_time:0. ()
+  in
+  let nprocs = Mapping.nprocs plan.Plan.mapping in
+  let mail : (int * int * int, float array Queue.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let tampered = ref false in
+  let comms_for rank =
+    {
+      Protocol.send =
+        (fun ~dst ~tag buf ->
+          let key = (rank, dst, tag) in
+          let q =
+            match Hashtbl.find_opt mail key with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.add mail key q;
+              q
+          in
+          Queue.add buf q);
+      recv =
+        (fun ~src ~tag ->
+          let buf = Queue.pop (Hashtbl.find mail (src, rank, tag)) in
+          if !tampered then buf
+          else begin
+            tampered := true;
+            Array.append buf (Array.make width 0.)
+          end);
+      compute = ignore;
+      pack = ignore;
+      unpack = ignore;
+    }
+  in
+  (* every communication direction of this plan points towards higher
+     ranks, so running the rank programs in rank order means each receive
+     finds its message already enqueued *)
+  let outcome =
+    try
+      for r = 0 to nprocs - 1 do
+        Protocol.rank_program shared (comms_for r) r
+      done;
+      None
+    with Protocol.Slab_mismatch m -> Some m
+  in
+  match outcome with
+  | None -> Alcotest.fail "corrupted slab message was not detected"
+  | Some m ->
+    Alcotest.(check bool) "tampering happened first" true !tampered;
+    Alcotest.(check bool) "unpack stage" true (m.Protocol.mm_stage = `Unpack);
+    Alcotest.(check bool) "rank in range" true
+      (m.Protocol.mm_rank >= 0 && m.Protocol.mm_rank < nprocs);
+    Alcotest.(check int) "exactly one extra cell" (m.Protocol.mm_actual + 1)
+      m.Protocol.mm_expected;
+    let s = Protocol.slab_mismatch_to_string m in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          ("message mentions " ^ needle)
+          true
+          (Astring.String.is_infix ~affix:needle s))
+      [ "rank"; "unpack"; "direction"; "t^S"; "expected" ]
+
+(* ---------- property: fast = reference on every backend ---------- *)
+
+type backend = Sim_backend | Shm_backend
+
+let backend_name = function Sim_backend -> "sim" | Shm_backend -> "shm"
+
+(* (space, plan, kernel) for a random app / tiling-variant / factor
+   combination; None when the combination is infeasible (illegal tiling,
+   tile too small for the dependencies, ...) *)
+let build_case app vi (x, y, z) =
+  let build nest mapping_dim variants kernel =
+    let _, f = List.nth variants (vi mod List.length variants) in
+    match Plan.make ~m:mapping_dim nest (f ~x ~y ~z) with
+    | plan -> Some (nest.Nest.space, plan, kernel)
+    | exception (Invalid_argument _ | Failure _) -> None
+  in
+  match app with
+  | `Sor ->
+    let module A = Tiles_apps.Sor in
+    let p = A.make ~m_steps:6 ~size:9 in
+    build (A.nest p) A.mapping_dim A.variants (A.kernel p)
+  | `Jacobi ->
+    let module A = Tiles_apps.Jacobi in
+    let p = A.make ~t_steps:5 ~size:9 in
+    build (A.nest p) A.mapping_dim A.variants (A.kernel p)
+  | `Adi ->
+    let module A = Tiles_apps.Adi in
+    let p = A.make ~t_steps:5 ~size:9 in
+    build (A.nest p) A.mapping_dim A.variants (A.kernel p)
+
+let run_with backend ~overlap ~walker (plan, kernel) =
+  match backend with
+  | Sim_backend ->
+    let r =
+      Executor.run ~walker ~mode:Executor.Full ~overlap ~plan ~kernel ~net ()
+    in
+    ( Option.get r.Executor.grid,
+      r.Executor.stats.Sim.messages,
+      r.Executor.stats.Sim.bytes,
+      r.Executor.points_computed )
+  | Shm_backend ->
+    let r = Shm.run ~walker ~overlap ~plan ~kernel () in
+    (r.Shm.grid, r.Shm.messages, r.Shm.bytes, r.Shm.points_computed)
+
+let gen_case =
+  QCheck.Gen.(
+    let* app = oneofl [ `Sor; `Jacobi; `Adi ] in
+    let* vi = int_range 0 3 in
+    let* x = int_range 3 6 in
+    let* y = int_range 6 9 in
+    let* z = int_range 6 9 in
+    let* overlap = bool in
+    let* backend = oneofl [ Sim_backend; Shm_backend ] in
+    return (app, vi, (x, y, z), overlap, backend))
+
+let print_case (app, vi, (x, y, z), overlap, backend) =
+  Printf.sprintf "%s variant#%d %dx%dx%d overlap:%b backend:%s"
+    (match app with `Sor -> "sor" | `Jacobi -> "jacobi" | `Adi -> "adi")
+    vi x y z overlap (backend_name backend)
+
+let prop_walkers_bit_identical =
+  QCheck.Test.make ~name:"fast/strength = reference (grids + counters)"
+    ~count:10
+    (QCheck.make ~print:print_case gen_case)
+    (fun (app, vi, factors, overlap, backend) ->
+      match build_case app vi factors with
+      | None -> QCheck.assume_fail ()
+      | Some (space, plan, kernel) ->
+        let gr, mr, br, pr =
+          run_with backend ~overlap ~walker:Walker.Reference (plan, kernel)
+        in
+        List.for_all
+          (fun walker ->
+            let g, m, b, p =
+              run_with backend ~overlap ~walker (plan, kernel)
+            in
+            Grid.max_abs_diff g gr space = 0.
+            && m = mr && b = br && p = pr)
+          [ Walker.Strength_reduced; Walker.Fastpath ])
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tiles_walker"
+    [
+      ("variant", [ Alcotest.test_case "strings" `Quick test_variant_strings ]);
+      ( "equivalence",
+        [
+          Alcotest.test_case "sequential walkers identical" `Quick
+            test_seq_variants_identical;
+          q prop_walkers_bit_identical;
+        ] );
+      ( "validation",
+        [ Alcotest.test_case "check modes" `Quick test_check_modes ] );
+      ( "mismatch",
+        [ Alcotest.test_case "structured error" `Quick test_slab_mismatch ] );
+    ]
