@@ -12,6 +12,8 @@
      bench/main.exe perf            run distributions + analytic-model residuals
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe kernels         walker throughput: reference vs strength vs fast
+     bench/main.exe serve           compile-service load test: throughput,
+                                    per-class latency, coalesce/cache counters
      bench/main.exe everything      all of the above
      bench/main.exe --json ...      also write each target's tables (plus any
                                     embedded aggregate statistics records) to
@@ -1062,6 +1064,168 @@ let kernels_target () =
   emit t;
   List.iter (fun (k, j) -> emit_json k j) (List.rev !records)
 
+(* ---------------- serve load generator ---------------- *)
+
+(* Drive the daemon programmatically with a mixed multi-tenant workload:
+   distinct plan/simulate/tune configurations plus deliberate duplicates
+   (the coalescing and plan-cache fodder). Reports end-to-end throughput
+   and the server's own per-class latency percentiles, and rides the
+   final metrics snapshot along in BENCH_serve.json. *)
+let serve_target () =
+  let module Server = Tiles_serve.Server in
+  let module Job = Tiles_serve.Job in
+  pf "\n=== Serve — multi-tenant compile-service load test ===\n";
+  pf "(2 workers, capacity 64; every duplicate request is a coalesce or\n";
+  pf " plan-cache opportunity — the hit/batch counters below are the\n";
+  pf " amortization the daemon exists for)\n";
+  let mk fields =
+    match Job.of_json (Json.Obj fields) with
+    | Ok j -> j
+    | Error e -> failwith ("serve bench job: " ^ e)
+  in
+  let plan_job app size1 size2 =
+    mk
+      [
+        ("op", Json.Str "plan"); ("app", Json.Str app);
+        ("size1", Json.Int size1); ("size2", Json.Int size2);
+        ("variant", Json.Str (if app = "adi" then "nr1" else "nonrect"));
+      ]
+  in
+  let sim_job app size1 size2 =
+    mk
+      [
+        ("op", Json.Str "simulate"); ("app", Json.Str app);
+        ("size1", Json.Int size1); ("size2", Json.Int size2);
+        ("variant", Json.Str (if app = "adi" then "nr3" else "nonrect"));
+      ]
+  in
+  let tune_job app =
+    mk
+      [
+        ("op", Json.Str "tune"); ("app", Json.Str app);
+        ("size1", Json.Int 10); ("size2", Json.Int 12);
+        ("variant", Json.Str (if app = "adi" then "nr1" else "nonrect"));
+        ("procs", Json.Int 4);
+        ("factors", Json.List [ Json.Int 2; Json.Int 3 ]);
+      ]
+  in
+  (* 12 distinct plans x3 copies, 6 distinct sims x2, 2 tunes x2:
+     52 requests over 20 unique configurations *)
+  let distinct_plans =
+    List.concat_map
+      (fun (s1, s2) ->
+        [ plan_job "sor" s1 s2; plan_job "jacobi" s1 s2;
+          plan_job "adi" s1 s2 ])
+      [ (24, 32); (24, 48); (48, 32); (48, 64) ]
+  in
+  let distinct_sims =
+    List.concat_map
+      (fun (s1, s2) ->
+        [ sim_job "sor" s1 s2; sim_job "jacobi" s1 s2; sim_job "adi" s1 s2 ])
+      [ (16, 24); (24, 32) ]
+  in
+  let tunes = [ tune_job "sor"; tune_job "adi" ] in
+  let workload =
+    List.concat
+      [
+        distinct_plans; distinct_plans; distinct_plans;
+        distinct_sims; distinct_sims;
+        tunes; tunes;
+      ]
+  in
+  let config =
+    { Server.default_config with Server.capacity = 64; workers = 2 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let server = Server.create ~config () in
+  let lock = Mutex.create () in
+  let ok = ref 0 and failed = ref 0 in
+  let respond j =
+    Mutex.lock lock;
+    (match Json.member "status" j with
+    | Some (Json.Str "ok") -> incr ok
+    | _ -> incr failed);
+    Mutex.unlock lock
+  in
+  List.iter (fun job -> Server.submit server ~respond job) workload;
+  Server.drain server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let snapshot = Server.metrics_json server in
+  Server.shutdown server;
+  let n = List.length workload in
+  let t = Table.create ~header:[ "requests"; "unique"; "ok"; "failed";
+                                 "elapsed s"; "req/s" ] in
+  Table.add_row t
+    [
+      string_of_int n;
+      string_of_int
+        (List.length distinct_plans + List.length distinct_sims
+        + List.length tunes);
+      string_of_int !ok;
+      string_of_int !failed;
+      Printf.sprintf "%.3f" elapsed;
+      Printf.sprintf "%.0f" (float_of_int n /. elapsed);
+    ];
+  emit t;
+  (* per-class latency straight from the daemon's own metrics *)
+  let get path j =
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j)
+      path
+  in
+  let num path j =
+    match get path j with
+    | Some v -> Option.value ~default:nan (Json.to_float_opt v)
+    | None -> nan
+  in
+  let lat =
+    Table.create
+      ~header:
+        [ "class"; "count"; "queued p50 ms"; "service p50 ms";
+          "total p50 ms"; "total p99 ms" ]
+  in
+  (match get [ "jobs"; "classes" ] snapshot with
+  | Some (Json.Obj classes) ->
+    List.iter
+      (fun (cls, cj) ->
+        Table.add_row lat
+          [
+            cls;
+            Printf.sprintf "%.0f" (num [ "count" ] cj);
+            Printf.sprintf "%.3f" (1e3 *. num [ "queued_s"; "p50" ] cj);
+            Printf.sprintf "%.3f" (1e3 *. num [ "service_s"; "p50" ] cj);
+            Printf.sprintf "%.3f" (1e3 *. num [ "total_s"; "p50" ] cj);
+            Printf.sprintf "%.3f" (1e3 *. num [ "total_s"; "p99" ] cj);
+          ])
+      classes
+  | _ -> pf "WARNING: no per-class latency in the snapshot\n");
+  emit lat;
+  let amort = Table.create ~header:[ "counter"; "value" ] in
+  List.iter
+    (fun (label, path) ->
+      Table.add_row amort
+        [ label; Printf.sprintf "%.0f" (num path snapshot) ])
+    [
+      ("admitted", [ "queue"; "accepted" ]);
+      ("admission rejects", [ "queue"; "rejected_full" ]);
+      ("queue high water", [ "queue"; "high_water" ]);
+      ("coalesced (batched)", [ "coalesce"; "batched" ]);
+      ("plan-cache hits", [ "plan_cache"; "hits" ]);
+      ("plan-cache misses", [ "plan_cache"; "misses" ]);
+      ("plan compiles", [ "plan_cache"; "compiles" ]);
+    ];
+  emit amort;
+  if !failed > 0 then pf "WARNING: %d requests failed\n" !failed;
+  emit_json "throughput"
+    (Json.Obj
+       [
+         ("requests", Json.Int n);
+         ("ok", Json.Int !ok);
+         ("failed", Json.Int !failed);
+         ("elapsed_s", Json.Float elapsed);
+         ("requests_per_s", Json.Float (float_of_int n /. elapsed));
+       ]);
+  emit_json "metrics" snapshot
+
 (* ---------------- driver ---------------- *)
 
 let figures =
@@ -1073,6 +1237,7 @@ let figures =
     ("ablation-tune", ablation_tune);
     ("memory", memory); ("model", model); ("trace", trace_target);
     ("perf", perf_target); ("micro", micro); ("kernels", kernels_target);
+    ("serve", serve_target);
   ]
 
 let default = [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "summary"; "analytic" ]

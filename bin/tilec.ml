@@ -14,7 +14,22 @@
                 trace-event JSON / SVG timeline, print aggregate stats
      tune       search tile shape, size and mapping for the best plan
      perf       repeated timed runs with distribution statistics;
-                --record writes a baseline, --check gates against it *)
+                --record writes a baseline, --check gates against it
+     serve      persistent multi-tenant compile service over line-delimited
+                JSON (stdin/stdout or --socket), with admission control,
+                plan caching and request coalescing
+
+   Exit codes (documented in README "Exit codes"):
+     0    success
+     1    runtime failure (illegal/singular tiling, unknown app or
+          variant, I/O error, …)
+     2    perf --check found a regression, counter drift or metadata
+          mismatch
+     3    slab protocol mismatch between communicating ranks
+          (Protocol.Slab_mismatch — a compiler bug, not a user error)
+     4    shm rendezvous timeout (Recv_timeout/Send_timeout — a peer
+          rank died or deadlocked)
+     124  command-line usage error (Cmdliner's cli_error default) *)
 
 open Cmdliner
 
@@ -100,22 +115,32 @@ let instance app ~size1 ~size2 =
     }
   | other -> failwith ("unknown app " ^ other ^ " (sor | jacobi | adi)")
 
+(* Exit codes: each failure class gets its own code (see the header
+   comment) so scripts and CI can react without parsing stderr.
+   Distinct from Cmdliner's own codes (124 usage, 125 internal). *)
+let exit_runtime = 1
+let exit_regression = 2
+let exit_slab_mismatch = 3
+let exit_rendezvous_timeout = 4
+
 (* User errors (illegal or singular tiling matrices, infeasible factors,
    unknown variants…) surface as raised exceptions from the libraries;
-   report them as a one-line message with a non-zero exit, never a
+   report them as a one-line message with the class's exit code, never a
    backtrace. *)
 let guard f =
   try f () with
-  | Invalid_argument msg | Failure msg | Sys_error msg
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "tilec: error: %s\n" msg;
+    exit exit_runtime
   | Shm_executor.Recv_timeout msg | Shm_executor.Send_timeout msg ->
     Printf.eprintf "tilec: error: %s\n" msg;
-    exit 1
+    exit exit_rendezvous_timeout
   | Protocol.Slab_mismatch m ->
     Printf.eprintf "tilec: error: %s\n" (Protocol.slab_mismatch_to_string m);
-    exit 1
+    exit exit_slab_mismatch
   | Division_by_zero ->
     Printf.eprintf "tilec: error: singular tiling (zero tile factor)\n";
-    exit 1
+    exit exit_runtime
 
 (* ---------------- common options ---------------- *)
 
@@ -717,7 +742,7 @@ let perf_cmd =
             path;
           print_string (Baseline.report verdict)
         end;
-        if not verdict.Baseline.ok then exit 1
+        if not verdict.Baseline.ok then exit exit_regression
     end
     else begin
       let res = residuals () in
@@ -751,6 +776,71 @@ let perf_cmd =
              $ check_arg $ dir_arg $ json_arg $ counters_arg $ inflate_arg
              $ overlap_arg $ walker_arg))
 
+let serve_cmd =
+  let module Server = Tiles_serve.Server in
+  let capacity_arg =
+    Arg.(value & opt int Server.default_config.Server.capacity
+         & info [ "capacity" ] ~docv:"K"
+             ~doc:"Admission queue slots; request K+1 (with every worker \
+                   busy) is rejected with a structured reason, never \
+                   queued unboundedly.")
+  in
+  let workers_arg =
+    Arg.(value & opt int Server.default_config.Server.workers
+         & info [ "workers" ] ~docv:"W"
+             ~doc:"Worker pool shards (domains). The pool is the only \
+                   source of job parallelism; must be >= 1.")
+  in
+  let cache_capacity_arg =
+    Arg.(value & opt int Server.default_config.Server.plan_cache_capacity
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Compiled plans retained in the content-addressed LRU \
+                   cache.")
+  in
+  let tune_cache_arg =
+    Arg.(value & opt (some string) None & info [ "tune-cache" ] ~docv:"DIR"
+           ~doc:"Share an on-disk tune score memo between tune jobs (same \
+                 format as $(b,tilec tune --cache)).")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on a Unix domain socket at $(docv) instead of \
+                 stdin/stdout; each connection is a tenant sharing the one \
+                 queue, pool and cache.")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"On shutdown, also write the final metrics snapshot, \
+                 indented, to $(docv).")
+  in
+  let run capacity workers cache_capacity tune_cache socket metrics_out =
+    guard @@ fun () ->
+    if capacity < 1 then failwith "serve: --capacity must be >= 1";
+    if workers < 1 then failwith "serve: --workers must be >= 1";
+    if cache_capacity < 1 then failwith "serve: --cache-capacity must be >= 1";
+    let config =
+      {
+        Server.capacity;
+        workers;
+        plan_cache_capacity = cache_capacity;
+        tune_cache_dir = tune_cache;
+        net = Netmodel.fast_ethernet_cluster;
+      }
+    in
+    match socket with
+    | Some path -> Server.serve_socket ~config ?metrics_out ~path ()
+    | None -> Server.serve_channels ~config ?metrics_out stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent multi-tenant compile service: line-delimited \
+             JSON requests on stdin (or $(b,--socket)), one JSON response \
+             per job, with admission control, request coalescing, a shared \
+             compiled-plan cache and aggregate metrics ($(b,{\"op\":\
+             \"metrics\"}) snapshots, $(b,{\"op\":\"shutdown\"}) stops).")
+    Term.(const run $ capacity_arg $ workers_arg $ cache_capacity_arg
+          $ tune_cache_arg $ socket_arg $ metrics_out_arg)
+
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in
   let info = Cmd.info "tilec" ~version:Tiles_obs.Runmeta.version ~doc in
@@ -758,4 +848,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd;
-            simulate_cmd; trace_cmd; tune_cmd; perf_cmd ]))
+            simulate_cmd; trace_cmd; tune_cmd; perf_cmd; serve_cmd ]))

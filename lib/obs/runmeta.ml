@@ -12,27 +12,40 @@ type t = {
   backend : string;
   overlap : bool;
   netmodel : string;
+  job_id : string option;
+  queued_s : float;
 }
 
 let make ~app ~variant ~size1 ~size2 ~tile ~nprocs ~backend ?(overlap = false)
-    ~netmodel () =
-  { app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel }
+    ~netmodel ?job_id ?(queued_s = 0.) () =
+  {
+    app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel;
+    job_id; queued_s;
+  }
 
 let to_json t =
   let x, y, z = t.tile in
   Json.Obj
-    [
-      ("tilec_version", Json.Str version);
-      ("app", Json.Str t.app);
-      ("variant", Json.Str t.variant);
-      ("size1", Json.Int t.size1);
-      ("size2", Json.Int t.size2);
-      ("tile", Json.List [ Json.Int x; Json.Int y; Json.Int z ]);
-      ("nprocs", Json.Int t.nprocs);
-      ("backend", Json.Str t.backend);
-      ("overlap", Json.Bool t.overlap);
-      ("netmodel", Json.Str t.netmodel);
-    ]
+    ([
+       ("tilec_version", Json.Str version);
+       ("app", Json.Str t.app);
+       ("variant", Json.Str t.variant);
+       ("size1", Json.Int t.size1);
+       ("size2", Json.Int t.size2);
+       ("tile", Json.List [ Json.Int x; Json.Int y; Json.Int z ]);
+       ("nprocs", Json.Int t.nprocs);
+       ("backend", Json.Str t.backend);
+       ("overlap", Json.Bool t.overlap);
+       ("netmodel", Json.Str t.netmodel);
+     ]
+    (* job attribution is only meaningful for runs owned by a serve
+       daemon; standalone artifacts stay byte-identical to the previous
+       schema by omitting the fields at their defaults *)
+    @ (match t.job_id with
+      | Some id -> [ ("job_id", Json.Str id) ]
+      | None -> [])
+    @ (if t.queued_s <> 0. then [ ("queued_s", Json.Float t.queued_s) ]
+       else []))
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -63,4 +76,16 @@ let of_json j =
     match Json.member "overlap" j with Some (Json.Bool b) -> b | _ -> false
   in
   let* netmodel = str "netmodel" in
-  Ok { app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel }
+  (* like [overlap]: files written before the serve daemon existed carry
+     no job attribution — absent defaults to None / 0. *)
+  let job_id = Option.bind (Json.member "job_id" j) Json.to_str_opt in
+  let queued_s =
+    match Option.bind (Json.member "queued_s" j) Json.to_float_opt with
+    | Some q -> q
+    | None -> 0.
+  in
+  Ok
+    {
+      app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel;
+      job_id; queued_s;
+    }

@@ -20,6 +20,12 @@ type t = {
   backend : string;    (** sim | shm *)
   overlap : bool;      (** §5 overlapped schedule *)
   netmodel : string;   (** network-model name, "-" for wall-clock runs *)
+  job_id : string option;
+      (** the serve-daemon job this run belongs to; [None] for
+          standalone runs *)
+  queued_s : float;
+      (** seconds the job waited for admission before running; [0.] for
+          standalone runs *)
 }
 
 val make :
@@ -32,10 +38,14 @@ val make :
   backend:string ->
   ?overlap:bool ->
   netmodel:string ->
+  ?job_id:string ->
+  ?queued_s:float ->
   unit ->
   t
 (** [overlap] defaults to false; files written before the field existed
-    parse as blocking runs. *)
+    parse as blocking runs. [job_id] / [queued_s] likewise default to
+    [None] / [0.] when absent, and are omitted from {!to_json} at their
+    defaults so pre-serve artifacts stay byte-identical. *)
 
 val to_json : t -> Tiles_util.Json.t
 (** Flat object including a [tilec_version] field. *)

@@ -1,0 +1,124 @@
+module Heap = Tiles_util.Heap
+module Json = Tiles_util.Json
+
+type reject = { reason : string; capacity : int; depth : int }
+
+type 'a t = {
+  heap : 'a Heap.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  capacity : int;
+  mutable closed : bool;
+  mutable accepted : int;
+  mutable rejected_full : int;
+  mutable rejected_closed : int;
+  mutable high_water : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    heap = Heap.create ();
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    capacity;
+    closed = false;
+    accepted = 0;
+    rejected_full = 0;
+    rejected_closed = 0;
+    high_water = 0;
+  }
+
+let submit t ~priority v =
+  Mutex.lock t.lock;
+  let r =
+    if t.closed then begin
+      t.rejected_closed <- t.rejected_closed + 1;
+      Error
+        { reason = "shutting_down"; capacity = t.capacity;
+          depth = Heap.size t.heap }
+    end
+    else if Heap.size t.heap >= t.capacity then begin
+      t.rejected_full <- t.rejected_full + 1;
+      Error
+        { reason = "queue_full"; capacity = t.capacity;
+          depth = Heap.size t.heap }
+    end
+    else begin
+      Heap.push t.heap ~priority v;
+      t.accepted <- t.accepted + 1;
+      if Heap.size t.heap > t.high_water then
+        t.high_water <- Heap.size t.heap;
+      Condition.signal t.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let pop t =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match Heap.pop t.heap with
+    | Some (_, v) -> Some v
+    | None ->
+      if t.closed then None
+      else begin
+        Condition.wait t.nonempty t.lock;
+        wait ()
+      end
+  in
+  let r = wait () in
+  Mutex.unlock t.lock;
+  r
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let r = Option.map snd (Heap.pop t.heap) in
+  Mutex.unlock t.lock;
+  r
+
+let close t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock
+
+type stats = {
+  capacity : int;
+  depth : int;
+  high_water : int;
+  accepted : int;
+  rejected_full : int;
+  rejected_closed : int;
+  closed : bool;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      capacity = t.capacity;
+      depth = Heap.size t.heap;
+      high_water = t.high_water;
+      accepted = t.accepted;
+      rejected_full = t.rejected_full;
+      rejected_closed = t.rejected_closed;
+      closed = t.closed;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let stats_json (s : stats) =
+  Json.Obj
+    [
+      ("capacity", Json.Int s.capacity);
+      ("depth", Json.Int s.depth);
+      ("high_water", Json.Int s.high_water);
+      ("accepted", Json.Int s.accepted);
+      ("rejected_full", Json.Int s.rejected_full);
+      ("rejected_closed", Json.Int s.rejected_closed);
+      ("closed", Json.Bool s.closed);
+    ]

@@ -1,0 +1,95 @@
+module Json = Tiles_util.Json
+module Metric = Tiles_obs.Metric
+
+type cls = {
+  queued : Metric.t;
+  service : Metric.t;
+  total : Metric.t;
+  mutable count : int;
+}
+
+type t = {
+  lock : Mutex.t;
+  classes : (string, cls) Hashtbl.t;
+  mutable completed : int;
+  mutable errors : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    classes = Hashtbl.create 8;
+    completed = 0;
+    errors = 0;
+  }
+
+let class_of t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        queued = Metric.create ();
+        service = Metric.create ();
+        total = Metric.create ();
+        count = 0;
+      }
+    in
+    Hashtbl.add t.classes name c;
+    c
+
+let observe t ~cls ~queued_s ~service_s =
+  Mutex.lock t.lock;
+  let c = class_of t cls in
+  Metric.add c.queued queued_s;
+  Metric.add c.service service_s;
+  Metric.add c.total (queued_s +. service_s);
+  c.count <- c.count + 1;
+  t.completed <- t.completed + 1;
+  Mutex.unlock t.lock
+
+let error t =
+  Mutex.lock t.lock;
+  t.errors <- t.errors + 1;
+  Mutex.unlock t.lock
+
+let completed t =
+  Mutex.lock t.lock;
+  let n = t.completed in
+  Mutex.unlock t.lock;
+  n
+
+let errors t =
+  Mutex.lock t.lock;
+  let n = t.errors in
+  Mutex.unlock t.lock;
+  n
+
+let snapshot_json t =
+  Mutex.lock t.lock;
+  let classes =
+    Hashtbl.fold
+      (fun name c acc ->
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int c.count);
+              ("queued_s", Metric.summary_to_json (Metric.summarize c.queued));
+              ( "service_s",
+                Metric.summary_to_json (Metric.summarize c.service) );
+              ("total_s", Metric.summary_to_json (Metric.summarize c.total));
+            ] )
+        :: acc)
+      t.classes []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let j =
+    Json.Obj
+      [
+        ("completed", Json.Int t.completed);
+        ("errors", Json.Int t.errors);
+        ("classes", Json.Obj classes);
+      ]
+  in
+  Mutex.unlock t.lock;
+  j

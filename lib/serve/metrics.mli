@@ -1,0 +1,29 @@
+(** Per-class latency distributions and job counters for the daemon.
+
+    Every completed job is folded into its class's (the operation
+    name's) streaming {!Tiles_obs.Metric}s — queued seconds, service
+    seconds and total seconds — so the snapshot reports p50/p99 latency
+    per job class in O(1) space regardless of traffic volume, exactly
+    like the perf observatory's run distributions.
+
+    Thread-safe; workers observe concurrently. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> cls:string -> queued_s:float -> service_s:float -> unit
+(** Fold one completed job into class [cls]. *)
+
+val error : t -> unit
+(** Count a job that failed (its latency is not folded). *)
+
+val completed : t -> int
+
+val errors : t -> int
+
+val snapshot_json : t -> Tiles_util.Json.t
+(** [{"completed": …, "errors": …, "classes": {cls: {"count": …,
+    "queued_s": summary, "service_s": summary, "total_s": summary}}}]
+    where each summary is a {!Tiles_obs.Metric.summary} (count, mean,
+    stddev, min, max, p50, p90, p99). *)

@@ -1,0 +1,117 @@
+module Json = Tiles_util.Json
+module Plan = Tiles_core.Plan
+
+type entry = { plan : Plan.t; mutable last_use : int }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable compiles : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg "Plan_cache.create: capacity must be >= 1";
+  {
+    tbl = Hashtbl.create 64;
+    lock = Mutex.create ();
+    capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    compiles = 0;
+  }
+
+let key ~(resolved : Registry.resolved) ~net ~overlap ~backend ~walker =
+  (* same content addressing as the tune score cache, plus the walker:
+     the plan itself is walker-independent, but the cache identifies the
+     full compiled configuration a job names *)
+  Tiles_tune.Cache.key ~nest:resolved.Registry.nest
+    ~tiling:resolved.Registry.tiling ~m:resolved.Registry.m
+    ~kernel:resolved.Registry.kernel ~net ~overlap ~backend
+  ^ "-" ^ walker
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let evict_lru t =
+  (* linear scan: the cache is small (hundreds of plans), eviction rare *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, age) when age <= e.last_use -> ()
+      | _ -> victim := Some (k, e.last_use))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_or_compile t ~key compile =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    touch t e;
+    let plan = e.plan in
+    Mutex.unlock t.lock;
+    (plan, `Hit)
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    let plan = compile () in
+    Mutex.lock t.lock;
+    t.compiles <- t.compiles + 1;
+    (match Hashtbl.find_opt t.tbl key with
+    | Some e -> touch t e (* a racing compile of the same key won *)
+    | None ->
+      if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+      let e = { plan; last_use = 0 } in
+      touch t e;
+      Hashtbl.add t.tbl key e);
+    Mutex.unlock t.lock;
+    (plan, `Miss)
+
+type stats = {
+  capacity : int;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  compiles : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      capacity = t.capacity;
+      size = Hashtbl.length t.tbl;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      compiles = t.compiles;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let stats_json (s : stats) =
+  Json.Obj
+    [
+      ("capacity", Json.Int s.capacity);
+      ("size", Json.Int s.size);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+      ("compiles", Json.Int s.compiles);
+    ]

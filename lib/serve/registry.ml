@@ -1,0 +1,85 @@
+module Nest = Tiles_loop.Nest
+module Tiling = Tiles_core.Tiling
+module Kernel = Tiles_runtime.Kernel
+
+type resolved = {
+  app : string;
+  variant : string;
+  nest : Nest.t;
+  kernel : Kernel.t;
+  m : int;
+  tiling : Tiling.t;
+}
+
+let apps = [ "sor"; "jacobi"; "adi" ]
+
+type instance = {
+  nest : Nest.t;
+  kernel : Kernel.t;
+  m : int;
+  variants : (string * (x:int -> y:int -> z:int -> Tiling.t)) list;
+}
+
+let instance app ~size1 ~size2 =
+  match app with
+  | "sor" ->
+    let p = Tiles_apps.Sor.make ~m_steps:size1 ~size:size2 in
+    Ok
+      {
+        nest = Tiles_apps.Sor.nest p;
+        kernel = Tiles_apps.Sor.kernel p;
+        m = Tiles_apps.Sor.mapping_dim;
+        variants = Tiles_apps.Sor.variants;
+      }
+  | "jacobi" ->
+    let p = Tiles_apps.Jacobi.make ~t_steps:size1 ~size:size2 in
+    Ok
+      {
+        nest = Tiles_apps.Jacobi.nest p;
+        kernel = Tiles_apps.Jacobi.kernel p;
+        m = Tiles_apps.Jacobi.mapping_dim;
+        variants = Tiles_apps.Jacobi.variants;
+      }
+  | "adi" ->
+    let p = Tiles_apps.Adi.make ~t_steps:size1 ~size:size2 in
+    Ok
+      {
+        nest = Tiles_apps.Adi.nest p;
+        kernel = Tiles_apps.Adi.kernel p;
+        m = Tiles_apps.Adi.mapping_dim;
+        variants = Tiles_apps.Adi.variants;
+      }
+  | other ->
+    Error
+      (Printf.sprintf "unknown app %S (expected %s)" other
+         (String.concat " | " apps))
+
+let resolve ~app ~size1 ~size2 ~variant ~tile:(x, y, z) =
+  if size1 < 1 || size2 < 1 then
+    Error (Printf.sprintf "sizes must be >= 1 (got %d, %d)" size1 size2)
+  else
+    match instance app ~size1 ~size2 with
+    | Error _ as e -> e
+    | Ok inst -> (
+      match List.assoc_opt variant inst.variants with
+      | None ->
+        Error
+          (Printf.sprintf "unknown %s variant %S (expected %s)" app variant
+             (String.concat " | " (List.map fst inst.variants)))
+      | Some mk -> (
+        (* an illegal or singular tiling surfaces here, as a structured
+           rejection rather than a worker-side crash *)
+        match mk ~x ~y ~z with
+        | tiling ->
+          Ok
+            {
+              app;
+              variant;
+              nest = inst.nest;
+              kernel = inst.kernel;
+              m = inst.m;
+              tiling;
+            }
+        | exception (Invalid_argument msg | Failure msg) -> Error msg
+        | exception Division_by_zero ->
+          Error "singular tiling (zero tile factor)"))

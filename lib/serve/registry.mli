@@ -1,0 +1,33 @@
+(** The daemon's app registry: resolve a request's (app, sizes, variant,
+    tile) naming into the concrete nest, kernel and tiling the compiler
+    works on.
+
+    The CLI performs the same resolution inline per invocation; the
+    daemon does it once per request, {e before} admission, so malformed
+    requests are rejected with a structured error instead of occupying a
+    queue slot and failing later inside a worker. Resolution is cheap
+    (building the nest and the tiling matrix); the expensive step —
+    {!Tiles_core.Plan.make} — is deferred to the workers and memoized in
+    the {!Plan_cache}. *)
+
+type resolved = {
+  app : string;
+  variant : string;
+  nest : Tiles_loop.Nest.t;
+  kernel : Tiles_runtime.Kernel.t;
+  m : int;  (** mapping dimension *)
+  tiling : Tiles_core.Tiling.t;
+}
+
+val apps : string list
+(** The algorithms the daemon accepts (["sor"; "jacobi"; "adi"]). *)
+
+val resolve :
+  app:string ->
+  size1:int ->
+  size2:int ->
+  variant:string ->
+  tile:int * int * int ->
+  (resolved, string) result
+(** [Error] names the unknown app / unknown variant / illegal tiling —
+    every failure mode of instantiation, never an exception. *)

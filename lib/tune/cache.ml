@@ -26,7 +26,12 @@ let open_dir dir =
     if not (Sys.is_directory dir) then
       raise (Sys_error (dir ^ ": not a directory"))
   end
-  else Unix.mkdir dir 0o755;
+  else begin
+    (* two processes (or domains) may race to create the directory; the
+       loser's EEXIST is success, not an error *)
+    try Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) when Sys.is_directory dir -> ()
+  end;
   { dir }
 
 let dir t = t.dir
@@ -71,6 +76,10 @@ let find t k =
   match open_in_bin (path t k) with
   | exception Sys_error _ -> None
   | ic ->
+    (* a truncated or corrupt entry (killed writer, disk full, garbage)
+       must read as a miss, never as an exception: Marshal raises
+       Failure / End_of_file on bad input and the header version check
+       rejects stale schemas *)
     let r =
       match (Marshal.from_channel ic : int * score) with
       | v, s when v = version -> Some s
@@ -80,13 +89,24 @@ let find t k =
     close_in_noerr ic;
     r
 
+(* distinguishes concurrent writers within one process: domains share a
+   pid, so the temp name needs a per-process unique component too *)
+let store_seq = Atomic.make 0
+
 let store t k score =
   let final = path t k in
   let tmp =
     Filename.concat t.dir
-      (Printf.sprintf ".%s.%d.tmp" k (Unix.getpid ()))
+      (Printf.sprintf ".%s.%d.%d.tmp" k (Unix.getpid ())
+         (Atomic.fetch_and_add store_seq 1))
   in
   let oc = open_out_bin tmp in
-  Marshal.to_channel oc ((version, score) : int * score) [];
+  (match Marshal.to_channel oc ((version, score) : int * score) [] with
+  | () -> ()
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
   close_out oc;
+  (* atomic publish: readers see either the complete entry or nothing *)
   Sys.rename tmp final

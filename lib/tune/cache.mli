@@ -25,8 +25,9 @@ type score = {
 type t
 
 val open_dir : string -> t
-(** Create the directory if needed. Raises [Sys_error] if the path exists
-    and is not a directory. *)
+(** Create the directory if needed (tolerating a concurrent creator's
+    EEXIST). Raises [Sys_error] if the path exists and is not a
+    directory. *)
 
 val dir : t -> string
 
@@ -41,4 +42,12 @@ val key :
   string
 
 val find : t -> string -> score option
+(** [None] on a missing, truncated, corrupt or stale-schema entry — a
+    crashed or concurrent writer can never turn a lookup into an
+    exception. *)
+
 val store : t -> string -> score -> unit
+(** Write-to-temp + atomic rename; the temp name is unique per writer
+    ({e pid} + per-process counter), so concurrent stores from many
+    domains or processes sharing the directory are safe — last writer
+    wins with a complete entry. *)

@@ -315,6 +315,43 @@ let to_float_opt = function
 let to_int_opt = function Int i -> Some i | _ -> None
 let to_str_opt = function Str s -> Some s | _ -> None
 
+(* single-line rendering for line-delimited protocols: one JSON document
+   per '\n'-terminated line, so the value itself must not contain raw
+   newlines (escape already protects strings) *)
+let to_line v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_str f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          go item)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
 let to_string ?(indent = 2) v =
   let buf = Buffer.create 256 in
   let pad d = Buffer.add_string buf (String.make (d * indent) ' ') in

@@ -13,6 +13,12 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val to_line : t -> string
+(** Compact single-line rendering (no newlines, no indentation) — the
+    framing used by line-delimited JSON protocols such as [tilec serve].
+    Same escaping and float formatting as {!to_string}, so
+    [parse (to_line j) = Ok j] under the same caveats. *)
+
 val to_string : ?indent:int -> t -> string
 (** Render with the given indentation step (default 2). Strings are
     escaped per RFC 8259; non-finite floats render as [null]; finite

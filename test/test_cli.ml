@@ -243,6 +243,155 @@ let test_perf_record_check () =
     (Sys.readdir dir);
   Unix.rmdir dir
 
+(* ---------------- exit codes ----------------
+   Every failure class has its own documented code so CI and scripts can
+   react without parsing stderr: 1 runtime, 2 perf regression,
+   3 slab mismatch, 4 rendezvous timeout, 124 usage. *)
+
+let check_exit args code =
+  let status, out = run args in
+  match status with
+  | Unix.WEXITED c ->
+    if c <> code then
+      Alcotest.failf "tilec %s: expected exit %d, got %d:\n%s" args code c out
+  | _ -> Alcotest.failf "tilec %s: killed by signal:\n%s" args out
+
+let test_exit_codes () =
+  (* runtime failure: a singular tiling *)
+  check_exit "plan --app sor -M 12 -N 16 --variant nonrect -x 6 -y 7 -z 0" 1;
+  (* runtime failure: unknown app *)
+  check_exit "plan --app nope" 1;
+  (* usage errors: Cmdliner's cli_error *)
+  check_exit "trace --app sor --backend lan" 124;
+  check_exit "perf --app sor --backend shm --inflate 2.0" 124;
+  check_exit "serve --workers 0" 1
+
+let test_exit_code_regression () =
+  (* perf --check regressions exit 2, distinct from generic failures *)
+  let dir = Filename.temp_file "tilec_exit2" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let base =
+    Printf.sprintf
+      "--app sor -M 12 -N 16 --variant nonrect -x 3 -y 4 -z 4 --repeats 1 \
+       --warmup 0 --dir %s"
+      (Filename.quote dir)
+  in
+  check_ok ("perf " ^ base ^ " --record") [ "recorded" ];
+  check_exit ("perf " ^ base ^ " --check --inflate 3.0") 2;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+(* ---------------- the serve daemon over a pipe ---------------- *)
+
+module Json = Tiles_util.Json
+
+(* One worker, a deliberately slow tune job first: while the worker
+   chews on it, the three identical plan requests behind it are read,
+   submitted and coalesced — deterministically, because reading a pipe
+   line is microseconds and the tune is hundreds of milliseconds. *)
+let test_serve_pipe () =
+  let requests =
+    String.concat "\n"
+      [
+        {|{"id":"warm","op":"tune","app":"adi","variant":"nr1","size1":10,"size2":12,"procs":4,"factors":[2,3]}|};
+        {|{"id":"p1","op":"plan","app":"sor","size1":12,"size2":16,"tile":[3,4,4]}|};
+        {|{"id":"p2","op":"plan","app":"sor","size1":12,"size2":16,"tile":[3,4,4]}|};
+        {|{"id":"p3","op":"plan","app":"sor","size1":12,"size2":16,"tile":[3,4,4]}|};
+        {|{"id":"bad","op":"plan","app":"fft"}|};
+        {|not even json|};
+        {|{"op":"metrics"}|};
+        {|{"op":"shutdown"}|};
+      ]
+    ^ "\n"
+  in
+  let reqfile = Filename.temp_file "tilec_serve_req" ".jsonl" in
+  let oc = open_out reqfile in
+  output_string oc requests;
+  close_out oc;
+  let status, out =
+    run
+      (Printf.sprintf "serve --workers 1 --capacity 8 < %s"
+         (Filename.quote reqfile))
+  in
+  Sys.remove reqfile;
+  if status <> Unix.WEXITED 0 then Alcotest.failf "serve failed:\n%s" out;
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  let parsed =
+    List.map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "unparseable response %S: %s" l e)
+      lines
+  in
+  let by_id id =
+    match
+      List.find_opt (fun j -> Json.member "id" j = Some (Json.Str id)) parsed
+    with
+    | Some j -> j
+    | None -> Alcotest.failf "no response for %S in:\n%s" id out
+  in
+  let str_field name j =
+    match Json.member name j with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.failf "missing %S" name
+  in
+  (* every job answered exactly once *)
+  List.iter
+    (fun id -> Alcotest.(check string) (id ^ " ok") "ok" (str_field "status" (by_id id)))
+    [ "warm"; "p1"; "p2"; "p3" ];
+  Alcotest.(check string) "unknown app errors" "error"
+    (str_field "status" (by_id "bad"));
+  (* the garbage line got an error response, not a crash *)
+  Alcotest.(check bool) "parse error answered" true
+    (List.exists
+       (fun j ->
+         Json.member "status" j = Some (Json.Str "error")
+         && Json.member "id" j = Some (Json.Str ""))
+       parsed);
+  (* identical requests coalesced: one miss, two batched followers with
+     bit-identical payloads *)
+  let labels = List.map (fun id -> str_field "cache" (by_id id)) [ "p1"; "p2"; "p3" ] in
+  Alcotest.(check int) "one miss" 1
+    (List.length (List.filter (( = ) "miss") labels));
+  Alcotest.(check int) "two coalesced" 2
+    (List.length (List.filter (( = ) "coalesced") labels));
+  let payload id =
+    match by_id id with
+    | Json.Obj fields ->
+      Json.to_line
+        (Json.Obj
+           (List.filter
+              (fun (k, _) ->
+                not (List.mem k [ "id"; "cache"; "queued_s"; "service_s" ]))
+              fields))
+    | _ -> Alcotest.fail "response not an object"
+  in
+  Alcotest.(check string) "p2 = p1" (payload "p1") (payload "p2");
+  Alcotest.(check string) "p3 = p1" (payload "p1") (payload "p3");
+  (* the shutdown line carries the final metrics snapshot *)
+  let final =
+    match
+      List.find_opt (fun j -> Json.member "op" j = Some (Json.Str "shutdown")) parsed
+    with
+    | Some j -> j
+    | None -> Alcotest.failf "no shutdown ack:\n%s" out
+  in
+  (match Json.member "metrics" final with
+  | Some m -> (
+    match Option.bind (Json.member "coalesce" m) (Json.member "batched") with
+    | Some (Json.Int n) -> Alcotest.(check int) "batched counter" 2 n
+    | _ -> Alcotest.fail "metrics lack coalesce.batched")
+  | None -> Alcotest.fail "shutdown ack lacks metrics");
+  (* and a metrics snapshot was served mid-stream *)
+  Alcotest.(check bool) "metrics op answered" true
+    (List.exists
+       (fun j -> Json.member "op" j = Some (Json.Str "metrics"))
+       parsed)
+
 let test_tune () =
   check_ok
     "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 3 --workers 2"
@@ -283,5 +432,9 @@ let () =
           Alcotest.test_case "perf record/check" `Quick test_perf_record_check;
           Alcotest.test_case "tune" `Quick test_tune;
           Alcotest.test_case "tune --json" `Quick test_tune_json;
+          Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "regression exit 2" `Quick
+            test_exit_code_regression;
+          Alcotest.test_case "serve pipe e2e" `Quick test_serve_pipe;
         ] );
     ]

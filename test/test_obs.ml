@@ -347,6 +347,39 @@ let test_runmeta_roundtrip () =
   | Ok m' -> Alcotest.(check bool) "roundtrip" true (m = m')
   | Error e -> Alcotest.failf "runmeta did not round-trip: %s" e
 
+(* the serve fields follow the overlap bit's absent-default discipline:
+   present values round-trip, defaults are omitted from the JSON so
+   pre-serve artifacts stay byte-identical and still parse *)
+let test_runmeta_serve_fields () =
+  let m =
+    Runmeta.make ~app:"sor" ~variant:"nonrect" ~size1:12 ~size2:16
+      ~tile:(3, 4, 4) ~nprocs:4 ~backend:"sim"
+      ~netmodel:"fast_ethernet_cluster" ~job_id:"job-17" ~queued_s:0.25 ()
+  in
+  Alcotest.(check bool) "job_id stored" true
+    (m.Runmeta.job_id = Some "job-17");
+  (match Runmeta.of_json (Runmeta.to_json m) with
+  | Ok m' -> Alcotest.(check bool) "roundtrip with serve fields" true (m = m')
+  | Error e -> Alcotest.failf "did not round-trip: %s" e);
+  (* defaults are omitted: the rendering without them equals the
+     rendering of a meta that never had them *)
+  let plain = meta () in
+  Alcotest.(check bool) "no job_id by default" true
+    (plain.Runmeta.job_id = None);
+  (match Runmeta.to_json plain with
+  | Tiles_util.Json.Obj fields ->
+    Alcotest.(check bool) "job_id omitted at default" true
+      (not (List.mem_assoc "job_id" fields));
+    Alcotest.(check bool) "queued_s omitted at default" true
+      (not (List.mem_assoc "queued_s" fields))
+  | _ -> Alcotest.fail "runmeta json is not an object");
+  (* old artifacts (no serve fields) parse with the defaults *)
+  match Runmeta.of_json (Runmeta.to_json plain) with
+  | Ok m' ->
+    Alcotest.(check bool) "absent parses as None" true
+      (m'.Runmeta.job_id = None && m'.Runmeta.queued_s = 0.0)
+  | Error e -> Alcotest.failf "plain meta did not parse: %s" e
+
 let test_baseline_roundtrip_and_load () =
   let b = baseline_of ~completions:[ 1.0; 1.1 ] () in
   (match Baseline.of_json (Baseline.to_json b) with
@@ -687,6 +720,8 @@ let () =
       ( "baseline",
         [
           Alcotest.test_case "runmeta roundtrip" `Quick test_runmeta_roundtrip;
+          Alcotest.test_case "runmeta serve fields" `Quick
+            test_runmeta_serve_fields;
           Alcotest.test_case "save/load" `Quick test_baseline_roundtrip_and_load;
           Alcotest.test_case "newer schema refused" `Quick
             test_baseline_refuses_newer_schema;

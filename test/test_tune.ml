@@ -305,6 +305,92 @@ let test_cache_key_sensitivity () =
   Alcotest.(check string) "key is deterministic" key
     (Cache.key ~nest ~tiling ~m:2 ~kernel ~net ~overlap:false ~backend:"sim")
 
+let sample_score =
+  {
+    Cache.completion = 0.125;
+    speedup = 3.5;
+    messages = 42;
+    bytes = 1024;
+    points_computed = 4096;
+    tiles_executed = 64;
+  }
+
+(* a crashed writer, disk-full truncation or plain garbage must read as
+   a miss — the daemon's tune jobs share one cache directory, and a
+   lookup that raises would take the whole worker down *)
+let test_cache_corrupt_entry_is_miss () =
+  with_temp_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  let write_raw k bytes =
+    let oc = open_out_bin (Filename.concat dir (k ^ ".score")) in
+    output_string oc bytes;
+    close_out oc
+  in
+  (* sanity: a good entry round-trips *)
+  Cache.store c "good" sample_score;
+  Alcotest.(check bool) "good entry found" true
+    (Cache.find c "good" = Some sample_score);
+  (* garbage bytes: not even a Marshal header *)
+  write_raw "garbage" "this is not a marshalled score";
+  Alcotest.(check bool) "garbage is a miss" true (Cache.find c "garbage" = None);
+  (* truncation: a valid prefix of a real entry (killed mid-write) *)
+  let full =
+    let path = Filename.concat dir "good.score" in
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  write_raw "truncated" (String.sub full 0 (String.length full / 2));
+  Alcotest.(check bool) "truncated is a miss" true
+    (Cache.find c "truncated" = None);
+  write_raw "empty" "";
+  Alcotest.(check bool) "empty is a miss" true (Cache.find c "empty" = None);
+  (* a wrong-version entry (stale schema) is rejected, not decoded *)
+  let oc = open_out_bin (Filename.concat dir "stale.score") in
+  Marshal.to_channel oc ((-1, sample_score) : int * Cache.score) [];
+  close_out oc;
+  Alcotest.(check bool) "stale version is a miss" true
+    (Cache.find c "stale" = None);
+  (* and none of the bad entries disturbed the good one *)
+  Alcotest.(check bool) "good entry still intact" true
+    (Cache.find c "good" = Some sample_score)
+
+(* many domains hammering one key and one directory: stores must never
+   collide on a temp file or expose a half-written entry *)
+let test_cache_concurrent_stores () =
+  with_temp_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  let writers = 4 and rounds = 50 in
+  let domains =
+    List.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 1 to rounds do
+              Cache.store c "contended"
+                { sample_score with Cache.messages = (w * 1000) + i };
+              (* interleave reads: every observation is a complete entry *)
+              match Cache.find c "contended" with
+              | Some s ->
+                if s.Cache.completion <> sample_score.Cache.completion then
+                  failwith "partial entry observed"
+              | None -> failwith "entry vanished mid-race"
+            done))
+  in
+  List.iter Domain.join domains;
+  (* last writer wins with some complete entry *)
+  (match Cache.find c "contended" with
+  | Some s ->
+    Alcotest.(check bool) "final entry complete" true
+      (s.Cache.completion = sample_score.Cache.completion)
+  | None -> Alcotest.fail "no entry after the race");
+  (* no temp litter left behind *)
+  let tmp_files =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no leaked temp files" [] tmp_files
+
 let () =
   Alcotest.run "tiles_tune"
     [
@@ -337,5 +423,9 @@ let () =
         [
           Alcotest.test_case "hits identical" `Quick test_cache_hits_identical;
           Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "corrupt entries are misses" `Quick
+            test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "concurrent stores" `Quick
+            test_cache_concurrent_stores;
         ] );
     ]

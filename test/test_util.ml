@@ -213,6 +213,15 @@ let prop_json_roundtrip_compact =
     (QCheck.make ~print:(Json.to_string ~indent:1) json_gen)
     (fun j -> Json.parse (Json.to_string ~indent:0 j) = Ok j)
 
+(* to_line frames the serve protocol: one value per physical line, so a
+   newline anywhere in the rendering would split a response in two *)
+let prop_json_to_line =
+  QCheck.Test.make ~name:"to_line is one parseable line" ~count:200
+    (QCheck.make ~print:(Json.to_string ~indent:1) json_gen)
+    (fun j ->
+      let s = Json.to_line j in
+      (not (String.contains s '\n')) && Json.parse s = Ok j)
+
 (* ---------- Heap ---------- *)
 
 let test_heap_order () =
@@ -256,6 +265,70 @@ let prop_heap_sorted =
       in
       let out = drain [] in
       out = List.sort compare prios)
+
+(* the heap is the admission queue's spine now, not just the simulator's
+   event queue: pops must be a permutation of the pushes (no job lost or
+   duplicated), FIFO among equal priorities must hold for arbitrary
+   interleavings, and size/peek must stay consistent mid-stream *)
+let prop_heap_permutation =
+  QCheck.Test.make ~name:"heap pops a permutation of pushes" ~count:200
+    QCheck.(list (pair (float_range 0. 10.) small_int))
+    (fun items ->
+      let h = Heap.create () in
+      List.iter (fun (p, v) -> Heap.push h ~priority:p v) items;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, v) -> drain ((p, v) :: acc)
+      in
+      let out = drain [] in
+      List.sort compare out = List.sort compare items
+      && Heap.is_empty h && Heap.size h = 0)
+
+let prop_heap_fifo_random =
+  QCheck.Test.make ~name:"heap FIFO among duplicate priorities" ~count:200
+    (* few distinct priorities over many values forces ties *)
+    QCheck.(list_of_size Gen.(int_range 0 40) (int_range 0 3))
+    (fun prios ->
+      let h = Heap.create () in
+      List.iteri
+        (fun seq p -> Heap.push h ~priority:(float_of_int p) (p, seq))
+        prios;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let out = drain [] in
+      (* stable sort by priority preserves push order within each tie
+         class — exactly the heap's contract *)
+      out = List.stable_sort (fun (a, _) (b, _) -> compare a b) out)
+
+let prop_heap_interleaved =
+  QCheck.Test.make ~name:"heap size/peek under interleaved push-pop"
+    ~count:200
+    QCheck.(list (pair bool (float_range 0. 100.)))
+    (fun ops ->
+      let h = Heap.create () in
+      let n = ref 0 in
+      List.for_all
+        (fun (is_push, p) ->
+          let ok =
+            if is_push then begin
+              Heap.push h ~priority:p ();
+              incr n;
+              true
+            end
+            else
+              match (Heap.peek h, Heap.pop h) with
+              | None, None -> !n = 0
+              | Some (pk, ()), Some (pp, ()) ->
+                decr n;
+                pk = pp
+              | _ -> false
+          in
+          ok && Heap.size h = !n && Heap.is_empty h = (!n = 0))
+        ops)
 
 (* ---------- Table ---------- *)
 
@@ -323,6 +396,7 @@ let () =
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           q prop_json_roundtrip;
           q prop_json_roundtrip_compact;
+          q prop_json_to_line;
         ] );
       ( "heap",
         [
@@ -330,6 +404,9 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           q prop_heap_sorted;
+          q prop_heap_permutation;
+          q prop_heap_fifo_random;
+          q prop_heap_interleaved;
         ] );
       ( "table",
         [
