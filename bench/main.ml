@@ -11,7 +11,7 @@
      bench/main.exe trace           unified span metrics, sim vs shm domains
      bench/main.exe perf            run distributions + analytic-model residuals
      bench/main.exe micro           Bechamel micro-benchmarks
-     bench/main.exe kernels         walker throughput: reference vs strength vs fast
+     bench/main.exe kernels         walker throughput: reference vs strength vs fast vs native
      bench/main.exe serve           compile-service load test: throughput,
                                     per-class latency, coalesce/cache counters
      bench/main.exe everything      all of the above
@@ -964,16 +964,22 @@ let micro () =
 
 (* ---------------- walker throughput (kernels) ---------------- *)
 
-(* Wall-clock throughput of the three tile walkers on the real apps. The
+(* Wall-clock throughput of the four tile walkers on the real apps. The
    sim backend in Full mode executes every rank's compute/pack/unpack
    work on one thread with zero transport cost, so elapsed wall time
    isolates walker cost from scheduling and parallel speedup:
    points/s counts computed iteration points, bytes/s counts packed slab
-   payload, both against the same elapsed wall clock. *)
+   payload, both against the same elapsed wall clock. When the native
+   walker cannot compile (no C compiler on the box) its row fell back to
+   the fast path; the JSON records the reason so the numbers are never
+   silently mislabelled. *)
 let kernels_target () =
   let module Walker = Tiles_runtime.Walker in
   let module Metric = Tiles_obs.Metric in
-  pf "\n=== Kernels — walker throughput (reference vs strength vs fast) ===\n";
+  pf
+    "\n\
+     === Kernels — walker throughput (reference vs strength vs fast vs \
+     native) ===\n";
   pf "(each cell is 1 warmup + %d measured Full-mode runs on the sim backend)\n" 4;
   let repeats = 4 and warmup = 1 in
   let suite =
@@ -1011,6 +1017,15 @@ let kernels_target () =
       in
       let plan = Plan.make ~m nest tiling in
       let label = Printf.sprintf "%s/%s x=%d y=%d z=%d" app variant x y z in
+      let native_fallback =
+        match Tiles_runtime.Native_kernel.build ~plan ~kernel with
+        | Ok _ -> None
+        | Error reason -> Some reason
+      in
+      (match native_fallback with
+      | Some reason ->
+        pf "note: %s: native walker fell back to fast (%s)\n" label reason
+      | None -> ());
       let measure walker =
         let samples =
           List.init (warmup + repeats) (fun _ ->
@@ -1052,12 +1067,17 @@ let kernels_target () =
                (fun (w, (pps, bps)) ->
                  ( Walker.variant_to_string w,
                    Json.Obj
-                     [
-                       ("points_per_s", Metric.summary_to_json pps);
-                       ("packed_bytes_per_s", Metric.summary_to_json bps);
-                       ( "speedup_vs_reference",
-                         Json.Float (pps.Metric.mean /. ref_pps) );
-                     ] ))
+                     ([
+                        ("points_per_s", Metric.summary_to_json pps);
+                        ("packed_bytes_per_s", Metric.summary_to_json bps);
+                        ( "speedup_vs_reference",
+                          Json.Float (pps.Metric.mean /. ref_pps) );
+                      ]
+                     @
+                     match (w, native_fallback) with
+                     | Walker.Native, Some reason ->
+                       [ ("fallback", Json.Str reason) ]
+                     | _ -> []) ))
                results) )
         :: !records)
     suite;

@@ -190,28 +190,53 @@ let walker_arg =
            (enum
               [ ("reference", Walker.Reference);
                 ("strength", Walker.Strength_reduced);
-                ("fast", Walker.Fastpath) ])
+                ("fast", Walker.Fastpath);
+                ("native", Walker.Native) ])
            Walker.Fastpath
        & info [ "walker" ] ~docv:"W"
            ~doc:"Tile-execution engine: $(b,reference) (per-point oracle), \
-                 $(b,strength) (strength-reduced rows) or $(b,fast) \
+                 $(b,strength) (strength-reduced rows), $(b,fast) \
                  (strength-reduced + contiguous-row blits and unrolled row \
-                 bodies; the default). All three produce bit-identical \
+                 bodies; the default) or $(b,native) (row bodies compiled \
+                 to machine code through the system C compiler at plan \
+                 time; falls back to $(b,fast) with a notice when no \
+                 compiler is available). All four produce bit-identical \
                  results.")
+
+(* when the native walker cannot actually run natively, say so once on
+   stderr (and record the reason in exported metadata) instead of
+   silently timing the fast path *)
+let native_fallback ~plan ~kernel ~check walker =
+  match walker with
+  | Walker.Native -> (
+    if check then Some "check mode validates LDS reads in OCaml"
+    else
+      match Tiles_runtime.Native_kernel.build ~plan ~kernel with
+      | Ok _ -> None
+      | Error reason -> Some reason)
+  | _ -> None
+
+let warn_native_fallback = function
+  | Some reason ->
+    Printf.eprintf
+      "tilec: warning: native walker unavailable (%s); using the fast \
+       walker\n%!"
+      reason
+  | None -> ()
 
 let check_reads_arg =
   Arg.(value & flag & info [ "check-reads" ]
          ~doc:"Validate every LDS read against NaN poisoning even in the \
                fast walkers (the reference walker always validates).")
 
-let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~overlap ~size1
-    ~size2 =
+let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~overlap
+    ?(walker = Walker.Fastpath) ?walker_fallback ~size1 ~size2 () =
   Tiles_obs.Runmeta.make ~app:inst.app_name ~variant ~size1 ~size2
     ~tile:(x, y, z) ~nprocs ~backend:(backend_name backend) ~overlap
     ~netmodel:(match backend with
       | `Sim -> "fast_ethernet_cluster"
       | `Shm -> "-")
-    ()
+    ~walker:(Walker.variant_to_string walker) ?walker_fallback ()
 
 (* ---------------- subcommands ---------------- *)
 
@@ -333,6 +358,10 @@ let simulate_cmd =
     let net = Netmodel.fast_ethernet_cluster in
     let mode = if full then Executor.Full else Executor.Timing in
     let trace = trace || trace_out <> None in
+    let fallback =
+      native_fallback ~plan ~kernel:inst.kernel ~check:check_reads walker
+    in
+    warn_native_fallback fallback;
     let r =
       Executor.run ~walker ~check:check_reads ~mode ~overlap ~trace ~plan
         ~kernel:inst.kernel ~net ()
@@ -377,7 +406,8 @@ let simulate_cmd =
       Chrome.write
         ~process_name:(Printf.sprintf "tilec %s (sim)" inst.app_name)
         ~meta:(run_meta inst ~variant ~xyz ~nprocs:(Plan.nprocs plan)
-                 ~backend:`Sim ~overlap ~size1 ~size2)
+                 ~backend:`Sim ~overlap ~walker ?walker_fallback:fallback
+                 ~size1 ~size2 ())
         ~nprocs:(Plan.nprocs plan) ~path r.Executor.stats.Sim.trace;
       Printf.eprintf "wrote %s\n" path
   in
@@ -407,6 +437,10 @@ let trace_cmd =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let nprocs = Plan.nprocs plan in
+    let fallback =
+      native_fallback ~plan ~kernel:inst.kernel ~check:check_reads walker
+    in
+    warn_native_fallback fallback;
     let spans, stats =
       match backend with
       | `Sim ->
@@ -429,8 +463,8 @@ let trace_cmd =
     let backend_str = backend_name backend in
     Chrome.write
       ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend_str)
-      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1
-               ~size2)
+      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~walker
+               ?walker_fallback:fallback ~size1 ~size2 ())
       ~nprocs ~path:out spans;
     Printf.eprintf "wrote %s\n" out;
     (match svg with
@@ -629,6 +663,13 @@ let perf_cmd =
     if record && check then failwith "perf: --record and --check conflict";
     let inst, plan = build_plan app size1 size2 variant xyz in
     let nprocs = Plan.nprocs plan in
+    let fallback =
+      native_fallback ~plan ~kernel:inst.kernel ~check:false walker
+    in
+    (* the sim backend times virtual events and never runs a walker, so
+       a missing C compiler is only worth a warning where it changes
+       what gets measured *)
+    if backend = `Shm then warn_native_fallback fallback;
     let net =
       let n = Netmodel.fast_ethernet_cluster in
       if inflate = 1.0 then n
@@ -661,7 +702,8 @@ let perf_cmd =
     let stats = List.nth runs (List.length runs - 1) in
     let dist = Stats.distributions ~warmup runs in
     let meta =
-      run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1 ~size2
+      run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~walker
+        ?walker_fallback:fallback ~size1 ~size2 ()
     in
     let current = Baseline.make ~meta ~stats ~timings:dist in
     let path = Baseline.default_path ~dir ~meta in

@@ -32,8 +32,24 @@ let compute ~read ~j ~out =
   out.(0) <- x_c +. (x_w *. a /. b_w) -. (x_n *. a /. b_n);
   out.(1) <- b_c -. (a *. a /. b_w) -. (a *. a /. b_n)
 
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"adi" ~width:2 ~nreads:3
+    ~body:
+      [
+        "{ double a = 0.1 + 0.05 * sin(0.3 * (double)J(1) + 0.7 * (double)J(2));";
+        "  WR(0) = RD(0,0) + RD(1,0) * a / RD(1,1) - RD(2,0) * a / RD(2,1);";
+        "  WR(1) = RD(0,1) - a * a / RD(1,1) - a * a / RD(2,1); }";
+      ]
+    ~boundary:
+      [
+        "{ double i = (double)j[1], jj = (double)j[2];";
+        "  if (f == 0) return 1.0 + 0.1 * sin(0.5 * i) * cos(0.3 * jj);";
+        "  return 4.0 + 0.2 * cos(0.2 * (i + jj)); }";
+      ]
+    ()
+
 let kernel _p =
-  Kernel.make ~name:"adi" ~dim:3 ~width:2 ~reads ~boundary ~compute ()
+  Kernel.make ~name:"adi" ~dim:3 ~width:2 ~ckernel ~reads ~boundary ~compute ()
 
 (* 0-based iteration space; see the note in sor.ml *)
 let nest p =
@@ -62,22 +78,6 @@ let nr3 ~x ~y ~z =
     [ [ r 1 x; r (-1) x; r (-1) x ]; [ i0; r 1 y; i0 ]; [ i0; i0; r 1 z ] ]
 
 let variants = [ ("rect", rect); ("nr1", nr1); ("nr2", nr2); ("nr3", nr3) ]
-
-let ckernel =
-  Tiles_codegen.Ckernel.make ~name:"adi" ~width:2 ~nreads:3
-    ~body:
-      [
-        "{ double a = 0.1 + 0.05 * sin(0.3 * (double)J(1) + 0.7 * (double)J(2));";
-        "  WR(0) = RD(0,0) + RD(1,0) * a / RD(1,1) - RD(2,0) * a / RD(2,1);";
-        "  WR(1) = RD(0,1) - a * a / RD(1,1) - a * a / RD(2,1); }";
-      ]
-    ~boundary:
-      [
-        "{ double i = (double)j[1], jj = (double)j[2];";
-        "  if (f == 0) return 1.0 + 0.1 * sin(0.5 * i) * cos(0.3 * jj);";
-        "  return 4.0 + 0.2 * cos(0.2 * (i + jj)); }";
-      ]
-    ()
 
 let creads = reads
 

@@ -25,23 +25,36 @@ let compute ~read ~j:_ ~out =
   out.(0) <- (read 0 0 +. read 1 0 +. read 2 0 +. read 3 0 +. read 4 0) /. 5.
 
 (* unrolled interior-row body; float-operation order matches [compute]
-   exactly so results are bit-identical *)
-let row ~la ~dst ~taps ~len =
+   exactly so results are bit-identical. The [la] annotation is
+   load-bearing: left polymorphic in kind/layout, every access compiles
+   to a generic C call instead of an inline load. *)
+let row ~(la : Tiles_util.Fbuf.t) ~dst ~taps ~len =
   let t0 = taps.(0) and t1 = taps.(1) and t2 = taps.(2) in
   let t3 = taps.(3) and t4 = taps.(4) in
   for i = dst to dst + len - 1 do
-    Array.unsafe_set la i
-      ((Array.unsafe_get la (i + t0)
-        +. Array.unsafe_get la (i + t1)
-        +. Array.unsafe_get la (i + t2)
-        +. Array.unsafe_get la (i + t3)
-        +. Array.unsafe_get la (i + t4))
+    Bigarray.Array1.unsafe_set la i
+      ((Bigarray.Array1.unsafe_get la (i + t0)
+        +. Bigarray.Array1.unsafe_get la (i + t1)
+        +. Bigarray.Array1.unsafe_get la (i + t2)
+        +. Bigarray.Array1.unsafe_get la (i + t3)
+        +. Bigarray.Array1.unsafe_get la (i + t4))
       /. 5.)
   done
 
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"jacobi" ~nreads:5
+    ~body:
+      [ "WR(0) = (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0) + RD(4,0)) / 5.0;" ]
+    ~boundary:
+      [
+        "{ double i = (double)j[1], jj = (double)j[2];";
+        "  return 2.0 + 0.5 * cos(0.4 * i - 0.9 * jj); }";
+      ]
+    ()
+
 let original_kernel =
-  Kernel.make ~name:"jacobi" ~dim:3 ~uses_j:false ~row ~reads ~boundary
-    ~compute ()
+  Kernel.make ~name:"jacobi" ~dim:3 ~uses_j:false ~row ~ckernel ~reads
+    ~boundary ~compute ()
 
 (* 0-based iteration space; see the note in sor.ml *)
 let original_nest p =
@@ -69,17 +82,6 @@ let nonrect ~x ~y ~z =
     ]
 
 let variants = [ ("rect", rect); ("nonrect", nonrect) ]
-
-let ckernel =
-  Tiles_codegen.Ckernel.make ~name:"jacobi" ~nreads:5
-    ~body:
-      [ "WR(0) = (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0) + RD(4,0)) / 5.0;" ]
-    ~boundary:
-      [
-        "{ double i = (double)j[1], jj = (double)j[2];";
-        "  return 2.0 + 0.5 * cos(0.4 * i - 0.9 * jj); }";
-      ]
-    ()
 
 let skewed_reads = List.map (Tiles_linalg.Intmat.apply skew_matrix) reads
 

@@ -32,23 +32,41 @@ let compute ~read ~j:_ ~out =
     +. ((1. -. omega) *. read 4 0)
 
 (* unrolled interior-row body for the fast walker; float-operation order
-   matches [compute] exactly so results are bit-identical *)
-let row ~la ~dst ~taps ~len =
+   matches [compute] exactly so results are bit-identical. The [la]
+   annotation is load-bearing: left polymorphic in kind/layout, every
+   access compiles to a generic C call instead of an inline load. *)
+let row ~(la : Tiles_util.Fbuf.t) ~dst ~taps ~len =
   let t0 = taps.(0) and t1 = taps.(1) and t2 = taps.(2) in
   let t3 = taps.(3) and t4 = taps.(4) in
   for i = dst to dst + len - 1 do
-    Array.unsafe_set la i
+    Bigarray.Array1.unsafe_set la i
       ((omega /. 4.
-        *. (Array.unsafe_get la (i + t0)
-            +. Array.unsafe_get la (i + t1)
-            +. Array.unsafe_get la (i + t2)
-            +. Array.unsafe_get la (i + t3)))
-      +. ((1. -. omega) *. Array.unsafe_get la (i + t4)))
+        *. (Bigarray.Array1.unsafe_get la (i + t0)
+            +. Bigarray.Array1.unsafe_get la (i + t1)
+            +. Bigarray.Array1.unsafe_get la (i + t2)
+            +. Bigarray.Array1.unsafe_get la (i + t3)))
+      +. ((1. -. omega) *. Bigarray.Array1.unsafe_get la (i + t4)))
   done
 
-let original_kernel =
-  Kernel.make ~name:"sor" ~dim:3 ~uses_j:false ~row ~reads ~boundary ~compute
+(* the same loop body and boundary data as C source, for the code
+   generators; numeric constants match the OCaml kernel exactly *)
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"sor" ~nreads:5
+    ~body:
+      [
+        "WR(0) = 1.2 / 4.0 * (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0))";
+        "      + (1.0 - 1.2) * RD(4,0);";
+      ]
+    ~boundary:
+      [
+        "{ double i = (double)j[1], jj = (double)j[2];";
+        "  return 1.0 + 0.25 * sin(0.7 * i + 1.3 * jj); }";
+      ]
     ()
+
+let original_kernel =
+  Kernel.make ~name:"sor" ~dim:3 ~uses_j:false ~row ~ckernel ~reads ~boundary
+    ~compute ()
 
 (* 0-based iteration space (the paper writes 1..M; a constant shift of the
    space is immaterial and makes tile blocks align with the origin, so a
@@ -74,22 +92,6 @@ let nonrect ~x ~y ~z =
     [ [ r 1 x; i0; i0 ]; [ i0; r 1 y; i0 ]; [ r (-1) z; i0; r 1 z ] ]
 
 let variants = [ ("rect", rect); ("nonrect", nonrect) ]
-
-(* the same loop body and boundary data as C source, for the code
-   generators; numeric constants match the OCaml kernel exactly *)
-let ckernel =
-  Tiles_codegen.Ckernel.make ~name:"sor" ~nreads:5
-    ~body:
-      [
-        "WR(0) = 1.2 / 4.0 * (RD(0,0) + RD(1,0) + RD(2,0) + RD(3,0))";
-        "      + (1.0 - 1.2) * RD(4,0);";
-      ]
-    ~boundary:
-      [
-        "{ double i = (double)j[1], jj = (double)j[2];";
-        "  return 1.0 + 0.25 * sin(0.7 * i + 1.3 * jj); }";
-      ]
-    ()
 
 let skewed_reads = List.map (Tiles_linalg.Intmat.apply skew_matrix) reads
 

@@ -25,7 +25,19 @@ let compute ~read ~j ~out =
     (0.45 *. read 0 0) +. (0.25 *. read 1 0) +. (0.30 *. read 2 0)
     +. source j.(0) j.(1)
 
-let kernel _p = Kernel.make ~name:"triband" ~dim:2 ~reads ~boundary ~compute ()
+let ckernel =
+  Tiles_codegen.Ckernel.make ~name:"triband" ~nreads:3
+    ~body:
+      [
+        "{ double src = 0.01 * (double)(((J(0) * 13) + (J(1) * 7)) % 17);";
+        "  WR(0) = 0.45 * RD(0,0) + 0.25 * RD(1,0) + 0.30 * RD(2,0) + src; }";
+      ]
+    ~boundary:
+      [ "return 0.1 + 0.05 * (double)((j[0] - j[1]) % 5);" ]
+    ()
+
+let kernel _p =
+  Kernel.make ~name:"triband" ~dim:2 ~ckernel ~reads ~boundary ~compute ()
 
 let nest p =
   let n = p.size in
@@ -48,16 +60,5 @@ let oblique ~x ~y =
     [ [ Rat.make 1 x; Rat.zero ]; [ Rat.make 1 y; Rat.make 1 y ] ]
 
 let variants = [ ("rect", rect); ("oblique", oblique) ]
-
-let ckernel =
-  Tiles_codegen.Ckernel.make ~name:"triband" ~nreads:3
-    ~body:
-      [
-        "{ double src = 0.01 * (double)(((J(0) * 13) + (J(1) * 7)) % 17);";
-        "  WR(0) = 0.45 * RD(0,0) + 0.25 * RD(1,0) + 0.30 * RD(2,0) + src; }";
-      ]
-    ~boundary:
-      [ "return 0.1 + 0.05 * (double)((j[0] - j[1]) % 5);" ]
-    ()
 
 let creads = reads

@@ -1,6 +1,7 @@
 open Effect
 open Effect.Deep
 module Span = Tiles_obs.Span
+module Fbuf = Tiles_util.Fbuf
 
 type span = Span.t = {
   rank : int;
@@ -27,9 +28,9 @@ type _ Effect.t +=
   | E_nprocs : int Effect.t
   | E_work : (Span.kind * float) -> unit Effect.t
   | E_now : float Effect.t
-  | E_send : (int * int * float array) -> unit Effect.t
-  | E_isend : (int * int * float array) -> unit Effect.t
-  | E_recv : (int * int) -> float array Effect.t
+  | E_send : (int * int * Fbuf.t) -> unit Effect.t
+  | E_isend : (int * int * Fbuf.t) -> unit Effect.t
+  | E_recv : (int * int) -> Fbuf.t Effect.t
   | E_barrier : unit Effect.t
 
 module Api = struct
@@ -51,9 +52,9 @@ type state = {
   nprocs : int;
   net : Netmodel.t;
   clocks : float array;
-  channels : (channel_key, (float * float array) Queue.t) Hashtbl.t;
+  channels : (channel_key, (float * Fbuf.t) Queue.t) Hashtbl.t;
   (* a parked receiver: wake it with the (arrival, payload) pair *)
-  parked : (channel_key, (float * float array) -> unit) Hashtbl.t;
+  parked : (channel_key, (float * Fbuf.t) -> unit) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   mutable finished : int;
   mutable at_barrier : (int * (unit -> unit)) list;
@@ -82,13 +83,13 @@ let pop_message st key =
     if Queue.is_empty q then None
     else begin
       let ((_, data) as msg) = Queue.pop q in
-      st.inflight <- st.inflight - (8 * Array.length data);
+      st.inflight <- st.inflight - (8 * Fbuf.length data);
       Some msg
     end
 
 let deposit st key arrival data =
   let src, _, _ = key in
-  let nbytes = 8 * Array.length data in
+  let nbytes = 8 * Fbuf.length data in
   st.messages <- st.messages + 1;
   st.bytes <- st.bytes + nbytes;
   st.rank_messages.(src) <- st.rank_messages.(src) + 1;
@@ -161,7 +162,7 @@ let handler st (r : int) =
             (fun k ->
               if dst < 0 || dst >= st.nprocs then
                 invalid_arg "Sim.send: bad destination rank";
-              let nbytes = 8 * Array.length data in
+              let nbytes = 8 * Fbuf.length data in
               let t0 = st.clocks.(r) in
               st.clocks.(r) <-
                 st.clocks.(r)
@@ -169,14 +170,14 @@ let handler st (r : int) =
                 +. Netmodel.transfer_time st.net ~bytes:nbytes;
               record st r t0 st.clocks.(r) Span.Send;
               let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
-              deposit st (r, dst, tag) arrival (Array.copy data);
+              deposit st (r, dst, tag) arrival (Fbuf.copy data);
               continue k ())
         | E_isend (dst, tag, data) ->
           Some
             (fun k ->
               if dst < 0 || dst >= st.nprocs then
                 invalid_arg "Sim.isend: bad destination rank";
-              let nbytes = 8 * Array.length data in
+              let nbytes = 8 * Fbuf.length data in
               (* sender only pays the CPU overhead; the wire runs in
                  parallel with subsequent computation *)
               let t0 = st.clocks.(r) in
@@ -187,7 +188,7 @@ let handler st (r : int) =
                 +. Netmodel.transfer_time st.net ~bytes:nbytes
                 +. st.net.Netmodel.latency
               in
-              deposit st (r, dst, tag) arrival (Array.copy data);
+              deposit st (r, dst, tag) arrival (Fbuf.copy data);
               continue k ())
         | E_recv (src, tag) ->
           Some

@@ -60,19 +60,19 @@ module Api : sig
   val now : unit -> float
   (** Current virtual time on this rank. *)
 
-  val send : dst:int -> tag:int -> float array -> unit
+  val send : dst:int -> tag:int -> Tiles_util.Fbuf.t -> unit
   (** Eager buffered send: charges the sender overhead + wire time, then
       returns; the message becomes available to [dst] one latency later.
       The array is copied, so the sender may reuse its buffer. *)
 
-  val isend : dst:int -> tag:int -> float array -> unit
+  val isend : dst:int -> tag:int -> Tiles_util.Fbuf.t -> unit
   (** Overlapped (non-blocking) send: the sender pays only the CPU
       overhead; wire time runs concurrently with whatever the sender does
       next, so the message arrives at [now + overhead + wire + latency].
       Models the communication/computation-overlap schedule of the
       paper's future-work reference [8] (DMA/NIC-driven transfers). *)
 
-  val recv : src:int -> tag:int -> float array
+  val recv : src:int -> tag:int -> Tiles_util.Fbuf.t
   (** Block until the matching message arrives; the clock advances to
       [max own-clock arrival + recv_overhead]. Only the genuinely
       blocked interval (own clock → arrival) is traced as [Wait]; the

@@ -1,6 +1,6 @@
 module Json = Tiles_util.Json
 
-let version = "1.2"
+let version = "1.3"
 
 type t = {
   app : string;
@@ -12,15 +12,18 @@ type t = {
   backend : string;
   overlap : bool;
   netmodel : string;
+  walker : string;
+  walker_fallback : string option;
   job_id : string option;
   queued_s : float;
 }
 
 let make ~app ~variant ~size1 ~size2 ~tile ~nprocs ~backend ?(overlap = false)
-    ~netmodel ?job_id ?(queued_s = 0.) () =
+    ~netmodel ?(walker = "fast") ?walker_fallback ?job_id ?(queued_s = 0.) ()
+    =
   {
     app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel;
-    job_id; queued_s;
+    walker; walker_fallback; job_id; queued_s;
   }
 
 let to_json t =
@@ -41,6 +44,12 @@ let to_json t =
     (* job attribution is only meaningful for runs owned by a serve
        daemon; standalone artifacts stay byte-identical to the previous
        schema by omitting the fields at their defaults *)
+    (* the walker only appears when it differs from the default fast
+       path, so artifacts from walker-unaware producers stay identical *)
+    @ (if t.walker <> "fast" then [ ("walker", Json.Str t.walker) ] else [])
+    @ (match t.walker_fallback with
+      | Some reason -> [ ("walker_fallback", Json.Str reason) ]
+      | None -> [])
     @ (match t.job_id with
       | Some id -> [ ("job_id", Json.Str id) ]
       | None -> [])
@@ -76,6 +85,16 @@ let of_json j =
     match Json.member "overlap" j with Some (Json.Bool b) -> b | _ -> false
   in
   let* netmodel = str "netmodel" in
+  (* absent before schema 1.3: all earlier runs used the fast walker and
+     never fell back *)
+  let walker =
+    match Option.bind (Json.member "walker" j) Json.to_str_opt with
+    | Some w -> w
+    | None -> "fast"
+  in
+  let walker_fallback =
+    Option.bind (Json.member "walker_fallback" j) Json.to_str_opt
+  in
   (* like [overlap]: files written before the serve daemon existed carry
      no job attribution — absent defaults to None / 0. *)
   let job_id = Option.bind (Json.member "job_id" j) Json.to_str_opt in
@@ -87,5 +106,5 @@ let of_json j =
   Ok
     {
       app; variant; size1; size2; tile; nprocs; backend; overlap; netmodel;
-      job_id; queued_s;
+      walker; walker_fallback; job_id; queued_s;
     }

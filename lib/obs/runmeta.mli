@@ -20,6 +20,12 @@ type t = {
   backend : string;    (** sim | shm *)
   overlap : bool;      (** §5 overlapped schedule *)
   netmodel : string;   (** network-model name, "-" for wall-clock runs *)
+  walker : string;     (** walker variant used (reference | strength |
+                           fast | native); "fast" for pre-1.3 files *)
+  walker_fallback : string option;
+      (** when a native walker was requested but could not be used
+          (no C compiler, no C kernel body, check mode), the reason it
+          fell back to the fast path; [None] otherwise *)
   job_id : string option;
       (** the serve-daemon job this run belongs to; [None] for
           standalone runs *)
@@ -38,14 +44,17 @@ val make :
   backend:string ->
   ?overlap:bool ->
   netmodel:string ->
+  ?walker:string ->
+  ?walker_fallback:string ->
   ?job_id:string ->
   ?queued_s:float ->
   unit ->
   t
 (** [overlap] defaults to false; files written before the field existed
-    parse as blocking runs. [job_id] / [queued_s] likewise default to
-    [None] / [0.] when absent, and are omitted from {!to_json} at their
-    defaults so pre-serve artifacts stay byte-identical. *)
+    parse as blocking runs. [walker] defaults to ["fast"] and is omitted
+    from {!to_json} at that default; [walker_fallback] / [job_id] /
+    [queued_s] likewise default to [None] / [None] / [0.] when absent,
+    so walker- and serve-unaware artifacts stay byte-identical. *)
 
 val to_json : t -> Tiles_util.Json.t
 (** Flat object including a [tilec_version] field. *)

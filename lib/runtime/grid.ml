@@ -1,11 +1,12 @@
 module Polyhedron = Tiles_poly.Polyhedron
+module Fbuf = Tiles_util.Fbuf
 
 type t = {
   width : int;
   lo : int array;
   dims : int array;
   strides : int array;
-  data : float array;
+  data : Fbuf.t;
 }
 
 let create space ~width =
@@ -19,11 +20,18 @@ let create space ~width =
     strides.(k) <- strides.(k + 1) * dims.(k + 1)
   done;
   let total = strides.(0) * dims.(0) in
-  { width; lo; dims; strides; data = Array.make total Float.nan }
+  { width; lo; dims; strides; data = Fbuf.make total Float.nan }
 
 let width t = t.width
 
+let check_rank fn t j =
+  if Array.length j <> Array.length t.lo then
+    invalid_arg
+      (Printf.sprintf "Grid.%s: point rank %d differs from grid rank %d" fn
+         (Array.length j) (Array.length t.lo))
+
 let index t j field =
+  check_rank "index" t j;
   let idx = ref field in
   for k = 0 to Array.length t.lo - 1 do
     let x = j.(k) - t.lo.(k) in
@@ -32,19 +40,29 @@ let index t j field =
   done;
   !idx
 
-let get t j field = t.data.(index t j field)
-let set t j field v = t.data.(index t j field) <- v
+let get t j field = Fbuf.get t.data (index t j field)
+let set t j field v = Fbuf.set t.data (index t j field) v
 let strides t = t.strides
 let data t = t.data
+let slots t = Fbuf.length t.data
 
 let mem t j =
+  check_rank "mem" t j;
   let ok = ref true in
-  Array.iteri
-    (fun k x ->
-      let rel = x - t.lo.(k) in
-      if rel < 0 || rel >= t.dims.(k) then ok := false)
-    j;
+  for k = 0 to Array.length t.lo - 1 do
+    let rel = j.(k) - t.lo.(k) in
+    if rel < 0 || rel >= t.dims.(k) then ok := false
+  done;
   !ok
+
+let boxed t = Fbuf.to_array t.data
+
+let load_boxed t a =
+  if Array.length a <> Fbuf.length t.data then
+    invalid_arg
+      (Printf.sprintf "Grid.load_boxed: %d slots given, grid has %d"
+         (Array.length a) (Fbuf.length t.data));
+  Array.iteri (fun i v -> Fbuf.set t.data i v) a
 
 let max_abs_diff a b space =
   if a.width <> b.width then invalid_arg "Grid.max_abs_diff: widths differ";
@@ -60,10 +78,20 @@ let max_abs_diff a b space =
       done);
   !worst
 
+(* Neumaier compensated summation: the running error term absorbs the
+   low-order bits ordinary left-to-right addition drops, so the result is
+   faithful to the exact sum well past double rounding noise and — the
+   property walkers rely on — stable under any traversal order of the
+   same multiset of values. *)
 let checksum t space =
-  let acc = ref 0. in
+  let sum = ref 0. and comp = ref 0. in
   Polyhedron.iter_points space (fun j ->
       for f = 0 to t.width - 1 do
-        acc := !acc +. get t j f
+        let x = get t j f in
+        let s = !sum +. x in
+        if Float.abs !sum >= Float.abs x then
+          comp := !comp +. ((!sum -. s) +. x)
+        else comp := !comp +. ((x -. s) +. !sum);
+        sum := s
       done);
-  !acc
+  !sum +. !comp

@@ -1,8 +1,10 @@
 module Vec = Tiles_util.Vec
+module Fbuf = Tiles_util.Fbuf
 module Intmat = Tiles_linalg.Intmat
 module Ratmat = Tiles_linalg.Ratmat
+module Ckernel = Tiles_codegen.Ckernel
 
-type row_body = la:float array -> dst:int -> taps:int array -> len:int -> unit
+type row_body = la:Fbuf.t -> dst:int -> taps:int array -> len:int -> unit
 
 type t = {
   name : string;
@@ -13,19 +15,33 @@ type t = {
   boundary : Vec.t -> int -> float;
   compute : read:(int -> int -> float) -> j:Vec.t -> out:float array -> unit;
   row : row_body option;
+  ckernel : Ckernel.t option;
+  (* cumulative skew applied via [skewed]; identity for unskewed kernels.
+     The native emitter needs it to recover original coordinates. *)
+  skew : Intmat.t;
 }
 
 let deps t = Tiles_loop.Dependence.of_vectors t.reads
 
-let make ~name ~dim ?(width = 1) ?(uses_j = true) ?row ~reads ~boundary
-    ~compute () =
+let make ~name ~dim ?(width = 1) ?(uses_j = true) ?row ?ckernel ~reads
+    ~boundary ~compute () =
   if width <= 0 then invalid_arg "Kernel.make: width";
   if reads = [] then invalid_arg "Kernel.make: no reads";
   if List.exists (fun r -> Vec.dim r <> dim) reads then
     invalid_arg "Kernel.make: read offset dimension mismatch";
   if row <> None && width <> 1 then
     invalid_arg "Kernel.make: row bodies require width = 1";
-  { name; dim; width; uses_j; reads; boundary; compute; row }
+  (match ckernel with
+  | Some ck ->
+    if ck.Ckernel.width <> width then
+      invalid_arg "Kernel.make: C kernel width mismatch";
+    if ck.Ckernel.nreads <> List.length reads then
+      invalid_arg "Kernel.make: C kernel nreads mismatch"
+  | None -> ());
+  {
+    name; dim; width; uses_j; reads; boundary; compute; row; ckernel;
+    skew = Intmat.identity dim;
+  }
 
 let skewed k t =
   if not (Intmat.is_unimodular t) then invalid_arg "Kernel.skewed: not unimodular";
@@ -35,6 +51,7 @@ let skewed k t =
     name = k.name ^ "-skewed";
     reads = List.map (Intmat.apply t) k.reads;
     boundary = (fun j field -> k.boundary (Intmat.apply tinv j) field);
+    skew = Intmat.mul t k.skew;
     (* compute receives the skewed j; kernels that need original
        coordinates (e.g. ADI's coefficient array A[i,j]) must be built via
        [skewed] from a kernel that uses original coordinates — so unskew

@@ -1,4 +1,5 @@
 module Vec = Tiles_util.Vec
+module Fbuf = Tiles_util.Fbuf
 module Tiling = Tiles_core.Tiling
 module Tile_space = Tiles_core.Tile_space
 module Mapping = Tiles_core.Mapping
@@ -6,8 +7,8 @@ module Comm = Tiles_core.Comm
 module Plan = Tiles_core.Plan
 
 type comms = {
-  send : dst:int -> tag:int -> float array -> unit;
-  recv : src:int -> tag:int -> float array;
+  send : dst:int -> tag:int -> Fbuf.t -> unit;
+  recv : src:int -> tag:int -> Fbuf.t;
   compute : float -> unit;
   pack : float -> unit;
   unpack : float -> unit;
@@ -138,8 +139,8 @@ let rank_program ?(overlap = false) shared comms rank =
   in
   let la =
     match walker with
-    | Some w -> Array.make (Walker.lds_total w * width) Float.nan
-    | None -> [||]
+    | Some w -> Fbuf.make (Walker.lds_total w * width) Float.nan
+    | None -> Fbuf.create 0
   in
   let zero_lo = Array.make n 0 in
   let tile_buf = Array.make n 0 in
@@ -182,7 +183,7 @@ let rank_program ?(overlap = false) shared comms rank =
           Walker.unpack_slab w ~trel ~pred_tile ~ds:dS ~lo:dir.slab_lo ~la
             ~buf
         in
-        if count * width <> Array.length buf then
+        if count * width <> Fbuf.length buf then
           raise
             (Slab_mismatch
                {
@@ -190,10 +191,10 @@ let rank_program ?(overlap = false) shared comms rank =
                  mm_stage = `Unpack;
                  mm_dm = dir.dm;
                  mm_ts = ts;
-                 mm_expected = Array.length buf / width;
+                 mm_expected = Fbuf.length buf / width;
                  mm_actual = count;
                }));
-      comms.unpack (float_of_int (Array.length buf) *. shared.pack_time)
+      comms.unpack (float_of_int (Fbuf.length buf) *. shared.pack_time)
     in
     if overlap then
       (* §5 overlapped schedule: pre-post every receive of this tile and
@@ -227,7 +228,7 @@ let rank_program ?(overlap = false) shared comms rank =
           let cells =
             Tile_space.slab_points tspace ~tile:tile_buf ~lo:dir.slab_lo
           in
-          let buf = Array.make (cells * width) 0. in
+          let buf = Fbuf.make (cells * width) 0. in
           (match walker with
           | None -> ()
           | Some w ->

@@ -15,8 +15,8 @@
     same tag — so both backends partition every rank's timeline into the
     same compute / pack / send / wait / unpack vocabulary. *)
 type comms = {
-  send : dst:int -> tag:int -> float array -> unit;
-  recv : src:int -> tag:int -> float array;
+  send : dst:int -> tag:int -> Tiles_util.Fbuf.t -> unit;
+  recv : src:int -> tag:int -> Tiles_util.Fbuf.t;
   compute : float -> unit;  (** tile-point arithmetic for one tile *)
   pack : float -> unit;  (** gathering one outgoing slab *)
   unpack : float -> unit;  (** scattering one received slab *)

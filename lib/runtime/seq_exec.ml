@@ -2,10 +2,16 @@ module Polyhedron = Tiles_poly.Polyhedron
 module Constr = Tiles_poly.Constr
 module FM = Tiles_poly.Fourier_motzkin
 module Vec = Tiles_util.Vec
+module A1 = Bigarray.Array1
 
+(* The oracle deliberately computes on a boxed [float array] (addressed
+   through [Grid.index]) and publishes the result via [Grid.load_boxed]:
+   it shares no storage code with the fast paths, so a bug in the
+   Bigarray migration cannot cancel out of a reference comparison. *)
 let reference_run ~space ~kernel =
   let n = Polyhedron.dim space in
   let grid = Grid.create space ~width:kernel.Kernel.width in
+  let data = Array.make (Grid.slots grid) Float.nan in
   let reads = Array.of_list kernel.Kernel.reads in
   let src = Array.make n 0 in
   let out = Array.make kernel.Kernel.width 0. in
@@ -15,13 +21,14 @@ let reference_run ~space ~kernel =
         for k = 0 to n - 1 do
           src.(k) <- j.(k) - d.(k)
         done;
-        if Polyhedron.member space src then Grid.get grid src field
+        if Polyhedron.member space src then data.(Grid.index grid src field)
         else kernel.Kernel.boundary src field
       in
       kernel.Kernel.compute ~read ~j ~out;
       for f = 0 to kernel.Kernel.width - 1 do
-        Grid.set grid j f out.(f)
+        data.(Grid.index grid j f) <- out.(f)
       done);
+  Grid.load_boxed grid data;
   grid
 
 (* Strength-reduced sequential walk: rows of the iteration space are
@@ -54,8 +61,15 @@ let fast_run ~variant ~check ~space ~kernel =
   let jend = Array.make n 0 in
   let src = Array.make n 0 in
   let out = Array.make width 0. in
+  (* the sequential walk has no LDS, so taps are *slot* deltas with the
+     field folded in — a different ABI from the walker's cell deltas;
+     the native row kernels therefore don't apply here and [Native]
+     runs the same row bodies as [Fastpath] *)
   let row_body =
-    if variant = Walker.Fastpath && not check then kernel.Kernel.row else None
+    if
+      (variant = Walker.Fastpath || variant = Walker.Native) && not check
+    then kernel.Kernel.row
+    else None
   in
   let uses_j = kernel.Kernel.uses_j in
   let nan_error i =
@@ -90,7 +104,7 @@ let fast_run ~variant ~check ~space ~kernel =
     else if !interior then begin
       let cur = ref g0 in
       let read i field =
-        let v = Array.unsafe_get gdata (!cur + deltas.(i) + field) in
+        let v = A1.unsafe_get gdata (!cur + deltas.(i) + field) in
         if check && Float.is_nan v then nan_error i;
         v
       in
@@ -98,7 +112,7 @@ let fast_run ~variant ~check ~space ~kernel =
         if uses_j || check then j.(n - 1) <- jend.(n - 1) - len + 1 + s;
         kernel.Kernel.compute ~read ~j ~out;
         for f = 0 to width - 1 do
-          Array.unsafe_set gdata (!cur + f) out.(f)
+          A1.unsafe_set gdata (!cur + f) (Array.unsafe_get out f)
         done;
         cur := !cur + width
       done;
@@ -112,7 +126,7 @@ let fast_run ~variant ~check ~space ~kernel =
           src.(k) <- j.(k) - d.(k)
         done;
         if member src then begin
-          let v = gdata.(!cur + deltas.(i) + field) in
+          let v = gdata.{!cur + deltas.(i) + field} in
           if check && Float.is_nan v then nan_error i;
           v
         end
@@ -123,7 +137,7 @@ let fast_run ~variant ~check ~space ~kernel =
         j.(n - 1) <- start + s;
         kernel.Kernel.compute ~read ~j ~out;
         for f = 0 to width - 1 do
-          gdata.(!cur + f) <- out.(f)
+          gdata.{!cur + f} <- out.(f)
         done;
         cur := !cur + width
       done;
@@ -152,7 +166,7 @@ let run ?(variant = Walker.Fastpath) ?(check = false) ~space ~kernel () =
     invalid_arg "Seq_exec.run: dimension";
   match variant with
   | Walker.Reference -> reference_run ~space ~kernel
-  | Walker.Strength_reduced | Walker.Fastpath ->
+  | Walker.Strength_reduced | Walker.Fastpath | Walker.Native ->
     fast_run ~variant ~check ~space ~kernel
 
 let modelled_time ~space ~net =

@@ -1,3 +1,4 @@
+module Fbuf = Tiles_util.Fbuf
 module Mapping = Tiles_core.Mapping
 module Plan = Tiles_core.Plan
 module Polyhedron = Tiles_poly.Polyhedron
@@ -28,7 +29,7 @@ module Mailbox = struct
   type t = {
     mutex : Mutex.t;
     cond : Condition.t;
-    messages : (int, float array Queue.t) Hashtbl.t;
+    messages : (int, Fbuf.t Queue.t) Hashtbl.t;
   }
 
   let create () =
@@ -219,14 +220,14 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
         fun ~dst ~tag data ->
           let t0 = Recorder.now recorder in
           Mailbox.send boxes.(rank).(dst) ~tag data;
-          Recorder.message_sent log ~bytes:(8 * Array.length data);
+          Recorder.message_sent log ~bytes:(8 * Fbuf.length data);
           Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Send;
           Recorder.mark log
       | Some stages ->
         let stage = stages.(rank) in
         fun ~dst ~tag data ->
           let t0 = Recorder.now recorder in
-          let bytes = 8 * Array.length data in
+          let bytes = 8 * Fbuf.length data in
           let diag () =
             Printf.sprintf
               "Shm_executor: rank %d blocked > %gs handing a %d-byte slab \
@@ -264,7 +265,7 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
           let data =
             Mailbox.recv ~timeout:recv_timeout ~diag boxes.(src).(rank) ~tag
           in
-          Recorder.message_received log ~bytes:(8 * Array.length data);
+          Recorder.message_received log ~bytes:(8 * Fbuf.length data);
           Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Wait;
           Recorder.mark log;
           data);

@@ -59,10 +59,14 @@ module Mailbox : sig
 
   val create : unit -> t
 
-  val send : t -> tag:int -> float array -> unit
+  val send : t -> tag:int -> Tiles_util.Fbuf.t -> unit
 
   val recv :
-    ?timeout:float -> ?diag:(unit -> string) -> t -> tag:int -> float array
+    ?timeout:float ->
+    ?diag:(unit -> string) ->
+    t ->
+    tag:int ->
+    Tiles_util.Fbuf.t
   (** Blocks until a message with [tag] is available. A drained per-tag
       queue is removed from the table, so the table stays bounded by the
       number of {e pending} tags rather than growing with every tag ever

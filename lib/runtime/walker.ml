@@ -1,4 +1,5 @@
 module Vec = Tiles_util.Vec
+module Fbuf = Tiles_util.Fbuf
 module Ints = Tiles_util.Ints
 module Intmat = Tiles_linalg.Intmat
 module Lattice = Tiles_linalg.Lattice
@@ -11,21 +12,24 @@ module Tile_space = Tiles_core.Tile_space
 module Comm = Tiles_core.Comm
 module Lds = Tiles_core.Lds
 module Plan = Tiles_core.Plan
+module A1 = Bigarray.Array1
 
-type variant = Reference | Strength_reduced | Fastpath
+type variant = Reference | Strength_reduced | Fastpath | Native
 
 let variant_to_string = function
   | Reference -> "reference"
   | Strength_reduced -> "strength"
   | Fastpath -> "fast"
+  | Native -> "native"
 
 let variant_of_string = function
   | "reference" -> Some Reference
   | "strength" -> Some Strength_reduced
   | "fast" -> Some Fastpath
+  | "native" -> Some Native
   | _ -> None
 
-let all_variants = [ Reference; Strength_reduced; Fastpath ]
+let all_variants = [ Reference; Strength_reduced; Fastpath; Native ]
 
 let compiled_member space =
   let cs =
@@ -48,6 +52,75 @@ let compiled_member space =
       cs;
     !ok
 
+(* one FM chain level, flattened: constraint i bounds the level's
+   variable with coefficient ca.(i), constant cc.(i) and prefix
+   coefficients cp.(i*var .. i*var+var-1) *)
+type clevel = { ca : int array; cc : int array; cp : int array }
+
+let compile_level cs ~var =
+  let cs = Array.of_list cs in
+  let nc = Array.length cs in
+  let ca = Array.make nc 0 in
+  let cc = Array.make nc 0 in
+  let cp = Array.make (max 1 (nc * var)) 0 in
+  Array.iteri
+    (fun i c ->
+      ca.(i) <- Constr.coeff c var;
+      cc.(i) <- Constr.const c;
+      for j = 0 to var - 1 do
+        cp.((i * var) + j) <- Constr.coeff c j
+      done)
+    cs;
+  { ca; cc; cp }
+
+(* The slab projection: the pulled-back space constraints over the
+   symbolic prefix [vs | j'] intersected with the tile box [0, v-1],
+   eliminated level by level. The tile corner enters through the prefix
+   at bounds time and the slab clip [lo] is axis-aligned, so it clamps
+   each level's range at evaluation time — one projection serves every
+   tile AND every slab. It depends only on (pull_w, pull_bden, v), which
+   every rank of a plan shares, so the compiled chain is memoised
+   process-wide (guarded: shm ranks build walkers from their own
+   domains). *)
+let proj_memo : (int array array * int array * int array, clevel array) Hashtbl.t
+    =
+  Hashtbl.create 8
+
+let proj_memo_mu = Mutex.create ()
+
+let shared_projection ~n ~pull_w ~pull_bden ~v =
+  let key = (pull_w, pull_bden, v) in
+  Mutex.lock proj_memo_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock proj_memo_mu)
+    (fun () ->
+      match Hashtbl.find_opt proj_memo key with
+      | Some p -> p
+      | None ->
+        let nn = 2 * n in
+        let pulled =
+          Array.to_list
+            (Array.mapi
+               (fun i w ->
+                 Constr.make ~coeffs:(Array.append w w) ~const:pull_bden.(i))
+               pull_w)
+        in
+        let box =
+          List.concat
+            (List.init n (fun k ->
+                 [
+                   Constr.lower_bound_var nn (n + k) 0;
+                   Constr.upper_bound_var nn (n + k) (v.(k) - 1);
+                 ]))
+        in
+        let p = FM.project (pulled @ box) ~dim:nn in
+        let compiled =
+          Array.init n (fun k ->
+              compile_level (FM.system p ~var:(n + k)) ~var:(n + k))
+        in
+        Hashtbl.add proj_memo key compiled;
+        compiled)
+
 type t = {
   variant : variant;
   check : bool;
@@ -68,17 +141,40 @@ type t = {
   member : int array -> bool;
   reads : Vec.t array;
   reads' : Vec.t array;  (* H'·reads *)
+  (* per-tap LDS cell delta tables: the delta for tap i decomposes as
+     sum_k fdiv(r_k - d'_k, c_k)·lstr_k with r_k = j'_k mod c_k, so one
+     lookup per dimension replaces two floored divisions. dtab.(i) is
+     flat over (k, r) with per-dimension offsets [coff]. *)
+  dtab : int array array;
+  coff : int array;
   (* pullback of each space constraint onto TTIS coordinates: coeff rows
      are tile-independent, only the constant varies per tile *)
   pull_w : int array array;
   pull_bden : int array;
+  (* per-constraint interiority data (see [tile_interior] and
+     [row_interior_span]): the largest tap shift den·(a_i·d_r) over all
+     read offsets d_r, the minimum of pull_w_i·j' over the local box
+     [0, v-1], and the change of pull_w_i·j' per innermost lattice step *)
+  maxshift : int array;
+  boxmin : int array;
+  cslope : int array;
+  (* the compiled row entry when [variant = Native] built successfully;
+     [fallback] records why it didn't (the walker then runs [Fastpath]) *)
+  native : Native_kernel.fn option;
+  fallback : string option;
+  (* the shared slab projection (see [shared_projection]), compiled to
+     flat coefficient arrays — [FM.bounds] walks a boxed constraint list
+     with per-coefficient calls, far too slow for a per-row operation *)
+  proj : clevel array;
   (* scratch (one walker per rank; never shared across domains) *)
   vs : int array;  (* V·tile *)
+  jpre : int array;  (* FM prefix: [vs | j'] (2n entries) *)
   jp : int array;  (* TTIS row cursor *)
   jrow : int array;  (* global row start *)
-  jend : int array;  (* global row end *)
   jcur : int array;  (* global point cursor *)
   src : int array;  (* tap source point *)
+  rres : int array;  (* per-dim residue table index for the current row *)
+  act : int array;  (* indices of the tile's active constraints *)
   doffs : int array;  (* per-tap LDS cell deltas for the current row *)
   out : float array;
 }
@@ -116,22 +212,81 @@ let make ~plan ~kernel ~rank ~ntiles ~variant ~check =
   in
   let reads = Array.of_list kernel.Kernel.reads in
   let reads' = Array.map (Intmat.apply tiling.Tiling.h') reads in
+  let coff = Array.make n 0 in
+  for k = 1 to n - 1 do
+    coff.(k) <- coff.(k - 1) + tiling.Tiling.c.(k - 1)
+  done;
+  let csum = coff.(n - 1) + tiling.Tiling.c.(n - 1) in
+  let dtab =
+    Array.map
+      (fun d' ->
+        let tab = Array.make csum 0 in
+        for k = 0 to n - 1 do
+          for r = 0 to tiling.Tiling.c.(k) - 1 do
+            tab.(coff.(k) + r) <-
+              Ints.fdiv (r - d'.(k)) tiling.Tiling.c.(k) * lstr.(k)
+          done
+        done;
+        tab)
+      reads'
+  in
   let cs = Polyhedron.constraints space in
+  let amat =
+    Array.of_list (List.map (fun c -> Array.init n (Constr.coeff c)) cs)
+  in
   let pull_w =
-    Array.of_list
-      (List.map
-         (fun c ->
-           let a = Array.init n (Constr.coeff c) in
-           Array.init n (fun k ->
-               let acc = ref 0 in
-               for i = 0 to n - 1 do
-                 acc := !acc + (a.(i) * q.(i).(k))
-               done;
-               !acc))
-         cs)
+    Array.map
+      (fun a ->
+        Array.init n (fun k ->
+            let acc = ref 0 in
+            for i = 0 to n - 1 do
+              acc := !acc + (a.(i) * q.(i).(k))
+            done;
+            !acc))
+      amat
   in
   let pull_bden =
     Array.of_list (List.map (fun c -> Constr.const c * den) cs)
+  in
+  (* constraint i holds at tap r of the point with local coordinate j'
+     iff pull_w_i·(vs + j') + pull_bden_i - den·(a_i·d_r) >= 0; only the
+     largest shift den·(a_i·d_r) ever binds, so one number per
+     constraint covers every tap *)
+  let maxshift =
+    Array.map
+      (fun a ->
+        List.fold_left
+          (fun acc d ->
+            let dot = ref 0 in
+            for k = 0 to n - 1 do
+              dot := !dot + (a.(k) * d.(k))
+            done;
+            max acc (den * !dot))
+          min_int kernel.Kernel.reads)
+      amat
+  in
+  let boxmin =
+    Array.map
+      (fun w ->
+        let acc = ref 0 in
+        for k = 0 to n - 1 do
+          acc := !acc + min 0 (w.(k) * (tiling.Tiling.v.(k) - 1))
+        done;
+        !acc)
+      pull_w
+  in
+  let cslope =
+    Array.map (fun w -> w.(n - 1) * tiling.Tiling.c.(n - 1)) pull_w
+  in
+  let native, fallback =
+    match variant with
+    | Native when check ->
+      (None, Some "check mode validates LDS reads in OCaml")
+    | Native -> (
+      match Native_kernel.build ~plan ~kernel with
+      | Ok fn -> (Some fn, None)
+      | Error reason -> (None, Some reason))
+    | Reference | Strength_reduced | Fastpath -> (None, None)
   in
   {
     variant;
@@ -153,20 +308,34 @@ let make ~plan ~kernel ~rank ~ntiles ~variant ~check =
     member = compiled_member space;
     reads;
     reads';
+    dtab;
+    coff;
     pull_w;
     pull_bden;
+    maxshift;
+    boxmin;
+    cslope;
+    native;
+    fallback;
+    proj = shared_projection ~n ~pull_w ~pull_bden ~v:tiling.Tiling.v;
     vs = Array.make n 0;
+    jpre = Array.make (2 * n) 0;
     jp = Array.make n 0;
     jrow = Array.make n 0;
-    jend = Array.make n 0;
     jcur = Array.make n 0;
     src = Array.make n 0;
+    rres = Array.make n 0;
+    act = Array.make (Array.length pull_w) 0;
     doffs = Array.make (Array.length reads) 0;
     out = Array.make width 0.;
   }
 
 let variant t = t.variant
 let lds_total t = t.shape.Lds.total
+let fallback_reason t = t.fallback
+
+(* fast variants whose pack/unpack/write-back may use contiguous blits *)
+let blits t = match t.variant with Fastpath | Native -> true | _ -> false
 
 (* LDS cell index of TTIS point [j'] at trel = 0 (Table 1 with the
    tile-relative shift split off: adding [trel * t.tshift] gives the
@@ -175,73 +344,108 @@ let cell0 t (j' : int array) =
   let comm = t.comm and c = t.tiling.Tiling.c in
   let acc = ref 0 in
   for k = 0 to t.n - 1 do
-    acc := !acc + ((Ints.fdiv j'.(k) c.(k) + comm.Comm.off.(k)) * t.lstr.(k))
+    (* j' >= 0 inside the local box, so truncating division is floored *)
+    acc := !acc + (((j'.(k) / c.(k)) + comm.Comm.off.(k)) * t.lstr.(k))
   done;
   !acc
 
 (* Per-tap LDS cell delta for the row containing [j']: constant along the
-   row because the innermost coordinate moves in multiples of c_{n-1}. *)
+   row because the innermost coordinate moves in multiples of c_{n-1}.
+   Looked up from the residue tables ([j'] is always >= 0 inside the
+   local box, so plain [mod] is the residue). *)
 let set_row_doffs t (j' : int array) =
   let c = t.tiling.Tiling.c in
-  for i = 0 to Array.length t.reads' - 1 do
-    let d' = t.reads'.(i) in
+  for k = 0 to t.n - 1 do
+    t.rres.(k) <- t.coff.(k) + (j'.(k) mod c.(k))
+  done;
+  for i = 0 to Array.length t.dtab - 1 do
+    let tab = t.dtab.(i) in
     let acc = ref 0 in
     for k = 0 to t.n - 1 do
-      acc :=
-        !acc
-        + ((Ints.fdiv (j'.(k) - d'.(k)) c.(k) - Ints.fdiv j'.(k) c.(k))
-          * t.lstr.(k))
+      acc := !acc + Array.unsafe_get tab (Array.unsafe_get t.rres k)
     done;
     t.doffs.(i) <- !acc
   done
 
 (* Global point of TTIS row start: j = Q·(V·tile + j') / den. *)
 let set_global t (j' : int array) (dst : int array) =
+  let den = t.den in
   for i = 0 to t.n - 1 do
     let acc = ref 0 in
     for k = 0 to t.n - 1 do
       acc := !acc + (t.q.(i).(k) * (t.vs.(k) + j'.(k)))
     done;
-    dst.(i) <- !acc / t.den
+    dst.(i) <- (if den = 1 then !acc else !acc / den)
   done
 
+(* [FM.bounds] specialised to a compiled level: flat arrays, unsafe
+   reads, results through [blo]/[bhi] instead of an allocated option.
+   The box constraints added by [shared_projection] guarantee both
+   bounds exist, so the min_int/max_int sentinels can never survive a
+   non-empty range. *)
+let clevel_bounds (lv : clevel) (pre : int array) ~var ~blo ~bhi =
+  let nc = Array.length lv.ca in
+  let lo = ref min_int and hi = ref max_int in
+  let ok = ref true in
+  for i = 0 to nc - 1 do
+    let rest = ref (Array.unsafe_get lv.cc i) in
+    let off = i * var in
+    for j = 0 to var - 1 do
+      rest :=
+        !rest
+        + (Array.unsafe_get lv.cp (off + j) * Array.unsafe_get pre j)
+    done;
+    let a = Array.unsafe_get lv.ca i in
+    if a > 0 then begin
+      let v = Ints.cdiv (- !rest) a in
+      if v > !lo then lo := v
+    end
+    else if a < 0 then begin
+      let v = Ints.fdiv !rest (-a) in
+      if v < !hi then hi := v
+    end
+    else if !rest < 0 then ok := false
+  done;
+  if !ok && !lo <= !hi then begin
+    blo := !lo;
+    bhi := !hi;
+    true
+  end
+  else false
+
 (* Row-wise enumeration of the clipped slab [j' >= lo] of [tile], in
-   lexicographic TTIS order. Mirrors Tile_space.count_clipped: the space
-   constraints pull back to TTIS coordinates with tile-dependent
-   constants only; the Fourier–Motzkin chain's innermost level is the
-   original system, so every residue-aligned point of [start, bhi] is a
-   slab member — rows need no per-point membership test. *)
+   lexicographic TTIS order. Mirrors Tile_space.count_clipped: the
+   Fourier–Motzkin chain's innermost level is the original system, so
+   every residue-aligned point of [start, bhi] is a slab member — rows
+   need no per-point membership test. *)
 let iter_rows t ~tile ~lo f =
   let n = t.n in
   let tiling = t.tiling in
   let c = tiling.Tiling.c in
   for k = 0 to n - 1 do
-    t.vs.(k) <- tiling.Tiling.v.(k) * tile.(k)
+    t.vs.(k) <- tiling.Tiling.v.(k) * tile.(k);
+    t.jpre.(k) <- t.vs.(k)
   done;
-  let pulled =
-    Array.to_list
-      (Array.mapi
-         (fun i w ->
-           Constr.make ~coeffs:(Array.copy w)
-             ~const:(Vec.dot w t.vs + t.pull_bden.(i)))
-         t.pull_w)
-  in
-  let box =
-    List.concat
-      (List.init n (fun k ->
-           [
-             Constr.lower_bound_var n k (max 0 lo.(k));
-             Constr.upper_bound_var n k (tiling.Tiling.v.(k) - 1);
-           ]))
-  in
-  let proj = FM.project (pulled @ box) ~dim:n in
+  let proj = t.proj in
   let j' = t.jp in
+  let pre = t.jpre in
+  let blo = ref 0 and bhi = ref 0 in
   let rec go k =
-    match FM.bounds proj ~var:k ~prefix:j' with
-    | None -> ()
-    | Some (blo, bhi) ->
-      let residue = Lattice.first_in_residue tiling.Tiling.lattice k j' in
-      let start = residue + (c.(k) * Ints.cdiv (blo - residue) c.(k)) in
+    if clevel_bounds proj.(k) pre ~var:(n + k) ~blo ~bhi then begin
+      let bhi = !bhi in
+      (* the chain was projected against the full tile box; the slab
+         clip is axis-aligned, so it clamps the level's range here (a
+         level emptied by the clamp is skipped by [start <= bhi]) *)
+      if !blo < lo.(k) then blo := lo.(k);
+      let start =
+        (* c_k = 1 admits every integer: skip the residue computation
+           (it allocates and divides) on unit-step levels *)
+        if c.(k) = 1 then !blo
+        else begin
+          let residue = Lattice.first_in_residue tiling.Tiling.lattice k j' in
+          residue + (c.(k) * Ints.cdiv (!blo - residue) c.(k))
+        end
+      in
       if start <= bhi then
         if k = n - 1 then begin
           j'.(k) <- start;
@@ -251,16 +455,18 @@ let iter_rows t ~tile ~lo f =
           let x = ref start in
           while !x <= bhi do
             j'.(k) <- !x;
+            pre.(n + k) <- !x;
             go (k + 1);
             x := !x + c.(k)
           done
         end
+    end
   in
   go 0
 
 (* ---------------- reference paths (the original per-point code) ------- *)
 
-let reference_compute t ~trel ~tile ~la =
+let reference_compute t ~trel ~tile ~(la : Fbuf.t) =
   let n = t.n and width = t.width in
   let tiling = t.tiling and comm = t.comm in
   let points = ref 0 in
@@ -277,7 +483,7 @@ let reference_compute t ~trel ~tile ~la =
             t.jcur.(k) <- j'.(k) - d'.(k)
           done;
           let j'' = Lds.map tiling comm ~t:trel t.jcur in
-          let v = la.((Lds.map_index t.shape j'' * width) + field) in
+          let v = la.{(Lds.map_index t.shape j'' * width) + field} in
           if Float.is_nan v then
             failwith
               (Printf.sprintf
@@ -292,23 +498,23 @@ let reference_compute t ~trel ~tile ~la =
       let j'' = Lds.map tiling comm ~t:trel j' in
       let cell = Lds.map_index t.shape j'' in
       for f = 0 to width - 1 do
-        la.((cell * width) + f) <- t.out.(f)
+        la.{(cell * width) + f} <- t.out.(f)
       done);
   !points
 
-let reference_pack t ~trel ~tile ~lo ~la ~buf =
+let reference_pack t ~trel ~tile ~lo ~(la : Fbuf.t) ~(buf : Fbuf.t) =
   let width = t.width in
   let count = ref 0 in
   Tile_space.iter_slab_points t.tspace ~tile ~lo (fun ~local:j' ~global:_ ->
       let j'' = Lds.map t.tiling t.comm ~t:trel j' in
       let cell = Lds.map_index t.shape j'' in
       for f = 0 to width - 1 do
-        buf.((!count * width) + f) <- la.((cell * width) + f)
+        buf.{(!count * width) + f} <- la.{(cell * width) + f}
       done;
       incr count);
   !count
 
-let reference_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
+let reference_unpack t ~trel ~pred_tile ~ds ~lo ~(la : Fbuf.t) ~(buf : Fbuf.t) =
   let n = t.n and width = t.width in
   let count = ref 0 in
   Tile_space.iter_slab_points t.tspace ~tile:pred_tile ~lo
@@ -319,48 +525,70 @@ let reference_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
       done;
       let cell = Lds.map_index t.shape j'' in
       for f = 0 to width - 1 do
-        la.((cell * width) + f) <- buf.((!count * width) + f)
+        la.{(cell * width) + f} <- buf.{(!count * width) + f}
       done;
       incr count);
   !count
 
-let reference_write_back t ~trel ~tile ~la grid =
+let reference_write_back t ~trel ~tile ~(la : Fbuf.t) grid =
   let width = t.width in
   Tile_space.iter_tile_points t.tspace ~tile (fun ~local:j' ~global:j ->
       let j'' = Lds.map t.tiling t.comm ~t:trel j' in
       let cell = Lds.map_index t.shape j'' in
       for f = 0 to width - 1 do
-        Grid.set grid j f la.((cell * width) + f)
+        Grid.set grid j f la.{(cell * width) + f}
       done)
 
 (* ---------------- strength-reduced paths ------------------------------ *)
 
-(* Are all taps of the whole row interior? Row points lie on the segment
-   [jrow, jend]; the space is convex, so checking both ends per tap
-   covers every point in between. *)
-let row_interior t len =
-  let n = t.n in
-  for k = 0 to n - 1 do
-    t.jend.(k) <- t.jrow.(k) + ((len - 1) * t.jstep.(k))
-  done;
-  let ok = ref true in
-  let nrd = Array.length t.reads in
-  let i = ref 0 in
-  while !ok && !i < nrd do
-    let d = t.reads.(!i) in
-    for k = 0 to n - 1 do
-      t.src.(k) <- t.jrow.(k) - d.(k)
+(* Which pulled constraints can go negative at some tap somewhere in
+   [tile]'s bounding box? Exact integer minimisation over the local box
+   [0, v-1]: the returned count is 0 exactly when every tap of every
+   box point stays inside the space (the tile is interior), and
+   [row_interior_span] only needs to test the survivors — usually the
+   one or two faces a boundary tile actually touches. Requires [t.vs]
+   to be set for the tile. *)
+let tile_active t =
+  let nc = Array.length t.pull_w in
+  let na = ref 0 in
+  for i = 0 to nc - 1 do
+    let w = t.pull_w.(i) in
+    let acc = ref (t.pull_bden.(i) + t.boxmin.(i) - t.maxshift.(i)) in
+    for k = 0 to t.n - 1 do
+      acc := !acc + (w.(k) * t.vs.(k))
     done;
-    if not (t.member t.src) then ok := false
-    else begin
-      for k = 0 to n - 1 do
-        t.src.(k) <- t.jend.(k) - d.(k)
-      done;
-      if not (t.member t.src) then ok := false
-    end;
+    if !acc < 0 then begin
+      t.act.(!na) <- i;
+      incr na
+    end
+  done;
+  !na
+
+(* Interior sub-segment [s0, s1] (inclusive step indices, empty when
+   s0 > s1) of the [len]-point row starting at TTIS point [j']: the s
+   for which every tap of the s-th row point stays inside the space.
+   Each pulled constraint is linear in s with slope [cslope], so the
+   range falls out of one integer division per active constraint — no
+   per-point membership tests, and the interior majority of a boundary
+   row can still take the unrolled row body. *)
+let row_interior_span t (j' : int array) len ~na =
+  let n = t.n in
+  let s0 = ref 0 and s1 = ref (len - 1) in
+  let i = ref 0 in
+  while !s0 <= !s1 && !i < na do
+    let ci = t.act.(!i) in
+    let w = t.pull_w.(ci) in
+    let base = ref (t.pull_bden.(ci) - t.maxshift.(ci)) in
+    for k = 0 to n - 1 do
+      base := !base + (w.(k) * (t.vs.(k) + j'.(k)))
+    done;
+    let slope = t.cslope.(ci) in
+    if slope > 0 then s0 := max !s0 (Ints.cdiv (- !base) slope)
+    else if slope < 0 then s1 := min !s1 (Ints.fdiv !base (- slope))
+    else if !base < 0 then s0 := len;
     incr i
   done;
-  !ok
+  (!s0, !s1)
 
 let nan_error t j i =
   failwith
@@ -369,38 +597,77 @@ let nan_error t j i =
         read %d"
        t.rank (Vec.to_string j) i)
 
-let fast_compute t ~trel ~tile ~la =
+let fast_compute t ~trel ~tile ~(la : Fbuf.t) =
   let n = t.n and width = t.width in
   let kernel = t.kernel in
   let uses_j = kernel.Kernel.uses_j in
   let points = ref 0 in
   let zero_lo = Array.make n 0 in
-  iter_rows t ~tile ~lo:zero_lo (fun ~j' ~len ->
-      points := !points + len;
-      let base = cell0 t j' + (trel * t.tshift) in
-      set_global t j' t.jrow;
-      set_row_doffs t j';
-      let interior = row_interior t len in
-      if
-        interior && t.variant = Fastpath && (not t.check)
-        && kernel.Kernel.row <> None
-      then
+  for k = 0 to n - 1 do
+    t.vs.(k) <- t.tiling.Tiling.v.(k) * tile.(k)
+  done;
+  let na = tile_active t in
+  let tile_int = na = 0 in
+  let rowfn =
+    if blits t && not t.check then kernel.Kernel.row else None
+  in
+  (* guarded segment [a, b] of the row at LDS cell [base]: per-tap
+     membership, boundary values outside the space. Defined outside the
+     row callback so the closures are allocated once per tile. *)
+  let boundary_seg base a b =
+    if a <= b then begin
+      let cur = ref (base + a) in
+      for k = 0 to n - 1 do
+        t.jcur.(k) <- t.jrow.(k) + (a * t.jstep.(k))
+      done;
+      let read i field =
+        let d = t.reads.(i) in
+        for k = 0 to n - 1 do
+          t.src.(k) <- t.jcur.(k) - d.(k)
+        done;
+        if t.member t.src then begin
+          let v = la.{((!cur + t.doffs.(i)) * width) + field} in
+          if t.check && Float.is_nan v then nan_error t t.jcur i;
+          v
+        end
+        else kernel.Kernel.boundary t.src field
+      in
+      for _s = a to b do
+        kernel.Kernel.compute ~read ~j:t.jcur ~out:t.out;
+        let slot = !cur * width in
+        for f = 0 to width - 1 do
+          la.{slot + f} <- t.out.(f)
+        done;
+        incr cur;
+        for k = 0 to n - 1 do
+          t.jcur.(k) <- t.jcur.(k) + t.jstep.(k)
+        done
+      done
+    end
+  in
+  (* interior segment [a, b]: unguarded reads off precomputed cell
+     deltas, through the unrolled row body when available *)
+  let interior_seg base a b =
+    if a <= b then
+      match rowfn with
+      | Some rb ->
         (* width = 1 (enforced by Kernel.make), so slots = cells *)
-        (Option.get kernel.Kernel.row) ~la ~dst:base ~taps:t.doffs ~len
-      else if interior then begin
-        (* interior row: unguarded reads off precomputed cell deltas *)
-        let cur = ref base in
-        Array.blit t.jrow 0 t.jcur 0 n;
+        rb ~la ~dst:(base + a) ~taps:t.doffs ~len:(b - a + 1)
+      | None -> begin
+        let cur = ref (base + a) in
+        for k = 0 to n - 1 do
+          t.jcur.(k) <- t.jrow.(k) + (a * t.jstep.(k))
+        done;
         let read i field =
-          let v = Array.unsafe_get la ((!cur + t.doffs.(i)) * width + field) in
+          let v = A1.unsafe_get la ((!cur + t.doffs.(i)) * width + field) in
           if t.check && Float.is_nan v then nan_error t t.jcur i;
           v
         in
-        for _s = 0 to len - 1 do
+        for _s = a to b do
           kernel.Kernel.compute ~read ~j:t.jcur ~out:t.out;
           let slot = !cur * width in
           for f = 0 to width - 1 do
-            Array.unsafe_set la (slot + f) t.out.(f)
+            A1.unsafe_set la (slot + f) (Array.unsafe_get t.out f)
           done;
           incr cur;
           if uses_j || t.check then
@@ -409,47 +676,42 @@ let fast_compute t ~trel ~tile ~la =
             done
         done
       end
-      else begin
-        (* boundary row: per-tap membership, boundary values outside *)
-        let cur = ref base in
-        Array.blit t.jrow 0 t.jcur 0 n;
-        let read i field =
-          let d = t.reads.(i) in
-          for k = 0 to n - 1 do
-            t.src.(k) <- t.jcur.(k) - d.(k)
-          done;
-          if t.member t.src then begin
-            let v = la.(((!cur + t.doffs.(i)) * width) + field) in
-            if t.check && Float.is_nan v then nan_error t t.jcur i;
-            v
-          end
-          else kernel.Kernel.boundary t.src field
-        in
-        for _s = 0 to len - 1 do
-          kernel.Kernel.compute ~read ~j:t.jcur ~out:t.out;
-          let slot = !cur * width in
-          for f = 0 to width - 1 do
-            la.(slot + f) <- t.out.(f)
-          done;
-          incr cur;
-          for k = 0 to n - 1 do
-            t.jcur.(k) <- t.jcur.(k) + t.jstep.(k)
-          done
-        done
-      end);
+  in
+  iter_rows t ~tile ~lo:zero_lo (fun ~j' ~len ->
+      points := !points + len;
+      let base = cell0 t j' + (trel * t.tshift) in
+      set_global t j' t.jrow;
+      set_row_doffs t j';
+      let s0, s1 =
+        if tile_int then (0, len - 1) else row_interior_span t j' len ~na
+      in
+      match t.native with
+      | Some fn ->
+        (* native rows cover interior and boundary alike: the compiled
+           body guards taps itself on boundary rows *)
+        Native_kernel.row fn ~la ~cur:base ~taps:t.doffs ~jrow:t.jrow ~len
+          ~interior:(s0 = 0 && s1 = len - 1)
+      | None ->
+        if s0 > s1 then boundary_seg base 0 (len - 1)
+        else begin
+          boundary_seg base 0 (s0 - 1);
+          interior_seg base s0 s1;
+          boundary_seg base (s1 + 1) (len - 1)
+        end);
   !points
 
-let fast_pack t ~trel ~tile ~lo ~la ~buf =
+let fast_pack t ~trel ~tile ~lo ~(la : Fbuf.t) ~(buf : Fbuf.t) =
   let width = t.width in
   let count = ref 0 in
   iter_rows t ~tile ~lo (fun ~j' ~len ->
       let cell = cell0 t j' + (trel * t.tshift) in
-      if t.variant = Fastpath then
-        Array.blit la (cell * width) buf (!count * width) (len * width)
+      if blits t then
+        Fbuf.blit ~src:la ~src_pos:(cell * width) ~dst:buf
+          ~dst_pos:(!count * width) ~len:(len * width)
       else begin
         let src = ref (cell * width) and dst = ref (!count * width) in
         for _s = 0 to (len * width) - 1 do
-          buf.(!dst) <- la.(!src);
+          buf.{!dst} <- la.{!src};
           incr src;
           incr dst
         done
@@ -457,7 +719,7 @@ let fast_pack t ~trel ~tile ~lo ~la ~buf =
       count := !count + len);
   !count
 
-let fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
+let fast_unpack t ~trel ~pred_tile ~ds ~lo ~(la : Fbuf.t) ~(buf : Fbuf.t) =
   let width = t.width in
   (* the received slab lands shifted by -d^S tiles: a constant cell
      delta, precomputed once per slab *)
@@ -469,12 +731,13 @@ let fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
   let count = ref 0 in
   iter_rows t ~tile:pred_tile ~lo (fun ~j' ~len ->
       let cell = cell0 t j' + shift in
-      if t.variant = Fastpath then
-        Array.blit buf (!count * width) la (cell * width) (len * width)
+      if blits t then
+        Fbuf.blit ~src:buf ~src_pos:(!count * width) ~dst:la
+          ~dst_pos:(cell * width) ~len:(len * width)
       else begin
         let src = ref (!count * width) and dst = ref (cell * width) in
         for _s = 0 to (len * width) - 1 do
-          la.(!dst) <- buf.(!src);
+          la.{!dst} <- buf.{!src};
           incr src;
           incr dst
         done
@@ -482,7 +745,7 @@ let fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf =
       count := !count + len);
   !count
 
-let fast_write_back t ~trel ~tile ~la grid =
+let fast_write_back t ~trel ~tile ~(la : Fbuf.t) grid =
   let n = t.n and width = t.width in
   let gstr = Grid.strides grid in
   let gdata = Grid.data grid in
@@ -496,13 +759,14 @@ let fast_write_back t ~trel ~tile ~la grid =
       let cell = cell0 t j' + (trel * t.tshift) in
       set_global t j' t.jrow;
       let g = ref (Grid.index grid t.jrow 0) in
-      if t.variant = Fastpath && gstep = width then
-        Array.blit la (cell * width) gdata !g (len * width)
+      if blits t && gstep = width then
+        Fbuf.blit ~src:la ~src_pos:(cell * width) ~dst:gdata ~dst_pos:!g
+          ~len:(len * width)
       else begin
         let src = ref (cell * width) in
         for _s = 0 to len - 1 do
           for f = 0 to width - 1 do
-            gdata.(!g + f) <- la.(!src + f)
+            gdata.{!g + f} <- la.{!src + f}
           done;
           src := !src + width;
           g := !g + gstep
@@ -514,20 +778,20 @@ let fast_write_back t ~trel ~tile ~la grid =
 let compute_tile t ~trel ~tile ~la =
   match t.variant with
   | Reference -> reference_compute t ~trel ~tile ~la
-  | Strength_reduced | Fastpath -> fast_compute t ~trel ~tile ~la
+  | Strength_reduced | Fastpath | Native -> fast_compute t ~trel ~tile ~la
 
 let pack_slab t ~trel ~tile ~lo ~la ~buf =
   match t.variant with
   | Reference -> reference_pack t ~trel ~tile ~lo ~la ~buf
-  | Strength_reduced | Fastpath -> fast_pack t ~trel ~tile ~lo ~la ~buf
+  | Strength_reduced | Fastpath | Native -> fast_pack t ~trel ~tile ~lo ~la ~buf
 
 let unpack_slab t ~trel ~pred_tile ~ds ~lo ~la ~buf =
   match t.variant with
   | Reference -> reference_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf
-  | Strength_reduced | Fastpath ->
+  | Strength_reduced | Fastpath | Native ->
     fast_unpack t ~trel ~pred_tile ~ds ~lo ~la ~buf
 
 let write_back t ~trel ~tile ~la grid =
   match t.variant with
   | Reference -> reference_write_back t ~trel ~tile ~la grid
-  | Strength_reduced | Fastpath -> fast_write_back t ~trel ~tile ~la grid
+  | Strength_reduced | Fastpath | Native -> fast_write_back t ~trel ~tile ~la grid

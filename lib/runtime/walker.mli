@@ -6,9 +6,9 @@
     tile-relative LDS base shift, the integer numerator [Q/den] of [P'],
     the per-innermost-step global-coordinate delta, and — per row — a
     flat [int array] of linear read-offset deltas for each stencil tap.
-    The hot loop is then pure [Array.unsafe_get]/[set] on the local
-    array with index increments: no [Vec] allocation, no [Lds.map], no
-    bounds re-derivation.
+    The hot loop is then pure unsafe indexing on the local array
+    (an unboxed {!Tiles_util.Fbuf.t}) with index increments: no [Vec]
+    allocation, no [Lds.map], no bounds re-derivation.
 
     Enumeration happens row-wise: the space constraints are pulled back
     onto TTIS coordinates (tile-dependent constants only), projected
@@ -28,14 +28,21 @@ type variant =
   | Strength_reduced
       (** row enumeration + precomputed linear indices, scalar loops *)
   | Fastpath
-      (** [Strength_reduced] plus: contiguous-row [Array.blit]
-          pack/unpack, and the kernel's unrolled [row] body on interior
-          rows (width-1 kernels). The default. *)
+      (** [Strength_reduced] plus: contiguous-row blit pack/unpack, and
+          the kernel's unrolled [row] body on interior rows (width-1
+          kernels). The default. *)
+  | Native
+      (** [Fastpath] whose per-row work runs in a C-compiled,
+          [dlopen]'d kernel built at plan time from the kernel's
+          [ckernel] body ({!Native_kernel}). Falls back to [Fastpath]
+          behaviour — recording the reason — when no C compiler is
+          available, the kernel carries no C body, or [check] is set
+          (NaN validation needs the OCaml read path). *)
 
 val variant_to_string : variant -> string
 
 val variant_of_string : string -> variant option
-(** Accepts ["reference"], ["strength"], ["fast"]. *)
+(** Accepts ["reference"], ["strength"], ["fast"], ["native"]. *)
 
 val all_variants : variant list
 
@@ -56,16 +63,22 @@ val make :
 (** [check] makes the fast variants validate every LDS read against NaN
     (uninitialised-cell poisoning) like the reference walker does; the
     fast variants skip the check — and become eligible for the unrolled
-    row bodies — when it is false. [Reference] validates regardless. *)
+    row bodies — when it is false. [Reference] validates regardless.
+    [Native] compiles (or loads from cache) its row kernel here. *)
 
 val variant : t -> variant
 
+val fallback_reason : t -> string option
+(** [Some reason] when [Native] was requested but the walker is running
+    the OCaml fast path instead (no compiler, no C body, check mode,
+    compile/dlopen failure); [None] otherwise. *)
+
 val lds_total : t -> int
 (** Cells of the rank's local array ([Lds.shape] total); the backing
-    float array must have [lds_total * width] slots. *)
+    buffer must have [lds_total * width] slots. *)
 
 val compute_tile :
-  t -> trel:int -> tile:Tiles_util.Vec.t -> la:float array -> int
+  t -> trel:int -> tile:Tiles_util.Vec.t -> la:Tiles_util.Fbuf.t -> int
 (** Execute the kernel over the tile's clipped TTIS, reading/writing the
     local array. Returns the number of iteration points computed. *)
 
@@ -74,8 +87,8 @@ val pack_slab :
   trel:int ->
   tile:Tiles_util.Vec.t ->
   lo:int array ->
-  la:float array ->
-  buf:float array ->
+  la:Tiles_util.Fbuf.t ->
+  buf:Tiles_util.Fbuf.t ->
   int
 (** Gather the clipped slab [j' >= lo] of the tile into [buf] in
     lexicographic TTIS order. Returns the number of cells packed. *)
@@ -86,14 +99,19 @@ val unpack_slab :
   pred_tile:Tiles_util.Vec.t ->
   ds:Tiles_util.Vec.t ->
   lo:int array ->
-  la:float array ->
-  buf:float array ->
+  la:Tiles_util.Fbuf.t ->
+  buf:Tiles_util.Fbuf.t ->
   int
 (** Scatter a received slab (packed by the predecessor tile
     [pred_tile], arriving over tile dependence [ds]) into this rank's
     local array. Returns the number of cells scattered. *)
 
 val write_back :
-  t -> trel:int -> tile:Tiles_util.Vec.t -> la:float array -> Grid.t -> unit
+  t ->
+  trel:int ->
+  tile:Tiles_util.Vec.t ->
+  la:Tiles_util.Fbuf.t ->
+  Grid.t ->
+  unit
 (** Copy the tile's computed points from the local array into the
     global grid (LDS → DS). *)

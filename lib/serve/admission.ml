@@ -15,6 +15,13 @@ type 'a t = {
   mutable high_water : int;
 }
 
+(* critical sections run under [Fun.protect]: an exception escaping with
+   the lock held (e.g. from a comparator raising inside [Heap.push])
+   would deadlock every other worker blocked on this queue *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create ~capacity =
   if capacity < 1 then
     invalid_arg "Admission.create: capacity must be >= 1";
@@ -31,59 +38,50 @@ let create ~capacity =
   }
 
 let submit t ~priority v =
-  Mutex.lock t.lock;
-  let r =
-    if t.closed then begin
-      t.rejected_closed <- t.rejected_closed + 1;
-      Error
-        { reason = "shutting_down"; capacity = t.capacity;
-          depth = Heap.size t.heap }
-    end
-    else if Heap.size t.heap >= t.capacity then begin
-      t.rejected_full <- t.rejected_full + 1;
-      Error
-        { reason = "queue_full"; capacity = t.capacity;
-          depth = Heap.size t.heap }
-    end
-    else begin
-      Heap.push t.heap ~priority v;
-      t.accepted <- t.accepted + 1;
-      if Heap.size t.heap > t.high_water then
-        t.high_water <- Heap.size t.heap;
-      Condition.signal t.nonempty;
-      Ok ()
-    end
-  in
-  Mutex.unlock t.lock;
-  r
+  locked t (fun () ->
+      if t.closed then begin
+        t.rejected_closed <- t.rejected_closed + 1;
+        Error
+          { reason = "shutting_down"; capacity = t.capacity;
+            depth = Heap.size t.heap }
+      end
+      else if Heap.size t.heap >= t.capacity then begin
+        t.rejected_full <- t.rejected_full + 1;
+        Error
+          { reason = "queue_full"; capacity = t.capacity;
+            depth = Heap.size t.heap }
+      end
+      else begin
+        Heap.push t.heap ~priority v;
+        t.accepted <- t.accepted + 1;
+        if Heap.size t.heap > t.high_water then
+          t.high_water <- Heap.size t.heap;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
 
 let pop t =
-  Mutex.lock t.lock;
-  let rec wait () =
-    match Heap.pop t.heap with
-    | Some (_, v) -> Some v
-    | None ->
-      if t.closed then None
-      else begin
-        Condition.wait t.nonempty t.lock;
-        wait ()
-      end
-  in
-  let r = wait () in
-  Mutex.unlock t.lock;
-  r
+  locked t (fun () ->
+      (* [Condition.wait] reacquires the lock before returning, so the
+         whole wait loop stays inside the protected section *)
+      let rec wait () =
+        match Heap.pop t.heap with
+        | Some (_, v) -> Some v
+        | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.lock;
+            wait ()
+          end
+      in
+      wait ())
 
-let try_pop t =
-  Mutex.lock t.lock;
-  let r = Option.map snd (Heap.pop t.heap) in
-  Mutex.unlock t.lock;
-  r
+let try_pop t = locked t (fun () -> Option.map snd (Heap.pop t.heap))
 
 let close t =
-  Mutex.lock t.lock;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.lock
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
 
 type stats = {
   capacity : int;
@@ -96,20 +94,16 @@ type stats = {
 }
 
 let stats t =
-  Mutex.lock t.lock;
-  let s =
-    {
-      capacity = t.capacity;
-      depth = Heap.size t.heap;
-      high_water = t.high_water;
-      accepted = t.accepted;
-      rejected_full = t.rejected_full;
-      rejected_closed = t.rejected_closed;
-      closed = t.closed;
-    }
-  in
-  Mutex.unlock t.lock;
-  s
+  locked t (fun () ->
+      {
+        capacity = t.capacity;
+        depth = Heap.size t.heap;
+        high_water = t.high_water;
+        accepted = t.accepted;
+        rejected_full = t.rejected_full;
+        rejected_closed = t.rejected_closed;
+        closed = t.closed;
+      })
 
 let stats_json (s : stats) =
   Json.Obj

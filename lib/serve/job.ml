@@ -96,7 +96,8 @@ let of_json j =
       | Some w -> Ok w
       | None ->
         Error
-          (Printf.sprintf "unknown walker %S (reference | strength | fast)" s))
+          (Printf.sprintf
+             "unknown walker %S (reference | strength | fast | native)" s))
     | Some _ -> Error "field \"walker\" must be a string"
   in
   let* priority =

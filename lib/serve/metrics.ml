@@ -15,6 +15,13 @@ type t = {
   mutable errors : int;
 }
 
+(* every critical section runs under [Fun.protect]: user-influenced code
+   (e.g. [Metric.summarize] in [snapshot_json]) may raise, and an
+   exception escaping with the lock held would deadlock the server *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create () =
   {
     lock = Mutex.create ();
@@ -39,57 +46,43 @@ let class_of t name =
     c
 
 let observe t ~cls ~queued_s ~service_s =
-  Mutex.lock t.lock;
-  let c = class_of t cls in
-  Metric.add c.queued queued_s;
-  Metric.add c.service service_s;
-  Metric.add c.total (queued_s +. service_s);
-  c.count <- c.count + 1;
-  t.completed <- t.completed + 1;
-  Mutex.unlock t.lock
+  locked t (fun () ->
+      let c = class_of t cls in
+      Metric.add c.queued queued_s;
+      Metric.add c.service service_s;
+      Metric.add c.total (queued_s +. service_s);
+      c.count <- c.count + 1;
+      t.completed <- t.completed + 1)
 
-let error t =
-  Mutex.lock t.lock;
-  t.errors <- t.errors + 1;
-  Mutex.unlock t.lock
+let error t = locked t (fun () -> t.errors <- t.errors + 1)
 
-let completed t =
-  Mutex.lock t.lock;
-  let n = t.completed in
-  Mutex.unlock t.lock;
-  n
+let completed t = locked t (fun () -> t.completed)
 
-let errors t =
-  Mutex.lock t.lock;
-  let n = t.errors in
-  Mutex.unlock t.lock;
-  n
+let errors t = locked t (fun () -> t.errors)
 
 let snapshot_json t =
-  Mutex.lock t.lock;
-  let classes =
-    Hashtbl.fold
-      (fun name c acc ->
-        ( name,
-          Json.Obj
-            [
-              ("count", Json.Int c.count);
-              ("queued_s", Metric.summary_to_json (Metric.summarize c.queued));
-              ( "service_s",
-                Metric.summary_to_json (Metric.summarize c.service) );
-              ("total_s", Metric.summary_to_json (Metric.summarize c.total));
-            ] )
-        :: acc)
-      t.classes []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  let j =
-    Json.Obj
-      [
-        ("completed", Json.Int t.completed);
-        ("errors", Json.Int t.errors);
-        ("classes", Json.Obj classes);
-      ]
-  in
-  Mutex.unlock t.lock;
-  j
+  locked t (fun () ->
+      let classes =
+        Hashtbl.fold
+          (fun name c acc ->
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int c.count);
+                  ( "queued_s",
+                    Metric.summary_to_json (Metric.summarize c.queued) );
+                  ( "service_s",
+                    Metric.summary_to_json (Metric.summarize c.service) );
+                  ( "total_s",
+                    Metric.summary_to_json (Metric.summarize c.total) );
+                ] )
+            :: acc)
+          t.classes []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Json.Obj
+        [
+          ("completed", Json.Int t.completed);
+          ("errors", Json.Int t.errors);
+          ("classes", Json.Obj classes);
+        ])

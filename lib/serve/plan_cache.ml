@@ -14,6 +14,13 @@ type t = {
   mutable compiles : int;
 }
 
+(* critical sections run under [Fun.protect] so an exception (from the
+   compile callback, or anything the table calls) can never escape with
+   the lock held and wedge the server *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let create ~capacity =
   if capacity < 1 then
     invalid_arg "Plan_cache.create: capacity must be >= 1";
@@ -57,28 +64,31 @@ let evict_lru t =
   | None -> ()
 
 let find_or_compile t ~key compile =
-  Mutex.lock t.lock;
-  match Hashtbl.find_opt t.tbl key with
-  | Some e ->
-    t.hits <- t.hits + 1;
-    touch t e;
-    let plan = e.plan in
-    Mutex.unlock t.lock;
-    (plan, `Hit)
+  let cached =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          t.hits <- t.hits + 1;
+          touch t e;
+          Some e.plan
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+  in
+  match cached with
+  | Some plan -> (plan, `Hit)
   | None ->
-    t.misses <- t.misses + 1;
-    Mutex.unlock t.lock;
+    (* compile outside the lock: it is slow and may raise *)
     let plan = compile () in
-    Mutex.lock t.lock;
-    t.compiles <- t.compiles + 1;
-    (match Hashtbl.find_opt t.tbl key with
-    | Some e -> touch t e (* a racing compile of the same key won *)
-    | None ->
-      if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
-      let e = { plan; last_use = 0 } in
-      touch t e;
-      Hashtbl.add t.tbl key e);
-    Mutex.unlock t.lock;
+    locked t (fun () ->
+        t.compiles <- t.compiles + 1;
+        match Hashtbl.find_opt t.tbl key with
+        | Some e -> touch t e (* a racing compile of the same key won *)
+        | None ->
+          if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+          let e = { plan; last_use = 0 } in
+          touch t e;
+          Hashtbl.add t.tbl key e);
     (plan, `Miss)
 
 type stats = {
@@ -91,19 +101,15 @@ type stats = {
 }
 
 let stats t =
-  Mutex.lock t.lock;
-  let s =
-    {
-      capacity = t.capacity;
-      size = Hashtbl.length t.tbl;
-      hits = t.hits;
-      misses = t.misses;
-      evictions = t.evictions;
-      compiles = t.compiles;
-    }
-  in
-  Mutex.unlock t.lock;
-  s
+  locked t (fun () ->
+      {
+        capacity = t.capacity;
+        size = Hashtbl.length t.tbl;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        compiles = t.compiles;
+      })
 
 let stats_json (s : stats) =
   Json.Obj

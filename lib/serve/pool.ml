@@ -31,11 +31,15 @@ let start ~shards ~pull ~exec =
 
 let join t =
   Mutex.lock t.join_lock;
-  if not t.joined then begin
-    Array.iter Domain.join t.domains;
-    t.joined <- true
-  end;
-  Mutex.unlock t.join_lock
+  (* [Fun.protect]: [Domain.join] re-raises a worker's uncaught
+     exception; escaping with the lock held would wedge later joiners *)
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.join_lock)
+    (fun () ->
+      if not t.joined then begin
+        Array.iter Domain.join t.domains;
+        t.joined <- true
+      end)
 
 type stats = { shards : int; executed : int list; busy : int }
 

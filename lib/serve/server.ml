@@ -88,6 +88,14 @@ let make_server ?(config = default_config) () =
   in
   t
 
+(* every [t.lock] critical section runs under [Fun.protect]: several of
+   them call out to code that may raise (queue submission, hash-table
+   growth), and an exception escaping with the server lock held would
+   deadlock every subsequent submit/complete *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 (* ---------------- responses ---------------- *)
 
 let error_json ~id msg =
@@ -140,6 +148,7 @@ let run_meta ~(job : Job.t) ~nprocs ~job_id ~queued_s =
          (match job.Job.backend with
          | "sim" -> "fast_ethernet_cluster"
          | _ -> "-")
+       ~walker:(Walker.variant_to_string job.Job.walker)
        ~job_id ~queued_s ())
 
 let sim_payload (r : Executor.result) =
@@ -277,10 +286,11 @@ let run_job t (ticket : ticket) : outcome =
 
 (* complete a leader: deliver to it and every follower, fold latencies *)
 let complete t (ticket : ticket) ~started ~finished result =
-  Mutex.lock t.lock;
-  Hashtbl.remove t.inflight ticket.ckey;
-  let followers = ticket.followers in
-  Mutex.unlock t.lock;
+  let followers =
+    locked t (fun () ->
+        Hashtbl.remove t.inflight ticket.ckey;
+        ticket.followers)
+  in
   let deliver ~id ~submitted ~cache_label respond =
     let queued_s = Float.max 0. (started -. submitted) in
     let service_s = finished -. started in
@@ -306,10 +316,9 @@ let complete t (ticket : ticket) ~started ~finished result =
       deliver ~id:f.f_id ~submitted:f.f_submitted ~cache_label:"coalesced"
         f.f_respond)
     (List.rev followers);
-  Mutex.lock t.lock;
-  t.pending <- t.pending - 1;
-  if t.pending = 0 then Condition.broadcast t.drained;
-  Mutex.unlock t.lock
+  locked t (fun () ->
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.drained)
 
 let exec t (ticket : ticket) =
   let started = Clock.monotonic () in
@@ -349,10 +358,11 @@ let submit t ~respond (job : Job.t) =
   let job =
     if job.Job.id <> "" then job
     else begin
-      Mutex.lock t.lock;
-      t.seq <- t.seq + 1;
-      let id = Printf.sprintf "job-%d" t.seq in
-      Mutex.unlock t.lock;
+      let id =
+        locked t (fun () ->
+            t.seq <- t.seq + 1;
+            Printf.sprintf "job-%d" t.seq)
+      in
       { job with Job.id }
     end
   in
@@ -370,29 +380,42 @@ let submit t ~respond (job : Job.t) =
         ~walker:(Walker.variant_to_string job.Job.walker)
     in
     let ckey = coalesce_key job ~pkey in
-    Mutex.lock t.lock;
-    match Hashtbl.find_opt t.inflight ckey with
-    | Some leader ->
-      leader.followers <-
-        { f_id = job.Job.id; f_submitted = now; f_respond = respond }
-        :: leader.followers;
-      t.coalesced <- t.coalesced + 1;
-      Mutex.unlock t.lock
-    | None -> (
-      let ticket =
-        { job; resolved; ckey; pkey; submitted = now; respond; followers = [] }
-      in
-      (* admission under the server lock: the inflight entry and the
-         queue slot must appear atomically, or a racing duplicate could
-         miss the coalesce window *)
-      match Admission.submit t.queue ~priority:job.Job.priority ticket with
-      | Ok () ->
-        Hashtbl.add t.inflight ckey ticket;
-        t.pending <- t.pending + 1;
-        Mutex.unlock t.lock
-      | Error reject ->
-        Mutex.unlock t.lock;
-        respond (rejected_json ~id:job.Job.id reject)))
+    let verdict =
+      locked t (fun () ->
+          match Hashtbl.find_opt t.inflight ckey with
+          | Some leader ->
+            leader.followers <-
+              { f_id = job.Job.id; f_submitted = now; f_respond = respond }
+              :: leader.followers;
+            t.coalesced <- t.coalesced + 1;
+            `Coalesced
+          | None -> (
+            let ticket =
+              {
+                job;
+                resolved;
+                ckey;
+                pkey;
+                submitted = now;
+                respond;
+                followers = [];
+              }
+            in
+            (* admission under the server lock: the inflight entry and
+               the queue slot must appear atomically, or a racing
+               duplicate could miss the coalesce window *)
+            match
+              Admission.submit t.queue ~priority:job.Job.priority ticket
+            with
+            | Ok () ->
+              Hashtbl.add t.inflight ckey ticket;
+              t.pending <- t.pending + 1;
+              `Admitted
+            | Error reject -> `Rejected reject))
+    in
+    match verdict with
+    | `Coalesced | `Admitted -> ()
+    | `Rejected reject -> respond (rejected_json ~id:job.Job.id reject))
 
 (* ---------------- pool / stepping ---------------- *)
 
@@ -419,17 +442,18 @@ let create ?config () =
   t
 
 let drain t =
-  Mutex.lock t.lock;
-  while t.pending > 0 do
-    Condition.wait t.drained t.lock
-  done;
-  Mutex.unlock t.lock
+  locked t (fun () ->
+      while t.pending > 0 do
+        Condition.wait t.drained t.lock
+      done)
 
 let shutdown t =
-  Mutex.lock t.lock;
-  let already = t.stopped in
-  t.stopped <- true;
-  Mutex.unlock t.lock;
+  let already =
+    locked t (fun () ->
+        let already = t.stopped in
+        t.stopped <- true;
+        already)
+  in
   if not already then begin
     Admission.close t.queue;
     match t.pool with
@@ -440,9 +464,9 @@ let shutdown t =
 (* ---------------- metrics ---------------- *)
 
 let metrics_json t =
-  Mutex.lock t.lock;
-  let coalesced = t.coalesced and in_flight = Hashtbl.length t.inflight in
-  Mutex.unlock t.lock;
+  let coalesced, in_flight =
+    locked t (fun () -> (t.coalesced, Hashtbl.length t.inflight))
+  in
   let pool_json =
     match t.pool with
     | Some pool -> Pool.stats_json (Pool.stats pool)
@@ -518,10 +542,14 @@ let serve_channels ?config ?metrics_out ic oc =
   let out_lock = Mutex.create () in
   let respond j =
     Mutex.lock out_lock;
-    output_string oc (Json.to_line j);
-    output_char oc '\n';
-    flush oc;
-    Mutex.unlock out_lock
+    (* [Fun.protect]: a broken pipe raising out of [flush] must not
+       leave the output lock held for the other workers *)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_lock)
+      (fun () ->
+        output_string oc (Json.to_line j);
+        output_char oc '\n';
+        flush oc)
   in
   let t = create ?config () in
   let rec loop () =
@@ -562,12 +590,14 @@ let serve_socket ?config ?metrics_out ~path () =
     let out_lock = Mutex.create () in
     let respond j =
       Mutex.lock out_lock;
-      (try
-         output_string oc (Json.to_line j);
-         output_char oc '\n';
-         flush oc
-       with Sys_error _ | Unix.Unix_error _ -> ());
-      Mutex.unlock out_lock
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock out_lock)
+        (fun () ->
+          try
+            output_string oc (Json.to_line j);
+            output_char oc '\n';
+            flush oc
+          with Sys_error _ | Unix.Unix_error _ -> ())
     in
     let rec loop () =
       match input_line ic with
@@ -598,16 +628,20 @@ let serve_socket ?config ?metrics_out ~path () =
       | fd, _ ->
         let d = Domain.spawn (handle_conn fd) in
         Mutex.lock handlers_lock;
-        handlers := d :: !handlers;
-        Mutex.unlock handlers_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock handlers_lock)
+          (fun () -> handlers := d :: !handlers);
         accept_loop ()
       | exception Unix.Unix_error _ -> ()  (* listener closed: stop *)
     end
   in
   accept_loop ();
-  Mutex.lock handlers_lock;
-  let hs = !handlers in
-  Mutex.unlock handlers_lock;
+  let hs =
+    Mutex.lock handlers_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock handlers_lock)
+      (fun () -> !handlers)
+  in
   List.iter Domain.join hs;
   drain t;
   shutdown t;

@@ -1,3 +1,4 @@
+module Fbuf = Tiles_util.Fbuf
 module Sim = Tiles_mpisim.Sim
 module Netmodel = Tiles_mpisim.Netmodel
 
@@ -16,11 +17,11 @@ let test_ping () =
   let payload_bytes = 8 * 100 in
   let stats =
     Sim.run ~nprocs:2 ~net (fun r ->
-        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 (Array.make 100 3.14)
+        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 (Fbuf.make 100 3.14)
         else begin
           let buf = Sim.Api.recv ~src:0 ~tag:0 in
-          Alcotest.(check int) "length" 100 (Array.length buf);
-          Alcotest.(check (float 0.)) "value" 3.14 buf.(0)
+          Alcotest.(check int) "length" 100 (Fbuf.length buf);
+          Alcotest.(check (float 0.)) "value" 3.14 buf.{0}
         end)
   in
   let send_done =
@@ -38,7 +39,7 @@ let test_recv_before_send () =
         if r = 1 then ignore (Sim.Api.recv ~src:0 ~tag:7)
         else begin
           Sim.Api.compute 1.0;
-          Sim.Api.send ~dst:1 ~tag:7 [| 42. |]
+          Sim.Api.send ~dst:1 ~tag:7 (Fbuf.of_array [| 42. |])
         end)
   in
   Alcotest.(check bool) "receiver waited" true (stats.Sim.completion > 1.0)
@@ -49,12 +50,12 @@ let test_fifo_per_channel () =
     (Sim.run ~nprocs:2 ~net (fun r ->
          if r = 0 then
            for i = 1 to 5 do
-             Sim.Api.send ~dst:1 ~tag:0 [| float_of_int i |]
+             Sim.Api.send ~dst:1 ~tag:0 (Fbuf.of_array [| float_of_int i |])
            done
          else
            for _ = 1 to 5 do
              let b = Sim.Api.recv ~src:0 ~tag:0 in
-             got := b.(0) :: !got
+             got := b.{0} :: !got
            done));
   Alcotest.(check (list (float 0.))) "fifo order" [ 1.; 2.; 3.; 4.; 5. ]
     (List.rev !got)
@@ -65,19 +66,19 @@ let test_tag_matching () =
   ignore
     (Sim.run ~nprocs:2 ~net (fun r ->
          if r = 0 then begin
-           Sim.Api.send ~dst:1 ~tag:2 [| 2. |];
-           Sim.Api.send ~dst:1 ~tag:1 [| 1. |]
+           Sim.Api.send ~dst:1 ~tag:2 (Fbuf.of_array [| 2. |]);
+           Sim.Api.send ~dst:1 ~tag:1 (Fbuf.of_array [| 1. |])
          end
          else begin
-           got := (Sim.Api.recv ~src:0 ~tag:1).(0) :: !got;
-           got := (Sim.Api.recv ~src:0 ~tag:2).(0) :: !got
+           got := (Sim.Api.recv ~src:0 ~tag:1).{0} :: !got;
+           got := (Sim.Api.recv ~src:0 ~tag:2).{0} :: !got
          end));
   Alcotest.(check (list (float 0.))) "by tag" [ 1.; 2. ] (List.rev !got)
 
 let test_isend_overlap () =
   (* the sender pays only the overhead; a following compute overlaps the
      wire time, so sender finishes earlier than with a blocking send *)
-  let payload = Array.make 10000 1.0 in
+  let payload = Fbuf.make 10000 1.0 in
   let run send =
     Sim.run ~nprocs:2 ~net (fun r ->
         if r = 0 then begin
@@ -123,7 +124,7 @@ let test_pipeline_timing () =
     Sim.run ~nprocs:3 ~net (fun r ->
         if r > 0 then ignore (Sim.Api.recv ~src:(r - 1) ~tag:0);
         Sim.Api.compute 1.0;
-        if r < 2 then Sim.Api.send ~dst:(r + 1) ~tag:0 [| 1. |])
+        if r < 2 then Sim.Api.send ~dst:(r + 1) ~tag:0 (Fbuf.of_array [| 1. |]))
   in
   Alcotest.(check bool) "at least 3s" true (stats.Sim.completion >= 3.0);
   Alcotest.(check bool) "plus comm" true (stats.Sim.completion < 3.01)
@@ -134,9 +135,9 @@ let test_determinism () =
         (* a little all-to-neighbour exchange *)
         let next = (r + 1) mod 4 and prev = (r + 3) mod 4 in
         Sim.Api.compute (0.1 *. float_of_int (r + 1));
-        Sim.Api.send ~dst:next ~tag:0 [| float_of_int r |];
+        Sim.Api.send ~dst:next ~tag:0 (Fbuf.of_array [| float_of_int r |]);
         let b = Sim.Api.recv ~src:prev ~tag:0 in
-        Sim.Api.compute (0.01 *. b.(0)))
+        Sim.Api.compute (0.01 *. b.{0}))
   in
   let a = run () and b = run () in
   Alcotest.(check (float 0.)) "same completion" a.Sim.completion b.Sim.completion;
@@ -157,13 +158,13 @@ let test_send_copies () =
   ignore
     (Sim.run ~nprocs:2 ~net (fun r ->
          if r = 0 then begin
-           let buf = [| 1.0 |] in
+           let buf = Fbuf.of_array [| 1.0 |] in
            Sim.Api.send ~dst:1 ~tag:0 buf;
-           buf.(0) <- 99.
+           buf.{0} <- 99.
          end
          else
            Alcotest.(check (float 0.)) "copied" 1.0
-             (Sim.Api.recv ~src:0 ~tag:0).(0)))
+             (Sim.Api.recv ~src:0 ~tag:0).{0}))
 
 let test_zero_nprocs () =
   Alcotest.check_raises "invalid" (Invalid_argument "Sim.run: nprocs")
@@ -175,7 +176,7 @@ let test_trace_and_utilisation () =
     Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
         if r = 0 then begin
           Sim.Api.compute 1.0;
-          Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+          Sim.Api.send ~dst:1 ~tag:0 (Fbuf.of_array [| 1. |])
         end
         else begin
           ignore (Sim.Api.recv ~src:0 ~tag:0);
@@ -253,7 +254,7 @@ let test_recv_no_wait_when_ready () =
   let module Span = Tiles_obs.Span in
   let stats =
     Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
-        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+        if r = 0 then Sim.Api.send ~dst:1 ~tag:0 (Fbuf.of_array [| 1. |])
         else begin
           Sim.Api.compute 10.0;
           ignore (Sim.Api.recv ~src:0 ~tag:0)
@@ -276,7 +277,7 @@ let test_recv_wait_covers_blocked_interval () =
     Sim.run ~trace:true ~nprocs:2 ~net (fun r ->
         if r = 0 then begin
           Sim.Api.compute 1.0;
-          Sim.Api.send ~dst:1 ~tag:0 [| 1. |]
+          Sim.Api.send ~dst:1 ~tag:0 (Fbuf.of_array [| 1. |])
         end
         else begin
           Sim.Api.compute 0.25;
@@ -315,8 +316,8 @@ let test_per_rank_counters () =
   let stats =
     Sim.run ~nprocs:3 ~net (fun r ->
         if r = 0 then begin
-          Sim.Api.send ~dst:1 ~tag:0 [| 1.; 2. |];
-          Sim.Api.send ~dst:2 ~tag:0 [| 3. |]
+          Sim.Api.send ~dst:1 ~tag:0 (Fbuf.of_array [| 1.; 2. |]);
+          Sim.Api.send ~dst:2 ~tag:0 (Fbuf.of_array [| 3. |])
         end
         else ignore (Sim.Api.recv ~src:0 ~tag:0))
   in

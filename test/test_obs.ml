@@ -542,16 +542,17 @@ let test_chrome_metadata () =
 let test_mailbox_leak_bounded () =
   let mb = Shm_executor.Mailbox.create () in
   for tag = 0 to 99 do
-    Shm_executor.Mailbox.send mb ~tag [| float_of_int tag |];
+    Shm_executor.Mailbox.send mb ~tag
+      (Tiles_util.Fbuf.of_array [| float_of_int tag |]);
     let got = Shm_executor.Mailbox.recv mb ~tag in
-    Alcotest.(check (float 0.)) "payload" (float_of_int tag) got.(0)
+    Alcotest.(check (float 0.)) "payload" (float_of_int tag) got.{0}
   done;
   (* before the fix this table held one empty queue per tag ever used *)
   Alcotest.(check int) "drained queues removed" 0
     (Shm_executor.Mailbox.tag_count mb);
-  Shm_executor.Mailbox.send mb ~tag:7 [| 1. |];
-  Shm_executor.Mailbox.send mb ~tag:7 [| 2. |];
-  Shm_executor.Mailbox.send mb ~tag:9 [| 3. |];
+  Shm_executor.Mailbox.send mb ~tag:7 (Tiles_util.Fbuf.of_array [| 1. |]);
+  Shm_executor.Mailbox.send mb ~tag:7 (Tiles_util.Fbuf.of_array [| 2. |]);
+  Shm_executor.Mailbox.send mb ~tag:9 (Tiles_util.Fbuf.of_array [| 3. |]);
   Alcotest.(check int) "pending tags counted" 2
     (Shm_executor.Mailbox.tag_count mb);
   ignore (Shm_executor.Mailbox.recv mb ~tag:7);

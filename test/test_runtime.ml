@@ -39,6 +39,48 @@ let test_grid_basic () =
   Alcotest.(check bool) "mem" true (Grid.mem g [| 3; 3 |]);
   Alcotest.(check bool) "not mem" false (Grid.mem g [| 4; 0 |])
 
+let test_grid_rank_mismatch () =
+  let space = Polyhedron.box [ (0, 3); (0, 3) ] in
+  let g = Grid.create space ~width:1 in
+  let raises f =
+    match f () with
+    | (_ : bool) -> false
+    | exception Invalid_argument msg ->
+      (* the message must name both ranks, not be a generic bounds error *)
+      Astring.String.is_infix ~affix:"rank 3" msg
+      && Astring.String.is_infix ~affix:"rank 2" msg
+  in
+  Alcotest.(check bool) "mem rejects long point" true
+    (raises (fun () -> Grid.mem g [| 0; 0; 0 |]));
+  Alcotest.(check bool) "mem rejects short point" true
+    (match Grid.mem g [| 0 |] with
+    | (_ : bool) -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "index rejects mismatched point" true
+    (match Grid.index g [| 0; 0; 0 |] 0 with
+    | (_ : int) -> false
+    | exception Invalid_argument _ -> true);
+  (* matching rank still answers instead of raising *)
+  Alcotest.(check bool) "mem still works" true (Grid.mem g [| 2; 2 |])
+
+let test_grid_checksum_compensated () =
+  (* Neumaier summation: 1e16 + lots of 1s + (-1e16) loses every 1 under
+     naive left-to-right addition but must survive compensation; and the
+     checksum must not depend on traversal/write order *)
+  let space = Polyhedron.box [ (0, 9); (0, 9) ] in
+  let g = Grid.create space ~width:1 in
+  Polyhedron.iter_points space (fun j -> Grid.set g j 0 1.);
+  Grid.set g [| 0; 0 |] 0 1e16;
+  Grid.set g [| 9; 9 |] 0 (-1e16);
+  (* exact sum: 98 ones + 1e16 - 1e16 = 98; naive summation returns 0 *)
+  Alcotest.(check (float 0.)) "compensated" 98. (Grid.checksum g space);
+  let h = Grid.create space ~width:1 in
+  Polyhedron.iter_points space (fun j -> Grid.set h j 0 1.);
+  Grid.set h [| 9; 9 |] 0 1e16;
+  Grid.set h [| 0; 0 |] 0 (-1e16);
+  (* same multiset placed in opposite corners: same checksum *)
+  Alcotest.(check (float 0.)) "order independent" 98. (Grid.checksum h space)
+
 let test_grid_diff () =
   let space = Polyhedron.box [ (0, 1); (0, 1) ] in
   let a = Grid.create space ~width:1 and b = Grid.create space ~width:1 in
@@ -323,6 +365,9 @@ let () =
       ( "grid",
         [
           Alcotest.test_case "basic" `Quick test_grid_basic;
+          Alcotest.test_case "rank mismatch" `Quick test_grid_rank_mismatch;
+          Alcotest.test_case "checksum compensated" `Quick
+            test_grid_checksum_compensated;
           Alcotest.test_case "diff" `Quick test_grid_diff;
         ] );
       ("seq", [ Alcotest.test_case "pascal" `Quick test_seq_pascal ]);

@@ -3,6 +3,7 @@
    behaves as documented, and corrupted slab messages surface as the
    structured {!Protocol.Slab_mismatch} error. *)
 
+module Fbuf = Tiles_util.Fbuf
 module Polyhedron = Tiles_poly.Polyhedron
 module Nest = Tiles_loop.Nest
 module Tiling = Tiles_core.Tiling
@@ -103,7 +104,7 @@ let test_check_modes () =
     let w =
       Walker.make ~plan ~kernel:pascal_kernel ~rank ~ntiles ~variant ~check
     in
-    let la = Array.make (Walker.lds_total w * width) Float.nan in
+    let la = Fbuf.make (Walker.lds_total w * width) Float.nan in
     match Walker.compute_tile w ~trel:0 ~tile ~la with
     | (_ : int) -> false
     | exception Failure _ -> true
@@ -116,6 +117,61 @@ let test_check_modes () =
     (fires ~variant:Walker.Fastpath ~check:true);
   Alcotest.(check bool) "fast without check skips validation" false
     (fires ~variant:Walker.Fastpath ~check:false)
+
+(* ---------- native walker: build, fallback, recording ---------- *)
+
+let test_native_modes () =
+  let mk ~plan ~kernel ~check =
+    let tlo, thi = Mapping.chain plan.Plan.mapping 0 in
+    Walker.make ~plan ~kernel ~rank:0 ~ntiles:(thi - tlo + 1)
+      ~variant:Walker.Native ~check
+  in
+  (* a kernel without a C body must fall back and record why *)
+  let nest = pascal_nest 12 9 in
+  let plan = Plan.make nest (Tiling.rectangular [ 3; 4 ]) in
+  (match
+     Walker.fallback_reason (mk ~plan ~kernel:pascal_kernel ~check:false)
+   with
+  | Some reason ->
+    Alcotest.(check bool) "reason mentions the C body" true
+      (Astring.String.is_infix ~affix:"C body" reason)
+  | None -> Alcotest.fail "kernel without C body must fall back");
+  let module Sor = Tiles_apps.Sor in
+  let p = Sor.make ~m_steps:6 ~size:9 in
+  let plan2 =
+    Plan.make ~m:Sor.mapping_dim (Sor.nest p) (Sor.rect ~x:3 ~y:9 ~z:9)
+  in
+  let kernel2 = Sor.kernel p in
+  (* compiler disabled: the fallback is taken and the reason recorded *)
+  Unix.putenv "TILEC_NO_CC" "1";
+  let w_nocc =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "TILEC_NO_CC" "")
+      (fun () -> mk ~plan:plan2 ~kernel:kernel2 ~check:false)
+  in
+  (match Walker.fallback_reason w_nocc with
+  | Some reason ->
+    Alcotest.(check bool) "reason mentions the compiler" true
+      (Astring.String.is_infix ~affix:"compiler" reason)
+  | None -> Alcotest.fail "TILEC_NO_CC must force the fallback");
+  (* check mode validates reads in OCaml, so native must defer *)
+  (match Walker.fallback_reason (mk ~plan:plan2 ~kernel:kernel2 ~check:true) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "check mode must fall back to the OCaml path");
+  (* with a real compiler the native walker builds (no fallback) and a
+     full parallel run matches the boxed sequential oracle exactly *)
+  if Tiles_runtime.Native_kernel.available () then begin
+    let w = mk ~plan:plan2 ~kernel:kernel2 ~check:false in
+    Alcotest.(check bool) "native built" true
+      (Walker.fallback_reason w = None);
+    let space = (Sor.nest p).Nest.space in
+    let reference =
+      Seq_exec.run ~variant:Walker.Reference ~space ~kernel:kernel2 ()
+    in
+    let r = Shm.run ~walker:Walker.Native ~plan:plan2 ~kernel:kernel2 () in
+    Alcotest.(check (float 0.)) "native run = boxed oracle" 0.
+      (Grid.max_abs_diff r.Shm.grid reference space)
+  end
 
 (* ---------- structured slab mismatch ---------- *)
 
@@ -133,7 +189,7 @@ let test_slab_mismatch () =
       ~pack_time:0. ()
   in
   let nprocs = Mapping.nprocs plan.Plan.mapping in
-  let mail : (int * int * int, float array Queue.t) Hashtbl.t =
+  let mail : (int * int * int, Fbuf.t Queue.t) Hashtbl.t =
     Hashtbl.create 16
   in
   let tampered = ref false in
@@ -157,7 +213,7 @@ let test_slab_mismatch () =
           if !tampered then buf
           else begin
             tampered := true;
-            Array.append buf (Array.make width 0.)
+            Fbuf.append buf (Fbuf.make width 0.)
           end);
       compute = ignore;
       pack = ignore;
@@ -254,7 +310,7 @@ let print_case (app, vi, (x, y, z), overlap, backend) =
     vi x y z overlap (backend_name backend)
 
 let prop_walkers_bit_identical =
-  QCheck.Test.make ~name:"fast/strength = reference (grids + counters)"
+  QCheck.Test.make ~name:"fast/strength/native = reference (grids + counters)"
     ~count:10
     (QCheck.make ~print:print_case gen_case)
     (fun (app, vi, factors, overlap, backend) ->
@@ -271,7 +327,7 @@ let prop_walkers_bit_identical =
             in
             Grid.max_abs_diff g gr space = 0.
             && m = mr && b = br && p = pr)
-          [ Walker.Strength_reduced; Walker.Fastpath ])
+          [ Walker.Strength_reduced; Walker.Fastpath; Walker.Native ])
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -286,6 +342,9 @@ let () =
         ] );
       ( "validation",
         [ Alcotest.test_case "check modes" `Quick test_check_modes ] );
+      ( "native",
+        [ Alcotest.test_case "build and fallback modes" `Quick
+            test_native_modes ] );
       ( "mismatch",
         [ Alcotest.test_case "structured error" `Quick test_slab_mismatch ] );
     ]
