@@ -9,6 +9,8 @@
      bench/main.exe summary | analytic | ablation-net | ablation-map
      bench/main.exe ablation-tune   autotuner predictor vs simulator ranks
      bench/main.exe trace           unified span metrics, sim vs shm domains
+     bench/main.exe analyze         causal critical-path split, rect vs nonrect
+                                    Jacobi at 58 and 1219 sim ranks
      bench/main.exe perf            run distributions + analytic-model residuals
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe kernels         walker throughput: reference vs strength vs fast vs native
@@ -724,6 +726,70 @@ let trace_target () =
      || sim.Stats.bytes <> shm.Stats.bytes then
     pf "WARNING: backend counters disagree\n"
 
+(* ---------------- causal critical-path analysis ---------------- *)
+
+let analyze_target () =
+  pf "\n=== Analyze — causal critical path, rect vs nonrect, small vs large ===\n";
+  pf "(Jacobi on the simulator in Timing mode; the causal path replays the\n";
+  pf " send→recv edge DAG, so its compute/wait/flight split says where the\n";
+  pf " makespan actually goes — rank counts span 58 to 1219)\n";
+  let module Stats = Tiles_obs.Stats in
+  let module Recorder = Tiles_obs.Recorder in
+  let module Critpath = Tiles_obs.Critpath in
+  let configs =
+    [
+      ("rect", 24, 34, (6, 8, 8)); ("nonrect", 24, 34, (6, 8, 8));
+      ("rect", 24, 256, (3, 8, 8)); ("nonrect", 24, 256, (3, 8, 8));
+    ]
+  in
+  let t =
+    Table.create
+      ~header:
+        [ "config"; "procs"; "completion"; "path compute"; "path wait";
+          "path flight"; "edges"; "coverage"; "imbalance" ]
+  in
+  List.iter
+    (fun (variant, t_steps, size, ((x, y, z) as _tile)) ->
+      let p = Tiles_apps.Jacobi.make ~t_steps ~size in
+      let plan =
+        Plan.make ~m:Tiles_apps.Jacobi.mapping_dim (Tiles_apps.Jacobi.nest p)
+          ((List.assoc variant Tiles_apps.Jacobi.variants) ~x ~y ~z)
+      in
+      let r =
+        Executor.run ~mode:Executor.Timing ~trace:true ~plan
+          ~kernel:(Tiles_apps.Jacobi.kernel p) ~net ()
+      in
+      let stats = r.Executor.stats in
+      let nprocs = Array.length stats.Sim.rank_clocks in
+      let report =
+        Critpath.analyze ~completion:stats.Sim.completion ~nprocs
+          ~edges:stats.Sim.edges stats.Sim.trace
+      in
+      let kind k =
+        match List.assoc_opt k report.Critpath.kind_seconds with
+        | Some s -> s
+        | None -> 0.
+      in
+      let label = Printf.sprintf "T=%d N=%d %s" t_steps size variant in
+      Table.add_row t
+        [
+          label;
+          string_of_int nprocs;
+          Printf.sprintf "%.6f s" report.Critpath.completion;
+          Printf.sprintf "%.1f%%"
+            (100. *. kind "compute" /. report.Critpath.completion);
+          Printf.sprintf "%.1f%%"
+            (100. *. kind "wait" /. report.Critpath.completion);
+          Printf.sprintf "%.1f%%"
+            (100. *. kind "flight" /. report.Critpath.completion);
+          string_of_int report.Critpath.edges_crossed;
+          Printf.sprintf "%.1f%%" (100. *. report.Critpath.coverage);
+          Printf.sprintf "%.3f" report.Critpath.imbalance;
+        ];
+      emit_json label (Critpath.to_json ~segments:false report))
+    configs;
+  emit t
+
 (* ---------------- perf observatory ---------------- *)
 
 let perf_target () =
@@ -1256,6 +1322,7 @@ let figures =
     ("ablation-map", ablation_map); ("ablation-overlap", ablation_overlap);
     ("ablation-tune", ablation_tune);
     ("memory", memory); ("model", model); ("trace", trace_target);
+    ("analyze", analyze_target);
     ("perf", perf_target); ("micro", micro); ("kernels", kernels_target);
     ("serve", serve_target);
   ]

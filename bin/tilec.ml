@@ -12,6 +12,11 @@
                  --trace FILE writes a Chrome trace-event JSON)
      trace      run traced (simulator or shm domains), export the Chrome
                 trace-event JSON / SVG timeline, print aggregate stats
+     analyze    causal critical-path analysis of a traced run (fresh or
+                --from a Chrome artifact): breakdown table, laggards and
+                slack, --svg timeline with the path highlighted, --out
+                Chrome JSON with message flow events; --stream swaps the
+                exact trace for O(ranks) streaming aggregation
      tune       search tile shape, size and mapping for the best plan
      perf       repeated timed runs with distribution statistics;
                 --record writes a baseline, --check gates against it
@@ -44,6 +49,9 @@ module Protocol = Tiles_runtime.Protocol
 module Walker = Tiles_runtime.Walker
 module Chrome = Tiles_obs.Chrome
 module Stats = Tiles_obs.Stats
+module Span = Tiles_obs.Span
+module Recorder = Tiles_obs.Recorder
+module Critpath = Tiles_obs.Critpath
 module Sim = Tiles_mpisim.Sim
 module Netmodel = Tiles_mpisim.Netmodel
 module Nest = Tiles_loop.Nest
@@ -486,6 +494,200 @@ let trace_cmd =
           $ backend_arg $ out_arg $ svg_arg $ overlap_arg $ walker_arg
           $ check_reads_arg)
 
+let analyze_cmd =
+  let app_opt_arg =
+    Arg.(value & opt (some string) None & info [ "app" ] ~docv:"NAME"
+           ~doc:"Algorithm to run and analyze: sor, jacobi or adi \
+                 (alternative to $(b,--from)).")
+  in
+  let from_arg =
+    Arg.(value & opt (some string) None & info [ "from" ] ~docv:"FILE"
+           ~doc:"Analyze a previously written Chrome trace-event artifact \
+                 (as produced by $(b,tilec trace) or $(b,tilec analyze \
+                 --out)) instead of running; message edges are recovered \
+                 from its flow events.")
+  in
+  let stream_arg =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Trace with the bounded-memory streaming recorder: exact \
+                 per-kind totals plus the longest waits, O(ranks) memory \
+                 at any rank count — but no retained spans, so no exact \
+                 critical path.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the analysis as JSON instead of text.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the trace as Chrome trace-event JSON including a \
+                 flow-event pair for every message edge (viewers draw the \
+                 send→recv arrows; $(b,--from) reads it back).")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE"
+           ~doc:"Render the per-rank timeline as SVG with the critical \
+                 path highlighted.")
+  in
+  let top_arg =
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K"
+           ~doc:"Laggard ranks listed in the breakdown.")
+  in
+  let overlap_arg =
+    Arg.(value & flag & info [ "overlap" ]
+           ~doc:"Analyze the §5 overlapped schedule instead of the \
+                 blocking one.")
+  in
+  let span_json (s : Span.t) =
+    Tiles_util.Json.Obj
+      [
+        ("rank", Tiles_util.Json.Int s.Span.rank);
+        ("t0_s", Tiles_util.Json.Float s.Span.t0);
+        ("t1_s", Tiles_util.Json.Float s.Span.t1);
+        ("seconds", Tiles_util.Json.Float (Span.duration s));
+      ]
+  in
+  (* streaming analysis: exact totals + the bounded wait reservoir *)
+  let report_streaming ~json stats rc =
+    let waits = Recorder.longest_waits rc in
+    if json then
+      print_endline
+        (Tiles_util.Json.to_string
+           (Tiles_util.Json.Obj
+              [
+                ("stats", Stats.to_json stats);
+                ("longest_waits", Tiles_util.Json.List (List.map span_json waits));
+              ]))
+    else begin
+      print_string (Stats.summary stats);
+      if waits <> [] then begin
+        print_string "longest waits:\n";
+        List.iter
+          (fun (s : Span.t) ->
+            Printf.printf "  rank %4d  [%10.6f, %10.6f]  %.6f s\n" s.Span.rank
+              s.Span.t0 s.Span.t1 (Span.duration s))
+          waits
+      end
+    end
+  in
+  (* exact analysis: replay the event DAG and walk the critical path *)
+  let report_exact ~json ~top ~title ~nprocs ~completion ?meta ~out ~svg
+      ~edges spans =
+    if spans = [] then
+      failwith "analyze: the run retained no spans (nothing to analyze)";
+    let report = Critpath.analyze ~nprocs ~edges ?completion spans in
+    if json then
+      print_endline (Tiles_util.Json.to_string (Critpath.to_json report))
+    else print_string (Critpath.summary ~top report);
+    (match out with
+    | None -> ()
+    | Some path ->
+      Chrome.write ~process_name:("tilec analyze " ^ title) ?meta ~edges
+        ~nprocs ~path spans;
+      Printf.eprintf "wrote %s\n" path);
+    match svg with
+    | None -> ()
+    | Some path ->
+      Tiles_viz.Svg.save
+        (Tiles_viz.Figures.timeline ~title ~path:report.Critpath.segments
+           ~nprocs ~completion:report.Critpath.completion spans)
+        path;
+      Printf.eprintf "wrote %s\n" path
+  in
+  let run app size1 size2 variant xyz backend overlap from stream json out svg
+      top =
+    guard @@ fun () ->
+    if stream && (out <> None || svg <> None || from <> None) then
+      failwith
+        "analyze: --stream retains no spans; --out/--svg/--from need the \
+         exact (retained) trace";
+    match from with
+    | Some path -> (
+      match Chrome.read ~path with
+      | Error e -> failwith e
+      | Ok a ->
+        report_exact ~json ~top ~title:(Filename.basename path)
+          ~nprocs:a.Chrome.nprocs ~completion:None ~out ~svg
+          ~edges:a.Chrome.edges a.Chrome.spans)
+    | None -> (
+      let app =
+        match app with
+        | Some a -> a
+        | None -> failwith "analyze: pass --app NAME or --from FILE"
+      in
+      let inst, plan = build_plan app size1 size2 variant xyz in
+      let nprocs = Plan.nprocs plan in
+      let backend_str = backend_name backend in
+      let title = Printf.sprintf "%s on %s" inst.app_name backend_str in
+      let meta =
+        run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1 ~size2 ()
+      in
+      match backend with
+      | `Sim ->
+        let rc =
+          Recorder.create
+            ~mode:(if stream then Recorder.Streaming else Recorder.Retain)
+            ~trace:true
+            ~clock:(fun () -> 0.)
+            ~nprocs ()
+        in
+        let r =
+          Executor.run ~mode:Executor.Timing ~overlap ~recorder:rc ~plan
+            ~kernel:inst.kernel ~net:Netmodel.fast_ethernet_cluster ()
+        in
+        let completion = r.Executor.stats.Sim.completion in
+        if stream then
+          let stats =
+            Stats.of_kind_seconds ~completion ~nprocs
+              ~messages:(Recorder.messages rc) ~bytes:(Recorder.bytes rc)
+              ~max_inflight_bytes:(Recorder.max_inflight_bytes rc)
+              ~rank_messages:(Recorder.rank_messages rc)
+              ~rank_bytes:(Recorder.rank_bytes rc)
+              (Recorder.kind_seconds rc)
+          in
+          report_streaming ~json stats rc
+        else
+          report_exact ~json ~top ~title ~nprocs ~completion:(Some completion)
+            ~meta ~out ~svg ~edges:r.Executor.stats.Sim.edges
+            r.Executor.stats.Sim.trace
+      | `Shm ->
+        let rc =
+          Recorder.create
+            ~mode:(if stream then Recorder.Streaming else Recorder.Retain)
+            ~trace:true ~nprocs ()
+        in
+        let r =
+          Shm_executor.run ~recorder:rc ~overlap ~plan ~kernel:inst.kernel ()
+        in
+        Printf.eprintf "max |parallel - sequential| = %g\n"
+          r.Shm_executor.max_abs_err;
+        if stream then
+          let stats =
+            Stats.of_kind_seconds ~completion:r.Shm_executor.wall_seconds
+              ~nprocs ~messages:(Recorder.messages rc)
+              ~bytes:(Recorder.bytes rc)
+              ~max_inflight_bytes:(Recorder.max_inflight_bytes rc)
+              ~rank_messages:(Recorder.rank_messages rc)
+              ~rank_bytes:(Recorder.rank_bytes rc)
+              (Recorder.kind_seconds rc)
+          in
+          report_streaming ~json stats rc
+        else
+          report_exact ~json ~top ~title ~nprocs ~completion:None ~meta ~out
+            ~svg ~edges:r.Shm_executor.edges r.Shm_executor.trace)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Causal critical-path analysis of a traced run: the true \
+             path through compute/pack/send/flight/wait/unpack with \
+             per-kind and per-phase attribution, laggard ranks and CPM \
+             slack. Reads a Chrome artifact with $(b,--from) or runs an \
+             app fresh; $(b,--stream) trades the exact path for \
+             O(ranks)-memory aggregation at thousand-rank scale.")
+    Term.(const run $ app_opt_arg $ size1_arg $ size2_arg $ variant_arg
+          $ xyz_args $ backend_arg $ overlap_arg $ from_arg $ stream_arg
+          $ json_arg $ out_arg $ svg_arg $ top_arg)
+
 let tune_cmd =
   let module Tune = Tiles_tune.Tune in
   let module Predictor = Tiles_tune.Predictor in
@@ -890,4 +1092,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ plan_cmd; cone_cmd; emit_mpi_cmd; emit_seq_cmd; emit_pseq_cmd;
-            simulate_cmd; trace_cmd; tune_cmd; perf_cmd; serve_cmd ]))
+            simulate_cmd; trace_cmd; analyze_cmd; tune_cmd; perf_cmd;
+            serve_cmd ]))

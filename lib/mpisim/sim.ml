@@ -1,6 +1,7 @@
 open Effect
 open Effect.Deep
 module Span = Tiles_obs.Span
+module Recorder = Tiles_obs.Recorder
 module Fbuf = Tiles_util.Fbuf
 
 type span = Span.t = {
@@ -19,6 +20,7 @@ type stats = {
   rank_bytes : int array;
   max_inflight_bytes : int;
   trace : span list;
+  edges : Recorder.edge list;
 }
 
 exception Deadlock of string
@@ -58,14 +60,9 @@ type state = {
   runq : (unit -> unit) Queue.t;
   mutable finished : int;
   mutable at_barrier : (int * (unit -> unit)) list;
-  mutable messages : int;
-  mutable bytes : int;
-  rank_messages : int array;
-  rank_bytes : int array;
-  mutable inflight : int;
-  mutable max_inflight : int;
-  tracing : bool;
-  mutable spans : span list;
+  (* all counters, spans and message identity live in the shared
+     recorder; the simulator feeds it explicit virtual timestamps *)
+  logs : Recorder.log array;
 }
 
 let queue_of st key =
@@ -79,23 +76,14 @@ let queue_of st key =
 let pop_message st key =
   match Hashtbl.find_opt st.channels key with
   | None -> None
-  | Some q ->
-    if Queue.is_empty q then None
-    else begin
-      let ((_, data) as msg) = Queue.pop q in
-      st.inflight <- st.inflight - (8 * Fbuf.length data);
-      Some msg
-    end
+  | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
 
-let deposit st key arrival data =
-  let src, _, _ = key in
+(* [sent] is the sender-side causal stamp: the end of the send action on
+   the sender's clock (the wire and latency run after it) *)
+let deposit st key ~sent arrival data =
+  let src, dst, tag = key in
   let nbytes = 8 * Fbuf.length data in
-  st.messages <- st.messages + 1;
-  st.bytes <- st.bytes + nbytes;
-  st.rank_messages.(src) <- st.rank_messages.(src) + 1;
-  st.rank_bytes.(src) <- st.rank_bytes.(src) + nbytes;
-  st.inflight <- st.inflight + nbytes;
-  if st.inflight > st.max_inflight then st.max_inflight <- st.inflight;
+  Recorder.message_sent st.logs.(src) ~t:sent ~dst ~tag ~bytes:nbytes ();
   Queue.push (arrival, data) (queue_of st key);
   (* wake a receiver parked on this channel *)
   match Hashtbl.find_opt st.parked key with
@@ -109,8 +97,7 @@ let deposit st key arrival data =
         | None -> assert false)
       st.runq
 
-let record st rank t0 t1 kind =
-  if st.tracing && t1 > t0 then st.spans <- { rank; t0; t1; kind } :: st.spans
+let record st rank t0 t1 kind = Recorder.span st.logs.(rank) ~t0 ~t1 kind
 
 (* Advance the receiver past one message. [t0] is when the rank entered
    the receive (for a parked receiver: its park time, NOT the virtual
@@ -119,9 +106,12 @@ let record st rank t0 t1 kind =
    counts as [Wait]; the per-message receive overhead is its own
    [Unpack] span, so a message that was already waiting in the channel
    contributes no wait time at all. *)
-let receive_clock st r ~t0 (arrival, data) =
+let receive_clock st key r ~t0 (arrival, data) =
+  let src, _, tag = key in
   let ready = Float.max t0 arrival in
   record st r t0 ready Span.Wait;
+  Recorder.message_received st.logs.(r) ~t:ready ~posted:t0 ~src ~tag
+    ~bytes:(8 * Fbuf.length data) ();
   let t1 = ready +. st.net.Netmodel.recv_overhead in
   st.clocks.(r) <- t1;
   record st r ready t1 Span.Unpack;
@@ -170,7 +160,8 @@ let handler st (r : int) =
                 +. Netmodel.transfer_time st.net ~bytes:nbytes;
               record st r t0 st.clocks.(r) Span.Send;
               let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
-              deposit st (r, dst, tag) arrival (Fbuf.copy data);
+              deposit st (r, dst, tag) ~sent:st.clocks.(r) arrival
+                (Fbuf.copy data);
               continue k ())
         | E_isend (dst, tag, data) ->
           Some
@@ -188,7 +179,8 @@ let handler st (r : int) =
                 +. Netmodel.transfer_time st.net ~bytes:nbytes
                 +. st.net.Netmodel.latency
               in
-              deposit st (r, dst, tag) arrival (Fbuf.copy data);
+              deposit st (r, dst, tag) ~sent:st.clocks.(r) arrival
+                (Fbuf.copy data);
               continue k ())
         | E_recv (src, tag) ->
           Some
@@ -196,14 +188,14 @@ let handler st (r : int) =
               let key = (src, r, tag) in
               match pop_message st key with
               | Some msg ->
-                continue k (receive_clock st r ~t0:st.clocks.(r) msg)
+                continue k (receive_clock st key r ~t0:st.clocks.(r) msg)
               | None ->
                 if Hashtbl.mem st.parked key then
                   failwith
                     "Sim.recv: two simultaneous receives on one channel";
                 let t_park = st.clocks.(r) in
                 Hashtbl.replace st.parked key (fun msg ->
-                    continue k (receive_clock st r ~t0:t_park msg)))
+                    continue k (receive_clock st key r ~t0:t_park msg)))
         | E_barrier ->
           Some
             (fun k ->
@@ -212,8 +204,19 @@ let handler st (r : int) =
         | _ -> None);
   }
 
-let run ?(trace = false) ~nprocs ~net program =
+let run ?(trace = false) ?recorder ~nprocs ~net program =
   if nprocs <= 0 then invalid_arg "Sim.run: nprocs";
+  let rc =
+    match recorder with
+    | Some rc ->
+      if Recorder.nprocs rc <> nprocs then
+        invalid_arg "Sim.run: recorder nprocs mismatch";
+      rc
+    | None ->
+      (* a zero clock: the simulator stamps everything explicitly in
+         virtual time, so the recorder's own clock must never move *)
+      Recorder.create ~trace ~clock:(fun () -> 0.) ~nprocs ()
+  in
   let st =
     {
       nprocs;
@@ -224,14 +227,7 @@ let run ?(trace = false) ~nprocs ~net program =
       runq = Queue.create ();
       finished = 0;
       at_barrier = [];
-      messages = 0;
-      bytes = 0;
-      rank_messages = Array.make nprocs 0;
-      rank_bytes = Array.make nprocs 0;
-      inflight = 0;
-      max_inflight = 0;
-      tracing = trace;
-      spans = [];
+      logs = Array.init nprocs (fun r -> Recorder.log rc ~rank:r);
     }
   in
   for r = 0 to nprocs - 1 do
@@ -258,13 +254,13 @@ let run ?(trace = false) ~nprocs ~net program =
   {
     completion = Array.fold_left Float.max 0. st.clocks;
     rank_clocks = Array.copy st.clocks;
-    messages = st.messages;
-    bytes = st.bytes;
-    rank_messages = Array.copy st.rank_messages;
-    rank_bytes = Array.copy st.rank_bytes;
-    max_inflight_bytes = st.max_inflight;
-    (* recording order follows the event interleaving, not virtual time;
-       sort so consumers (exporters, invariant checks) see a time-ordered
-       merged stream like the wall-clock recorder produces *)
-    trace = Span.sort (List.rev st.spans);
+    messages = Recorder.messages rc;
+    bytes = Recorder.bytes rc;
+    rank_messages = Recorder.rank_messages rc;
+    rank_bytes = Recorder.rank_bytes rc;
+    max_inflight_bytes = Recorder.max_inflight_bytes rc;
+    (* Recorder.spans merges the per-rank logs time-ordered, like the
+       wall-clock recorder produces ([] in streaming mode) *)
+    trace = Recorder.spans rc;
+    edges = Recorder.edges rc;
   }

@@ -35,6 +35,9 @@ type stats = {
   max_inflight_bytes : int;  (** peak total bytes buffered in channels *)
   trace : span list;  (** per-event spans; empty unless [run] was called
                           with [~trace:true] *)
+  edges : Tiles_obs.Recorder.edge list;
+      (** matched send→recv causal dependencies (empty when untraced or
+          when the recorder runs in streaming mode) *)
 }
 
 exception Deadlock of string
@@ -84,10 +87,24 @@ module Api : sig
       plus one latency. *)
 end
 
-val run : ?trace:bool -> nprocs:int -> net:Netmodel.t -> (int -> unit) -> stats
+val run :
+  ?trace:bool ->
+  ?recorder:Tiles_obs.Recorder.t ->
+  nprocs:int ->
+  net:Netmodel.t ->
+  (int -> unit) ->
+  stats
 (** [run ~nprocs ~net program] executes [program rank] on every rank and
     returns the virtual-time statistics. Raises [Deadlock] on a stuck
     communication pattern, and re-raises any exception escaping a rank
     program. With [~trace:true], every compute / pack / send / wait /
     unpack interval is recorded in [stats.trace] (for Gantt rendering
-    and the {!Tiles_obs} exporters). *)
+    and the {!Tiles_obs} exporters) together with the message dependency
+    edges in [stats.edges].
+
+    [recorder] supplies a caller-created recorder instead (it must have
+    been created with a clock that always reads 0 — the simulator stamps
+    in virtual time — and matching [nprocs]; [trace] is then taken from
+    the recorder). A [~mode:Streaming] recorder keeps a traced run at
+    O(nprocs) memory: [stats.trace]/[stats.edges] come back empty and
+    the aggregates live in the recorder. *)

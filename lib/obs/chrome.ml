@@ -22,6 +22,45 @@ let event ~time_scale (s : Span.t) =
       ("cname", Json.Str (colour s.Span.kind));
     ]
 
+(* one message dependency as a Catapult flow: a start arrow on the
+   sender at the send stamp, bound ("bp":"e") to a finish arrow on the
+   receiver at the ready stamp. The start event carries the full edge
+   record in its args so a trace file round-trips through [of_json]
+   without re-joining the two halves. *)
+let flow_events ~time_scale i (e : Recorder.edge) =
+  let open Recorder in
+  let common ph t tid extra =
+    Json.Obj
+      ([
+         ("name", Json.Str (Printf.sprintf "msg %d->%d" e.e_src e.e_dst));
+         ("cat", Json.Str "tiles-flow");
+         ("ph", Json.Str ph);
+         ("id", Json.Int i);
+         ("ts", Json.Float (t *. time_scale));
+         ("pid", Json.Int 0);
+         ("tid", Json.Int tid);
+       ]
+      @ extra)
+  in
+  [
+    common "s" e.e_sent e.e_src
+      [
+        ( "args",
+          Json.Obj
+            [
+              ("src", Json.Int e.e_src);
+              ("dst", Json.Int e.e_dst);
+              ("tag", Json.Int e.e_tag);
+              ("seq", Json.Int e.e_seq);
+              ("bytes", Json.Int e.e_bytes);
+              ("sent_s", Json.Float e.e_sent);
+              ("posted_s", Json.Float e.e_posted);
+              ("ready_s", Json.Float e.e_ready);
+            ] );
+      ];
+    common "f" e.e_ready e.e_dst [ ("bp", Json.Str "e") ];
+  ]
+
 let metadata ~name ~tid ~value =
   Json.Obj
     [
@@ -32,15 +71,18 @@ let metadata ~name ~tid ~value =
       ("args", Json.Obj [ ("name", Json.Str value) ]);
     ]
 
-let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ?meta ~nprocs spans =
+let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ?meta
+    ?(edges = []) ~nprocs spans =
   let threads =
     List.init nprocs (fun r ->
         metadata ~name:"thread_name" ~tid:r ~value:(Printf.sprintf "rank %d" r))
   in
+  let flows = List.concat (List.mapi (flow_events ~time_scale) edges) in
   let events =
     metadata ~name:"process_name" ~tid:0 ~value:process_name
     :: threads
     @ List.map (event ~time_scale) (Span.sort spans)
+    @ flows
   in
   Json.Obj
     ([
@@ -52,9 +94,114 @@ let to_json ?(process_name = "tiles") ?(time_scale = 1e6) ?meta ~nprocs spans =
     | None -> []
     | Some m -> [ ("metadata", Runmeta.to_json m) ])
 
-let write ?process_name ?time_scale ?meta ~nprocs ~path spans =
-  let json = to_json ?process_name ?time_scale ?meta ~nprocs spans in
+let write ?process_name ?time_scale ?meta ?edges ~nprocs ~path spans =
+  let json = to_json ?process_name ?time_scale ?meta ?edges ~nprocs spans in
   let oc = open_out path in
   output_string oc (Json.to_string ~indent:1 json);
   output_char oc '\n';
   close_out oc
+
+(* ------------------------- reading back ------------------------- *)
+
+type archive = {
+  nprocs : int;
+  spans : Span.t list;
+  edges : Recorder.edge list;
+}
+
+let kind_of_name n =
+  List.find_opt (fun k -> Span.kind_name k = n) Span.all_kinds
+
+let of_json ?(time_scale = 1e6) j =
+  match Json.member "traceEvents" j with
+  | Some (Json.List events) ->
+    let spans = ref [] and edges = ref [] and nprocs = ref 0 in
+    let err = ref None in
+    let note_rank r = if r + 1 > !nprocs then nprocs := r + 1 in
+    List.iter
+      (fun ev ->
+        let str k = Option.bind (Json.member k ev) Json.to_str_opt in
+        let num k = Option.bind (Json.member k ev) Json.to_float_opt in
+        let int k = Option.bind (Json.member k ev) Json.to_int_opt in
+        match str "ph" with
+        | Some "X" -> (
+          match (str "name", int "tid", num "ts", num "dur") with
+          | Some name, Some tid, Some ts, Some dur -> (
+            match kind_of_name name with
+            | Some kind ->
+              note_rank tid;
+              let t0 = ts /. time_scale in
+              spans :=
+                { Span.rank = tid; t0; t1 = t0 +. (dur /. time_scale); kind }
+                :: !spans
+            | None -> () (* foreign complete event: ignore *))
+          | _ ->
+            if !err = None then
+              err := Some "trace: malformed \"X\" event")
+        | Some "s" when str "cat" = Some "tiles-flow" -> (
+          match Json.member "args" ev with
+          | Some args ->
+            let aint k = Option.bind (Json.member k args) Json.to_int_opt in
+            let anum k =
+              Option.bind (Json.member k args) Json.to_float_opt
+            in
+            (match
+               ( aint "src", aint "dst", aint "tag", aint "seq",
+                 aint "bytes", anum "sent_s", anum "posted_s",
+                 anum "ready_s" )
+             with
+            | ( Some e_src, Some e_dst, Some e_tag, Some e_seq,
+                Some e_bytes, Some e_sent, Some e_posted, Some e_ready ) ->
+              note_rank e_src;
+              note_rank e_dst;
+              edges :=
+                {
+                  Recorder.e_src; e_dst; e_tag; e_seq; e_bytes; e_sent;
+                  e_posted; e_ready;
+                }
+                :: !edges
+            | _ ->
+              if !err = None then
+                err := Some "trace: flow event with incomplete args")
+          | None ->
+            if !err = None then err := Some "trace: flow event without args")
+        | Some "M" -> (
+          (* thread_name events widen nprocs to cover idle ranks *)
+          match (str "name", int "tid") with
+          | Some "thread_name", Some tid -> note_rank tid
+          | _ -> ())
+        | _ -> ())
+      events;
+    (match !err with
+    | Some e -> Error e
+    | None ->
+      if !nprocs = 0 then Error "trace: no events with a rank"
+      else
+        Ok
+          {
+            nprocs = !nprocs;
+            spans = Span.sort !spans;
+            edges =
+              List.sort
+                (fun (a : Recorder.edge) b ->
+                  Float.compare a.Recorder.e_ready b.Recorder.e_ready)
+                !edges;
+          })
+  | Some _ -> Error "trace: \"traceEvents\" is not a list"
+  | None -> Error "trace: missing \"traceEvents\""
+
+let read ~path =
+  match
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error msg -> Error msg
+  | s ->
+    (match Json.parse s with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j ->
+      (match of_json j with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok a -> Ok a))

@@ -11,6 +11,7 @@ val to_json :
   ?process_name:string ->
   ?time_scale:float ->
   ?meta:Runmeta.t ->
+  ?edges:Recorder.edge list ->
   nprocs:int ->
   Span.t list ->
   Tiles_util.Json.t
@@ -18,14 +19,37 @@ val to_json :
     thread-name metadata events for every rank in [0, nprocs). With
     [meta], the run's provenance is embedded under the top-level
     [metadata] key (the object format's free-form metadata slot), so a
-    trace downloaded from CI is self-describing. *)
+    trace downloaded from CI is self-describing. With [edges], every
+    message dependency is emitted as a flow-event pair ("ph":"s" on the
+    sender carrying the full edge record in its args, "ph":"f" with
+    "bp":"e" on the receiver), so viewers draw the send→recv arrows and
+    {!of_json} recovers the edges without re-joining. *)
 
 val write :
   ?process_name:string ->
   ?time_scale:float ->
   ?meta:Runmeta.t ->
+  ?edges:Recorder.edge list ->
   nprocs:int ->
   path:string ->
   Span.t list ->
   unit
 (** {!to_json} rendered to [path] with a trailing newline. *)
+
+(** {2 Reading traces back}
+
+    [tilec analyze --from] re-analyzes a previously written artifact, so
+    the exporter is paired with a reader for its own output. *)
+
+type archive = {
+  nprocs : int;  (** highest tid seen + 1 (thread-name events count) *)
+  spans : Span.t list;  (** time-ordered *)
+  edges : Recorder.edge list;  (** from "tiles-flow" start events *)
+}
+
+val of_json : ?time_scale:float -> Tiles_util.Json.t -> (archive, string) result
+(** Parse a trace-event document produced by {!to_json} (foreign "X"
+    events whose name is not a span kind are ignored). [time_scale] must
+    match the one used to write (default 1e6). *)
+
+val read : path:string -> (archive, string) result

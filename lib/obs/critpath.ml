@@ -1,0 +1,449 @@
+(* Causal critical path over the traced event DAG.
+
+   Nodes are spans in per-rank program order; cross-rank arcs are the
+   matched send->recv edges from the recorder. The path is extracted by
+   a backward walk from the completion instant: follow the rank that
+   finished last backwards through its spans; whenever the walk reaches
+   the end of a Wait span that was released by a message, hop along that
+   edge onto the sending rank at the moment the message left it. The
+   resulting segments tile the interval [0, completion] in time while
+   hopping between ranks, so their durations sum to the makespan — the
+   "where did the time go" decomposition the busy-time proxy cannot
+   give.
+
+   A second, forward-looking pass runs classic CPM slack: processing
+   spans in decreasing end time, each span's latest harmless end time is
+   pulled back from its successors (the next span on its rank, plus —
+   for spans that feed a message — the latest time the receiver could
+   tolerate the message arriving). A rank's slack is the minimum over
+   its spans: how much it could slow down without moving the makespan.
+
+   Wall-clock (shm) traces race on the shared clock, so a sender's stamp
+   may exceed the matched receiver's ready stamp by scheduling jitter;
+   all hops clamp to keep time monotonically decreasing, and an
+   iteration budget bounds the walk in adversarial inputs. *)
+
+type seg_kind = Activity of Span.kind | Flight | Idle
+
+type segment = {
+  sg_rank : int;
+  sg_t0 : float;
+  sg_t1 : float;
+  sg_kind : seg_kind;
+  sg_phase : int option;
+}
+
+type report = {
+  nprocs : int;
+  completion : float;
+  segments : segment list;
+  path_length : float;
+  coverage : float;
+  kind_seconds : (string * float) list;
+  rank_on_path : float array;
+  phase_seconds : (int option * float) list;
+  edges_crossed : int;
+  max_rank_busy : float;
+  imbalance : float;
+  slack : float array;
+}
+
+let seg_kind_name = function
+  | Activity k -> Span.kind_name k
+  | Flight -> "flight"
+  | Idle -> "idle"
+
+let seg_duration s = s.sg_t1 -. s.sg_t0
+
+(* per-rank spans sorted by start, with a prefix argmax-by-end table so
+   "latest-ending span starting before t" is a binary search *)
+type rank_spans = {
+  t0s : float array;
+  t1s : float array;
+  kinds : Span.kind array;
+  best : int array;  (* best.(i) = argmax t1 over indices 0..i *)
+}
+
+let index_spans ~nprocs spans =
+  let per = Array.make nprocs [] in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.rank < 0 || s.Span.rank >= nprocs then
+        invalid_arg "Critpath.analyze: span rank out of range";
+      per.(s.Span.rank) <- s :: per.(s.Span.rank))
+    spans;
+  Array.map
+    (fun ss ->
+      let a = Array.of_list ss in
+      Array.sort
+        (fun (x : Span.t) (y : Span.t) -> Float.compare x.Span.t0 y.Span.t0)
+        a;
+      let n = Array.length a in
+      let t0s = Array.map (fun (s : Span.t) -> s.Span.t0) a in
+      let t1s = Array.map (fun (s : Span.t) -> s.Span.t1) a in
+      let kinds = Array.map (fun (s : Span.t) -> s.Span.kind) a in
+      let best = Array.make n 0 in
+      for i = 1 to n - 1 do
+        best.(i) <- (if t1s.(i) >= t1s.(best.(i - 1)) then i else best.(i - 1))
+      done;
+      { t0s; t1s; kinds; best })
+    per
+
+(* latest-ending span on [rs] starting strictly before [t] (minus eps) *)
+let find_before rs ~eps t =
+  let n = Array.length rs.t0s in
+  if n = 0 || rs.t0s.(0) >= t -. eps then None
+  else begin
+    (* largest i with t0s.(i) < t - eps *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if rs.t0s.(mid) < t -. eps then lo := mid else hi := mid - 1
+    done;
+    let j = rs.best.(!lo) in
+    Some (rs.t0s.(j), rs.t1s.(j), rs.kinds.(j))
+  end
+
+(* per-destination edge index for binding a Wait span to the message
+   that released it: ready stamp matches the wait's end; prefer an edge
+   whose posted stamp also matches the wait's start, then the one that
+   left its sender last (the binding dependency) *)
+let index_edges ~nprocs edges =
+  let per = Array.make nprocs [] in
+  List.iter
+    (fun (e : Recorder.edge) ->
+      if e.Recorder.e_dst >= 0 && e.Recorder.e_dst < nprocs then
+        per.(e.Recorder.e_dst) <- e :: per.(e.Recorder.e_dst))
+    edges;
+  per
+
+let bind_edge per_dst ~eps ~rank ~t0 ~t1 =
+  if rank < 0 || rank >= Array.length per_dst then None
+  else begin
+    let open Recorder in
+    let ready_match =
+      List.filter
+        (fun e ->
+          Float.abs (e.e_ready -. t1) <= eps && e.e_ready > e.e_posted +. eps)
+        per_dst.(rank)
+    in
+    let candidates =
+      match
+        List.filter (fun e -> Float.abs (e.e_posted -. t0) <= eps) ready_match
+      with
+      | [] -> ready_match
+      | posted_match -> posted_match
+    in
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | Some b when b.e_sent >= e.e_sent -> acc
+        | _ -> Some e)
+      None candidates
+  end
+
+let busy_per_rank ~nprocs spans =
+  let busy = Array.make nprocs 0. in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.kind <> Span.Wait then
+        busy.(s.Span.rank) <- busy.(s.Span.rank) +. Span.duration s)
+    spans;
+  busy
+
+(* ---------------------------- slack (CPM) ---------------------------- *)
+
+let compute_slack ~nprocs ~eps ~completion ~per_dst spans =
+  let all = Array.of_list spans in
+  (* decreasing end time; at an exact tie a Wait goes first, because a
+     zero-flight message (possible after shm clock clamping) ends the
+     receiver's Wait at the very stamp the sender's Send span ends — the
+     Wait must push its deadline point before the sender consumes it *)
+  let order (s : Span.t) = if s.Span.kind = Span.Wait then 0 else 1 in
+  Array.sort
+    (fun (a : Span.t) (b : Span.t) ->
+      let c = Float.compare b.Span.t1 a.Span.t1 in
+      if c <> 0 then c else compare (order a) (order b))
+    all;
+  let next_late = Array.make nprocs completion in
+  let slack = Array.make nprocs completion in
+  (* deadline points (p, deadline) owed to each rank by receivers whose
+     wait was released by a message this rank sent at time p *)
+  let pending = Array.make nprocs [] in
+  Array.iter
+    (fun (s : Span.t) ->
+      let r = s.Span.rank in
+      let keep = ref [] and le = ref next_late.(r) in
+      List.iter
+        (fun ((p, dl) as pt) ->
+          if p <= s.Span.t0 +. eps then keep := pt :: !keep
+          else if p <= s.Span.t1 +. eps then
+            (* the send leaves mid-span: sliding the span by d slides the
+               send point by d, so late end = deadline + (t1 - p) *)
+            le := Float.min !le (dl +. (s.Span.t1 -. p)))
+            (* points beyond the span's end landed in an idle gap: the
+               gap absorbs them, no constraint on this span *)
+        pending.(r);
+      pending.(r) <- !keep;
+      let bound =
+        if s.Span.kind = Span.Wait then
+          bind_edge per_dst ~eps ~rank:r ~t0:s.Span.t0 ~t1:s.Span.t1
+        else None
+      in
+      let s_slack = Float.max 0. (!le -. s.Span.t1) in
+      (match bound with
+      | Some e ->
+        let open Recorder in
+        let flight = Float.max 0. (e.e_ready -. e.e_sent) in
+        pending.(e.e_src) <- (e.e_sent, !le -. flight) :: pending.(e.e_src);
+        (* a released wait is elastic: its predecessor may run right up
+           to the message's latest tolerable arrival *)
+        next_late.(r) <- !le
+      | None -> next_late.(r) <- s.Span.t0 +. s_slack);
+      slack.(r) <- Float.min slack.(r) s_slack)
+    all;
+  Array.map (fun s -> Float.max 0. (Float.min s completion)) slack
+
+(* --------------------------- backward walk --------------------------- *)
+
+let analyze ?(eps = 1e-9) ?completion ~nprocs ~edges spans =
+  if nprocs <= 0 then invalid_arg "Critpath.analyze: nprocs";
+  let completion =
+    match completion with
+    | Some c -> c
+    | None ->
+      let c =
+        List.fold_left
+          (fun acc (s : Span.t) -> Float.max acc s.Span.t1)
+          0. spans
+      in
+      List.fold_left
+        (fun acc (e : Recorder.edge) -> Float.max acc e.Recorder.e_ready)
+        c edges
+  in
+  let per_rank = index_spans ~nprocs spans in
+  let per_dst = index_edges ~nprocs edges in
+  let busy = busy_per_rank ~nprocs spans in
+  let max_rank_busy = Array.fold_left Float.max 0. busy in
+  let mean_busy =
+    Array.fold_left ( +. ) 0. busy /. float_of_int nprocs
+  in
+  let imbalance =
+    if max_rank_busy > 0. then (max_rank_busy -. mean_busy) /. max_rank_busy
+    else 0.
+  in
+  (* start on the rank whose trace ends last *)
+  let start_rank = ref 0 and start_end = ref neg_infinity in
+  Array.iteri
+    (fun r rs ->
+      let n = Array.length rs.t0s in
+      if n > 0 then begin
+        let e = rs.t1s.(rs.best.(n - 1)) in
+        if e > !start_end then begin
+          start_end := e;
+          start_rank := r
+        end
+      end)
+    per_rank;
+  let segments = ref [] in
+  let edges_crossed = ref 0 in
+  let nspans = List.length spans and nedges = List.length edges in
+  let fuel = ref ((10 * (nspans + nedges)) + nprocs + 16) in
+  let cur_r = ref !start_rank in
+  let cur_t = ref completion in
+  let phase = ref None in
+  let emit rank t0 t1 kind =
+    if t1 -. t0 > 0. then
+      segments :=
+        { sg_rank = rank; sg_t0 = t0; sg_t1 = t1; sg_kind = kind;
+          sg_phase = !phase }
+        :: !segments
+  in
+  if !start_end > neg_infinity then
+    while !cur_t > eps && !fuel > 0 do
+      decr fuel;
+      match find_before per_rank.(!cur_r) ~eps !cur_t with
+      | None ->
+        (* nothing earlier on this rank: idle back to time zero *)
+        emit !cur_r 0. !cur_t Idle;
+        cur_t := 0.
+      | Some (t0, t1, kind) ->
+        if t1 < !cur_t -. eps then begin
+          emit !cur_r t1 !cur_t Idle;
+          cur_t := t1
+        end
+        else begin
+          let hop =
+            if kind = Span.Wait && Float.abs (t1 -. !cur_t) <= eps then
+              bind_edge per_dst ~eps ~rank:!cur_r ~t0 ~t1
+            else None
+          in
+          match hop with
+          | Some e ->
+            let open Recorder in
+            let jump = Float.max 0. (Float.min e.e_sent !cur_t) in
+            incr edges_crossed;
+            (* the flight and everything earlier belong to the phase
+               (tile step) the crossed edge carries as its tag *)
+            phase := Some e.e_tag;
+            emit !cur_r jump !cur_t Flight;
+            cur_r := e.e_src;
+            cur_t := jump
+          | None ->
+            emit !cur_r t0 (Float.min t1 !cur_t) (Activity kind);
+            cur_t := t0
+        end
+    done;
+  let segments = !segments in
+  (* the walk pushed newest-first; it is already chronological *)
+  let path_length =
+    List.fold_left (fun acc s -> acc +. seg_duration s) 0. segments
+  in
+  let coverage = if completion > 0. then path_length /. completion else 0. in
+  let kind_seconds =
+    let names =
+      List.map Span.kind_name Span.all_kinds @ [ "flight"; "idle" ]
+    in
+    let sums = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let k = seg_kind_name s.sg_kind in
+        let cur = Option.value ~default:0. (Hashtbl.find_opt sums k) in
+        Hashtbl.replace sums k (cur +. seg_duration s))
+      segments;
+    List.map
+      (fun n -> (n, Option.value ~default:0. (Hashtbl.find_opt sums n)))
+      names
+  in
+  let rank_on_path = Array.make nprocs 0. in
+  List.iter
+    (fun s ->
+      match s.sg_kind with
+      | Activity _ | Idle ->
+        rank_on_path.(s.sg_rank) <- rank_on_path.(s.sg_rank) +. seg_duration s
+      | Flight -> ())
+    segments;
+  let phase_seconds =
+    let sums = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let cur =
+          Option.value ~default:0. (Hashtbl.find_opt sums s.sg_phase)
+        in
+        Hashtbl.replace sums s.sg_phase (cur +. seg_duration s))
+      segments;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) sums []
+    |> List.sort (fun (a, _) (b, _) ->
+           match (a, b) with
+           | Some x, Some y -> compare x y
+           | Some _, None -> -1
+           | None, Some _ -> 1
+           | None, None -> 0)
+  in
+  let slack = compute_slack ~nprocs ~eps ~completion ~per_dst spans in
+  {
+    nprocs;
+    completion;
+    segments;
+    path_length;
+    coverage;
+    kind_seconds;
+    rank_on_path;
+    phase_seconds;
+    edges_crossed = !edges_crossed;
+    max_rank_busy;
+    imbalance;
+    slack;
+  }
+
+let laggards ?(k = 5) t =
+  let ranked =
+    Array.to_list (Array.mapi (fun r s -> (r, s)) t.rank_on_path)
+  in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) ranked
+  in
+  List.filteri (fun i (_, s) -> i < k && s > 0.) sorted
+
+(* ------------------------------- output ------------------------------- *)
+
+module Json = Tiles_util.Json
+
+let segment_json s =
+  Json.Obj
+    ([
+       ("rank", Json.Int s.sg_rank);
+       ("t0_s", Json.Float s.sg_t0);
+       ("t1_s", Json.Float s.sg_t1);
+       ("kind", Json.Str (seg_kind_name s.sg_kind));
+     ]
+    @ match s.sg_phase with
+      | None -> []
+      | Some p -> [ ("phase", Json.Int p) ])
+
+let to_json ?(segments = true) t =
+  Json.Obj
+    ([
+       ("nprocs", Json.Int t.nprocs);
+       ("completion_s", Json.Float t.completion);
+       ("path_length_s", Json.Float t.path_length);
+       ("coverage", Json.Float t.coverage);
+       ("edges_crossed", Json.Int t.edges_crossed);
+       ("max_rank_busy_s", Json.Float t.max_rank_busy);
+       ("imbalance", Json.Float t.imbalance);
+       ( "kind_seconds",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.kind_seconds)
+       );
+       ( "phase_seconds",
+         Json.List
+           (List.map
+              (fun (p, v) ->
+                Json.Obj
+                  [
+                    ( "phase",
+                      match p with Some p -> Json.Int p | None -> Json.Null );
+                    ("seconds", Json.Float v);
+                  ])
+              t.phase_seconds) );
+       ( "rank_on_path_s",
+         Json.List
+           (Array.to_list (Array.map (fun v -> Json.Float v) t.rank_on_path))
+       );
+       ( "slack_s",
+         Json.List (Array.to_list (Array.map (fun v -> Json.Float v) t.slack))
+       );
+       ( "laggards",
+         Json.List
+           (List.map
+              (fun (r, s) ->
+                Json.Obj
+                  [ ("rank", Json.Int r); ("on_path_s", Json.Float s) ])
+              (laggards t)) );
+     ]
+    @
+    if segments then
+      [ ("segments", Json.List (List.map segment_json t.segments)) ]
+    else [])
+
+let summary ?(top = 5) t =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "causal critical path %.6f s over completion %.6f s (coverage %.1f%%)\n"
+    t.path_length t.completion (100. *. t.coverage);
+  pf "%d message edges on the path; max rank busy %.6f s; imbalance %.3f\n"
+    t.edges_crossed t.max_rank_busy t.imbalance;
+  pf "  %-10s %14s %9s\n" "kind" "on-path (s)" "share";
+  List.iter
+    (fun (k, v) ->
+      let share = if t.path_length > 0. then v /. t.path_length else 0. in
+      pf "  %-10s %14.6f %8.1f%%\n" k v (100. *. share))
+    t.kind_seconds;
+  (match laggards ~k:top t with
+  | [] -> ()
+  | ls ->
+    pf "top laggards (rank: on-path seconds, slack):\n";
+    List.iter
+      (fun (r, s) -> pf "  rank %-4d %10.6f s  slack %10.6f s\n" r s
+          t.slack.(r))
+      ls);
+  Buffer.contents buf

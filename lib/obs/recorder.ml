@@ -1,19 +1,76 @@
+(* How much the recorder retains is the product of two switches: [trace]
+   (record spans at all) and [mode] (retain them or fold them down).
+
+     trace=false            counters only (messages, bytes, in-flight)
+     trace, mode=Retain     full span list + message dependency edges
+     trace, mode=Streaming  per-rank per-kind sums and Metric histograms
+                            plus a bounded reservoir of the longest Wait
+                            spans — O(nprocs) memory however long the run
+
+   Message identity: every send/receive carries its channel (src, dst,
+   tag) and the recorder assigns a per-channel sequence number on each
+   side independently. All transports are FIFO per channel (the
+   simulator's queues, the shm mailbox's per-tag queues, the overlapped
+   send stage drained in order by one domain), so sender seq i and
+   receiver seq i name the same message and the two half-records join
+   into a dependency edge without any cross-rank synchronisation. *)
+
+type mode = Retain | Streaming
+
+type edge = {
+  e_src : int;
+  e_dst : int;
+  e_tag : int;
+  e_seq : int;
+  e_bytes : int;
+  e_sent : float;
+  e_posted : float;
+  e_ready : float;
+}
+
+let nkinds = 5
+
+let kind_slot = function
+  | Span.Compute -> 0
+  | Span.Pack -> 1
+  | Span.Send -> 2
+  | Span.Wait -> 3
+  | Span.Unpack -> 4
+
+(* longest-Wait reservoir size per rank; total memory is nprocs·this *)
+let waits_keep = 8
+
 type shared = {
   trace : bool;
+  mode : mode;
+  label : string option;
   clock : unit -> float;
   origin : float;
   inflight : int Atomic.t;
   max_inflight : int Atomic.t;
 }
 
+(* one half of a message, recorded on the side that observed it *)
+type sent_rec = { s_dst : int; s_tag : int; s_seq : int; s_t : float }
+type recv_rec = { r_src : int; r_tag : int; r_seq : int; r_bytes : int;
+                  r_posted : float; r_ready : float }
+
 type log = {
   rank : int;
   shared : shared;
-  mutable spans : Span.t list;  (* newest first *)
+  mutable spans : Span.t list;  (* newest first; Retain mode only *)
   mutable cursor : float;
   mutable messages : int;
   mutable bytes : int;
   mutable finished_at : float;
+  kind_sum : float array;  (* seconds per Span.kind, always when tracing *)
+  kind_hist : Metric.t option array;  (* Streaming mode, lazily allocated *)
+  waits : Span.t array;  (* reservoir of longest Wait spans *)
+  mutable nwaits : int;
+  send_seq : (int * int, int ref) Hashtbl.t;  (* (dst, tag) -> next seq *)
+  recv_seq : (int * int, int ref) Hashtbl.t;  (* (src, tag) -> next seq *)
+  mutable sent : sent_rec list;  (* Retain mode only *)
+  mutable recvd : recv_rec list;  (* Retain mode only *)
 }
 
 type t = {
@@ -22,11 +79,16 @@ type t = {
   logs : log array;
 }
 
-let create ?(trace = false) ?(clock = Clock.monotonic) ~nprocs () =
+let dummy_span = { Span.rank = -1; t0 = 0.; t1 = 0.; kind = Span.Wait }
+
+let create ?(mode = Retain) ?(trace = false) ?(clock = Clock.monotonic)
+    ?label ~nprocs () =
   if nprocs <= 0 then invalid_arg "Recorder.create: nprocs";
   let s =
     {
       trace;
+      mode;
+      label;
       clock;
       origin = clock ();
       inflight = Atomic.make 0;
@@ -46,19 +108,65 @@ let create ?(trace = false) ?(clock = Clock.monotonic) ~nprocs () =
             messages = 0;
             bytes = 0;
             finished_at = 0.;
+            kind_sum = Array.make nkinds 0.;
+            kind_hist = Array.make nkinds None;
+            waits = Array.make waits_keep dummy_span;
+            nwaits = 0;
+            send_seq = Hashtbl.create 4;
+            recv_seq = Hashtbl.create 4;
+            sent = [];
+            recvd = [];
           });
   }
 
 let tracing t = t.s.trace
+let mode t = t.s.mode
+let label t = t.s.label
 let nprocs t = t.nprocs
 let now t = t.s.clock () -. t.s.origin
 let log t ~rank = t.logs.(rank)
 
 let log_now l = l.shared.clock () -. l.shared.origin
 
+(* message edges are only joinable when the full per-message records are
+   kept; streaming mode deliberately drops them to stay O(nprocs) *)
+let keep_edges s = s.trace && s.mode = Retain
+
+let reservoir_note l (sp : Span.t) =
+  if l.nwaits < waits_keep then begin
+    l.waits.(l.nwaits) <- sp;
+    l.nwaits <- l.nwaits + 1
+  end
+  else begin
+    (* replace the shortest retained wait if this one is longer *)
+    let mini = ref 0 in
+    for i = 1 to waits_keep - 1 do
+      if Span.duration l.waits.(i) < Span.duration l.waits.(!mini) then
+        mini := i
+    done;
+    if Span.duration sp > Span.duration l.waits.(!mini) then
+      l.waits.(!mini) <- sp
+  end
+
 let span l ~t0 ~t1 kind =
-  if l.shared.trace && t1 > t0 then
-    l.spans <- { Span.rank = l.rank; t0; t1; kind } :: l.spans
+  if l.shared.trace && t1 > t0 then begin
+    let sp = { Span.rank = l.rank; t0; t1; kind } in
+    let slot = kind_slot kind in
+    l.kind_sum.(slot) <- l.kind_sum.(slot) +. (t1 -. t0);
+    if kind = Span.Wait then reservoir_note l sp;
+    match l.shared.mode with
+    | Retain -> l.spans <- sp :: l.spans
+    | Streaming ->
+      let m =
+        match l.kind_hist.(slot) with
+        | Some m -> m
+        | None ->
+          let m = Metric.create () in
+          l.kind_hist.(slot) <- Some m;
+          m
+      in
+      Metric.add m (t1 -. t0)
+  end
 
 let mark l = l.cursor <- log_now l
 
@@ -71,20 +179,111 @@ let rec raise_high_water m v =
   let cur = Atomic.get m in
   if v > cur && not (Atomic.compare_and_set m cur v) then raise_high_water m v
 
-let message_sent l ~bytes =
+let next_seq table key =
+  match Hashtbl.find_opt table key with
+  | Some r ->
+    let s = !r in
+    incr r;
+    s
+  | None ->
+    Hashtbl.add table key (ref 1);
+    0
+
+let message_sent l ?t ~dst ~tag ~bytes () =
   l.messages <- l.messages + 1;
   l.bytes <- l.bytes + bytes;
   let level = Atomic.fetch_and_add l.shared.inflight bytes + bytes in
-  raise_high_water l.shared.max_inflight level
+  raise_high_water l.shared.max_inflight level;
+  if keep_edges l.shared then begin
+    let s_seq = next_seq l.send_seq (dst, tag) in
+    let s_t = match t with Some t -> t | None -> log_now l in
+    l.sent <- { s_dst = dst; s_tag = tag; s_seq; s_t } :: l.sent
+  end
 
-let message_received l ~bytes =
-  ignore (Atomic.fetch_and_add l.shared.inflight (-bytes))
+let message_received l ?t ?posted ~src ~tag ~bytes () =
+  ignore (Atomic.fetch_and_add l.shared.inflight (-bytes));
+  if keep_edges l.shared then begin
+    let r_seq = next_seq l.recv_seq (src, tag) in
+    let r_ready = match t with Some t -> t | None -> log_now l in
+    let r_posted = match posted with Some p -> p | None -> r_ready in
+    l.recvd <-
+      { r_src = src; r_tag = tag; r_seq; r_bytes = bytes; r_posted; r_ready }
+      :: l.recvd
+  end
 
 let finish l = l.finished_at <- log_now l
 
 let spans t =
   Span.sort
     (Array.fold_left (fun acc l -> List.rev_append l.spans acc) [] t.logs)
+
+let edges t =
+  (* join the sender and receiver half-records on (src, dst, tag, seq) —
+     FIFO per channel makes the independently assigned seqs agree *)
+  let sends = Hashtbl.create 256 in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun s ->
+          Hashtbl.replace sends (l.rank, s.s_dst, s.s_tag, s.s_seq) s.s_t)
+        l.sent)
+    t.logs;
+  let out =
+    Array.fold_left
+      (fun acc l ->
+        List.fold_left
+          (fun acc r ->
+            match
+              Hashtbl.find_opt sends (r.r_src, l.rank, r.r_tag, r.r_seq)
+            with
+            | None -> acc  (* receive without a recorded send: dropped *)
+            | Some s_t ->
+              {
+                e_src = r.r_src;
+                e_dst = l.rank;
+                e_tag = r.r_tag;
+                e_seq = r.r_seq;
+                e_bytes = r.r_bytes;
+                e_sent = s_t;
+                e_posted = r.r_posted;
+                e_ready = r.r_ready;
+              }
+              :: acc)
+          acc l.recvd)
+      [] t.logs
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare a.e_ready b.e_ready with
+      | 0 -> compare (a.e_dst, a.e_src, a.e_tag, a.e_seq)
+               (b.e_dst, b.e_src, b.e_tag, b.e_seq)
+      | c -> c)
+    out
+
+let kind_seconds t =
+  Array.map (fun l -> Array.copy l.kind_sum) t.logs
+
+let kind_summary t ~rank kind =
+  let l = t.logs.(rank) in
+  match l.kind_hist.(kind_slot kind) with
+  | Some m -> Metric.summarize m
+  | None -> Metric.summarize (Metric.create ())
+
+let longest_waits ?(k = waits_keep) t =
+  let all =
+    Array.fold_left
+      (fun acc l ->
+        let rec take i acc =
+          if i >= l.nwaits then acc else take (i + 1) (l.waits.(i) :: acc)
+        in
+        take 0 acc)
+      [] t.logs
+  in
+  let sorted =
+    List.sort (fun a b -> Float.compare (Span.duration b) (Span.duration a))
+      all
+  in
+  List.filteri (fun i _ -> i < k) sorted
 
 let messages t = Array.fold_left (fun acc l -> acc + l.messages) 0 t.logs
 let bytes t = Array.fold_left (fun acc l -> acc + l.bytes) 0 t.logs

@@ -1,4 +1,4 @@
-(** Per-rank span recorder with message counters.
+(** Per-rank span recorder with message counters and causal identity.
 
     Designed for concurrent backends: each rank obtains its own {!log}
     and only ever appends to it, so span recording is lock-free (no
@@ -6,18 +6,60 @@
     pair of atomic in-flight byte counters. The simulator uses the same
     recorder API with explicit virtual timestamps.
 
-    Counters (messages, bytes, in-flight) are always maintained; spans
-    are kept only when the recorder was created with [~trace:true], so an
-    untraced run pays one branch per event. *)
+    Counters (messages, bytes, in-flight) are always maintained; what
+    else is retained depends on [trace] and [mode]:
+
+    - [trace:false] — counters only.
+    - [trace:true, mode:Retain] — the full span list, plus per-message
+      send/receive records that {!edges} joins into causal send→recv
+      dependency edges.
+    - [trace:true, mode:Streaming] — spans are folded into per-rank
+      per-kind totals and {!Metric} histograms plus a bounded reservoir
+      of the longest Wait spans; memory stays O(nprocs) no matter how
+      many spans the run produces. {!spans} and {!edges} return [[]].
+
+    Causal identity: {!message_sent} and {!message_received} each assign
+    a per-channel ((peer, tag)) sequence number on their own side. Every
+    transport in this codebase delivers FIFO per (src, dst, tag), so the
+    two sides' numbering agrees and the half-records join without any
+    cross-rank coordination. *)
 
 type t
 type log
 
-val create : ?trace:bool -> ?clock:(unit -> float) -> nprocs:int -> unit -> t
+type mode = Retain | Streaming
+
+type edge = {
+  e_src : int;  (** sending rank *)
+  e_dst : int;  (** receiving rank *)
+  e_tag : int;  (** channel tag (the time-step phase for halo traffic) *)
+  e_seq : int;  (** per-(src,dst,tag) sequence number, from 0 *)
+  e_bytes : int;
+  e_sent : float;  (** sender-side stamp: end of the send action *)
+  e_posted : float;  (** receiver entered its wait *)
+  e_ready : float;  (** receiver's wait ended; the message was available *)
+}
+(** One matched send→recv dependency, with stamps from both sides. On the
+    shm backend the two sides read the same monotonic clock but race on
+    it, so [e_sent] may exceed [e_ready] by a scheduling jitter;
+    consumers must clamp. *)
+
+val create :
+  ?mode:mode ->
+  ?trace:bool ->
+  ?clock:(unit -> float) ->
+  ?label:string ->
+  nprocs:int ->
+  unit ->
+  t
 (** [clock] defaults to {!Clock.monotonic}; readings are rebased so time
-    0 is the recorder's creation. [trace] defaults to [false]. *)
+    0 is the recorder's creation. [trace] defaults to [false], [mode] to
+    [Retain]. [label] is carried verbatim (e.g. a serve job id) for
+    attribution in downstream artifacts. *)
 
 val tracing : t -> bool
+val mode : t -> mode
+val label : t -> string option
 val nprocs : t -> int
 
 val now : t -> float
@@ -40,18 +82,52 @@ val close : log -> Span.kind -> unit
     and advance the cursor. This lets straight-line backend code
     partition its timeline by closing each section as it finishes. *)
 
-val message_sent : log -> bytes:int -> unit
+val message_sent :
+  log -> ?t:float -> dst:int -> tag:int -> bytes:int -> unit -> unit
 (** Count one outgoing message on this rank; raises the in-flight byte
-    level (and the high-water mark). *)
+    level (and the high-water mark). When tracing in Retain mode, also
+    records the sender half of the dependency edge: [t] is the stamp at
+    which the message left this rank (defaults to the log's clock now)
+    and should equal the end of the corresponding Send span. *)
 
-val message_received : log -> bytes:int -> unit
-(** Lower the in-flight byte level. *)
+val message_received :
+  log ->
+  ?t:float ->
+  ?posted:float ->
+  src:int ->
+  tag:int ->
+  bytes:int ->
+  unit ->
+  unit
+(** Lower the in-flight byte level. When tracing in Retain mode, also
+    records the receiver half of the dependency edge: [t] is when the
+    message became available (wait end, defaults to now) and [posted]
+    when the receiver entered its wait (defaults to [t]). *)
 
 val finish : log -> unit
 (** Stamp the rank's completion time ([now]) for {!rank_finish}. *)
 
 val spans : t -> Span.t list
-(** All recorded spans, merged chronologically. *)
+(** All recorded spans, merged chronologically ([[]] in Streaming
+    mode). *)
+
+val edges : t -> edge list
+(** Matched send→recv dependency edges, ordered by [e_ready] ([[]] in
+    Streaming mode or when a send's record is missing). *)
+
+val kind_seconds : t -> float array array
+(** [nprocs × 5] summed span seconds, indexed by rank then by the order
+    of {!Span.all_kinds}. Maintained in both modes whenever tracing —
+    the streaming-mode replacement for folding {!spans}. *)
+
+val kind_summary : t -> rank:int -> Span.kind -> Metric.summary
+(** Streaming-mode histogram summary for one rank and kind (a zero
+    summary when no such span was recorded or in Retain mode). *)
+
+val longest_waits : ?k:int -> t -> Span.t list
+(** The [k] (default 8) longest Wait spans observed, longest first —
+    drawn from a bounded per-rank reservoir, so available in both modes
+    at O(nprocs) cost. *)
 
 val messages : t -> int
 val bytes : t -> int

@@ -24,32 +24,20 @@ type t = {
   total_comm : float;
   comm_compute_ratio : float;
   mean_busy_fraction : float;
+  max_rank_busy : float;
+      (* the old "critical path": max per-rank busy time, a causality-
+         blind lower bound *)
   critical_path : float;
+      (* the true causal critical path (Critpath over message edges);
+         0 when no edges were available to compute it *)
 }
 
-let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ?rank_messages ?rank_bytes spans =
-  if nprocs <= 0 then invalid_arg "Stats.make: nprocs";
-  let sums = Array.make_matrix nprocs 5 0. in
-  List.iter
-    (fun (s : Span.t) ->
-      if s.Span.rank < 0 || s.Span.rank >= nprocs then
-        invalid_arg "Stats.make: span rank out of range";
-      let slot =
-        match s.Span.kind with
-        | Span.Compute -> 0
-        | Span.Pack -> 1
-        | Span.Send -> 2
-        | Span.Wait -> 3
-        | Span.Unpack -> 4
-      in
-      sums.(s.Span.rank).(slot) <-
-        sums.(s.Span.rank).(slot) +. Span.duration s)
-    spans;
+let of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ~rank_messages ~rank_bytes ~critical_path sums =
   let per_rank arr r =
     match arr with
     | Some a when Array.length a = nprocs -> a.(r)
-    | Some _ -> invalid_arg "Stats.make: per-rank counter length"
+    | Some _ -> invalid_arg "Stats: per-rank counter length"
     | None -> 0
   in
   let ranks =
@@ -87,8 +75,45 @@ let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
       (if total_compute > 0. then total_comm /. total_compute else 0.);
     mean_busy_fraction =
       total (fun r -> r.busy_fraction) /. float_of_int nprocs;
-    critical_path = Array.fold_left (fun acc r -> Float.max acc r.busy) 0. ranks;
+    max_rank_busy =
+      Array.fold_left (fun acc r -> Float.max acc r.busy) 0. ranks;
+    critical_path;
   }
+
+let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ?rank_messages ?rank_bytes ?(critical_path = 0.) spans =
+  if nprocs <= 0 then invalid_arg "Stats.make: nprocs";
+  let sums = Array.make_matrix nprocs 5 0. in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.rank < 0 || s.Span.rank >= nprocs then
+        invalid_arg "Stats.make: span rank out of range";
+      let slot =
+        match s.Span.kind with
+        | Span.Compute -> 0
+        | Span.Pack -> 1
+        | Span.Send -> 2
+        | Span.Wait -> 3
+        | Span.Unpack -> 4
+      in
+      sums.(s.Span.rank).(slot) <-
+        sums.(s.Span.rank).(slot) +. Span.duration s)
+    spans;
+  of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ~rank_messages ~rank_bytes ~critical_path sums
+
+let of_kind_seconds ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ?rank_messages ?rank_bytes ?(critical_path = 0.) kind_seconds =
+  if nprocs <= 0 then invalid_arg "Stats.of_kind_seconds: nprocs";
+  if Array.length kind_seconds <> nprocs then
+    invalid_arg "Stats.of_kind_seconds: kind_seconds length";
+  Array.iter
+    (fun row ->
+      if Array.length row <> 5 then
+        invalid_arg "Stats.of_kind_seconds: kind row length")
+    kind_seconds;
+  of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
+    ~rank_messages ~rank_bytes ~critical_path kind_seconds
 
 let rank_json r =
   Json.Obj
@@ -117,6 +142,7 @@ let to_json t =
       ("total_comm_s", Json.Float t.total_comm);
       ("comm_compute_ratio", Json.Float t.comm_compute_ratio);
       ("mean_busy_fraction", Json.Float t.mean_busy_fraction);
+      ("max_rank_busy_s", Json.Float t.max_rank_busy);
       ("critical_path_s", Json.Float t.critical_path);
       ("ranks", Json.List (Array.to_list (Array.map rank_json t.ranks)));
     ]
@@ -130,6 +156,7 @@ let timed_fields t =
     ("total_comm_s", t.total_comm);
     ("comm_compute_ratio", t.comm_compute_ratio);
     ("mean_busy_fraction", t.mean_busy_fraction);
+    ("max_rank_busy_s", t.max_rank_busy);
     ("critical_path_s", t.critical_path);
   ]
 
@@ -176,10 +203,13 @@ let summary ?dist t =
   let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   pf "completion %.6f s, %d messages, %d bytes, max in-flight %d bytes\n"
     t.completion t.messages t.bytes t.max_inflight_bytes;
-  pf "comm/compute ratio %.3f, mean busy %.0f%%, critical path >= %.6f s\n"
+  pf "comm/compute ratio %.3f, mean busy %.0f%%, max rank busy %.6f s"
     t.comm_compute_ratio
     (100. *. t.mean_busy_fraction)
-    t.critical_path;
+    t.max_rank_busy;
+  if t.critical_path > 0. then
+    pf ", causal critical path %.6f s\n" t.critical_path
+  else pf "\n";
   (match dist with
   | None -> ()
   | Some d ->

@@ -29,9 +29,15 @@ type t = {
   total_comm : float;  (** pack + send + wait + unpack over all ranks *)
   comm_compute_ratio : float;  (** total_comm / total_compute (0 if none) *)
   mean_busy_fraction : float;
-  critical_path : float;
+  max_rank_busy : float;
       (** lower bound on any schedule's makespan: the largest per-rank
-          busy time (no reordering can finish before its busiest rank) *)
+          busy time (no reordering can finish before its busiest rank).
+          This was misleadingly called [critical_path] before message
+          edges existed. *)
+  critical_path : float;
+      (** the true causal critical path through the message-dependency
+          DAG (see {!Critpath}); 0 when the run carried no edges to
+          compute it from *)
 }
 
 val make :
@@ -42,10 +48,29 @@ val make :
   max_inflight_bytes:int ->
   ?rank_messages:int array ->
   ?rank_bytes:int array ->
+  ?critical_path:float ->
   Span.t list ->
   t
 (** Aggregate a trace. With an empty span list (untraced run) all time
-    components are zero but the counters are still meaningful. *)
+    components are zero but the counters are still meaningful.
+    [critical_path] (default 0) is the causal value from {!Critpath}
+    when the caller has message edges. *)
+
+val of_kind_seconds :
+  completion:float ->
+  nprocs:int ->
+  messages:int ->
+  bytes:int ->
+  max_inflight_bytes:int ->
+  ?rank_messages:int array ->
+  ?rank_bytes:int array ->
+  ?critical_path:float ->
+  float array array ->
+  t
+(** Aggregate from pre-folded [nprocs × 5] per-rank per-kind second
+    sums (the shape {!Recorder.kind_seconds} returns) — the streaming-
+    mode path, where no span list exists. Produces the same record as
+    {!make} over the spans the sums were folded from. *)
 
 val to_json : t -> Tiles_util.Json.t
 
@@ -58,7 +83,8 @@ val to_json : t -> Tiles_util.Json.t
 val timed_fields : t -> (string * float) list
 (** The run's timed scalar fields, keyed as in {!to_json}
     ([completion_s], [total_compute_s], [total_comm_s],
-    [comm_compute_ratio], [mean_busy_fraction], [critical_path_s]). *)
+    [comm_compute_ratio], [mean_busy_fraction], [max_rank_busy_s],
+    [critical_path_s]). *)
 
 type dist = (string * Metric.summary) list
 (** Per-field distributions, same keys as {!timed_fields}. *)

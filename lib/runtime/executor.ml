@@ -15,7 +15,7 @@ type result = {
 }
 
 let run ?walker ?check ?(mode = Full) ?(overlap = false) ?(trace = false)
-    ~plan ~kernel ~net () =
+    ?recorder ~plan ~kernel ~net () =
   let pmode = match mode with Full -> Protocol.Full | Timing -> Protocol.Timing in
   let shared =
     Protocol.prepare ?walker ?check ~mode:pmode ~plan ~kernel
@@ -34,7 +34,7 @@ let run ?walker ?check ?(mode = Full) ?(overlap = false) ?(trace = false)
     }
   in
   let stats =
-    Sim.run ~trace
+    Sim.run ~trace ?recorder
       ~nprocs:(Mapping.nprocs plan.Plan.mapping)
       ~net
       (Protocol.rank_program ~overlap shared comms)

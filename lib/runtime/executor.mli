@@ -40,6 +40,7 @@ val run :
   ?mode:mode ->
   ?overlap:bool ->
   ?trace:bool ->
+  ?recorder:Tiles_obs.Recorder.t ->
   plan:Tiles_core.Plan.t ->
   kernel:Kernel.t ->
   net:Tiles_mpisim.Netmodel.t ->
@@ -61,4 +62,9 @@ val run :
     tile's computation.
 
     [trace] (default false) records per-rank activity spans in
-    [result.stats.trace] for Gantt rendering. *)
+    [result.stats.trace] for Gantt rendering, plus the message dependency
+    edges in [result.stats.edges]. [recorder] passes a caller-created
+    recorder through to {!Tiles_mpisim.Sim.run} (it must read virtual
+    time, i.e. be created with a clock that always returns 0) — e.g. a
+    [~mode:Streaming] one so a thousand-rank traced sim stays at
+    O(nprocs) memory. *)

@@ -13,7 +13,18 @@
     the shared-memory backend ignores the modelled cost and instead
     closes the wall-clock interval since its previous event under the
     same tag — so both backends partition every rank's timeline into the
-    same compute / pack / send / wait / unpack vocabulary. *)
+    same compute / pack / send / wait / unpack vocabulary.
+
+    Causal identity contract: [rank_program] issues sends and receives
+    in a deterministic per-channel order that is identical in the
+    blocking and overlapped schedules, and every transport used here
+    delivers FIFO per (src, dst, tag). {!Tiles_obs.Recorder} therefore
+    assigns per-channel sequence numbers independently on each side and
+    the two numberings agree — this is what lets both backends record
+    matched send→recv dependency edges (and {!Tiles_obs.Critpath}
+    replay them) without the transports carrying explicit message
+    ids. A transport that reorders messages within one (src, dst, tag)
+    channel would break this contract. *)
 type comms = {
   send : dst:int -> tag:int -> Tiles_util.Fbuf.t -> unit;
   recv : src:int -> tag:int -> Tiles_util.Fbuf.t;

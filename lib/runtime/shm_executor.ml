@@ -21,6 +21,7 @@ type result = {
   points_computed : int;
   tiles_executed : int;
   trace : Span.t list;
+  edges : Recorder.edge list;
   stats : Tiles_obs.Stats.t;
 }
 
@@ -190,8 +191,8 @@ end
 
 let watchdog_period = 0.02
 
-let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
-    ?(recv_timeout = 30.) ~plan ~kernel () =
+let run ?walker ?check ?(trace = false) ?recorder ?(overlap = false)
+    ?(send_queue = 4) ?(recv_timeout = 30.) ~plan ~kernel () =
   if not (recv_timeout > 0.) then
     invalid_arg
       "Shm_executor.run: recv_timeout must be positive (use infinity to \
@@ -209,7 +210,14 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
       Some (Array.init nprocs (fun _ -> Send_stage.create ~capacity:send_queue))
     else None
   in
-  let recorder = Recorder.create ~trace ~nprocs () in
+  let recorder =
+    match recorder with
+    | Some rc ->
+      if Recorder.nprocs rc <> nprocs then
+        invalid_arg "Shm_executor.run: recorder nprocs mismatch";
+      rc
+    | None -> Recorder.create ~trace ~nprocs ()
+  in
   let comms_for rank =
     let log = Recorder.log recorder ~rank in
     let send =
@@ -220,8 +228,12 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
         fun ~dst ~tag data ->
           let t0 = Recorder.now recorder in
           Mailbox.send boxes.(rank).(dst) ~tag data;
-          Recorder.message_sent log ~bytes:(8 * Fbuf.length data);
-          Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Send;
+          (* the causal stamp and the Send span's end must be the same
+             reading, so critical-path hops land exactly on span ends *)
+          let t1 = Recorder.now recorder in
+          Recorder.message_sent log ~t:t1 ~dst ~tag
+            ~bytes:(8 * Fbuf.length data) ();
+          Recorder.span log ~t0 ~t1 Span.Send;
           Recorder.mark log
       | Some stages ->
         let stage = stages.(rank) in
@@ -239,8 +251,10 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
             Send_stage.submit ~timeout:recv_timeout ~diag stage (fun () ->
                 Mailbox.send box ~tag data)
           in
-          Recorder.message_sent log ~bytes;
           let t1 = Recorder.now recorder in
+          (* causally the message leaves this rank at the hand-off: the
+             stage's queueing + mailbox delivery shows up as flight *)
+          Recorder.message_sent log ~t:t1 ~dst ~tag ~bytes ();
           (* backpressure from the bounded queue is communication wait,
              not compute: the blocked interval is charged as Wait, only
              the hand-off itself as Send *)
@@ -265,8 +279,10 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
           let data =
             Mailbox.recv ~timeout:recv_timeout ~diag boxes.(src).(rank) ~tag
           in
-          Recorder.message_received log ~bytes:(8 * Fbuf.length data);
-          Recorder.span log ~t0 ~t1:(Recorder.now recorder) Span.Wait;
+          let t1 = Recorder.now recorder in
+          Recorder.message_received log ~t:t1 ~posted:t0 ~src ~tag
+            ~bytes:(8 * Fbuf.length data) ();
+          Recorder.span log ~t0 ~t1 Span.Wait;
           Recorder.mark log;
           data);
       compute = (fun _ -> Recorder.close log Span.Compute);
@@ -332,6 +348,16 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
   let completion =
     Array.fold_left Float.max 0. (Recorder.rank_finish recorder)
   in
+  let spans = Recorder.spans recorder in
+  let edges = Recorder.edges recorder in
+  let critical_path =
+    if edges = [] || spans = [] then 0.
+    else
+      let report =
+        Tiles_obs.Critpath.analyze ~completion ~nprocs ~edges spans
+      in
+      report.Tiles_obs.Critpath.path_length
+  in
   let stats =
     Tiles_obs.Stats.make ~completion ~nprocs
       ~messages:(Recorder.messages recorder)
@@ -339,7 +365,7 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
       ~max_inflight_bytes:(Recorder.max_inflight_bytes recorder)
       ~rank_messages:(Recorder.rank_messages recorder)
       ~rank_bytes:(Recorder.rank_bytes recorder)
-      (Recorder.spans recorder)
+      ~critical_path spans
   in
   {
     wall_seconds = wall;
@@ -352,6 +378,7 @@ let run ?walker ?check ?(trace = false) ?(overlap = false) ?(send_queue = 4)
     bytes = Recorder.bytes recorder;
     points_computed = Array.fold_left ( + ) 0 shared.Protocol.points_per_rank;
     tiles_executed = Array.fold_left ( + ) 0 shared.Protocol.tiles_per_rank;
-    trace = Recorder.spans recorder;
+    trace = spans;
+    edges;
     stats;
   }

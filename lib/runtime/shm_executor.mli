@@ -49,7 +49,12 @@ type result = {
   tiles_executed : int;
   trace : Tiles_obs.Span.t list;
       (** wall-clock spans, all ranks, time-sorted; [[]] unless [trace] *)
-  stats : Tiles_obs.Stats.t;  (** aggregate per-rank/backend statistics *)
+  edges : Tiles_obs.Recorder.edge list;
+      (** matched send→recv causal dependencies with wall-clock stamps;
+          [[]] unless traced in Retain mode *)
+  stats : Tiles_obs.Stats.t;
+      (** aggregate per-rank/backend statistics; [critical_path] is the
+          causal value when edges were recorded *)
 }
 
 (** The blocking tag-matched channel used between each (src, dst) rank
@@ -124,6 +129,7 @@ val run :
   ?walker:Walker.variant ->
   ?check:bool ->
   ?trace:bool ->
+  ?recorder:Tiles_obs.Recorder.t ->
   ?overlap:bool ->
   ?send_queue:int ->
   ?recv_timeout:float ->
@@ -134,7 +140,11 @@ val run :
 (** Always Full mode (the whole point is the real data flow).
     [walker]/[check] select the tile-execution engine and its NaN-read
     validation exactly as in {!Protocol.prepare}. [trace]
-    (default false) records per-rank wall-clock spans. [overlap] (default
+    (default false) records per-rank wall-clock spans. [recorder]
+    supplies a caller-created recorder instead (matching [nprocs]
+    required; [trace] is then the recorder's flag) — e.g. a
+    [~mode:Streaming] one to keep long traced runs at O(nprocs) memory,
+    or a labelled one so a serve job's trace is attributable. [overlap] (default
     false) runs the §5 overlapped schedule: receives pre-posted per tile
     ({!Protocol.rank_program}), sends handed to a per-rank bounded
     {!Send_stage} of [send_queue] slots (default 4) and completed by a

@@ -8,11 +8,17 @@ type cls = {
   mutable count : int;
 }
 
+type wait = { w_job : string; w_rank : int; w_seconds : float }
+
+(* how many of the longest observed waits the snapshot retains *)
+let waits_keep = 16
+
 type t = {
   lock : Mutex.t;
   classes : (string, cls) Hashtbl.t;
   mutable completed : int;
   mutable errors : int;
+  mutable waits : wait list;  (** longest first, at most [waits_keep] *)
 }
 
 (* every critical section runs under [Fun.protect]: user-influenced code
@@ -28,6 +34,7 @@ let create () =
     classes = Hashtbl.create 8;
     completed = 0;
     errors = 0;
+    waits = [];
   }
 
 let class_of t name =
@@ -53,6 +60,29 @@ let observe t ~cls ~queued_s ~service_s =
       Metric.add c.total (queued_s +. service_s);
       c.count <- c.count + 1;
       t.completed <- t.completed + 1)
+
+let observe_waits t ~job_id spans =
+  if spans <> [] then
+    locked t (fun () ->
+        let fresh =
+          List.map
+            (fun (s : Tiles_obs.Span.t) ->
+              {
+                w_job = job_id;
+                w_rank = s.Tiles_obs.Span.rank;
+                w_seconds = Tiles_obs.Span.duration s;
+              })
+            spans
+        in
+        let merged =
+          List.sort
+            (fun a b -> compare b.w_seconds a.w_seconds)
+            (fresh @ t.waits)
+        in
+        t.waits <- List.filteri (fun i _ -> i < waits_keep) merged)
+
+let longest_waits t =
+  locked t (fun () -> List.map (fun w -> (w.w_job, w.w_rank, w.w_seconds)) t.waits)
 
 let error t = locked t (fun () -> t.errors <- t.errors + 1)
 
@@ -80,9 +110,21 @@ let snapshot_json t =
           t.classes []
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
+      let waits =
+        List.map
+          (fun w ->
+            Json.Obj
+              [
+                ("job_id", Json.Str w.w_job);
+                ("rank", Json.Int w.w_rank);
+                ("seconds", Json.Float w.w_seconds);
+              ])
+          t.waits
+      in
       Json.Obj
         [
           ("completed", Json.Int t.completed);
           ("errors", Json.Int t.errors);
           ("classes", Json.Obj classes);
+          ("longest_waits", Json.List waits);
         ])

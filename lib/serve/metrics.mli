@@ -15,6 +15,15 @@ val create : unit -> t
 val observe : t -> cls:string -> queued_s:float -> service_s:float -> unit
 (** Fold one completed job into class [cls]. *)
 
+val observe_waits : t -> job_id:string -> Tiles_obs.Span.t list -> unit
+(** Fold a job's longest Wait spans (as reported by
+    {!Tiles_obs.Recorder.longest_waits}) into the service-wide bounded
+    reservoir, attributed to [job_id]. Only the longest 16 across all
+    jobs are retained, so memory stays O(1) under any traffic. *)
+
+val longest_waits : t -> (string * int * float) list
+(** The retained [(job_id, rank, seconds)] triples, longest first. *)
+
 val error : t -> unit
 (** Count a job that failed (its latency is not folded). *)
 
@@ -24,6 +33,7 @@ val errors : t -> int
 
 val snapshot_json : t -> Tiles_util.Json.t
 (** [{"completed": …, "errors": …, "classes": {cls: {"count": …,
-    "queued_s": summary, "service_s": summary, "total_s": summary}}}]
+    "queued_s": summary, "service_s": summary, "total_s": summary}},
+    "longest_waits": [{"job_id": …, "rank": …, "seconds": …}, …]}]
     where each summary is a {!Tiles_obs.Metric.summary} (count, mean,
     stddev, min, max, p50, p90, p99). *)

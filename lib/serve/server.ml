@@ -1,6 +1,7 @@
 module Json = Tiles_util.Json
 module Clock = Tiles_obs.Clock
 module Runmeta = Tiles_obs.Runmeta
+module Recorder = Tiles_obs.Recorder
 module Plan = Tiles_core.Plan
 module Schedule = Tiles_core.Schedule
 module Tiling = Tiles_core.Tiling
@@ -170,6 +171,22 @@ let run_job t (ticket : ticket) : outcome =
   in
   let nprocs = Plan.nprocs plan in
   let kernel = r.Registry.kernel in
+  (* every execute/simulate run drives a streaming recorder labelled with
+     the job id: O(nprocs) memory per job, and the job's longest waits
+     land in the service-wide metrics reservoir attributed to it *)
+  let streaming_recorder ~sim =
+    if sim then
+      Recorder.create ~mode:Recorder.Streaming ~trace:true
+        ~clock:(fun () -> 0.)
+        ~label:job.Job.id ~nprocs ()
+    else
+      Recorder.create ~mode:Recorder.Streaming ~trace:true ~label:job.Job.id
+        ~nprocs ()
+  in
+  let fold_waits rc =
+    Metrics.observe_waits t.metrics ~job_id:job.Job.id
+      (Recorder.longest_waits rc)
+  in
   match job.Job.op with
   | Job.Plan ->
     {
@@ -184,24 +201,28 @@ let run_job t (ticket : ticket) : outcome =
       cache_status;
     }
   | Job.Simulate ->
+    let rc = streaming_recorder ~sim:true in
     let res =
-      Executor.run ~mode:Executor.Timing ~overlap:job.Job.overlap ~plan
-        ~kernel ~net:t.config.net ()
+      Executor.run ~mode:Executor.Timing ~overlap:job.Job.overlap
+        ~recorder:rc ~plan ~kernel ~net:t.config.net ()
     in
+    fold_waits rc;
     {
       payload = ("nprocs", Json.Int nprocs) :: sim_payload res;
       mk_meta = Some (run_meta ~job ~nprocs);
       cache_status;
     }
   | Job.Execute when job.Job.backend = "shm" ->
+    let rc = streaming_recorder ~sim:false in
     let res =
       Mutex.lock t.shm_gate;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock t.shm_gate)
         (fun () ->
           Shm_executor.run ~walker:job.Job.walker ~overlap:job.Job.overlap
-            ~plan ~kernel ())
+            ~recorder:rc ~plan ~kernel ())
     in
+    fold_waits rc;
     {
       payload =
         [
@@ -218,10 +239,13 @@ let run_job t (ticket : ticket) : outcome =
       cache_status;
     }
   | Job.Execute ->
+    let rc = streaming_recorder ~sim:true in
     let res =
       Executor.run ~walker:job.Job.walker ~mode:Executor.Full
-        ~overlap:job.Job.overlap ~plan ~kernel ~net:t.config.net ()
+        ~overlap:job.Job.overlap ~recorder:rc ~plan ~kernel ~net:t.config.net
+        ()
     in
+    fold_waits rc;
     let err =
       match res.Executor.grid with
       | Some g ->

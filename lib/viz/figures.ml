@@ -5,6 +5,7 @@ module Comm = Tiles_core.Comm
 module Lds = Tiles_core.Lds
 module Sim = Tiles_mpisim.Sim
 module Span = Tiles_obs.Span
+module Critpath = Tiles_obs.Critpath
 module Rat = Tiles_rat.Rat
 
 let cell = 18.
@@ -162,7 +163,10 @@ let span_colour = function
   | Span.Wait -> "#d9d9d9"
   | Span.Unpack -> "#80b1d3"
 
-let timeline ?(title = "execution timeline") ~nprocs ~completion spans =
+let path_colour = "#e31a1c"
+
+let timeline ?(title = "execution timeline") ?(path = []) ~nprocs ~completion
+    spans =
   if spans = [] then invalid_arg "Figures.timeline: no spans";
   if completion <= 0. then invalid_arg "Figures.timeline: completion <= 0";
   let row_h = 22. and left = 60. in
@@ -182,6 +186,30 @@ let timeline ?(title = "execution timeline") ~nprocs ~completion spans =
         ~w:(Float.max 0.5 ((t1 -. t0) *. scale))
         ~h:(row_h -. 4.) ~fill:(span_colour kind) ())
     spans;
+  (* critical-path overlay: outlined rects on the critical rank's row,
+     message flights as diagonal lines hopping from the sender's row
+     (wherever the previous on-path segment sat) to the receiver's *)
+  let row_mid r = margin +. (float_of_int r *. row_h) +. (row_h /. 2.) in
+  let prev_rank = ref None in
+  List.iter
+    (fun (sg : Critpath.segment) ->
+      (match sg.Critpath.sg_kind with
+      | Critpath.Flight ->
+        let src = match !prev_rank with Some r -> r | None -> sg.sg_rank in
+        Svg.line svg
+          ~x1:(left +. (sg.Critpath.sg_t0 *. scale))
+          ~y1:(row_mid src)
+          ~x2:(left +. (sg.Critpath.sg_t1 *. scale))
+          ~y2:(row_mid sg.Critpath.sg_rank)
+          ~stroke:path_colour ~stroke_width:1.4 ~dash:"3 2" ()
+      | Critpath.Activity _ | Critpath.Idle ->
+        Svg.rect svg
+          ~x:(left +. (sg.Critpath.sg_t0 *. scale))
+          ~y:(margin +. (float_of_int sg.Critpath.sg_rank *. row_h) +. 1.)
+          ~w:(Float.max 0.5 (Critpath.seg_duration sg *. scale))
+          ~h:row_h ~stroke:path_colour ~opacity:0.9 ());
+      prev_rank := Some sg.Critpath.sg_rank)
+    path;
   for r = 0 to nprocs - 1 do
     Svg.text svg ~x:8.
       ~y:(margin +. (float_of_int r *. row_h) +. (row_h /. 2.) +. 4.)
@@ -194,6 +222,11 @@ let timeline ?(title = "execution timeline") ~nprocs ~completion spans =
         ~fill:(span_colour kind) ~stroke:"#666" ();
       Svg.text svg ~x:(x +. 16.) ~y:(legend_y +. 1.) (Span.kind_name kind))
     Span.all_kinds;
+  if path <> [] then begin
+    let x = left +. (float_of_int (List.length Span.all_kinds) *. 110.) in
+    Svg.rect svg ~x ~y:(legend_y -. 10.) ~w:12. ~h:12. ~stroke:path_colour ();
+    Svg.text svg ~x:(x +. 16.) ~y:(legend_y +. 1.) "critical path"
+  end;
   Svg.text svg ~x:left ~y:(margin /. 2.)
     (Printf.sprintf "%s, %.4g s total" title completion);
   svg

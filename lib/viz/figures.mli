@@ -25,6 +25,7 @@ val lds :
 
 val timeline :
   ?title:string ->
+  ?path:Tiles_obs.Critpath.segment list ->
   nprocs:int ->
   completion:float ->
   Tiles_obs.Span.t list ->
@@ -33,7 +34,13 @@ val timeline :
     purple, send orange, wait grey, unpack blue) with a legend. Works
     for both simulator and shared-memory traces; raises
     [Invalid_argument] on an empty span list or non-positive
-    [completion]. *)
+    [completion].
+
+    [path] (default none) overlays a causal critical path
+    ({!Tiles_obs.Critpath.analyze}): on-rank segments are outlined in
+    red on their rank's row, message flights drawn as dashed diagonal
+    hops from the sender's row to the receiver's, and a legend entry is
+    added. *)
 
 val gantt : Tiles_mpisim.Sim.stats -> Svg.t
 (** {!timeline} applied to a traced simulation ([Sim.run ~trace:true]);

@@ -1,0 +1,91 @@
+# CI smoke test for `tilec analyze`: runs the causal critical-path
+# analysis on all three apps (sim backend, virtual time, deterministic)
+# and asserts the core invariants the paper-facing numbers rest on:
+#
+#   (a) the extracted path is causal and complete -- its segments sum to
+#       the completion time within 1e-9 (coverage >= 95% is the CI gate;
+#       the sim backend achieves 100%),
+#   (b) path length >= max rank busy time (the causal path dominates the
+#       per-rank busy proxy),
+#   (c) the Chrome artifact round-trips: --from on the emitted trace
+#       reproduces the same path length, and the trace carries a
+#       flow-event pair (ph "s"/"f") for every crossed message edge,
+#   (d) the SVG timeline highlights the path.
+#
+# Then a bounded-memory scale check: a >=1024-rank Jacobi sim traced
+# with the streaming recorder must fit under a hard RSS ceiling --
+# O(ranks) memory, independent of the span count.
+#
+# Usage: python3 scripts/analyze_smoke.py [path/to/tilec.exe]
+# Writes analyze-artifacts/{<app>.json,<app>-trace.json,<app>.svg,
+# stream-1219.json}.
+import json, os, resource, subprocess, sys
+
+tilec = sys.argv[1] if len(sys.argv) > 1 else "./_build/default/bin/tilec.exe"
+os.makedirs("analyze-artifacts", exist_ok=True)
+
+RSS_CEILING_MB = 512
+MIN_COVERAGE = 0.95
+
+def run(args):
+    r = subprocess.run([tilec] + args, capture_output=True, text=True)
+    assert r.returncode == 0, (args, r.stdout, r.stderr)
+    return r.stdout
+
+APPS = {
+    "sor": ["-M", "12", "-N", "16", "-x", "3", "-y", "4"],
+    "jacobi": ["-t", "12", "-n", "16", "-x", "3", "-y", "4", "-z", "4"],
+    # ADI's non-rectangular tilings are named nr1..nr3, not "nonrect"
+    "adi": ["--variant", "nr1", "-t", "12", "-n", "16",
+            "-x", "3", "-y", "4", "-z", "4"],
+}
+
+for app, size in APPS.items():
+    trace = f"analyze-artifacts/{app}-trace.json"
+    svg = f"analyze-artifacts/{app}.svg"
+    base = ["analyze", "--app", app, "--backend", "sim"] + size
+    rep = json.loads(run(base + ["--json", "--out", trace, "--svg", svg]))
+    with open(f"analyze-artifacts/{app}.json", "w") as f:
+        json.dump(rep, f, indent=2)
+
+    assert rep["coverage"] >= MIN_COVERAGE, (app, rep["coverage"])
+    gap = abs(rep["path_length_s"] - rep["completion_s"])
+    assert gap <= 1e-9, (app, gap)
+    assert rep["path_length_s"] >= rep["max_rank_busy_s"] - 1e-12, app
+    ks = rep["kind_seconds"]
+    assert abs(sum(ks.values()) - rep["path_length_s"]) <= 1e-9, (app, ks)
+
+    # the Chrome artifact: flow events for the crossed edges, and
+    # reading it back reproduces the identical path
+    d = json.load(open(trace))
+    flows = [e for e in d["traceEvents"] if e.get("ph") in ("s", "f")]
+    sends = [e for e in flows if e["ph"] == "s"]
+    assert sends and len(flows) == 2 * len(sends), (app, len(flows))
+    assert all(e["cat"] == "tiles-flow" for e in flows), app
+    assert len(sends) >= rep["edges_crossed"], (app, len(sends))
+    rep2 = json.loads(run(["analyze", "--from", trace, "--json"]))
+    assert abs(rep2["path_length_s"] - rep["path_length_s"]) <= 1e-12, app
+    assert rep2["edges_crossed"] == rep["edges_crossed"], app
+
+    assert "critical path" in open(svg).read(), svg
+    print(f"{app}: path {rep['path_length_s']:.6f}s "
+          f"coverage {rep['coverage']:.3f} edges {rep['edges_crossed']}")
+
+# scale: >=1024 sim ranks under the streaming recorder, hard RSS ceiling
+stream = json.loads(run(["analyze", "--app", "jacobi", "--backend", "sim",
+                         "-t", "24", "-n", "256",
+                         "-x", "3", "-y", "8", "-z", "8",
+                         "--stream", "--json"]))
+with open("analyze-artifacts/stream-1219.json", "w") as f:
+    json.dump(stream, f, indent=2)
+stats = stream["stats"]
+assert stats["nprocs"] >= 1024, stats["nprocs"]
+assert stats["completion_s"] > 0
+assert stream["longest_waits"], "streaming recorder kept no waits"
+# ru_maxrss is the peak of any child on Linux (KiB); every tilec run
+# above is a child of this script, and the 1219-rank sim dwarfs the rest
+peak_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
+assert peak_mb < RSS_CEILING_MB, f"peak child RSS {peak_mb:.0f} MB"
+print(f"stream: {stats['nprocs']} ranks, "
+      f"{stats['messages']} messages, peak child RSS {peak_mb:.0f} MB")
+print("analyze smoke OK")

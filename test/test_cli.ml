@@ -392,6 +392,64 @@ let test_serve_pipe () =
        (fun j -> Json.member "op" j = Some (Json.Str "metrics"))
        parsed)
 
+(* tilec analyze: causal critical path on a fresh sim run, artifact
+   roundtrip via --from, streaming mode, and the flag conflicts *)
+let test_analyze () =
+  let json = Filename.temp_file "tilec_analyze" ".json" in
+  let svg = Filename.temp_file "tilec_analyze" ".svg" in
+  check_ok
+    (Printf.sprintf
+       "analyze --app sor -M 12 -N 16 -x 3 -y 4 -z 4 --backend sim --out %s \
+        --svg %s"
+       (Filename.quote json) (Filename.quote svg))
+    [ "causal critical path"; "coverage 100.0%"; "top laggards"; "flight" ];
+  let slurp path =
+    let ic = open_in path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let doc = slurp json and drawing = slurp svg in
+  (* the exported trace carries flow events and the SVG marks the path *)
+  List.iter
+    (fun n ->
+      if not (contains doc n) then Alcotest.failf "trace JSON lacks %S" n)
+    [ {|"tiles-flow"|}; {|"ph": "s"|}; {|"ph": "f"|}; {|"seq"|} ];
+  if not (contains drawing "critical path") then
+    Alcotest.fail "SVG lacks the critical-path legend";
+  (* re-analyzing the artifact reproduces the same headline *)
+  check_ok
+    (Printf.sprintf "analyze --from %s" (Filename.quote json))
+    [ "causal critical path"; "coverage 100.0%" ];
+  Sys.remove json;
+  Sys.remove svg
+
+let test_analyze_stream () =
+  check_ok
+    "analyze --app jacobi -t 8 -n 16 -x 3 -y 4 -z 4 --backend sim --stream"
+    [ "longest waits"; "completion"; "mean busy" ]
+
+let test_analyze_json () =
+  let status, out =
+    run "analyze --app sor -M 12 -N 16 -x 3 -y 4 -z 4 --json"
+  in
+  if status <> Unix.WEXITED 0 then
+    Alcotest.failf "analyze --json failed:\n%s" out;
+  List.iter
+    (fun n ->
+      if not (contains out n) then
+        Alcotest.failf "analyze --json: %S not in output:\n%s" n out)
+    [
+      {|"path_length_s"|}; {|"coverage"|}; {|"kind_seconds"|};
+      {|"slack_s"|}; {|"segments"|}; {|"laggards"|};
+    ]
+
+let test_analyze_usage_errors () =
+  (* neither --app nor --from; and --stream excludes the span consumers *)
+  check_exit "analyze" 1;
+  check_exit "analyze --app sor --stream --svg /tmp/x.svg" 1;
+  check_exit "analyze --from /nonexistent/trace.json" 1
+
 let test_tune () =
   check_ok
     "tune --app adi -t 10 -n 12 --procs 4 --factors 2,3 --top 3 --workers 2"
@@ -430,6 +488,11 @@ let () =
           Alcotest.test_case "perf inflate+shm usage error" `Quick
             test_perf_inflate_shm_usage_error;
           Alcotest.test_case "perf record/check" `Quick test_perf_record_check;
+          Alcotest.test_case "analyze roundtrip" `Quick test_analyze;
+          Alcotest.test_case "analyze --stream" `Quick test_analyze_stream;
+          Alcotest.test_case "analyze --json" `Quick test_analyze_json;
+          Alcotest.test_case "analyze usage errors" `Quick
+            test_analyze_usage_errors;
           Alcotest.test_case "tune" `Quick test_tune;
           Alcotest.test_case "tune --json" `Quick test_tune_json;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;

@@ -29,10 +29,10 @@ let shm_run () =
 let test_recorder_counters () =
   let t = Recorder.create ~nprocs:2 () in
   let l0 = Recorder.log t ~rank:0 and l1 = Recorder.log t ~rank:1 in
-  Recorder.message_sent l0 ~bytes:100;
-  Recorder.message_sent l0 ~bytes:50;
-  Recorder.message_received l1 ~bytes:100;
-  Recorder.message_sent l1 ~bytes:25;
+  Recorder.message_sent l0 ~dst:1 ~tag:0 ~bytes:100 ();
+  Recorder.message_sent l0 ~dst:1 ~tag:1 ~bytes:50 ();
+  Recorder.message_received l1 ~src:0 ~tag:0 ~bytes:100 ();
+  Recorder.message_sent l1 ~dst:0 ~tag:0 ~bytes:25 ();
   Alcotest.(check int) "messages" 3 (Recorder.messages t);
   Alcotest.(check int) "bytes" 175 (Recorder.bytes t);
   Alcotest.(check (list int)) "rank messages" [ 2; 1 ]
@@ -168,7 +168,9 @@ let test_stats_make () =
   Alcotest.(check (float 1e-12)) "total compute" 2. s.Stats.total_compute;
   Alcotest.(check (float 1e-12)) "total comm" 3.5 s.Stats.total_comm;
   Alcotest.(check (float 1e-12)) "ratio" 1.75 s.Stats.comm_compute_ratio;
-  Alcotest.(check (float 1e-12)) "critical path" 3. s.Stats.critical_path;
+  Alcotest.(check (float 1e-12)) "max rank busy" 3. s.Stats.max_rank_busy;
+  Alcotest.(check (float 0.)) "no causal path without edges" 0.
+    s.Stats.critical_path;
   (* json embeds per-rank busy fractions *)
   match Stats.to_json s with
   | Json.Obj kvs ->

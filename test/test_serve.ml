@@ -10,6 +10,8 @@ module Plan_cache = Tiles_serve.Plan_cache
 module Registry = Tiles_serve.Registry
 module Job = Tiles_serve.Job
 module Server = Tiles_serve.Server
+module Metrics = Tiles_serve.Metrics
+module Span = Tiles_obs.Span
 module Netmodel = Tiles_mpisim.Netmodel
 
 let check_int = Alcotest.(check int)
@@ -525,6 +527,65 @@ let test_simulate_deterministic_and_cached () =
   | l -> Alcotest.failf "expected 2 responses, got %d" (List.length l));
   Server.shutdown t
 
+(* the service-wide longest-wait reservoir: bounded, sorted, attributed *)
+let test_metrics_wait_reservoir () =
+  let m = Metrics.create () in
+  let span rank d = { Span.rank; t0 = 0.; t1 = d; kind = Span.Wait } in
+  Metrics.observe_waits m ~job_id:"a" [ span 0 25.0; span 1 7.5 ];
+  Metrics.observe_waits m ~job_id:"b"
+    (List.init 20 (fun i -> span i (float_of_int (i + 1))));
+  (* 22 waits offered; the top 16 are a:25, b:20..7 with a:7.5 slotted in *)
+  let w = Metrics.longest_waits m in
+  check_int "bounded at 16" 16 (List.length w);
+  (match w with
+  | (job, rank, s) :: _ ->
+    check_str "longest attributed to a" "a" job;
+    check_int "its rank" 0 rank;
+    check_bool "its duration" true (s = 25.0)
+  | [] -> Alcotest.fail "empty reservoir");
+  let rec sorted = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  check_bool "longest first" true (sorted w);
+  check_bool "a's second wait survives the cut" true
+    (List.exists (fun (j, _, s) -> j = "a" && s = 7.5) w);
+  check_bool "b's shortest were evicted" true
+    (not (List.exists (fun (_, _, s) -> s <= 6.0) w));
+  match Metrics.snapshot_json m with
+  | Json.Obj kvs -> (
+    match List.assoc_opt "longest_waits" kvs with
+    | Some (Json.List l) -> check_int "snapshot embeds reservoir" 16 (List.length l)
+    | _ -> Alcotest.fail "snapshot lacks longest_waits")
+  | _ -> Alcotest.fail "snapshot not an object"
+
+(* a simulate job run by the server lands its waits in the metrics,
+   attributed to the leader's job id *)
+let test_server_folds_job_waits () =
+  let t = Server.create ~config:(stalled_config ()) () in
+  let respond, got = collector () in
+  check_bool "job handled" true
+    (Server.handle_line t ~respond
+       {|{"id":"w1","op":"simulate","app":"jacobi","size1":16,"size2":24}|}
+    = `Handled);
+  ignore (Server.step t);
+  check_bool "metrics handled" true
+    (Server.handle_line t ~respond {|{"op":"metrics"}|} = `Handled);
+  (match got () with
+  | [ _job; m ] -> (
+    match Option.bind (Json.member "metrics" m) (Json.member "jobs") with
+    | Some (Json.Obj kvs) -> (
+      match List.assoc_opt "longest_waits" kvs with
+      | Some (Json.List (_ :: _ as l)) ->
+        check_bool "attributed to the job" true
+          (List.for_all
+             (fun e -> Json.member "job_id" e = Some (Json.Str "w1"))
+             l)
+      | _ -> Alcotest.fail "no longest_waits in snapshot")
+    | _ -> Alcotest.fail "no metrics object")
+  | l -> Alcotest.failf "expected 2 responses, got %d" (List.length l));
+  Server.shutdown t
+
 let test_pooled_server_drain () =
   (* with a real pool: submit a burst, drain, every job answered *)
   let config =
@@ -634,6 +695,10 @@ let () =
             test_handle_line_protocol;
           Alcotest.test_case "simulate cached+deterministic" `Quick
             test_simulate_deterministic_and_cached;
+          Alcotest.test_case "wait reservoir bounded" `Quick
+            test_metrics_wait_reservoir;
+          Alcotest.test_case "job waits fold into metrics" `Quick
+            test_server_folds_job_waits;
           Alcotest.test_case "pooled drain" `Quick test_pooled_server_drain;
           Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
         ] );
