@@ -732,7 +732,7 @@ let analyze_target () =
   pf "\n=== Analyze — causal critical path, rect vs nonrect, small vs large ===\n";
   pf "(Jacobi on the simulator in Timing mode; the causal path replays the\n";
   pf " send→recv edge DAG, so its compute/wait/flight split says where the\n";
-  pf " makespan actually goes — rank counts span 58 to 1219)\n";
+  pf " makespan actually goes — rank counts span 58 to 4483)\n";
   let module Stats = Tiles_obs.Stats in
   let module Recorder = Tiles_obs.Recorder in
   let module Critpath = Tiles_obs.Critpath in
@@ -740,7 +740,32 @@ let analyze_target () =
     [
       ("rect", 24, 34, (6, 8, 8)); ("nonrect", 24, 34, (6, 8, 8));
       ("rect", 24, 256, (3, 8, 8)); ("nonrect", 24, 256, (3, 8, 8));
+      ("rect", 24, 512, (3, 8, 8)); ("nonrect", 24, 512, (3, 8, 8));
     ]
+  in
+  let run ~net (variant, t_steps, size, (x, y, z)) =
+    let p = Tiles_apps.Jacobi.make ~t_steps ~size in
+    let plan =
+      Plan.make ~m:Tiles_apps.Jacobi.mapping_dim (Tiles_apps.Jacobi.nest p)
+        ((List.assoc variant Tiles_apps.Jacobi.variants) ~x ~y ~z)
+    in
+    let r =
+      Executor.run ~mode:Executor.Timing ~trace:true ~plan
+        ~kernel:(Tiles_apps.Jacobi.kernel p) ~net ()
+    in
+    let stats = r.Executor.stats in
+    let nprocs = Array.length stats.Sim.rank_clocks in
+    ( nprocs,
+      Critpath.analyze ~completion:stats.Sim.completion ~nprocs
+        ~edges:stats.Sim.edges stats.Sim.trace )
+  in
+  let pct report k =
+    let s =
+      match List.assoc_opt k report.Critpath.kind_seconds with
+      | Some s -> s
+      | None -> 0.
+    in
+    Printf.sprintf "%.1f%%" (100. *. s /. report.Critpath.completion)
   in
   let t =
     Table.create
@@ -749,46 +774,52 @@ let analyze_target () =
           "path flight"; "edges"; "coverage"; "imbalance" ]
   in
   List.iter
-    (fun (variant, t_steps, size, ((x, y, z) as _tile)) ->
-      let p = Tiles_apps.Jacobi.make ~t_steps ~size in
-      let plan =
-        Plan.make ~m:Tiles_apps.Jacobi.mapping_dim (Tiles_apps.Jacobi.nest p)
-          ((List.assoc variant Tiles_apps.Jacobi.variants) ~x ~y ~z)
-      in
-      let r =
-        Executor.run ~mode:Executor.Timing ~trace:true ~plan
-          ~kernel:(Tiles_apps.Jacobi.kernel p) ~net ()
-      in
-      let stats = r.Executor.stats in
-      let nprocs = Array.length stats.Sim.rank_clocks in
-      let report =
-        Critpath.analyze ~completion:stats.Sim.completion ~nprocs
-          ~edges:stats.Sim.edges stats.Sim.trace
-      in
-      let kind k =
-        match List.assoc_opt k report.Critpath.kind_seconds with
-        | Some s -> s
-        | None -> 0.
-      in
+    (fun ((variant, t_steps, size, _tile) as cfg) ->
+      let nprocs, report = run ~net cfg in
       let label = Printf.sprintf "T=%d N=%d %s" t_steps size variant in
       Table.add_row t
         [
           label;
           string_of_int nprocs;
           Printf.sprintf "%.6f s" report.Critpath.completion;
-          Printf.sprintf "%.1f%%"
-            (100. *. kind "compute" /. report.Critpath.completion);
-          Printf.sprintf "%.1f%%"
-            (100. *. kind "wait" /. report.Critpath.completion);
-          Printf.sprintf "%.1f%%"
-            (100. *. kind "flight" /. report.Critpath.completion);
+          pct report "compute";
+          pct report "wait";
+          pct report "flight";
           string_of_int report.Critpath.edges_crossed;
           Printf.sprintf "%.1f%%" (100. *. report.Critpath.coverage);
           Printf.sprintf "%.3f" report.Critpath.imbalance;
         ];
-      emit_json label (Critpath.to_json ~segments:false report))
+      emit_json label (Critpath.to_json ~segments:false ~per_rank:false report))
     configs;
-  emit t
+  emit t;
+  pf "\n--- same sweep under the contended NIC model (1 send / 1 recv lane) ---\n";
+  pf "(\"path queue\" is the share of the causal path spent serialized behind\n";
+  pf " a busy NIC lane; the nonrect advantage has to survive contention)\n";
+  let cnet = Netmodel.contended net in
+  let tc =
+    Table.create
+      ~header:
+        [ "config"; "procs"; "completion"; "path compute"; "path wait";
+          "path flight"; "path queue"; "coverage" ]
+  in
+  List.iter
+    (fun ((variant, t_steps, size, _tile) as cfg) ->
+      let nprocs, report = run ~net:cnet cfg in
+      let label = Printf.sprintf "T=%d N=%d %s contended" t_steps size variant in
+      Table.add_row tc
+        [
+          label;
+          string_of_int nprocs;
+          Printf.sprintf "%.6f s" report.Critpath.completion;
+          pct report "compute";
+          pct report "wait";
+          pct report "flight";
+          pct report "nic-queue";
+          Printf.sprintf "%.1f%%" (100. *. report.Critpath.coverage);
+        ];
+      emit_json label (Critpath.to_json ~segments:false ~per_rank:false report))
+    configs;
+  emit tc
 
 (* ---------------- perf observatory ---------------- *)
 

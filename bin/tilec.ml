@@ -190,6 +190,29 @@ let backend_arg =
 
 let backend_name = function `Sim -> "sim" | `Shm -> "shm"
 
+(* which network model the simulator charges communication under; parsed
+   once by Cmdliner so a bad spec is a usage error, not a runtime one *)
+let net_conv =
+  let parse s =
+    match Netmodel.of_spec s with Ok n -> Ok n | Error e -> Error (`Msg e)
+  in
+  let print ppf n = Format.pp_print_string ppf (Netmodel.model_id n) in
+  Arg.conv ~docv:"MODEL" (parse, print)
+
+let net_arg =
+  Arg.(value
+       & opt net_conv Netmodel.fast_ethernet_cluster
+       & info [ "net" ] ~docv:"MODEL"
+           ~doc:"Simulator network model: $(b,alpha-beta) (every concurrent \
+                 transfer gets full bandwidth; the default) or \
+                 $(b,contended[:key=value,…]) with per-rank NIC lanes and \
+                 FIFO serialisation. Keys: $(b,snd)/$(b,rcv) (lane counts, \
+                 default 1), $(b,lanes) (sets both), $(b,uplink) (shared \
+                 egress cap, bytes/s), $(b,bw) (wire bytes/s), $(b,lat) \
+                 (seconds). Sim backend only; queueing is charged \
+                 explicitly and shows up as nic-queue time in \
+                 $(b,analyze).")
+
 (* which tile-execution engine runs the data movement and arithmetic;
    only meaningful where real data flows (simulate --full, trace, shm) *)
 let walker_arg =
@@ -238,11 +261,12 @@ let check_reads_arg =
                fast walkers (the reference walker always validates).")
 
 let run_meta inst ~variant ~xyz:(x, y, z) ~nprocs ~backend ~overlap
-    ?(walker = Walker.Fastpath) ?walker_fallback ~size1 ~size2 () =
+    ?(net = Netmodel.fast_ethernet_cluster) ?(walker = Walker.Fastpath)
+    ?walker_fallback ~size1 ~size2 () =
   Tiles_obs.Runmeta.make ~app:inst.app_name ~variant ~size1 ~size2
     ~tile:(x, y, z) ~nprocs ~backend:(backend_name backend) ~overlap
     ~netmodel:(match backend with
-      | `Sim -> "fast_ethernet_cluster"
+      | `Sim -> Netmodel.model_id net
       | `Shm -> "-")
     ~walker:(Walker.variant_to_string walker) ?walker_fallback ()
 
@@ -360,10 +384,9 @@ let simulate_cmd =
                  (open in chrome://tracing or Perfetto).")
   in
   let run app size1 size2 variant xyz full trace overlap trace_out walker
-      check_reads =
+      check_reads net =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
-    let net = Netmodel.fast_ethernet_cluster in
     let mode = if full then Executor.Full else Executor.Timing in
     let trace = trace || trace_out <> None in
     let fallback =
@@ -383,6 +406,9 @@ let simulate_cmd =
       r.Executor.speedup;
     Printf.printf "%d messages, %d bytes\n" r.Executor.stats.Sim.messages
       r.Executor.stats.Sim.bytes;
+    if r.Executor.stats.Sim.queue_seconds > 0. then
+      Printf.printf "nic/uplink queueing %.6f s total across ranks\n"
+        r.Executor.stats.Sim.queue_seconds;
     if full then begin
       let seq = Seq_exec.run ~space:inst.nest.Nest.space ~kernel:inst.kernel () in
       let err =
@@ -414,8 +440,8 @@ let simulate_cmd =
       Chrome.write
         ~process_name:(Printf.sprintf "tilec %s (sim)" inst.app_name)
         ~meta:(run_meta inst ~variant ~xyz ~nprocs:(Plan.nprocs plan)
-                 ~backend:`Sim ~overlap ~walker ?walker_fallback:fallback
-                 ~size1 ~size2 ())
+                 ~backend:`Sim ~overlap ~net ~walker
+                 ?walker_fallback:fallback ~size1 ~size2 ())
         ~nprocs:(Plan.nprocs plan) ~path r.Executor.stats.Sim.trace;
       Printf.eprintf "wrote %s\n" path
   in
@@ -423,7 +449,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Execute the plan on the simulated cluster.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
           $ full_arg $ trace_arg $ overlap_arg $ trace_out_arg $ walker_arg
-          $ check_reads_arg)
+          $ check_reads_arg $ net_arg)
 
 let trace_cmd =
   let out_arg =
@@ -441,7 +467,7 @@ let trace_cmd =
                  (shm).")
   in
   let run app size1 size2 variant xyz backend out svg overlap walker
-      check_reads =
+      check_reads net =
     guard @@ fun () ->
     let inst, plan = build_plan app size1 size2 variant xyz in
     let nprocs = Plan.nprocs plan in
@@ -454,8 +480,7 @@ let trace_cmd =
       | `Sim ->
         let r =
           Executor.run ~walker ~check:check_reads ~mode:Executor.Full ~overlap
-            ~trace:true ~plan ~kernel:inst.kernel
-            ~net:Netmodel.fast_ethernet_cluster ()
+            ~trace:true ~plan ~kernel:inst.kernel ~net ()
         in
         (r.Executor.stats.Sim.trace,
          Tiles_mpisim.Trace.aggregate r.Executor.stats)
@@ -471,8 +496,8 @@ let trace_cmd =
     let backend_str = backend_name backend in
     Chrome.write
       ~process_name:(Printf.sprintf "tilec %s (%s)" inst.app_name backend_str)
-      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~walker
-               ?walker_fallback:fallback ~size1 ~size2 ())
+      ~meta:(run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~net
+               ~walker ?walker_fallback:fallback ~size1 ~size2 ())
       ~nprocs ~path:out spans;
     Printf.eprintf "wrote %s\n" out;
     (match svg with
@@ -492,7 +517,7 @@ let trace_cmd =
              an optional SVG timeline) with aggregate statistics.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ variant_arg $ xyz_args
           $ backend_arg $ out_arg $ svg_arg $ overlap_arg $ walker_arg
-          $ check_reads_arg)
+          $ check_reads_arg $ net_arg)
 
 let analyze_cmd =
   let app_opt_arg =
@@ -595,7 +620,7 @@ let analyze_cmd =
       Printf.eprintf "wrote %s\n" path
   in
   let run app size1 size2 variant xyz backend overlap from stream json out svg
-      top =
+      top net =
     guard @@ fun () ->
     if stream && (out <> None || svg <> None || from <> None) then
       failwith
@@ -620,7 +645,8 @@ let analyze_cmd =
       let backend_str = backend_name backend in
       let title = Printf.sprintf "%s on %s" inst.app_name backend_str in
       let meta =
-        run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~size1 ~size2 ()
+        run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~net ~size1
+          ~size2 ()
       in
       match backend with
       | `Sim ->
@@ -633,7 +659,7 @@ let analyze_cmd =
         in
         let r =
           Executor.run ~mode:Executor.Timing ~overlap ~recorder:rc ~plan
-            ~kernel:inst.kernel ~net:Netmodel.fast_ethernet_cluster ()
+            ~kernel:inst.kernel ~net ()
         in
         let completion = r.Executor.stats.Sim.completion in
         if stream then
@@ -643,6 +669,7 @@ let analyze_cmd =
               ~max_inflight_bytes:(Recorder.max_inflight_bytes rc)
               ~rank_messages:(Recorder.rank_messages rc)
               ~rank_bytes:(Recorder.rank_bytes rc)
+              ~queue_seconds:(Recorder.queue_seconds rc)
               (Recorder.kind_seconds rc)
           in
           report_streaming ~json stats rc
@@ -686,7 +713,7 @@ let analyze_cmd =
              O(ranks)-memory aggregation at thousand-rank scale.")
     Term.(const run $ app_opt_arg $ size1_arg $ size2_arg $ variant_arg
           $ xyz_args $ backend_arg $ overlap_arg $ from_arg $ stream_arg
-          $ json_arg $ out_arg $ svg_arg $ top_arg)
+          $ json_arg $ out_arg $ svg_arg $ top_arg $ net_arg)
 
 let tune_cmd =
   let module Tune = Tiles_tune.Tune in
@@ -728,7 +755,7 @@ let tune_cmd =
            ~doc:"Restrict the mapping dimension (default: search all).")
   in
   let run app size1 size2 procs factors top workers cache json overlap backend
-      m =
+      m net =
     guard @@ fun () ->
     let inst = instance app ~size1 ~size2 in
     let options =
@@ -744,8 +771,7 @@ let tune_cmd =
       }
     in
     let r =
-      Tune.search ~options ~nest:inst.nest ~kernel:inst.kernel
-        ~net:Netmodel.fast_ethernet_cluster ()
+      Tune.search ~options ~nest:inst.nest ~kernel:inst.kernel ~net ()
     in
     if json then
       print_endline (Tiles_util.Json.to_string (Tune.result_json r))
@@ -798,7 +824,7 @@ let tune_cmd =
              fastest plan under a processor budget.")
     Term.(const run $ app_arg $ size1_arg $ size2_arg $ procs_arg
           $ factors_arg $ top_arg $ workers_arg $ cache_arg $ json_arg
-          $ overlap_arg $ backend_arg $ m_arg)
+          $ overlap_arg $ backend_arg $ m_arg $ net_arg)
 
 let perf_cmd =
   let module Metric = Tiles_obs.Metric in
@@ -848,7 +874,7 @@ let perf_cmd =
                  baselines get an $(b,-overlap) file-name suffix.")
   in
   let run app size1 size2 variant xyz backend repeats warmup record check dir
-      json counters_only inflate overlap walker =
+      json counters_only inflate overlap walker net_base =
     (* --inflate scales the simulator's network model; the shm backend has
        no model to scale, so the combination is a usage error, not a
        silently ignored flag *)
@@ -873,12 +899,11 @@ let perf_cmd =
        what gets measured *)
     if backend = `Shm then warn_native_fallback fallback;
     let net =
-      let n = Netmodel.fast_ethernet_cluster in
-      if inflate = 1.0 then n
+      if inflate = 1.0 then net_base
       else
-        { n with
-          Netmodel.latency = n.Netmodel.latency *. inflate;
-          flop_time = n.Netmodel.flop_time *. inflate }
+        { net_base with
+          Netmodel.latency = net_base.Netmodel.latency *. inflate;
+          flop_time = net_base.Netmodel.flop_time *. inflate }
     in
     let last_speedup = ref nan in
     let run_once () =
@@ -904,7 +929,7 @@ let perf_cmd =
     let stats = List.nth runs (List.length runs - 1) in
     let dist = Stats.distributions ~warmup runs in
     let meta =
-      run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~walker
+      run_meta inst ~variant ~xyz ~nprocs ~backend ~overlap ~net ~walker
         ?walker_fallback:fallback ~size1 ~size2 ()
     in
     let current = Baseline.make ~meta ~stats ~timings:dist in
@@ -1018,7 +1043,7 @@ let perf_cmd =
             (const run $ app_arg $ size1_arg $ size2_arg $ variant_arg
              $ xyz_args $ backend_arg $ repeats_arg $ warmup_arg $ record_arg
              $ check_arg $ dir_arg $ json_arg $ counters_arg $ inflate_arg
-             $ overlap_arg $ walker_arg))
+             $ overlap_arg $ walker_arg $ net_arg))
 
 let serve_cmd =
   let module Server = Tiles_serve.Server in
@@ -1057,7 +1082,7 @@ let serve_cmd =
            ~doc:"On shutdown, also write the final metrics snapshot, \
                  indented, to $(docv).")
   in
-  let run capacity workers cache_capacity tune_cache socket metrics_out =
+  let run capacity workers cache_capacity tune_cache socket metrics_out net =
     guard @@ fun () ->
     if capacity < 1 then failwith "serve: --capacity must be >= 1";
     if workers < 1 then failwith "serve: --workers must be >= 1";
@@ -1068,7 +1093,7 @@ let serve_cmd =
         workers;
         plan_cache_capacity = cache_capacity;
         tune_cache_dir = tune_cache;
-        net = Netmodel.fast_ethernet_cluster;
+        net;
       }
     in
     match socket with
@@ -1083,7 +1108,7 @@ let serve_cmd =
              compiled-plan cache and aggregate metrics ($(b,{\"op\":\
              \"metrics\"}) snapshots, $(b,{\"op\":\"shutdown\"}) stops).")
     Term.(const run $ capacity_arg $ workers_arg $ cache_capacity_arg
-          $ tune_cache_arg $ socket_arg $ metrics_out_arg)
+          $ tune_cache_arg $ socket_arg $ metrics_out_arg $ net_arg)
 
 let () =
   let doc = "compiler for tiled iteration spaces on clusters" in

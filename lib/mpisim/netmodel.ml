@@ -1,3 +1,11 @@
+type contention = {
+  snd_lanes : int;
+  rcv_lanes : int;
+  uplink : float option;
+}
+
+type model = Alpha_beta | Contended of contention
+
 type t = {
   latency : float;
   bandwidth : float;
@@ -5,6 +13,7 @@ type t = {
   recv_overhead : float;
   flop_time : float;
   pack_time : float;
+  model : model;
 }
 
 let fast_ethernet_cluster =
@@ -15,6 +24,7 @@ let fast_ethernet_cluster =
     recv_overhead = 30e-6;
     flop_time = 100e-9;
     pack_time = 20e-9;
+    model = Alpha_beta;
   }
 
 let ideal =
@@ -25,7 +35,112 @@ let ideal =
     recv_overhead = 0.;
     flop_time = 100e-9;
     pack_time = 0.;
+    model = Alpha_beta;
   }
+
+let contended ?(snd_lanes = 1) ?(rcv_lanes = 1) ?uplink base =
+  if snd_lanes < 1 || rcv_lanes < 1 then
+    invalid_arg "Netmodel.contended: lanes must be >= 1";
+  (match uplink with
+  | Some u when not (u > 0.) ->
+    invalid_arg "Netmodel.contended: uplink must be > 0"
+  | _ -> ());
+  { base with model = Contended { snd_lanes; rcv_lanes; uplink } }
 
 let transfer_time t ~bytes = float_of_int bytes /. t.bandwidth
 let with_ratio t f = { t with flop_time = t.flop_time *. f }
+
+(* The id is what lands in Runmeta's "netmodel" field and in baseline
+   file names, so runs under different models never get compared. The
+   alpha-beta default keeps its historical name — every committed
+   artifact already says "fast_ethernet_cluster". *)
+let model_id t =
+  match t.model with
+  | Alpha_beta -> "fast_ethernet_cluster"
+  | Contended c ->
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf
+      (Printf.sprintf "contended:snd=%d,rcv=%d" c.snd_lanes c.rcv_lanes);
+    (match c.uplink with
+    | Some u -> Buffer.add_string buf (Printf.sprintf ",uplink=%g" u)
+    | None -> ());
+    if t.bandwidth <> fast_ethernet_cluster.bandwidth then
+      Buffer.add_string buf (Printf.sprintf ",bw=%g" t.bandwidth);
+    if t.latency <> fast_ethernet_cluster.latency then
+      Buffer.add_string buf (Printf.sprintf ",lat=%g" t.latency);
+    Buffer.contents buf
+
+let of_spec spec =
+  let ( let* ) = Result.bind in
+  let pos_int key s =
+    match int_of_string_opt s with
+    | Some i when i >= 1 -> Ok i
+    | _ -> Error (Printf.sprintf "net: %s must be a positive integer" key)
+  in
+  let pos_float key s =
+    match float_of_string_opt s with
+    | Some f when f > 0. && Float.is_finite f -> Ok f
+    | _ -> Error (Printf.sprintf "net: %s must be a positive number" key)
+  in
+  let name, params =
+    match String.index_opt spec ':' with
+    | None -> (spec, "")
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  match name with
+  | "alpha-beta" | "alphabeta" | "default" ->
+    if params = "" then Ok fast_ethernet_cluster
+    else Error "net: alpha-beta takes no parameters"
+  | "contended" ->
+    let kvs = if params = "" then [] else String.split_on_char ',' params in
+    let rec fold acc = function
+      | [] -> Ok acc
+      | kv :: rest ->
+        let* key, value =
+          match String.index_opt kv '=' with
+          | Some i ->
+            Ok
+              ( String.sub kv 0 i,
+                String.sub kv (i + 1) (String.length kv - i - 1) )
+          | None -> Error (Printf.sprintf "net: expected key=value, got %S" kv)
+        in
+        let snd_lanes, rcv_lanes, uplink, base = acc in
+        let* acc =
+          match key with
+          | "snd" ->
+            let* n = pos_int key value in
+            Ok (n, rcv_lanes, uplink, base)
+          | "rcv" ->
+            let* n = pos_int key value in
+            Ok (snd_lanes, n, uplink, base)
+          | "lanes" ->
+            let* n = pos_int key value in
+            Ok (n, n, uplink, base)
+          | "uplink" ->
+            let* u = pos_float key value in
+            Ok (snd_lanes, rcv_lanes, Some u, base)
+          | "bw" ->
+            let* b = pos_float key value in
+            Ok (snd_lanes, rcv_lanes, uplink, { base with bandwidth = b })
+          | "lat" ->
+            let* l = pos_float key value in
+            Ok (snd_lanes, rcv_lanes, uplink, { base with latency = l })
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "net: unknown parameter %S (snd, rcv, lanes, uplink, bw, \
+                  lat)"
+                 key)
+        in
+        fold acc rest
+    in
+    let* snd_lanes, rcv_lanes, uplink, base =
+      fold (1, 1, None, fast_ethernet_cluster) kvs
+    in
+    Ok (contended ~snd_lanes ~rcv_lanes ?uplink base)
+  | other ->
+    Error
+      (Printf.sprintf "net: unknown model %S (alpha-beta | contended[:params])"
+         other)

@@ -6,7 +6,29 @@
     computation cost and a per-element packing cost. The absolute numbers
     only set the computation-to-communication ratio; the experiments'
     qualitative shape (which tiling wins, where speedup peaks) is what the
-    reproduction checks. *)
+    reproduction checks.
+
+    The α-β model gives every concurrent transfer the full link
+    bandwidth — an infinite-capacity NIC. At thousand-rank scale that
+    flatters dense communication patterns, so a second, contention-aware
+    model serialises transfers through per-rank send- and receive-side
+    NIC lanes (FIFO, earliest-free lane first) and optionally through a
+    single shared uplink (a crude bisection-bandwidth cap). The queueing
+    delay the lanes introduce is charged explicitly and surfaces as
+    "nic-queue" time in the critical-path decomposition. *)
+
+type contention = {
+  snd_lanes : int;  (** concurrent outgoing transfers per rank *)
+  rcv_lanes : int;  (** concurrent incoming transfers per rank *)
+  uplink : float option;
+      (** shared egress capacity in bytes/s: every message also passes
+          through one global FIFO pipe of this bandwidth ([None] = no
+          shared cap) *)
+}
+
+type model =
+  | Alpha_beta  (** infinite NIC capacity: the historical default *)
+  | Contended of contention
 
 type t = {
   latency : float;  (** one-way message latency, seconds *)
@@ -15,14 +37,21 @@ type t = {
   recv_overhead : float;  (** CPU time consumed by the receiver per message *)
   flop_time : float;  (** seconds of CPU per iteration point *)
   pack_time : float;  (** seconds of CPU per packed/unpacked element *)
+  model : model;  (** how concurrent transfers share the network *)
 }
 
 val fast_ethernet_cluster : t
 (** Defaults calibrated to the paper's testbed class: 100 Mbit/s wire,
-    ~70 µs latency, ~100 ns per stencil point on a 500 MHz PIII. *)
+    ~70 µs latency, ~100 ns per stencil point on a 500 MHz PIII.
+    [model] is [Alpha_beta]. *)
 
 val ideal : t
 (** Zero-cost network, for ablations (pure scheduling effect). *)
+
+val contended : ?snd_lanes:int -> ?rcv_lanes:int -> ?uplink:float -> t -> t
+(** Switch a model to contention-aware NICs (lanes default to 1, no
+    uplink cap). Raises [Invalid_argument] on lanes < 1 or a
+    non-positive uplink. *)
 
 val transfer_time : t -> bytes:int -> float
 (** Wire time of one message: [bytes / bandwidth]. *)
@@ -31,3 +60,16 @@ val with_ratio : t -> float -> t
 (** Scale [flop_time] so the computation-to-communication ratio changes by
     the given factor (> 1 = more compute-bound); used by the ablation
     bench. *)
+
+val model_id : t -> string
+(** Stable identifier recorded in run metadata and baseline file names:
+    ["fast_ethernet_cluster"] for [Alpha_beta] (the historical name every
+    committed artifact uses), ["contended:snd=…,rcv=…"] plus any
+    non-default uplink/bandwidth/latency otherwise — so perf baselines
+    recorded under different models can never be compared. *)
+
+val of_spec : string -> (t, string) result
+(** Parse a [--net] command-line spec:
+    ["alpha-beta"] or ["contended[:key=value,…]"] with keys [snd], [rcv],
+    [lanes] (sets both), [uplink] (bytes/s), [bw] (wire bytes/s), [lat]
+    (seconds). [Error] carries a usage message. *)

@@ -19,6 +19,8 @@ type stats = {
   rank_messages : int array;
   rank_bytes : int array;
   max_inflight_bytes : int;
+  queue_seconds : float;
+  rank_queue_seconds : float array;
   trace : span list;
   edges : Recorder.edge list;
 }
@@ -50,13 +52,28 @@ end
 
 type channel_key = int * int * int (* src, dst, tag *)
 
+(* Contended-model network state: per-rank NIC lanes (busy-until stamps)
+   and the optional shared uplink. Reservations happen in simulator
+   execution order, which is fixed by the programs' control flow alone —
+   never by the timing parameters — so every stamp is a monotone (max/+)
+   function of the model's costs. That is what makes the contended model
+   deterministic and completion monotone in bandwidth and lane count. *)
+type nics = {
+  snd_free : float array array;  (* [rank][lane] send-NIC busy-until *)
+  rcv_free : float array array;  (* [rank][lane] recv-NIC busy-until *)
+  mutable uplink_free : float;
+  uplink : float option;  (* shared egress bytes/s, None = uncapped *)
+}
+
 type state = {
   nprocs : int;
   net : Netmodel.t;
+  nics : nics option;  (* Some iff net.model is Contended *)
   clocks : float array;
-  channels : (channel_key, (float * Fbuf.t) Queue.t) Hashtbl.t;
-  (* a parked receiver: wake it with the (arrival, payload) pair *)
-  parked : (channel_key, (float * Fbuf.t) -> unit) Hashtbl.t;
+  (* queued messages carry (ready, nic-queueing seconds, payload) *)
+  channels : (channel_key, (float * float * Fbuf.t) Queue.t) Hashtbl.t;
+  (* a parked receiver: wake it with the (ready, queued, payload) triple *)
+  parked : (channel_key, (float * float * Fbuf.t) -> unit) Hashtbl.t;
   runq : (unit -> unit) Queue.t;
   mutable finished : int;
   mutable at_barrier : (int * (unit -> unit)) list;
@@ -78,13 +95,60 @@ let pop_message st key =
   | None -> None
   | Some q -> if Queue.is_empty q then None else Some (Queue.pop q)
 
+(* Reserve the earliest-free lane for a transfer of [dur] seconds not
+   starting before [at]; returns the transfer's start time. FIFO per
+   NIC: reservations are granted in simulator order. *)
+let reserve_lane lanes ~at ~dur =
+  let best = ref 0 in
+  for i = 1 to Array.length lanes - 1 do
+    if lanes.(i) < lanes.(!best) then best := i
+  done;
+  let start = Float.max at lanes.(!best) in
+  lanes.(!best) <- start +. dur;
+  start
+
+(* Pass a message leaving its send NIC at [w0] (wire done at [wire_end])
+   through the shared uplink, if one is modelled: the uplink is a single
+   FIFO pipe, cut-through, so an uncontended message that fits is not
+   delayed. Returns (egress time, extra delay charged as queueing). *)
+let uplink_pass nics ~w0 ~wire_end ~nbytes =
+  match nics.uplink with
+  | None -> (wire_end, 0.)
+  | Some bw ->
+    let tau = float_of_int nbytes /. bw in
+    let u0 = Float.max w0 nics.uplink_free in
+    nics.uplink_free <- u0 +. tau;
+    let egress = Float.max wire_end (u0 +. tau) in
+    (egress, egress -. wire_end)
+
 (* [sent] is the sender-side causal stamp: the end of the send action on
-   the sender's clock (the wire and latency run after it) *)
-let deposit st key ~sent arrival data =
+   the sender's clock (the wire and latency run after it). [queued] is
+   the NIC/uplink queueing already accumulated on the sender side; the
+   receive NIC may add more before the message is ready. *)
+let deposit st key ~sent ~queued arrival data =
   let src, dst, tag = key in
   let nbytes = 8 * Fbuf.length data in
   Recorder.message_sent st.logs.(src) ~t:sent ~dst ~tag ~bytes:nbytes ();
-  Queue.push (arrival, data) (queue_of st key);
+  let arrival, queued =
+    match st.nics with
+    | None -> (arrival, queued)
+    | Some nics ->
+      (* receive-side NIC: cut-through, so a free lane absorbs the
+         message concurrently with the wire and [ready = arrival]; a
+         busy lane serialises the transfer after its current work *)
+      let transfer = Netmodel.transfer_time st.net ~bytes:nbytes in
+      let lanes = nics.rcv_free.(dst) in
+      let best = ref 0 in
+      for i = 1 to Array.length lanes - 1 do
+        if lanes.(i) < lanes.(!best) then best := i
+      done;
+      let ready = Float.max arrival (lanes.(!best) +. transfer) in
+      lanes.(!best) <- ready;
+      let recv_q = ready -. arrival in
+      Recorder.nic_queue st.logs.(dst) recv_q;
+      (ready, queued +. recv_q)
+  in
+  Queue.push (arrival, queued, data) (queue_of st key);
   (* wake a receiver parked on this channel *)
   match Hashtbl.find_opt st.parked key with
   | None -> ()
@@ -106,11 +170,11 @@ let record st rank t0 t1 kind = Recorder.span st.logs.(rank) ~t0 ~t1 kind
    counts as [Wait]; the per-message receive overhead is its own
    [Unpack] span, so a message that was already waiting in the channel
    contributes no wait time at all. *)
-let receive_clock st key r ~t0 (arrival, data) =
+let receive_clock st key r ~t0 (arrival, queued, data) =
   let src, _, tag = key in
   let ready = Float.max t0 arrival in
   record st r t0 ready Span.Wait;
-  Recorder.message_received st.logs.(r) ~t:ready ~posted:t0 ~src ~tag
+  Recorder.message_received st.logs.(r) ~t:ready ~posted:t0 ~queued ~src ~tag
     ~bytes:(8 * Fbuf.length data) ();
   let t1 = ready +. st.net.Netmodel.recv_overhead in
   st.clocks.(r) <- t1;
@@ -154,14 +218,44 @@ let handler st (r : int) =
                 invalid_arg "Sim.send: bad destination rank";
               let nbytes = 8 * Fbuf.length data in
               let t0 = st.clocks.(r) in
-              st.clocks.(r) <-
-                st.clocks.(r)
-                +. st.net.Netmodel.send_overhead
-                +. Netmodel.transfer_time st.net ~bytes:nbytes;
-              record st r t0 st.clocks.(r) Span.Send;
-              let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
-              deposit st (r, dst, tag) ~sent:st.clocks.(r) arrival
-                (Fbuf.copy data);
+              (match st.nics with
+              | None ->
+                st.clocks.(r) <-
+                  st.clocks.(r)
+                  +. st.net.Netmodel.send_overhead
+                  +. Netmodel.transfer_time st.net ~bytes:nbytes;
+                record st r t0 st.clocks.(r) Span.Send;
+                let arrival = st.clocks.(r) +. st.net.Netmodel.latency in
+                deposit st (r, dst, tag) ~sent:st.clocks.(r) ~queued:0.
+                  arrival (Fbuf.copy data)
+              | Some nics ->
+                (* blocking eager send: the CPU prepares the message
+                   (overhead), waits for a free send-NIC lane, and is
+                   occupied until the wire finishes *)
+                let transfer = Netmodel.transfer_time st.net ~bytes:nbytes in
+                let cpu_ready = t0 +. st.net.Netmodel.send_overhead in
+                let w0 =
+                  reserve_lane nics.snd_free.(r) ~at:cpu_ready ~dur:transfer
+                in
+                let wire_end = w0 +. transfer in
+                if w0 > cpu_ready then begin
+                  (* the NIC-queue stall is the sender's own blocked
+                     time, so it surfaces as a Wait span on its timeline
+                     (and in the queue counter), not as flight time *)
+                  record st r t0 cpu_ready Span.Send;
+                  record st r cpu_ready w0 Span.Wait;
+                  record st r w0 wire_end Span.Send;
+                  Recorder.nic_queue st.logs.(r) (w0 -. cpu_ready)
+                end
+                else record st r t0 wire_end Span.Send;
+                st.clocks.(r) <- wire_end;
+                let egress, up_q =
+                  uplink_pass nics ~w0 ~wire_end ~nbytes
+                in
+                Recorder.nic_queue st.logs.(r) up_q;
+                let arrival = egress +. st.net.Netmodel.latency in
+                deposit st (r, dst, tag) ~sent:wire_end ~queued:up_q arrival
+                  (Fbuf.copy data));
               continue k ())
         | E_isend (dst, tag, data) ->
           Some
@@ -174,13 +268,33 @@ let handler st (r : int) =
               let t0 = st.clocks.(r) in
               st.clocks.(r) <- st.clocks.(r) +. st.net.Netmodel.send_overhead;
               record st r t0 st.clocks.(r) Span.Send;
-              let arrival =
-                st.clocks.(r)
-                +. Netmodel.transfer_time st.net ~bytes:nbytes
-                +. st.net.Netmodel.latency
-              in
-              deposit st (r, dst, tag) ~sent:st.clocks.(r) arrival
-                (Fbuf.copy data);
+              (match st.nics with
+              | None ->
+                let arrival =
+                  st.clocks.(r)
+                  +. Netmodel.transfer_time st.net ~bytes:nbytes
+                  +. st.net.Netmodel.latency
+                in
+                deposit st (r, dst, tag) ~sent:st.clocks.(r) ~queued:0.
+                  arrival (Fbuf.copy data)
+              | Some nics ->
+                (* the CPU detaches after the overhead; the DMA transfer
+                   queues for a send-NIC lane, so its queueing rides the
+                   flight (attributed on the edge), not the CPU *)
+                let transfer = Netmodel.transfer_time st.net ~bytes:nbytes in
+                let cpu_ready = st.clocks.(r) in
+                let w0 =
+                  reserve_lane nics.snd_free.(r) ~at:cpu_ready ~dur:transfer
+                in
+                let send_q = w0 -. cpu_ready in
+                let wire_end = w0 +. transfer in
+                let egress, up_q =
+                  uplink_pass nics ~w0 ~wire_end ~nbytes
+                in
+                Recorder.nic_queue st.logs.(r) (send_q +. up_q);
+                let arrival = egress +. st.net.Netmodel.latency in
+                deposit st (r, dst, tag) ~sent:cpu_ready
+                  ~queued:(send_q +. up_q) arrival (Fbuf.copy data));
               continue k ())
         | E_recv (src, tag) ->
           Some
@@ -217,10 +331,23 @@ let run ?(trace = false) ?recorder ~nprocs ~net program =
          virtual time, so the recorder's own clock must never move *)
       Recorder.create ~trace ~clock:(fun () -> 0.) ~nprocs ()
   in
+  let nics =
+    match net.Netmodel.model with
+    | Netmodel.Alpha_beta -> None
+    | Netmodel.Contended { snd_lanes; rcv_lanes; uplink } ->
+      Some
+        {
+          snd_free = Array.init nprocs (fun _ -> Array.make snd_lanes 0.);
+          rcv_free = Array.init nprocs (fun _ -> Array.make rcv_lanes 0.);
+          uplink_free = 0.;
+          uplink;
+        }
+  in
   let st =
     {
       nprocs;
       net;
+      nics;
       clocks = Array.make nprocs 0.;
       channels = Hashtbl.create 64;
       parked = Hashtbl.create 16;
@@ -259,6 +386,8 @@ let run ?(trace = false) ?recorder ~nprocs ~net program =
     rank_messages = Recorder.rank_messages rc;
     rank_bytes = Recorder.rank_bytes rc;
     max_inflight_bytes = Recorder.max_inflight_bytes rc;
+    queue_seconds = Recorder.queue_seconds rc;
+    rank_queue_seconds = Recorder.rank_queue_seconds rc;
     (* Recorder.spans merges the per-rank logs time-ordered, like the
        wall-clock recorder produces ([] in streaming mode) *)
     trace = Recorder.spans rc;

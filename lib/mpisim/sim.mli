@@ -12,6 +12,23 @@
     The simulation is deterministic: rank programs are pure functions of
     their inputs and message contents, and queue order is fixed.
 
+    Network contention: under {!Netmodel.Alpha_beta} every concurrent
+    transfer gets the full wire bandwidth (infinite-capacity NICs).
+    Under {!Netmodel.Contended} each rank owns a bounded set of
+    send-side and receive-side NIC lanes with busy-until stamps —
+    transfers serialise FIFO through the earliest-free lane, optionally
+    through a single shared uplink — and every second of queueing is
+    charged explicitly: to the sender's timeline (a [Wait] span) when a
+    blocking send stalls for a lane, and to the message's flight
+    ([edge.e_queued], plus the per-rank queue counters) when an
+    overlapped send's DMA, the uplink, or the receive NIC delays
+    delivery. Lane reservations happen in simulator execution order,
+    which depends only on program control flow — never on the timing
+    parameters — so the contended schedule is deterministic and
+    completion is monotone under bandwidth drops or lane removal, and
+    with enough lanes and no uplink cap it is bit-identical to
+    [Alpha_beta].
+
     Traced spans use the observability layer's shared vocabulary
     ({!Tiles_obs.Span}), so a simulated timeline and a real
     {!Tiles_runtime.Shm_executor} timeline feed the same exporters. *)
@@ -33,6 +50,12 @@ type stats = {
   rank_messages : int array;  (** messages sent, per sender rank *)
   rank_bytes : int array;  (** bytes sent, per sender rank *)
   max_inflight_bytes : int;  (** peak total bytes buffered in channels *)
+  queue_seconds : float;
+      (** total NIC/uplink queueing under a contended {!Netmodel.model}
+          (0 under [Alpha_beta]); maintained even untraced/streaming *)
+  rank_queue_seconds : float array;
+      (** queueing charged per rank: send-side stalls and uplink delay
+          to the sender, receive-NIC serialisation to the receiver *)
   trace : span list;  (** per-event spans; empty unless [run] was called
                           with [~trace:true] *)
   edges : Tiles_obs.Recorder.edge list;

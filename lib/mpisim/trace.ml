@@ -70,4 +70,4 @@ let aggregate (stats : Sim.stats) =
     ~messages:stats.Sim.messages ~bytes:stats.Sim.bytes
     ~max_inflight_bytes:stats.Sim.max_inflight_bytes
     ~rank_messages:stats.Sim.rank_messages ~rank_bytes:stats.Sim.rank_bytes
-    ~critical_path stats.Sim.trace
+    ~critical_path ~queue_seconds:stats.Sim.queue_seconds stats.Sim.trace

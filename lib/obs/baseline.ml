@@ -107,11 +107,34 @@ let load ~path =
       | Error e -> Error (Printf.sprintf "%s: %s" path e)
       | Ok t -> Ok t))
 
+(* a non-default network model lands in the file name, so contended
+   baselines never collide with (or get compared against) the alpha-beta
+   ones recorded before contention existed *)
+let netmodel_suffix (meta : Runmeta.t) =
+  match meta.Runmeta.netmodel with
+  | "" | "-" | "fast_ethernet_cluster" -> ""
+  | id ->
+    let b = Buffer.create (String.length id + 1) in
+    Buffer.add_char b '-';
+    let last_dash = ref false in
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' ->
+          Buffer.add_char b c;
+          last_dash := false
+        | _ ->
+          if not !last_dash then Buffer.add_char b '-';
+          last_dash := true)
+      id;
+    Buffer.contents b
+
 let default_path ~dir ~(meta : Runmeta.t) =
   Filename.concat dir
-    (Printf.sprintf "%s-%s-%s%s.json" meta.Runmeta.app meta.Runmeta.variant
+    (Printf.sprintf "%s-%s-%s%s%s.json" meta.Runmeta.app meta.Runmeta.variant
        meta.Runmeta.backend
-       (if meta.Runmeta.overlap then "-overlap" else ""))
+       (if meta.Runmeta.overlap then "-overlap" else "")
+       (netmodel_suffix meta))
 
 (* ---------------- comparison ---------------- *)
 

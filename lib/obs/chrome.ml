@@ -47,16 +47,21 @@ let flow_events ~time_scale i (e : Recorder.edge) =
       [
         ( "args",
           Json.Obj
-            [
-              ("src", Json.Int e.e_src);
-              ("dst", Json.Int e.e_dst);
-              ("tag", Json.Int e.e_tag);
-              ("seq", Json.Int e.e_seq);
-              ("bytes", Json.Int e.e_bytes);
-              ("sent_s", Json.Float e.e_sent);
-              ("posted_s", Json.Float e.e_posted);
-              ("ready_s", Json.Float e.e_ready);
-            ] );
+            ([
+               ("src", Json.Int e.e_src);
+               ("dst", Json.Int e.e_dst);
+               ("tag", Json.Int e.e_tag);
+               ("seq", Json.Int e.e_seq);
+               ("bytes", Json.Int e.e_bytes);
+               ("sent_s", Json.Float e.e_sent);
+               ("posted_s", Json.Float e.e_posted);
+               ("ready_s", Json.Float e.e_ready);
+             ]
+            (* only written when nonzero so alpha-beta artifacts stay
+               byte-identical to the pre-contention schema *)
+            @
+            if e.e_queued <> 0. then [ ("queued_s", Json.Float e.e_queued) ]
+            else []) );
       ];
     common "f" e.e_ready e.e_dst [ ("bp", Json.Str "e") ];
   ]
@@ -154,10 +159,15 @@ let of_json ?(time_scale = 1e6) j =
                 Some e_bytes, Some e_sent, Some e_posted, Some e_ready ) ->
               note_rank e_src;
               note_rank e_dst;
+              (* absent in artifacts written before the contended
+                 network model existed: those flights had no queueing *)
+              let e_queued =
+                Option.value ~default:0. (anum "queued_s")
+              in
               edges :=
                 {
                   Recorder.e_src; e_dst; e_tag; e_seq; e_bytes; e_sent;
-                  e_posted; e_ready;
+                  e_posted; e_ready; e_queued;
                 }
                 :: !edges
             | _ ->

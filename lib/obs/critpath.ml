@@ -23,7 +23,7 @@
    all hops clamp to keep time monotonically decreasing, and an
    iteration budget bounds the walk in adversarial inputs. *)
 
-type seg_kind = Activity of Span.kind | Flight | Idle
+type seg_kind = Activity of Span.kind | Flight | Queue | Idle
 
 type segment = {
   sg_rank : int;
@@ -42,6 +42,7 @@ type report = {
   kind_seconds : (string * float) list;
   rank_on_path : float array;
   phase_seconds : (int option * float) list;
+  phase_queue_seconds : (int option * float) list;
   edges_crossed : int;
   max_rank_busy : float;
   imbalance : float;
@@ -51,6 +52,7 @@ type report = {
 let seg_kind_name = function
   | Activity k -> Span.kind_name k
   | Flight -> "flight"
+  | Queue -> "nic-queue"
   | Idle -> "idle"
 
 let seg_duration s = s.sg_t1 -. s.sg_t0
@@ -286,7 +288,14 @@ let analyze ?(eps = 1e-9) ?completion ~nprocs ~edges spans =
             (* the flight and everything earlier belong to the phase
                (tile step) the crossed edge carries as its tag *)
             phase := Some e.e_tag;
-            emit !cur_r jump !cur_t Flight;
+            (* a contended flight decomposes into the NIC/uplink
+               queueing the edge carries plus the pure wire+latency
+               remainder (the walk emits later segments first) *)
+            let q =
+              Float.max 0. (Float.min e.e_queued (!cur_t -. jump))
+            in
+            emit !cur_r (jump +. q) !cur_t Flight;
+            emit !cur_r jump (jump +. q) Queue;
             cur_r := e.e_src;
             cur_t := jump
           | None ->
@@ -302,7 +311,7 @@ let analyze ?(eps = 1e-9) ?completion ~nprocs ~edges spans =
   let coverage = if completion > 0. then path_length /. completion else 0. in
   let kind_seconds =
     let names =
-      List.map Span.kind_name Span.all_kinds @ [ "flight"; "idle" ]
+      List.map Span.kind_name Span.all_kinds @ [ "flight"; "nic-queue"; "idle" ]
     in
     let sums = Hashtbl.create 8 in
     List.iter
@@ -321,25 +330,31 @@ let analyze ?(eps = 1e-9) ?completion ~nprocs ~edges spans =
       match s.sg_kind with
       | Activity _ | Idle ->
         rank_on_path.(s.sg_rank) <- rank_on_path.(s.sg_rank) +. seg_duration s
-      | Flight -> ())
+      | Flight | Queue -> ())
     segments;
-  let phase_seconds =
+  let phase_order (a, _) (b, _) =
+    match (a, b) with
+    | Some x, Some y -> compare x y
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  let phase_sums keep =
     let sums = Hashtbl.create 16 in
     List.iter
       (fun s ->
-        let cur =
-          Option.value ~default:0. (Hashtbl.find_opt sums s.sg_phase)
-        in
-        Hashtbl.replace sums s.sg_phase (cur +. seg_duration s))
+        if keep s then begin
+          let cur =
+            Option.value ~default:0. (Hashtbl.find_opt sums s.sg_phase)
+          in
+          Hashtbl.replace sums s.sg_phase (cur +. seg_duration s)
+        end)
       segments;
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) sums []
-    |> List.sort (fun (a, _) (b, _) ->
-           match (a, b) with
-           | Some x, Some y -> compare x y
-           | Some _, None -> -1
-           | None, Some _ -> 1
-           | None, None -> 0)
+    |> List.sort phase_order
   in
+  let phase_seconds = phase_sums (fun _ -> true) in
+  let phase_queue_seconds = phase_sums (fun s -> s.sg_kind = Queue) in
   let slack = compute_slack ~nprocs ~eps ~completion ~per_dst spans in
   {
     nprocs;
@@ -350,6 +365,7 @@ let analyze ?(eps = 1e-9) ?completion ~nprocs ~edges spans =
     kind_seconds;
     rank_on_path;
     phase_seconds;
+    phase_queue_seconds;
     edges_crossed = !edges_crossed;
     max_rank_busy;
     imbalance;
@@ -381,7 +397,7 @@ let segment_json s =
       | None -> []
       | Some p -> [ ("phase", Json.Int p) ])
 
-let to_json ?(segments = true) t =
+let to_json ?(segments = true) ?(per_rank = true) t =
   Json.Obj
     ([
        ("nprocs", Json.Int t.nprocs);
@@ -398,20 +414,20 @@ let to_json ?(segments = true) t =
          Json.List
            (List.map
               (fun (p, v) ->
+                let queue =
+                  Option.value ~default:0.
+                    (List.assoc_opt p t.phase_queue_seconds)
+                in
                 Json.Obj
-                  [
-                    ( "phase",
-                      match p with Some p -> Json.Int p | None -> Json.Null );
-                    ("seconds", Json.Float v);
-                  ])
+                  ([
+                     ( "phase",
+                       match p with Some p -> Json.Int p | None -> Json.Null );
+                     ("seconds", Json.Float v);
+                   ]
+                  @
+                  if queue > 0. then [ ("queue_s", Json.Float queue) ]
+                  else []))
               t.phase_seconds) );
-       ( "rank_on_path_s",
-         Json.List
-           (Array.to_list (Array.map (fun v -> Json.Float v) t.rank_on_path))
-       );
-       ( "slack_s",
-         Json.List (Array.to_list (Array.map (fun v -> Json.Float v) t.slack))
-       );
        ( "laggards",
          Json.List
            (List.map
@@ -420,6 +436,17 @@ let to_json ?(segments = true) t =
                   [ ("rank", Json.Int r); ("on_path_s", Json.Float s) ])
               (laggards t)) );
      ]
+    @ (if per_rank then
+         [
+           ( "rank_on_path_s",
+             Json.List
+               (Array.to_list
+                  (Array.map (fun v -> Json.Float v) t.rank_on_path)) );
+           ( "slack_s",
+             Json.List
+               (Array.to_list (Array.map (fun v -> Json.Float v) t.slack)) );
+         ]
+       else [])
     @
     if segments then
       [ ("segments", Json.List (List.map segment_json t.segments)) ]
@@ -438,6 +465,20 @@ let summary ?(top = 5) t =
       let share = if t.path_length > 0. then v /. t.path_length else 0. in
       pf "  %-10s %14.6f %8.1f%%\n" k v (100. *. share))
     t.kind_seconds;
+  (let queue_total =
+     Option.value ~default:0. (List.assoc_opt "nic-queue" t.kind_seconds)
+   in
+   if queue_total > 0. then begin
+     pf "nic queueing on path %.6f s by phase:" queue_total;
+     List.iter
+       (fun (p, v) ->
+         if v > 0. then
+           match p with
+           | Some p -> pf " %d: %.6f s;" p v
+           | None -> pf " (pre-phase): %.6f s;" v)
+       t.phase_queue_seconds;
+     pf "\n"
+   end);
   (match laggards ~k:top t with
   | [] -> ()
   | ls ->

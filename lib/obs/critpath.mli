@@ -9,7 +9,11 @@
 
 type seg_kind =
   | Activity of Span.kind  (** on-path span time on some rank *)
-  | Flight  (** a message in transit between two ranks *)
+  | Flight  (** a message in transit between two ranks (wire + latency) *)
+  | Queue
+      (** the part of a flight spent queued in NIC lanes or the shared
+          uplink under a contended {!Tiles_mpisim}-style network model
+          (taken from [edge.e_queued]; never emitted when it is 0) *)
   | Idle  (** on-path gap: the critical rank had nothing recorded *)
 
 type segment = {
@@ -30,9 +34,12 @@ type report = {
   coverage : float;  (** [path_length / completion]; 1.0 on clean traces *)
   kind_seconds : (string * float) list;
       (** on-path seconds per segment kind: the five span kinds plus
-          ["flight"] and ["idle"] *)
+          ["flight"], ["nic-queue"] and ["idle"] *)
   rank_on_path : float array;  (** per-rank on-path occupancy (no flight) *)
   phase_seconds : (int option * float) list;
+  phase_queue_seconds : (int option * float) list;
+      (** the ["nic-queue"] share of each phase's on-path seconds —
+          where network contention actually lands on the critical path *)
   edges_crossed : int;
   max_rank_busy : float;  (** the old busy-time lower bound, for compare *)
   imbalance : float;
@@ -61,9 +68,12 @@ val laggards : ?k:int -> report -> (int * float) list
 (** Top-[k] (default 5) ranks by on-path occupancy, largest first;
     ranks with zero on-path time are omitted. *)
 
-val to_json : ?segments:bool -> report -> Tiles_util.Json.t
+val to_json : ?segments:bool -> ?per_rank:bool -> report -> Tiles_util.Json.t
 (** [segments] (default true) controls whether the full segment list is
-    embedded. *)
+    embedded; [per_rank] (default true) the O(nprocs) [rank_on_path_s]
+    and [slack_s] arrays — the bench artifact drops both so committed
+    reports stay table-sized at thousands of ranks (the top-k
+    [laggards] summary is always present). *)
 
 val summary : ?top:int -> report -> string
 (** Human-readable breakdown: path vs completion, per-kind table,

@@ -22,6 +22,7 @@ let bucket_value i =
 
 type t = {
   mutable count : int;
+  mutable nans : int;
   mutable mean : float;
   mutable m2 : float;
   mutable min : float;
@@ -32,6 +33,7 @@ type t = {
 let create () =
   {
     count = 0;
+    nans = 0;
     mean = 0.;
     m2 = 0.;
     min = infinity;
@@ -40,16 +42,23 @@ let create () =
   }
 
 let add t v =
-  t.count <- t.count + 1;
-  let d = v -. t.mean in
-  t.mean <- t.mean +. (d /. float_of_int t.count);
-  t.m2 <- t.m2 +. (d *. (v -. t.mean));
-  if v < t.min then t.min <- v;
-  if v > t.max then t.max <- v;
-  let b = bucket_of v in
-  t.hist.(b) <- t.hist.(b) + 1
+  (* a NaN folded into Welford state would poison mean/stddev for every
+     later sample, and min/max would silently keep their old values
+     (every NaN comparison is false) — so reject it here, visibly *)
+  if Float.is_nan v then t.nans <- t.nans + 1
+  else begin
+    t.count <- t.count + 1;
+    let d = v -. t.mean in
+    t.mean <- t.mean +. (d /. float_of_int t.count);
+    t.m2 <- t.m2 +. (d *. (v -. t.mean));
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v;
+    let b = bucket_of v in
+    t.hist.(b) <- t.hist.(b) + 1
+  end
 
 let count t = t.count
+let nans t = t.nans
 
 type summary = {
   count : int;
@@ -63,6 +72,10 @@ type summary = {
 }
 
 let percentile (t : t) q =
+  (* an empty metric has min = +inf and max = -inf, so the clamp below
+     would turn any answer into -inf; 0 is the only sane empty value *)
+  if t.count = 0 then 0.
+  else begin
   (* smallest bucket at which the cumulative count reaches q·total,
      clamped into [min, max] so exact repeats summarise exactly *)
   let target = q *. float_of_int t.count in
@@ -74,6 +87,7 @@ let percentile (t : t) q =
   in
   let v = go 0 0 in
   Float.min t.max (Float.max t.min v)
+  end
 
 let summarize (t : t) =
   if t.count = 0 then

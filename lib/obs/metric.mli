@@ -17,11 +17,18 @@ type t
 val create : unit -> t
 
 val add : t -> float -> unit
-(** Fold one sample. Negative and non-finite samples are counted in
-    mean/stddev/min/max but clamped to the lowest / highest bucket for
-    the percentile histogram. *)
+(** Fold one sample. NaN is rejected (tallied in {!nans}, never folded —
+    one NaN would otherwise poison the mean and freeze min/max).
+    Negative and infinite samples are counted in mean/stddev/min/max but
+    clamped to the lowest / highest bucket for the percentile
+    histogram. *)
 
 val count : t -> int
+(** Samples folded in — excludes rejected NaNs. *)
+
+val nans : t -> int
+(** NaN samples rejected by {!add}; a nonzero value flags a measurement
+    bug upstream. *)
 
 (** Immutable snapshot of a metric — the value stored in baselines. *)
 type summary = {
@@ -36,7 +43,9 @@ type summary = {
 }
 
 val summarize : t -> summary
-(** All-zero summary when no samples were added. *)
+(** All-zero summary when no samples were added (percentiles included:
+    an empty metric summarises to 0, never to the empty min/max
+    sentinels). Finite samples always produce a finite summary. *)
 
 val of_values : float list -> summary
 

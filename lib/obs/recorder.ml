@@ -26,6 +26,7 @@ type edge = {
   e_sent : float;
   e_posted : float;
   e_ready : float;
+  e_queued : float;
 }
 
 let nkinds = 5
@@ -53,7 +54,7 @@ type shared = {
 (* one half of a message, recorded on the side that observed it *)
 type sent_rec = { s_dst : int; s_tag : int; s_seq : int; s_t : float }
 type recv_rec = { r_src : int; r_tag : int; r_seq : int; r_bytes : int;
-                  r_posted : float; r_ready : float }
+                  r_posted : float; r_ready : float; r_queued : float }
 
 type log = {
   rank : int;
@@ -62,6 +63,7 @@ type log = {
   mutable cursor : float;
   mutable messages : int;
   mutable bytes : int;
+  mutable queue_sum : float;  (* NIC queueing seconds charged to this rank *)
   mutable finished_at : float;
   kind_sum : float array;  (* seconds per Span.kind, always when tracing *)
   kind_hist : Metric.t option array;  (* Streaming mode, lazily allocated *)
@@ -107,6 +109,7 @@ let create ?(mode = Retain) ?(trace = false) ?(clock = Clock.monotonic)
             cursor = 0.;
             messages = 0;
             bytes = 0;
+            queue_sum = 0.;
             finished_at = 0.;
             kind_sum = Array.make nkinds 0.;
             kind_hist = Array.make nkinds None;
@@ -200,16 +203,22 @@ let message_sent l ?t ~dst ~tag ~bytes () =
     l.sent <- { s_dst = dst; s_tag = tag; s_seq; s_t } :: l.sent
   end
 
-let message_received l ?t ?posted ~src ~tag ~bytes () =
+let message_received l ?t ?posted ?(queued = 0.) ~src ~tag ~bytes () =
   ignore (Atomic.fetch_and_add l.shared.inflight (-bytes));
   if keep_edges l.shared then begin
     let r_seq = next_seq l.recv_seq (src, tag) in
     let r_ready = match t with Some t -> t | None -> log_now l in
     let r_posted = match posted with Some p -> p | None -> r_ready in
     l.recvd <-
-      { r_src = src; r_tag = tag; r_seq; r_bytes = bytes; r_posted; r_ready }
+      { r_src = src; r_tag = tag; r_seq; r_bytes = bytes; r_posted; r_ready;
+        r_queued = queued }
       :: l.recvd
   end
+
+(* NIC queueing is a counter, not a span: it is maintained in every mode
+   (like messages/bytes) so thousand-rank streaming runs still report
+   how much time the contended network model spent queueing *)
+let nic_queue l dt = if dt > 0. then l.queue_sum <- l.queue_sum +. dt
 
 let finish l = l.finished_at <- log_now l
 
@@ -247,6 +256,7 @@ let edges t =
                 e_sent = s_t;
                 e_posted = r.r_posted;
                 e_ready = r.r_ready;
+                e_queued = r.r_queued;
               }
               :: acc)
           acc l.recvd)
@@ -287,6 +297,8 @@ let longest_waits ?(k = waits_keep) t =
 
 let messages t = Array.fold_left (fun acc l -> acc + l.messages) 0 t.logs
 let bytes t = Array.fold_left (fun acc l -> acc + l.bytes) 0 t.logs
+let queue_seconds t = Array.fold_left (fun acc l -> acc +. l.queue_sum) 0. t.logs
+let rank_queue_seconds t = Array.map (fun l -> l.queue_sum) t.logs
 let max_inflight_bytes t = Atomic.get t.s.max_inflight
 let rank_messages t = Array.map (fun l -> l.messages) t.logs
 let rank_bytes t = Array.map (fun l -> l.bytes) t.logs

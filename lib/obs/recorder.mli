@@ -38,6 +38,10 @@ type edge = {
   e_sent : float;  (** sender-side stamp: end of the send action *)
   e_posted : float;  (** receiver entered its wait *)
   e_ready : float;  (** receiver's wait ended; the message was available *)
+  e_queued : float;
+      (** seconds of the [e_sent → e_ready] flight spent queued behind
+          other transfers in NIC lanes or the shared uplink (0 under the
+          α-β model) *)
 }
 (** One matched send→recv dependency, with stamps from both sides. On the
     shm backend the two sides read the same monotonic clock but race on
@@ -94,6 +98,7 @@ val message_received :
   log ->
   ?t:float ->
   ?posted:float ->
+  ?queued:float ->
   src:int ->
   tag:int ->
   bytes:int ->
@@ -101,8 +106,15 @@ val message_received :
   unit
 (** Lower the in-flight byte level. When tracing in Retain mode, also
     records the receiver half of the dependency edge: [t] is when the
-    message became available (wait end, defaults to now) and [posted]
-    when the receiver entered its wait (defaults to [t]). *)
+    message became available (wait end, defaults to now), [posted] when
+    the receiver entered its wait (defaults to [t]) and [queued]
+    (default 0) how much of the flight was NIC/uplink queueing. *)
+
+val nic_queue : log -> float -> unit
+(** Charge NIC/uplink queueing seconds to this rank. A counter like
+    messages/bytes — maintained in every mode (including untraced and
+    Streaming), summed by {!queue_seconds}. Non-positive charges are
+    ignored. *)
 
 val finish : log -> unit
 (** Stamp the rank's completion time ([now]) for {!rank_finish}. *)
@@ -134,6 +146,12 @@ val bytes : t -> int
 val max_inflight_bytes : t -> int
 val rank_messages : t -> int array
 val rank_bytes : t -> int array
+
+val queue_seconds : t -> float
+(** Total NIC/uplink queueing charged via {!nic_queue} (0 under the α-β
+    model). *)
+
+val rank_queue_seconds : t -> float array
 
 val rank_finish : t -> float array
 (** Per-rank completion stamps (0 for ranks that never called

@@ -30,10 +30,13 @@ type t = {
   critical_path : float;
       (* the true causal critical path (Critpath over message edges);
          0 when no edges were available to compute it *)
+  queue_seconds : float;
+      (* total NIC/uplink queueing charged by a contended network model;
+         0 under alpha-beta and on real (shm) runs *)
 }
 
 let of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ~rank_messages ~rank_bytes ~critical_path sums =
+    ~rank_messages ~rank_bytes ~critical_path ~queue_seconds sums =
   let per_rank arr r =
     match arr with
     | Some a when Array.length a = nprocs -> a.(r)
@@ -78,10 +81,12 @@ let of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
     max_rank_busy =
       Array.fold_left (fun acc r -> Float.max acc r.busy) 0. ranks;
     critical_path;
+    queue_seconds;
   }
 
 let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ?rank_messages ?rank_bytes ?(critical_path = 0.) spans =
+    ?rank_messages ?rank_bytes ?(critical_path = 0.) ?(queue_seconds = 0.)
+    spans =
   if nprocs <= 0 then invalid_arg "Stats.make: nprocs";
   let sums = Array.make_matrix nprocs 5 0. in
   List.iter
@@ -100,10 +105,11 @@ let make ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
         sums.(s.Span.rank).(slot) +. Span.duration s)
     spans;
   of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ~rank_messages ~rank_bytes ~critical_path sums
+    ~rank_messages ~rank_bytes ~critical_path ~queue_seconds sums
 
 let of_kind_seconds ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ?rank_messages ?rank_bytes ?(critical_path = 0.) kind_seconds =
+    ?rank_messages ?rank_bytes ?(critical_path = 0.) ?(queue_seconds = 0.)
+    kind_seconds =
   if nprocs <= 0 then invalid_arg "Stats.of_kind_seconds: nprocs";
   if Array.length kind_seconds <> nprocs then
     invalid_arg "Stats.of_kind_seconds: kind_seconds length";
@@ -113,7 +119,7 @@ let of_kind_seconds ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
         invalid_arg "Stats.of_kind_seconds: kind row length")
     kind_seconds;
   of_sums ~completion ~nprocs ~messages ~bytes ~max_inflight_bytes
-    ~rank_messages ~rank_bytes ~critical_path kind_seconds
+    ~rank_messages ~rank_bytes ~critical_path ~queue_seconds kind_seconds
 
 let rank_json r =
   Json.Obj
@@ -132,7 +138,7 @@ let rank_json r =
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("nprocs", Json.Int t.nprocs);
       ("completion_s", Json.Float t.completion);
       ("messages", Json.Int t.messages);
@@ -144,8 +150,13 @@ let to_json t =
       ("mean_busy_fraction", Json.Float t.mean_busy_fraction);
       ("max_rank_busy_s", Json.Float t.max_rank_busy);
       ("critical_path_s", Json.Float t.critical_path);
-      ("ranks", Json.List (Array.to_list (Array.map rank_json t.ranks)));
     ]
+    (* only written when a contended model charged queueing, so
+       alpha-beta artifacts keep the pre-contention schema *)
+    @ (if t.queue_seconds > 0. then
+         [ ("nic_queue_s", Json.Float t.queue_seconds) ]
+       else [])
+    @ [ ("ranks", Json.List (Array.to_list (Array.map rank_json t.ranks))) ])
 
 (* ---------------- distributions over repeated runs ---------------- *)
 
@@ -159,6 +170,10 @@ let timed_fields t =
     ("max_rank_busy_s", t.max_rank_busy);
     ("critical_path_s", t.critical_path);
   ]
+  (* a distribution key only when the model can produce it, so
+     alpha-beta baselines keep their seven historical fields *)
+  @ (if t.queue_seconds > 0. then [ ("nic_queue_s", t.queue_seconds) ]
+     else [])
 
 type dist = (string * Metric.summary) list
 
@@ -210,6 +225,13 @@ let summary ?dist t =
   if t.critical_path > 0. then
     pf ", causal critical path %.6f s\n" t.critical_path
   else pf "\n";
+  if t.queue_seconds > 0. then
+    pf "nic/uplink queueing %.6f s total (%.1f%% of completion x ranks)\n"
+      t.queue_seconds
+      (if t.completion > 0. then
+         100. *. t.queue_seconds
+         /. (t.completion *. float_of_int t.nprocs)
+       else 0.);
   (match dist with
   | None -> ()
   | Some d ->

@@ -38,6 +38,10 @@ type t = {
       (** the true causal critical path through the message-dependency
           DAG (see {!Critpath}); 0 when the run carried no edges to
           compute it from *)
+  queue_seconds : float;
+      (** total seconds of NIC-lane / shared-uplink queueing charged by
+          a contended network model (see {!Tiles_mpisim.Netmodel});
+          always 0 under alpha-beta and on real (shm) runs *)
 }
 
 val make :
@@ -49,12 +53,14 @@ val make :
   ?rank_messages:int array ->
   ?rank_bytes:int array ->
   ?critical_path:float ->
+  ?queue_seconds:float ->
   Span.t list ->
   t
 (** Aggregate a trace. With an empty span list (untraced run) all time
     components are zero but the counters are still meaningful.
     [critical_path] (default 0) is the causal value from {!Critpath}
-    when the caller has message edges. *)
+    when the caller has message edges; [queue_seconds] (default 0) is
+    the contended-model queueing total from the simulator. *)
 
 val of_kind_seconds :
   completion:float ->
@@ -65,6 +71,7 @@ val of_kind_seconds :
   ?rank_messages:int array ->
   ?rank_bytes:int array ->
   ?critical_path:float ->
+  ?queue_seconds:float ->
   float array array ->
   t
 (** Aggregate from pre-folded [nprocs × 5] per-rank per-kind second
@@ -84,7 +91,8 @@ val timed_fields : t -> (string * float) list
 (** The run's timed scalar fields, keyed as in {!to_json}
     ([completion_s], [total_compute_s], [total_comm_s],
     [comm_compute_ratio], [mean_busy_fraction], [max_rank_busy_s],
-    [critical_path_s]). *)
+    [critical_path_s], plus [nic_queue_s] only when a contended model
+    charged queueing — alpha-beta runs keep the historical seven). *)
 
 type dist = (string * Metric.summary) list
 (** Per-field distributions, same keys as {!timed_fields}. *)

@@ -49,19 +49,37 @@ let touch t e =
   e.last_use <- t.tick
 
 let evict_lru t =
-  (* linear scan: the cache is small (hundreds of plans), eviction rare *)
+  (* linear scan: the cache is small (hundreds of plans), eviction rare.
+     The victim is the minimum (last_use, key) pair — the key breaks
+     age ties, so the choice never depends on [Hashtbl.iter] order
+     (which varies with the table's random hash seed and its resize
+     history, and previously made equal-age eviction nondeterministic) *)
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
-      match !victim with
-      | Some (_, age) when age <= e.last_use -> ()
-      | _ -> victim := Some (k, e.last_use))
+      let better =
+        match !victim with
+        | None -> true
+        | Some (vk, age) ->
+          e.last_use < age || (e.last_use = age && k < vk)
+      in
+      if better then victim := Some (k, e.last_use))
     t.tbl;
   match !victim with
   | Some (k, _) ->
     Hashtbl.remove t.tbl k;
     t.evictions <- t.evictions + 1
   | None -> ()
+
+(* ticks are unique in production ([touch] always increments), so equal
+   ages only arise when a test manufactures them to pin down the
+   tie-break above *)
+let set_last_use_for_testing t ~key ~age =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> e.last_use <- age
+      | None ->
+        invalid_arg "Plan_cache.set_last_use_for_testing: unknown key")
 
 let find_or_compile t ~key compile =
   let cached =

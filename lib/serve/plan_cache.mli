@@ -4,7 +4,7 @@
     {!Tiles_core.Plan.t}, with its Hermite-normal-form factorization,
     tile-space bounds and processor assignment — is a first-class,
     reusable artifact, not something recomputed per request. The daemon
-    keys plans exactly like [Tune.Cache] v2 keys scores (nest, tiling,
+    keys plans exactly like [Tune.Cache] v3 keys scores (nest, tiling,
     mapping dimension, kernel, network model, overlap, backend) plus the
     walker variant, so a million small queries against the same
     configuration amortize one compile.
@@ -32,14 +32,22 @@ val key :
   backend:string ->
   walker:string ->
   string
-(** The [Tune.Cache] v2 digest of the resolved configuration, extended
+(** The [Tune.Cache] v3 digest of the resolved configuration, extended
     with the walker variant. *)
 
 val find_or_compile :
   t -> key:string -> (unit -> Tiles_core.Plan.t) ->
   Tiles_core.Plan.t * [ `Hit | `Miss ]
 (** On [`Miss] the thunk ran (outside the lock) and the result was
-    inserted, evicting the LRU entry if the cache was full. *)
+    inserted, evicting the LRU entry if the cache was full. Eviction is
+    deterministic: the victim is the minimum (last-use, key) pair, with
+    the key breaking age ties — never hash-table iteration order. *)
+
+val set_last_use_for_testing : t -> key:string -> age:int -> unit
+(** Overwrite an entry's last-use tick. Production ticks are unique, so
+    this exists only for tests that manufacture equal-age entries to
+    exercise the eviction tie-break. Raises [Invalid_argument] on an
+    unknown key. *)
 
 type stats = {
   capacity : int;

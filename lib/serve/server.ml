@@ -140,14 +140,14 @@ let ok_json ~(job : Job.t) ~id ~cache_label ~queued_s ~service_s outcome =
 
 (* ---------------- job execution ---------------- *)
 
-let run_meta ~(job : Job.t) ~nprocs ~job_id ~queued_s =
+let run_meta ~(job : Job.t) ~net ~nprocs ~job_id ~queued_s =
   Runmeta.to_json
     (Runmeta.make ~app:job.Job.app ~variant:job.Job.variant
        ~size1:job.Job.size1 ~size2:job.Job.size2 ~tile:job.Job.tile ~nprocs
        ~backend:job.Job.backend ~overlap:job.Job.overlap
        ~netmodel:
          (match job.Job.backend with
-         | "sim" -> "fast_ethernet_cluster"
+         | "sim" -> Netmodel.model_id net
          | _ -> "-")
        ~walker:(Walker.variant_to_string job.Job.walker)
        ~job_id ~queued_s ())
@@ -209,7 +209,7 @@ let run_job t (ticket : ticket) : outcome =
     fold_waits rc;
     {
       payload = ("nprocs", Json.Int nprocs) :: sim_payload res;
-      mk_meta = Some (run_meta ~job ~nprocs);
+      mk_meta = Some (run_meta ~job ~net:t.config.net ~nprocs);
       cache_status;
     }
   | Job.Execute when job.Job.backend = "shm" ->
@@ -235,7 +235,7 @@ let run_job t (ticket : ticket) : outcome =
           ("tiles", Json.Int res.Shm_executor.tiles_executed);
           ("max_abs_err", Json.Float res.Shm_executor.max_abs_err);
         ];
-      mk_meta = Some (run_meta ~job ~nprocs);
+      mk_meta = Some (run_meta ~job ~net:t.config.net ~nprocs);
       cache_status;
     }
   | Job.Execute ->
@@ -260,7 +260,7 @@ let run_job t (ticket : ticket) : outcome =
         ("nprocs", Json.Int nprocs)
         :: sim_payload res
         @ [ ("max_abs_err", Json.Float err) ];
-      mk_meta = Some (run_meta ~job ~nprocs);
+      mk_meta = Some (run_meta ~job ~net:t.config.net ~nprocs);
       cache_status;
     }
   | Job.Tune ->
@@ -562,7 +562,18 @@ let final_line t =
       ("metrics", metrics_json t);
     ]
 
+(* a tenant that disconnects mid-response turns the server's next write
+   into a SIGPIPE, whose default disposition kills the whole daemon —
+   every other tenant's queued work with it. Ignored, the write raises
+   [Sys_error] (EPIPE) instead, which each connection handler absorbs
+   locally. Signal dispositions are process-global and unavailable on
+   some runtimes (e.g. Windows), hence the defensive catch. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let serve_channels ?config ?metrics_out ic oc =
+  ignore_sigpipe ();
   let out_lock = Mutex.create () in
   let respond j =
     Mutex.lock out_lock;
@@ -571,9 +582,11 @@ let serve_channels ?config ?metrics_out ic oc =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_lock)
       (fun () ->
-        output_string oc (Json.to_line j);
-        output_char oc '\n';
-        flush oc)
+        try
+          output_string oc (Json.to_line j);
+          output_char oc '\n';
+          flush oc
+        with Sys_error _ -> ())
   in
   let t = create ?config () in
   let rec loop () =
@@ -597,6 +610,7 @@ let serve_channels ?config ?metrics_out ic oc =
   | None -> ()
 
 let serve_socket ?config ?metrics_out ~path () =
+  ignore_sigpipe ();
   (match Unix.lstat path with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
   | _ -> raise (Sys_error (path ^ ": exists and is not a socket"))

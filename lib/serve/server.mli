@@ -97,4 +97,9 @@ val serve_socket :
     (unlinked first if stale): every connection gets its own reader
     domain and response ordering, all sharing one server — the
     multi-tenant deployment. A [shutdown] from any connection stops
-    accepting, drains and returns. *)
+    accepting, drains and returns.
+
+    Both front-ends set [SIGPIPE] to ignore on entry: a tenant that
+    disconnects mid-response turns the dead write into a per-connection
+    [EPIPE]/[Sys_error] (swallowed, ending only that session) instead
+    of the signal's default disposition killing the whole daemon. *)

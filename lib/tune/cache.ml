@@ -19,7 +19,7 @@ type score = {
 type t = { dir : string }
 
 (* bump when the score record or the key rendering changes *)
-let version = 2
+let version = 3
 
 let open_dir dir =
   if Sys.file_exists dir then begin
@@ -66,6 +66,14 @@ let key ~nest ~tiling ~m ~kernel ~net ~overlap ~backend =
   addf net.Netmodel.recv_overhead;
   addf net.Netmodel.flop_time;
   addf net.Netmodel.pack_time;
+  (* contention variants score differently, so they key differently —
+     this is why version went to 3 *)
+  add "|model:";
+  (match net.Netmodel.model with
+  | Netmodel.Alpha_beta -> add "ab"
+  | Netmodel.Contended c ->
+    add "c:%d:%d:" c.Netmodel.snd_lanes c.Netmodel.rcv_lanes;
+    (match c.Netmodel.uplink with None -> add "-" | Some u -> addf u));
   add "|overlap:%b" overlap;
   add "|backend:%s" backend;
   Digest.to_hex (Digest.string (Buffer.contents buf))

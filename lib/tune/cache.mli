@@ -3,8 +3,10 @@
     A score is keyed by everything that determines the (deterministic)
     discrete-event result: the nest (space constraints + dependencies),
     the tiling matrix [H], the mapping dimension, the kernel's identity
-    (name, width, read offsets), the network model's exact parameters,
-    the overlap flag and the backend name. Shared-memory scores are
+    (name, width, read offsets), the network model's exact parameters
+    {e including its contention variant} (lane counts and uplink cap
+    land in the digest, so [--net contended:...] scores never alias the
+    alpha-beta ones), the overlap flag and the backend name. Shared-memory scores are
     wall-clock and therefore noisy, but caching them is still what the
     user asked for: a tune resumed in the same directory re-ranks the
     same measurements instead of paying for fresh ones. Keys are MD5 digests of a canonical rendering;

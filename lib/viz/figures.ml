@@ -202,13 +202,27 @@ let timeline ?(title = "execution timeline") ?(path = []) ~nprocs ~completion
           ~x2:(left +. (sg.Critpath.sg_t1 *. scale))
           ~y2:(row_mid sg.Critpath.sg_rank)
           ~stroke:path_colour ~stroke_width:1.4 ~dash:"3 2" ()
+      | Critpath.Queue ->
+        (* NIC/uplink queueing: the message sits still before its hop,
+           drawn flat on the sender's row where it queued *)
+        let src = match !prev_rank with Some r -> r | None -> sg.sg_rank in
+        Svg.line svg
+          ~x1:(left +. (sg.Critpath.sg_t0 *. scale))
+          ~y1:(row_mid src)
+          ~x2:(left +. (sg.Critpath.sg_t1 *. scale))
+          ~y2:(row_mid src)
+          ~stroke:path_colour ~stroke_width:1.4 ~dash:"1 2" ()
       | Critpath.Activity _ | Critpath.Idle ->
         Svg.rect svg
           ~x:(left +. (sg.Critpath.sg_t0 *. scale))
           ~y:(margin +. (float_of_int sg.Critpath.sg_rank *. row_h) +. 1.)
           ~w:(Float.max 0.5 (Critpath.seg_duration sg *. scale))
           ~h:row_h ~stroke:path_colour ~opacity:0.9 ());
-      prev_rank := Some sg.Critpath.sg_rank)
+      (* a Queue segment keeps the pen on the sender's row so the
+         following Flight still hops from there *)
+      match sg.Critpath.sg_kind with
+      | Critpath.Queue -> ()
+      | _ -> prev_rank := Some sg.Critpath.sg_rank)
     path;
   for r = 0 to nprocs - 1 do
     Svg.text svg ~x:8.

@@ -18,7 +18,7 @@
 #
 # Usage: python3 scripts/analyze_smoke.py [path/to/tilec.exe]
 # Writes analyze-artifacts/{<app>.json,<app>-trace.json,<app>.svg,
-# stream-1219.json}.
+# stream-1219.json,stream-1219-contended.json}.
 import json, os, resource, subprocess, sys
 
 tilec = sys.argv[1] if len(sys.argv) > 1 else "./_build/default/bin/tilec.exe"
@@ -82,10 +82,29 @@ stats = stream["stats"]
 assert stats["nprocs"] >= 1024, stats["nprocs"]
 assert stats["completion_s"] > 0
 assert stream["longest_waits"], "streaming recorder kept no waits"
+# same scale under the contended NIC model: single send/recv lanes per
+# rank must produce attributed queueing (nic_queue_s is only emitted
+# when nonzero), and the streaming recorder must stay under the same
+# RSS ceiling -- contention adds per-rank lane state, not per-span state
+cont = json.loads(run(["analyze", "--app", "jacobi", "--backend", "sim",
+                       "-t", "24", "-n", "256",
+                       "-x", "3", "-y", "8", "-z", "8",
+                       "--stream", "--net", "contended", "--json"]))
+with open("analyze-artifacts/stream-1219-contended.json", "w") as f:
+    json.dump(cont, f, indent=2)
+cstats = cont["stats"]
+assert cstats["nprocs"] == stats["nprocs"], cstats["nprocs"]
+assert cstats.get("nic_queue_s", 0.0) > 0.0, "contended sim saw no queueing"
+# serializing NICs can only delay completion relative to alpha-beta
+assert cstats["completion_s"] >= stats["completion_s"] - 1e-12
+
 # ru_maxrss is the peak of any child on Linux (KiB); every tilec run
-# above is a child of this script, and the 1219-rank sim dwarfs the rest
+# above is a child of this script, and the 1219-rank sims dwarf the rest
 peak_mb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0
 assert peak_mb < RSS_CEILING_MB, f"peak child RSS {peak_mb:.0f} MB"
 print(f"stream: {stats['nprocs']} ranks, "
       f"{stats['messages']} messages, peak child RSS {peak_mb:.0f} MB")
+print(f"contended: completion {cstats['completion_s']:.6f}s "
+      f"(alpha-beta {stats['completion_s']:.6f}s), "
+      f"nic queueing {cstats['nic_queue_s']:.3f}s across ranks")
 print("analyze smoke OK")

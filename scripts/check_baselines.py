@@ -31,6 +31,16 @@ WATCHED = {
     "lib/util/fbuf.ml",
 }
 
+# Files that define the simulator's network timing model. A change here
+# moves every simulated completion time, so the committed perf baselines
+# (recorded under a specific model) must be re-recorded in the same
+# change; BENCH_kernels.json measures wall-clock walker throughput and
+# is unaffected.
+NET_WATCHED = {
+    "lib/mpisim/netmodel.ml",
+    "lib/mpisim/sim.ml",
+}
+
 
 def rev_ok(rev):
     return (
@@ -74,28 +84,48 @@ def main():
         ).splitlines()
         if f
     ]
+    baselines_touched = any(f.startswith("perf/baselines/") for f in files)
+    rc = 0
+
     hot = sorted(set(files) & WATCHED)
     if not hot:
         print("baseline check: no walker-addressing files changed")
-        return 0
-    missing = []
-    if not any(f.startswith("perf/baselines/") for f in files):
-        missing.append("perf/baselines/*.json (tilec perf ... --record)")
-    if "BENCH_kernels.json" not in files:
-        missing.append("BENCH_kernels.json (bench --json kernels)")
-    if missing:
-        print(f"walker-addressing files changed vs {base}:")
-        for f in hot:
+    else:
+        missing = []
+        if not baselines_touched:
+            missing.append("perf/baselines/*.json (tilec perf ... --record)")
+        if "BENCH_kernels.json" not in files:
+            missing.append("BENCH_kernels.json (bench --json kernels)")
+        if missing:
+            print(f"walker-addressing files changed vs {base}:")
+            for f in hot:
+                print(f"  {f}")
+            print("but these committed artifacts were not re-recorded:")
+            for m in missing:
+                print(f"  {m}")
+            rc = 1
+        else:
+            print(
+                f"baseline check: {len(hot)} addressing file(s) changed, "
+                "perf baselines and BENCH_kernels.json re-recorded alongside"
+            )
+
+    net_hot = sorted(set(files) & NET_WATCHED)
+    if not net_hot:
+        print("baseline check: no network-model files changed")
+    elif not baselines_touched:
+        print(f"network-model files changed vs {base}:")
+        for f in net_hot:
             print(f"  {f}")
-        print("but these committed artifacts were not re-recorded:")
-        for m in missing:
-            print(f"  {m}")
-        return 1
-    print(
-        f"baseline check: {len(hot)} addressing file(s) changed, "
-        "perf baselines and BENCH_kernels.json re-recorded alongside"
-    )
-    return 0
+        print("but no perf/baselines/*.json was re-recorded alongside")
+        print("(simulated completions moved; run tilec perf ... --record)")
+        rc = 1
+    else:
+        print(
+            f"baseline check: {len(net_hot)} network-model file(s) changed, "
+            "perf baselines re-recorded alongside"
+        )
+    return rc
 
 
 if __name__ == "__main__":

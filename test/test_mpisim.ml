@@ -336,6 +336,179 @@ let test_netmodel () =
     (2.0 *. net.Netmodel.flop_time)
     scaled.Netmodel.flop_time
 
+(* ---------------- contended network model ---------------- *)
+
+let test_net_spec () =
+  (match Netmodel.of_spec "alpha-beta" with
+  | Ok n -> Alcotest.(check string) "ab id" "fast_ethernet_cluster"
+              (Netmodel.model_id n)
+  | Error e -> Alcotest.fail e);
+  (match Netmodel.of_spec "contended:snd=2,rcv=3,uplink=1e9" with
+  | Ok n ->
+    (match n.Netmodel.model with
+    | Netmodel.Contended c ->
+      Alcotest.(check int) "snd" 2 c.Netmodel.snd_lanes;
+      Alcotest.(check int) "rcv" 3 c.Netmodel.rcv_lanes;
+      Alcotest.(check (option (float 0.))) "uplink" (Some 1e9)
+        c.Netmodel.uplink
+    | Netmodel.Alpha_beta -> Alcotest.fail "expected contended")
+  | Error e -> Alcotest.fail e);
+  (* distinct parameters must never alias in metadata or cache keys *)
+  let id s =
+    match Netmodel.of_spec s with
+    | Ok n -> Netmodel.model_id n
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check bool) "ids distinct" true
+    (id "contended" <> id "contended:lanes=2"
+    && id "contended" <> id "contended:uplink=1e9");
+  match Netmodel.of_spec "contended:snd=0" with
+  | Ok _ -> Alcotest.fail "snd=0 must be rejected"
+  | Error _ -> ()
+
+(* a random timing-independent program: every rank sends [degree]
+   messages to its right neighbours then receives the mirror image, so
+   control flow never depends on the cost parameters — the precondition
+   for the monotonicity guarantees the contended model makes *)
+let random_program ~nprocs ~degree ~sizes ~isend r =
+  for k = 1 to degree do
+    let dst = (r + k) mod nprocs in
+    let n = sizes.((r * degree + k - 1) mod Array.length sizes) in
+    let buf = Fbuf.make n 1.0 in
+    if isend then Sim.Api.isend ~dst ~tag:k buf
+    else Sim.Api.send ~dst ~tag:k buf
+  done;
+  Sim.Api.compute 1e-4;
+  for k = 1 to degree do
+    let src = (r - k + nprocs) mod nprocs in
+    ignore (Sim.Api.recv ~src ~tag:k)
+  done
+
+let gen_case =
+  QCheck.Gen.(
+    int_range 2 8 >>= fun nprocs ->
+    int_range 1 (min 3 (nprocs - 1)) >>= fun degree ->
+    bool >>= fun isend ->
+    array_size (return (nprocs * degree)) (int_range 1 4096) >>= fun sizes ->
+    return (nprocs, degree, isend, sizes))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (nprocs, degree, isend, sizes) ->
+      Printf.sprintf "nprocs=%d degree=%d isend=%b sizes=[%s]" nprocs degree
+        isend
+        (String.concat ";" (Array.to_list (Array.map string_of_int sizes))))
+    gen_case
+
+let run_case ~net' (nprocs, degree, isend, sizes) =
+  Sim.run ~nprocs ~net:net' (random_program ~nprocs ~degree ~sizes ~isend)
+
+let contended ?uplink lanes =
+  Netmodel.contended ~snd_lanes:lanes ~rcv_lanes:lanes ?uplink net
+
+(* with a lane per possible concurrent transfer and no uplink cap the
+   contended path must reproduce alpha-beta bit for bit — same float
+   operations in the same order, not merely close *)
+let prop_free_lanes_alpha_beta =
+  QCheck.Test.make ~name:"contended with free lanes = alpha-beta (exact)"
+    ~count:60 arb_case (fun case ->
+      let (nprocs, degree, _, _) = case in
+      let a = run_case ~net':net case in
+      let c = run_case ~net':(contended (nprocs * degree + 1)) case in
+      a.Sim.completion = c.Sim.completion
+      && a.Sim.rank_clocks = c.Sim.rank_clocks
+      && c.Sim.queue_seconds = 0.)
+
+let prop_monotone_bandwidth =
+  QCheck.Test.make ~name:"contended completion monotone as bandwidth drops"
+    ~count:60 arb_case (fun case ->
+      let full = run_case ~net':(contended 1) case in
+      let half =
+        run_case
+          ~net':{ (contended 1) with
+                  Netmodel.bandwidth = net.Netmodel.bandwidth /. 2. }
+          case
+      in
+      half.Sim.completion >= full.Sim.completion -. 1e-12)
+
+let prop_monotone_lanes =
+  QCheck.Test.make ~name:"contended completion monotone as lanes shrink"
+    ~count:60 arb_case (fun case ->
+      let one = run_case ~net':(contended 1) case in
+      let two = run_case ~net':(contended 2) case in
+      let capped = run_case ~net':(contended ~uplink:1e6 1) case in
+      one.Sim.completion >= two.Sim.completion -. 1e-12
+      && capped.Sim.completion >= one.Sim.completion -. 1e-12)
+
+let prop_queue_accounting =
+  QCheck.Test.make ~name:"queueing nonnegative and consistent" ~count:60
+    arb_case (fun case ->
+      let s = run_case ~net':(contended ~uplink:5e6 1) case in
+      let per_rank =
+        Array.fold_left ( +. ) 0. s.Sim.rank_queue_seconds
+      in
+      s.Sim.queue_seconds >= 0.
+      && Array.for_all (fun q -> q >= 0.) s.Sim.rank_queue_seconds
+      && Float.abs (per_rank -. s.Sim.queue_seconds) <= 1e-9
+      (* and alpha-beta charges none *)
+      && (run_case ~net':net case).Sim.queue_seconds = 0.)
+
+let prop_critpath_tiles_completion =
+  QCheck.Test.make
+    ~name:"contended critpath segments sum to completion (queue attributed)"
+    ~count:40 arb_case (fun case ->
+      let (nprocs, degree, isend, sizes) = case in
+      let s =
+        Sim.run ~trace:true ~nprocs ~net:(contended 1)
+          (random_program ~nprocs ~degree ~sizes ~isend)
+      in
+      let report =
+        Tiles_obs.Critpath.analyze ~completion:s.Sim.completion ~nprocs
+          ~edges:s.Sim.edges s.Sim.trace
+      in
+      let open Tiles_obs in
+      let sum =
+        List.fold_left
+          (fun acc sg -> acc +. Critpath.seg_duration sg)
+          0. report.Critpath.segments
+      in
+      Float.abs (sum -. s.Sim.completion) <= 1e-9
+      && Float.abs (report.Critpath.path_length -. s.Sim.completion) <= 1e-9
+      && List.for_all
+           (fun sg ->
+             sg.Critpath.sg_kind <> Critpath.Queue
+             || Critpath.seg_duration sg >= 0.)
+           report.Critpath.segments)
+
+(* flight queueing must be visible on the matched edges of a traced
+   contended run, and absent under alpha-beta *)
+let test_edge_queueing () =
+  let program r =
+    (* both senders contend for rank 2's single receive lane *)
+    if r < 2 then Sim.Api.isend ~dst:2 ~tag:r (Fbuf.make 4096 1.0)
+    else begin
+      ignore (Sim.Api.recv ~src:0 ~tag:0);
+      ignore (Sim.Api.recv ~src:1 ~tag:1)
+    end
+  in
+  let ab = Sim.run ~trace:true ~nprocs:3 ~net program in
+  List.iter
+    (fun (e : Tiles_obs.Recorder.edge) ->
+      Alcotest.(check (float 0.)) "alpha-beta edge queueing" 0.
+        e.Tiles_obs.Recorder.e_queued)
+    ab.Sim.edges;
+  Alcotest.(check (float 0.)) "alpha-beta total queueing" 0.
+    ab.Sim.queue_seconds;
+  let c = Sim.run ~trace:true ~nprocs:3 ~net:(contended 1) program in
+  Alcotest.(check bool) "contended run queued" true (c.Sim.queue_seconds > 0.);
+  let max_edge_q =
+    List.fold_left
+      (fun acc (e : Tiles_obs.Recorder.edge) ->
+        Float.max acc e.Tiles_obs.Recorder.e_queued)
+      0. c.Sim.edges
+  in
+  Alcotest.(check bool) "some edge carries queueing" true (max_edge_q > 0.)
+
 let () =
   Alcotest.run "tiles_mpisim"
     [
@@ -366,5 +539,15 @@ let () =
           Alcotest.test_case "pack/unpack spans" `Quick test_pack_unpack_spans;
           Alcotest.test_case "per-rank counters" `Quick test_per_rank_counters;
           Alcotest.test_case "netmodel" `Quick test_netmodel;
+        ] );
+      ( "contended",
+        [
+          Alcotest.test_case "net spec parsing" `Quick test_net_spec;
+          Alcotest.test_case "edge queueing" `Quick test_edge_queueing;
+          QCheck_alcotest.to_alcotest prop_free_lanes_alpha_beta;
+          QCheck_alcotest.to_alcotest prop_monotone_bandwidth;
+          QCheck_alcotest.to_alcotest prop_monotone_lanes;
+          QCheck_alcotest.to_alcotest prop_queue_accounting;
+          QCheck_alcotest.to_alcotest prop_critpath_tiles_completion;
         ] );
     ]

@@ -285,7 +285,44 @@ let test_metric_constant_samples () =
 let test_metric_empty () =
   let s = Metric.summarize (Metric.create ()) in
   Alcotest.(check int) "count" 0 s.Metric.count;
-  Alcotest.(check (float 0.)) "mean" 0. s.Metric.mean
+  Alcotest.(check (float 0.)) "mean" 0. s.Metric.mean;
+  (* percentiles of an empty metric are 0, not the min/max sentinels
+     (the clamp used to leak neg_infinity) *)
+  Alcotest.(check (float 0.)) "p50" 0. s.Metric.p50;
+  Alcotest.(check (float 0.)) "p99" 0. s.Metric.p99;
+  Alcotest.(check (float 0.)) "min" 0. s.Metric.min;
+  Alcotest.(check (float 0.)) "max" 0. s.Metric.max
+
+let test_metric_rejects_nan () =
+  let m = Metric.create () in
+  Metric.add m 1.0;
+  Metric.add m Float.nan;
+  Metric.add m 3.0;
+  Alcotest.(check int) "nan not counted" 2 (Metric.count m);
+  Alcotest.(check int) "nan tallied" 1 (Metric.nans m);
+  let s = Metric.summarize m in
+  Alcotest.(check (float 1e-12)) "mean unpoisoned" 2.0 s.Metric.mean;
+  Alcotest.(check (float 0.)) "min unpoisoned" 1.0 s.Metric.min;
+  Alcotest.(check (float 0.)) "max unpoisoned" 3.0 s.Metric.max;
+  (* a metric fed only NaN summarises like an empty one *)
+  let n = Metric.create () in
+  Metric.add n Float.nan;
+  let s = Metric.summarize n in
+  Alcotest.(check int) "count" 0 s.Metric.count;
+  Alcotest.(check (float 0.)) "p99" 0. s.Metric.p99
+
+let prop_finite_in_finite_out =
+  QCheck.Test.make ~name:"finite samples in => finite summary out"
+    ~count:200
+    QCheck.(
+      make
+        ~print:Print.(list float)
+        Gen.(list_size (int_range 0 40) (float_bound_exclusive 1e9)))
+    (fun vs ->
+      let s = Metric.of_values vs in
+      List.for_all Float.is_finite
+        [ s.Metric.mean; s.Metric.stddev; s.Metric.min; s.Metric.max;
+          s.Metric.p50; s.Metric.p90; s.Metric.p99 ])
 
 let test_metric_json_roundtrip () =
   let s = Metric.of_values [ 0.5; 0.75; 1.5 ] in
@@ -714,6 +751,8 @@ let () =
           Alcotest.test_case "constant samples" `Quick
             test_metric_constant_samples;
           Alcotest.test_case "empty" `Quick test_metric_empty;
+          Alcotest.test_case "rejects nan" `Quick test_metric_rejects_nan;
+          QCheck_alcotest.to_alcotest prop_finite_in_finite_out;
           Alcotest.test_case "json roundtrip" `Quick test_metric_json_roundtrip;
           Alcotest.test_case "stats distributions" `Quick
             test_stats_distributions;

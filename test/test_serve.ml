@@ -650,6 +650,94 @@ let test_socket_roundtrip () =
   check_bool "socket unlinked" false (Sys.file_exists path);
   Unix.rmdir dir
 
+(* a client that submits a job and disconnects before its response is
+   written used to kill the daemon: the write to the dead socket
+   delivered SIGPIPE (default disposition: terminate) before the
+   per-connection error handler ran. The server must survive and keep
+   answering later clients. *)
+let test_socket_early_disconnect () =
+  let dir = Filename.temp_file "tilec-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "tilec.sock" in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve_socket
+          ~config:{ (stalled_config ()) with Server.workers = 1 }
+          ~path ())
+  in
+  let rec connect tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      connect (tries - 1)
+  in
+  (* tenant 1: submit a real simulate job, then vanish mid-response *)
+  let fd1 = connect 100 in
+  let oc1 = Unix.out_channel_of_descr fd1 in
+  output_string oc1
+    "{\"id\":\"gone\",\"op\":\"simulate\",\"app\":\"jacobi\",\"size1\":24,\
+     \"size2\":64}\n";
+  flush oc1;
+  Unix.close fd1;
+  (* tenant 2: the server must still be alive and serving *)
+  let fd2 = connect 100 in
+  let oc2 = Unix.out_channel_of_descr fd2 in
+  let ic2 = Unix.in_channel_of_descr fd2 in
+  output_string oc2
+    "{\"id\":\"s2\",\"op\":\"plan\",\"app\":\"sor\",\"size1\":12,\"size2\":16}\n";
+  output_string oc2 "{\"op\":\"shutdown\"}\n";
+  flush oc2;
+  let l1 = input_line ic2 in
+  (match Json.parse l1 with
+  | Ok r ->
+    check_str "second tenant answered" "ok" (str_field "status" r);
+    check_str "id" "s2" (str_field "id" r)
+  | Error e -> Alcotest.failf "bad response line %S: %s" l1 e);
+  let l2 = input_line ic2 in
+  (match Json.parse l2 with
+  | Ok r -> check_str "shutdown ack" "shutdown" (str_field "op" r)
+  | Error e -> Alcotest.failf "bad shutdown line %S: %s" l2 e);
+  Domain.join server;
+  Unix.close fd2;
+  Unix.rmdir dir
+
+(* equal last-use ticks cannot arise through the public API (ticks are
+   unique), so manufacture them: the victim must be the smallest key,
+   independent of insertion order / hash-table layout *)
+let test_plan_cache_tie_break () =
+  let r = resolved_exn ~app:"sor" () in
+  let compile () =
+    Tiles_core.Plan.make ~m:r.Registry.m r.Registry.nest r.Registry.tiling
+  in
+  (* one probe per fresh cache: probing with find_or_compile re-inserts
+     on a miss and would cascade further evictions *)
+  let missing order probe =
+    let c = Plan_cache.create ~capacity:3 in
+    List.iter
+      (fun k -> ignore (Plan_cache.find_or_compile c ~key:k compile))
+      order;
+    List.iter
+      (fun k -> Plan_cache.set_last_use_for_testing c ~key:k ~age:7)
+      order;
+    (* insert a fourth entry: one of the three tied entries must go *)
+    ignore (Plan_cache.find_or_compile c ~key:"zz" compile);
+    let _, st = Plan_cache.find_or_compile c ~key:probe compile in
+    st = `Miss
+  in
+  List.iter
+    (fun order ->
+      let label k =
+        Printf.sprintf "probe %s (order %s)" k (String.concat "," order)
+      in
+      check_bool (label "aa") true (missing order "aa");
+      check_bool (label "bb") false (missing order "bb");
+      check_bool (label "cc") false (missing order "cc"))
+    [ [ "aa"; "bb"; "cc" ]; [ "cc"; "aa"; "bb" ]; [ "bb"; "cc"; "aa" ] ]
+
 let () =
   Alcotest.run "tiles_serve"
     [
@@ -670,6 +758,8 @@ let () =
           Alcotest.test_case "key discriminates" `Quick
             test_plan_cache_key_discriminates;
           Alcotest.test_case "LRU eviction" `Quick test_plan_cache_eviction;
+          Alcotest.test_case "deterministic tie-break" `Quick
+            test_plan_cache_tie_break;
         ] );
       ( "registry",
         [ Alcotest.test_case "errors" `Quick test_registry_errors ] );
@@ -701,5 +791,7 @@ let () =
             test_server_folds_job_waits;
           Alcotest.test_case "pooled drain" `Quick test_pooled_server_drain;
           Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+          Alcotest.test_case "socket early disconnect" `Quick
+            test_socket_early_disconnect;
         ] );
     ]
