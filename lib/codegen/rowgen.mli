@@ -22,6 +22,7 @@
 val entry_symbol : string
 
 val generate :
+  ?inner:int array ->
   plan:Tiles_core.Plan.t ->
   kernel:Ckernel.t ->
   skew:Tiles_linalg.Intmat.t ->
@@ -31,4 +32,8 @@ val generate :
   string
 (** [reads] are the kernel's (skewed) read offsets in compute order;
     [skew] the cumulative skew matrix (identity if unskewed) used to
-    recover original coordinates for [J(k)] and boundary lookups. *)
+    recover original coordinates for [J(k)] and boundary lookups.
+    [inner] is the walker's inner subtile shape, baked into the source
+    text so that differently-blocked walk schedules content-address to
+    distinct objects (the row ABI itself is shape-independent: the
+    walker passes subtile row segments). *)

@@ -26,6 +26,10 @@ type t = {
       (** when a native walker was requested but could not be used
           (no C compiler, no C kernel body, check mode), the reason it
           fell back to the fast path; [None] otherwise *)
+  inner : int array option;
+      (** the walker's cache-resident inner subtile shape; [None] = the
+          unblocked walk (and for pre-1.4 files, which had no inner
+          blocking) *)
   job_id : string option;
       (** the serve-daemon job this run belongs to; [None] for
           standalone runs *)
@@ -46,15 +50,17 @@ val make :
   netmodel:string ->
   ?walker:string ->
   ?walker_fallback:string ->
+  ?inner:int array ->
   ?job_id:string ->
   ?queued_s:float ->
   unit ->
   t
 (** [overlap] defaults to false; files written before the field existed
     parse as blocking runs. [walker] defaults to ["fast"] and is omitted
-    from {!to_json} at that default; [walker_fallback] / [job_id] /
-    [queued_s] likewise default to [None] / [None] / [0.] when absent,
-    so walker- and serve-unaware artifacts stay byte-identical. *)
+    from {!to_json} at that default; [walker_fallback] / [inner] /
+    [job_id] / [queued_s] likewise default to [None] / [None] / [None] /
+    [0.] when absent, so walker-, inner- and serve-unaware artifacts
+    stay byte-identical. *)
 
 val to_json : t -> Tiles_util.Json.t
 (** Flat object including a [tilec_version] field. *)

@@ -13,13 +13,23 @@
 val run :
   ?variant:Walker.variant ->
   ?check:bool ->
+  ?inner:int array ->
   space:Tiles_poly.Polyhedron.t ->
   kernel:Kernel.t ->
   unit ->
   Grid.t
 (** [variant] defaults to {!Walker.Fastpath}; [check] (default false)
     makes the fast variants validate reads against NaN poisoning (and
-    disables the unrolled row bodies so every read is inspected). *)
+    disables the unrolled row bodies so every read is inspected).
+
+    [inner] blocks the fast sequential walk into axis-aligned subtiles
+    of the given shape when the kernel's read offsets are componentwise
+    nonnegative in the walk's (skewed) coordinates — the condition a
+    rectangular schedule needs here, unlike the distributed walker's
+    TTIS walk where legality is structural. When the offsets don't
+    allow it the walk silently stays unblocked; results are
+    bit-identical either way. [Reference] always walks unblocked (it is
+    the oracle). *)
 
 val modelled_time :
   space:Tiles_poly.Polyhedron.t -> net:Tiles_mpisim.Netmodel.t -> float

@@ -4,10 +4,10 @@
     {!Tiles_core.Plan.t}, with its Hermite-normal-form factorization,
     tile-space bounds and processor assignment — is a first-class,
     reusable artifact, not something recomputed per request. The daemon
-    keys plans exactly like [Tune.Cache] v3 keys scores (nest, tiling,
-    mapping dimension, kernel, network model, overlap, backend) plus the
-    walker variant, so a million small queries against the same
-    configuration amortize one compile.
+    keys plans exactly like [Tune.Cache] v4 keys scores (nest, tiling,
+    mapping dimension, kernel, network model, overlap, backend, inner
+    subtile shape) plus the walker variant, so a million small queries
+    against the same configuration amortize one compile.
 
     Bounded LRU: at most [capacity] plans are retained; inserting into a
     full cache evicts the least-recently-used entry. Hits, misses,
@@ -31,9 +31,12 @@ val key :
   overlap:bool ->
   backend:string ->
   walker:string ->
+  inner:int array option ->
   string
-(** The [Tune.Cache] v3 digest of the resolved configuration, extended
-    with the walker variant. *)
+(** The [Tune.Cache] v4 digest of the resolved configuration, extended
+    with the walker variant. [inner] is the walker's subtile shape —
+    part of the configuration a job names (blocked native kernels are
+    compiled per shape). *)
 
 val find_or_compile :
   t -> key:string -> (unit -> Tiles_core.Plan.t) ->

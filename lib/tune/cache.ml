@@ -19,7 +19,7 @@ type score = {
 type t = { dir : string }
 
 (* bump when the score record or the key rendering changes *)
-let version = 3
+let version = 4
 
 let open_dir dir =
   if Sys.file_exists dir then begin
@@ -36,7 +36,7 @@ let open_dir dir =
 
 let dir t = t.dir
 
-let key ~nest ~tiling ~m ~kernel ~net ~overlap ~backend =
+let key ~inner ~nest ~tiling ~m ~kernel ~net ~overlap ~backend =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let addf x = add "%Lx;" (Int64.bits_of_float x) in
@@ -76,6 +76,13 @@ let key ~nest ~tiling ~m ~kernel ~net ~overlap ~backend =
     (match c.Netmodel.uplink with None -> add "-" | Some u -> addf u));
   add "|overlap:%b" overlap;
   add "|backend:%s" backend;
+  (* the subtile shape changes the walked (and, on the shm backend,
+     measured) configuration, so blocked scores never alias unblocked
+     ones — this is why version went to 4 *)
+  add "|inner:";
+  (match inner with
+  | None -> add "-"
+  | Some b -> Array.iter (fun x -> add "%d," x) b);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let path t k = Filename.concat t.dir (k ^ ".score")

@@ -19,13 +19,20 @@ falls back to the merge base with origin/main, then to HEAD^.
 import subprocess
 import sys
 
-# Files that define LDS cell addressing or row execution. A change to
-# any of these invalidates the committed perf artifacts.
+# Files that define LDS cell addressing or row execution — including
+# the two-level subtile decomposition (walker.ml) and how the subtile
+# shape is baked into generated row kernels (rowgen.ml, native_kernel.ml)
+# and threaded into rank programs (protocol.ml, executor entry points).
+# A change to any of these invalidates the committed perf artifacts.
 WATCHED = {
     "lib/runtime/walker.ml",
     "lib/runtime/kernel.ml",
     "lib/runtime/native_kernel.ml",
     "lib/runtime/native_stubs.c",
+    "lib/runtime/protocol.ml",
+    "lib/runtime/executor.ml",
+    "lib/runtime/seq_exec.ml",
+    "lib/runtime/shm_executor.ml",
     "lib/codegen/rowgen.ml",
     "lib/core/lds.ml",
     "lib/util/fbuf.ml",

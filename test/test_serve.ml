@@ -101,7 +101,7 @@ let test_plan_cache_hits () =
   let r = resolved_exn ~app:"sor" () in
   let key =
     Plan_cache.key ~resolved:r ~net ~overlap:false ~backend:"sim"
-      ~walker:"fast"
+      ~walker:"fast" ~inner:None
   in
   let compiles = ref 0 in
   let compile () =
@@ -121,21 +121,25 @@ let test_plan_cache_hits () =
 
 let test_plan_cache_key_discriminates () =
   let r = resolved_exn ~app:"sor" () in
-  let k ~overlap ~backend ~walker =
-    Plan_cache.key ~resolved:r ~net ~overlap ~backend ~walker
+  let k ?(inner = None) ~overlap ~backend ~walker () =
+    Plan_cache.key ~resolved:r ~net ~overlap ~backend ~walker ~inner
   in
-  let base = k ~overlap:false ~backend:"sim" ~walker:"fast" in
+  let base = k ~overlap:false ~backend:"sim" ~walker:"fast" () in
   check_bool "overlap changes key" true
-    (base <> k ~overlap:true ~backend:"sim" ~walker:"fast");
+    (base <> k ~overlap:true ~backend:"sim" ~walker:"fast" ());
   check_bool "backend changes key" true
-    (base <> k ~overlap:false ~backend:"shm" ~walker:"fast");
+    (base <> k ~overlap:false ~backend:"shm" ~walker:"fast" ());
   check_bool "walker changes key" true
-    (base <> k ~overlap:false ~backend:"sim" ~walker:"reference");
+    (base <> k ~overlap:false ~backend:"sim" ~walker:"reference" ());
+  check_bool "inner shape changes key" true
+    (base
+    <> k ~inner:(Some [| 2; 2; 2 |]) ~overlap:false ~backend:"sim"
+         ~walker:"fast" ());
   let r2 = resolved_exn ~app:"jacobi" () in
   check_bool "app changes key" true
     (base
     <> Plan_cache.key ~resolved:r2 ~net ~overlap:false ~backend:"sim"
-         ~walker:"fast")
+         ~walker:"fast" ~inner:None)
 
 let test_plan_cache_eviction () =
   let c = Plan_cache.create ~capacity:2 in
